@@ -1,0 +1,134 @@
+// Ablation benches for design choices DESIGN.md calls out:
+//  (a) incremental update: cost of indexing a log in K batches vs one
+//      shot, and the price LastChecked pays to guarantee no duplicates;
+//  (b) segmented (per-period) index vs a single index table: build-side
+//      neutrality and query-side merge overhead.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "query/query_processor.h"
+
+using namespace seqdet;
+
+namespace {
+
+// Splits each trace of `log` into `parts` timestamp-ordered chunks,
+// mimicking periodic log arrival.
+std::vector<eventlog::EventLog> SplitBatches(const eventlog::EventLog& log,
+                                             size_t parts) {
+  std::vector<eventlog::EventLog> batches(parts);
+  for (const auto& trace : log.traces()) {
+    size_t per = (trace.size() + parts - 1) / parts;
+    for (size_t b = 0; b < parts; ++b) {
+      for (size_t i = b * per; i < std::min(trace.size(), (b + 1) * per);
+           ++i) {
+        batches[b].Append(trace.id,
+                          log.dictionary().Name(trace.events[i].activity),
+                          trace.events[i].ts);
+      }
+    }
+  }
+  for (auto& b : batches) b.SortAllTraces();
+  return batches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  const char* kDataset = "max_5000";
+  auto log = datagen::LoadDataset(kDataset, options.scale);
+  if (!log.ok()) return 1;
+
+  std::printf("=== Ablation (a): incremental batches on %s (scale=%.2f) "
+              "===\n",
+              kDataset, options.scale);
+  bench::TablePrinter batch_table(
+      {"configuration", "build time (s)", "pairs indexed"});
+
+  auto build_batched = [&](size_t parts, bool last_checked) {
+    auto batches = parts == 1 ? std::vector<eventlog::EventLog>{}
+                              : SplitBatches(*log, parts);
+    double secs = 0;
+    size_t indexed = 0;
+    secs = bench::TimeSeconds(options.repetitions, [&] {
+      auto db = bench::FreshDb();
+      index::IndexOptions idx_options;
+      idx_options.num_threads = options.threads;
+      idx_options.maintain_last_checked = last_checked;
+      auto idx = index::SequenceIndex::Open(db.get(), idx_options);
+      if (!idx.ok()) std::abort();
+      indexed = 0;
+      if (parts == 1) {
+        auto stats = (*idx)->Update(*log);
+        if (!stats.ok()) std::abort();
+        indexed += stats->pairs_indexed;
+      } else {
+        for (const auto& batch : batches) {
+          auto stats = (*idx)->Update(batch);
+          if (!stats.ok()) std::abort();
+          indexed += stats->pairs_indexed;
+        }
+      }
+    });
+    return std::make_pair(secs, indexed);
+  };
+
+  for (size_t parts : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    auto [secs, indexed] = build_batched(parts, true);
+    batch_table.AddRow({StringPrintf("%zu batches (LastChecked on)", parts),
+                        bench::Secs(secs), std::to_string(indexed)});
+    std::fprintf(stderr, "  %zu batches: %.3fs, %zu pairs\n", parts, secs,
+                 indexed);
+  }
+  {
+    // Without LastChecked the single-batch build is cheaper, but
+    // re-processing a trace would duplicate postings — the correctness
+    // price the table's pair counts make visible when batched.
+    auto [secs, indexed] = build_batched(1, false);
+    batch_table.AddRow({"1 batch (LastChecked off)", bench::Secs(secs),
+                        std::to_string(indexed)});
+    auto [secs4, indexed4] = build_batched(4, false);
+    batch_table.AddRow(
+        {"4 batches (LastChecked off, DUPLICATES)", bench::Secs(secs4),
+         std::to_string(indexed4)});
+  }
+  batch_table.Print();
+
+  std::printf("\n=== Ablation (b): segmented index periods on %s ===\n",
+              kDataset);
+  bench::TablePrinter period_table(
+      {"periods", "build time (s)", "query latency (ms)"});
+  const size_t kQueries = 50;
+  for (size_t periods : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    auto batches = SplitBatches(*log, periods);
+    auto db = bench::FreshDb();
+    index::IndexOptions idx_options;
+    idx_options.num_threads = options.threads;
+    auto idx = index::SequenceIndex::Open(db.get(), idx_options);
+    if (!idx.ok()) return 1;
+    Stopwatch build_watch;
+    for (size_t b = 0; b < batches.size(); ++b) {
+      if (b > 0 && !(*idx)->StartNewPeriod().ok()) return 1;
+      if (!(*idx)->Update(batches[b]).ok()) return 1;
+    }
+    double build = build_watch.ElapsedSeconds();
+
+    query::QueryProcessor qp(idx->get());
+    datagen::PatternSampler sampler(&(*log), options.seed);
+    auto patterns = sampler.SampleManySubsequences(kQueries, 5);
+    Stopwatch query_watch;
+    for (const auto& p : patterns) (void)qp.Detect(query::Pattern(p));
+    double query = query_watch.ElapsedSeconds() / kQueries;
+
+    period_table.AddRow({std::to_string(periods), bench::Secs(build),
+                         bench::Millis(query)});
+    std::fprintf(stderr, "  %zu periods: build=%.3fs query=%.4fs\n", periods,
+                 build, query);
+  }
+  period_table.Print();
+  return 0;
+}

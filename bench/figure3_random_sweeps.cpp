@@ -1,0 +1,138 @@
+// Reproduces Figure 3: the three STNM indexing flavors on *random* logs
+// (no event correlation), under three sweeps:
+//   (a) max events/trace 100..4000   (1000 traces, 500 activities)
+//   (b) traces 100..5000             (1000 max events, 100 activities)
+//   (c) activities 4..2000           (500 traces, 500 max events)
+//
+// Expected shape (paper §5.2): Indexing dominates (up to ~an order of
+// magnitude); Parsing degrades non-linearly with the number of distinct
+// activities; State sits between.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/generators.h"
+
+using namespace seqdet;
+
+namespace {
+
+double RunFlavorBuild(const eventlog::EventLog& log,
+                      index::ExtractionMethod method,
+                      const bench::BenchOptions& options) {
+  return bench::TimeSeconds(options.repetitions, [&] {
+    auto db = bench::FreshDb();
+    index::IndexOptions idx_options;
+    idx_options.policy = index::Policy::kSkipTillNextMatch;
+    idx_options.method = method;
+    idx_options.num_threads = options.threads;
+    bench::BuildIndexOrDie(db.get(), log, idx_options);
+  });
+}
+
+double RunFlavorExtractOnly(const eventlog::EventLog& log,
+                            index::ExtractionMethod method,
+                            const bench::BenchOptions& options) {
+  return bench::TimeSeconds(options.repetitions, [&] {
+    std::vector<index::PairRow> rows;
+    for (const auto& trace : log.traces()) {
+      rows.clear();
+      ExtractPairs(trace, index::Policy::kSkipTillNextMatch, method, &rows);
+    }
+  });
+}
+
+// Two numbers per flavor: "extract" isolates the Section-4 algorithm (the
+// quantity Figure 3 differentiates); "build" is end-to-end including the
+// staging/commit path into the key-value store, which is identical across
+// flavors and dominates at small --scale.
+void Sweep(const char* title, const std::vector<size_t>& xs,
+           const std::function<datagen::RandomLogConfig(size_t)>& config_fn,
+           const bench::BenchOptions& options) {
+  std::printf("--- %s ---\n", title);
+  bench::TablePrinter table({"x", "events", "Indexing(extract)",
+                             "Parsing(extract)", "State(extract)",
+                             "Indexing(build)", "Parsing(build)",
+                             "State(build)"});
+  const index::ExtractionMethod methods[] = {
+      index::ExtractionMethod::kIndexing, index::ExtractionMethod::kParsing,
+      index::ExtractionMethod::kState};
+  for (size_t x : xs) {
+    datagen::RandomLogConfig config = config_fn(x);
+    eventlog::EventLog log = datagen::GenerateRandomLog(config);
+    std::vector<std::string> row = {std::to_string(x),
+                                    std::to_string(log.num_events())};
+    for (auto method : methods) {
+      double secs = RunFlavorExtractOnly(log, method, options);
+      row.push_back(bench::Secs(secs));
+      std::fprintf(stderr, "  %s x=%zu %s extract: %.3fs\n", title, x,
+                   index::ExtractionMethodName(method), secs);
+    }
+    for (auto method : methods) {
+      double secs = RunFlavorBuild(log, method, options);
+      row.push_back(bench::Secs(secs));
+      std::fprintf(stderr, "  %s x=%zu %s build: %.3fs\n", title, x,
+                   index::ExtractionMethodName(method), secs);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  // The scale knob shrinks the trace counts / events per trace of the
+  // paper's sweeps proportionally.
+  const double s = options.scale;
+  auto scaled = [&](size_t v) {
+    return std::max<size_t>(4, static_cast<size_t>(v * s));
+  };
+
+  std::printf("=== Figure 3: STNM flavors on random logs (scale=%.2f) ===\n",
+              s);
+
+  Sweep("(a) max events per trace",
+        {scaled(100), scaled(500), scaled(1000), scaled(2000), scaled(4000)},
+        [&](size_t x) {
+          datagen::RandomLogConfig config;
+          config.num_traces = scaled(1000);
+          config.max_events_per_trace = x;
+          config.num_activities = 500;
+          config.seed = options.seed;
+          return config;
+        },
+        options);
+
+  Sweep("(b) number of traces",
+        {scaled(100), scaled(500), scaled(1000), scaled(2500), scaled(5000)},
+        [&](size_t x) {
+          datagen::RandomLogConfig config;
+          config.num_traces = x;
+          config.max_events_per_trace = scaled(1000);
+          config.num_activities = 100;
+          config.seed = options.seed + 1;
+          return config;
+        },
+        options);
+
+  Sweep("(c) number of distinct activities",
+        {4, 40, 200, 800, 2000},
+        [&](size_t x) {
+          datagen::RandomLogConfig config;
+          config.num_traces = scaled(500);
+          // Trace length must stay comparable to the alphabet for the
+          // sweep to bite (distinct activities per trace is capped by the
+          // trace length), so it scales down less aggressively.
+          config.max_events_per_trace =
+              std::max<size_t>(150, static_cast<size_t>(500 * s));
+          config.num_activities = x;
+          config.seed = options.seed + 2;
+          return config;
+        },
+        options);
+
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 4: our detection-query response time as a function of
+// the query pattern length (the incremental pair-join pays one join per
+// extra pattern event, so latency grows roughly linearly).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "query/query_processor.h"
+
+using namespace seqdet;
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  const char* kDataset = "max_10000";
+  const size_t kQueries = 30;
+
+  auto log = datagen::LoadDataset(kDataset, options.scale);
+  if (!log.ok()) return 1;
+
+  auto db = bench::FreshDb();
+  index::IndexOptions idx_options;
+  idx_options.policy = index::Policy::kSkipTillNextMatch;
+  idx_options.num_threads = options.threads;
+  auto index = bench::BuildIndexOrDie(db.get(), *log, idx_options);
+  query::QueryProcessor qp(index.get());
+
+  std::printf(
+      "=== Figure 4: detection latency vs pattern length on %s "
+      "(scale=%.2f, %zu queries/point) ===\n",
+      kDataset, options.scale, kQueries);
+  bench::TablePrinter table({"pattern length", "avg latency (ms)",
+                             "avg matches"});
+  for (size_t len = 2; len <= 12; ++len) {
+    datagen::PatternSampler sampler(&(*log), options.seed + len);
+    auto patterns = sampler.SampleManySubsequences(kQueries, len);
+    Stopwatch watch;
+    size_t total_matches = 0;
+    for (const auto& p : patterns) {
+      auto matches = qp.Detect(query::Pattern(p));
+      if (matches.ok()) total_matches += matches->size();
+    }
+    double avg = watch.ElapsedSeconds() / kQueries;
+    table.AddRow({std::to_string(len), bench::Millis(avg),
+                  StringPrintf("%.1f", static_cast<double>(total_matches) /
+                                           kQueries)});
+  }
+  table.Print();
+  return 0;
+}

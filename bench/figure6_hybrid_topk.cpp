@@ -1,0 +1,58 @@
+// Reproduces Figure 6: Hybrid continuation response time vs the topK
+// parameter, for a fixed pattern of 4 events on max_10000. Accurate and
+// Fast are constant lines bounding Hybrid from above and below; Hybrid
+// grows linearly in k.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "query/query_processor.h"
+
+using namespace seqdet;
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  const char* kDataset = "max_10000";
+  const size_t kQueries = 20;
+  const size_t kPatternLen = 4;
+
+  auto log = datagen::LoadDataset(kDataset, options.scale);
+  if (!log.ok()) return 1;
+  auto db = bench::FreshDb();
+  index::IndexOptions idx_options;
+  idx_options.num_threads = options.threads;
+  auto index = bench::BuildIndexOrDie(db.get(), *log, idx_options);
+  query::QueryProcessor qp(index.get());
+
+  datagen::PatternSampler sampler(&(*log), options.seed);
+  auto patterns = sampler.SampleManySubsequences(kQueries, kPatternLen);
+
+  auto time_for = [&](const std::function<void(const query::Pattern&)>& fn) {
+    Stopwatch watch;
+    for (const auto& p : patterns) fn(query::Pattern(p));
+    return watch.ElapsedSeconds() / kQueries;
+  };
+
+  double accurate = time_for(
+      [&](const query::Pattern& p) { (void)qp.ContinueAccurate(p); });
+  double fast =
+      time_for([&](const query::Pattern& p) { (void)qp.ContinueFast(p); });
+
+  std::printf(
+      "=== Figure 6: Hybrid latency vs topK on %s (pattern length %zu, "
+      "scale=%.2f) ===\n",
+      kDataset, kPatternLen, options.scale);
+  std::printf("Accurate constant: %.3f ms, Fast constant: %.3f ms\n",
+              accurate * 1e3, fast * 1e3);
+  bench::TablePrinter table({"topK", "Hybrid (ms)"});
+  for (size_t k : {0, 1, 2, 4, 6, 8, 12, 16}) {
+    double hybrid = time_for(
+        [&](const query::Pattern& p) { (void)qp.ContinueHybrid(p, k); });
+    table.AddRow({std::to_string(k), bench::Millis(hybrid)});
+    std::fprintf(stderr, "  k=%zu hybrid=%.4f\n", k, hybrid);
+  }
+  table.Print();
+  return 0;
+}

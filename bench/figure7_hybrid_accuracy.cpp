@@ -1,0 +1,72 @@
+// Reproduces Figure 7: accuracy of the Hybrid continuation vs topK, using
+// the Accurate method's propositions as ground truth. Accuracy is the
+// fraction of the top-|accurate| hybrid propositions that appear in the
+// accurate list (the paper's measure), averaged over sampled patterns.
+//
+// Expected shape (paper §5.4.3): accuracy climbs with k and hits 100%
+// well before k reaches the number of activities.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "query/query_processor.h"
+
+using namespace seqdet;
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  const char* kDataset = "max_10000";
+  const size_t kQueries = 20;
+  const size_t kPatternLen = 4;
+  // Ground truth: propositions with at least one completion, per Accurate.
+  auto log = datagen::LoadDataset(kDataset, options.scale);
+  if (!log.ok()) return 1;
+  auto db = bench::FreshDb();
+  index::IndexOptions idx_options;
+  idx_options.num_threads = options.threads;
+  auto index = bench::BuildIndexOrDie(db.get(), *log, idx_options);
+  query::QueryProcessor qp(index.get());
+
+  datagen::PatternSampler sampler(&(*log), options.seed);
+  auto patterns = sampler.SampleManySubsequences(kQueries, kPatternLen);
+
+  std::printf(
+      "=== Figure 7: Hybrid accuracy vs topK on %s (pattern length %zu, "
+      "scale=%.2f) ===\n",
+      kDataset, kPatternLen, options.scale);
+  // The paper's metric: ground truth is the Accurate ranking; accuracy is
+  // the fraction of Hybrid's k returned propositions that appear among
+  // Accurate's top k.
+  bench::TablePrinter table({"topK", "accuracy"});
+  for (size_t k : {1, 2, 4, 8, 16, 32, 64, 128, 192}) {
+    double total_accuracy = 0;
+    size_t evaluated = 0;
+    for (const auto& p : patterns) {
+      query::Pattern pattern(p);
+      auto accurate = qp.ContinueAccurate(pattern);
+      auto hybrid = qp.ContinueHybrid(pattern, k);
+      if (!accurate.ok() || !hybrid.ok() || accurate->empty()) continue;
+      size_t take = std::min(k, accurate->size());
+      std::set<eventlog::ActivityId> accurate_top;
+      for (size_t i = 0; i < take; ++i) {
+        accurate_top.insert((*accurate)[i].activity);
+      }
+      size_t correct = 0;
+      for (size_t i = 0; i < hybrid->size() && i < take; ++i) {
+        correct += accurate_top.count((*hybrid)[i].activity);
+      }
+      total_accuracy +=
+          static_cast<double>(correct) / static_cast<double>(take);
+      ++evaluated;
+    }
+    double accuracy = evaluated ? total_accuracy / evaluated : 0;
+    table.AddRow({std::to_string(k), StringPrintf("%.3f", accuracy)});
+    std::fprintf(stderr, "  k=%zu accuracy=%.3f (%zu queries)\n", k, accuracy,
+                 evaluated);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// google-benchmark micro-benchmarks of the hot operations underneath the
+// reproduction harnesses: storage point ops, pair extraction per flavor,
+// posting-list decode, and detection joins.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/generators.h"
+#include "index/pair_extraction.h"
+#include "index/sequence_index.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+namespace {
+
+using namespace seqdet;
+
+std::unique_ptr<storage::Database> MicroDb() {
+  storage::DbOptions options;
+  options.table.in_memory = true;
+  options.table.use_wal = false;
+  return std::move(storage::Database::Open("", options)).value();
+}
+
+void BM_StoragePut(benchmark::State& state) {
+  auto db = MicroDb();
+  storage::Table* table = *db->GetOrCreateTable("t");
+  Rng rng(1);
+  std::string value(64, 'v');
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.NextBounded(100000));
+    benchmark::DoNotOptimize(table->Put(key, value));
+  }
+}
+BENCHMARK(BM_StoragePut);
+
+void BM_StorageAppend(benchmark::State& state) {
+  auto db = MicroDb();
+  storage::Table* table = *db->GetOrCreateTable("t");
+  Rng rng(2);
+  std::string fragment(16, 'f');
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.NextBounded(1000));
+    benchmark::DoNotOptimize(table->Append(key, fragment));
+  }
+}
+BENCHMARK(BM_StorageAppend);
+
+void BM_StorageGetAfterFlush(benchmark::State& state) {
+  auto db = MicroDb();
+  storage::Table* table = *db->GetOrCreateTable("t");
+  for (int i = 0; i < 10000; ++i) {
+    (void)table->Put("key" + std::to_string(i), std::string(64, 'v'));
+  }
+  (void)table->Flush();
+  Rng rng(3);
+  std::string value;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.NextBounded(10000));
+    benchmark::DoNotOptimize(table->Get(key, &value));
+  }
+}
+BENCHMARK(BM_StorageGetAfterFlush);
+
+eventlog::Trace MicroTrace(size_t n, size_t l, uint64_t seed) {
+  Rng rng(seed);
+  eventlog::Trace trace;
+  trace.id = 1;
+  for (size_t i = 0; i < n; ++i) {
+    trace.events.push_back(
+        {static_cast<eventlog::ActivityId>(rng.NextBounded(l)),
+         static_cast<eventlog::Timestamp>(i + 1)});
+  }
+  return trace;
+}
+
+void BM_ExtractStnm(benchmark::State& state) {
+  auto method = static_cast<index::ExtractionMethod>(state.range(0));
+  size_t n = static_cast<size_t>(state.range(1));
+  size_t l = static_cast<size_t>(state.range(2));
+  eventlog::Trace trace = MicroTrace(n, l, 7);
+  std::vector<index::PairRow> rows;
+  for (auto _ : state) {
+    rows.clear();
+    ExtractPairs(trace, index::Policy::kSkipTillNextMatch, method, &rows);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetLabel(index::ExtractionMethodName(method));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExtractStnm)
+    ->ArgsProduct({{0, 1, 2}, {256, 2048}, {8, 64, 512}});
+
+void BM_ExtractSc(benchmark::State& state) {
+  eventlog::Trace trace =
+      MicroTrace(static_cast<size_t>(state.range(0)), 32, 8);
+  std::vector<index::PairRow> rows;
+  for (auto _ : state) {
+    rows.clear();
+    ExtractScPairs(trace, &rows);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_ExtractSc)->Arg(256)->Arg(4096);
+
+struct DetectFixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<index::SequenceIndex> index;
+  std::unique_ptr<query::QueryProcessor> qp;
+
+  DetectFixture() {
+    datagen::RandomLogConfig config;
+    config.num_traces = 500;
+    config.max_events_per_trace = 60;
+    config.num_activities = 12;
+    auto log = datagen::GenerateRandomLog(config);
+    db = MicroDb();
+    index::IndexOptions options;
+    options.num_threads = 1;
+    index = std::move(index::SequenceIndex::Open(db.get(), options)).value();
+    (void)index->Update(log);
+    qp = std::make_unique<query::QueryProcessor>(index.get());
+  }
+};
+
+void BM_DetectPattern(benchmark::State& state) {
+  static DetectFixture fixture;  // shared across runs; built once
+  size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    std::vector<eventlog::ActivityId> pattern;
+    for (size_t i = 0; i < len; ++i) {
+      pattern.push_back(static_cast<eventlog::ActivityId>(rng.NextBounded(12)));
+    }
+    auto matches = fixture.qp->Detect(query::Pattern(pattern));
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_DetectPattern)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_ContinueFast(benchmark::State& state) {
+  static DetectFixture fixture;
+  Rng rng(12);
+  for (auto _ : state) {
+    std::vector<eventlog::ActivityId> pattern = {
+        static_cast<eventlog::ActivityId>(rng.NextBounded(12)),
+        static_cast<eventlog::ActivityId>(rng.NextBounded(12))};
+    auto proposals = fixture.qp->ContinueFast(query::Pattern(pattern));
+    benchmark::DoNotOptimize(proposals);
+  }
+}
+BENCHMARK(BM_ContinueFast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

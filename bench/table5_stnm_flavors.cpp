@@ -1,0 +1,47 @@
+// Reproduces Table 5: execution time of the three STNM pair-indexing
+// flavors (Indexing / Parsing / State) on every process-like dataset.
+//
+// Expected shape (paper §5.2): the three flavors land within tens of
+// percent of each other on process-like logs; large relative gaps only
+// where absolute times are small.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+
+int main(int argc, char** argv) {
+  using namespace seqdet;
+  auto options = bench::BenchOptions::Parse(argc, argv);
+
+  std::printf("=== Table 5: STNM pair-indexing flavors, seconds "
+              "(scale=%.2f, threads=%zu) ===\n",
+              options.scale, options.threads);
+  bench::TablePrinter table({"Log file", "Indexing", "Parsing", "State"});
+
+  const index::ExtractionMethod methods[] = {
+      index::ExtractionMethod::kIndexing, index::ExtractionMethod::kParsing,
+      index::ExtractionMethod::kState};
+
+  for (const std::string& name : datagen::DatasetNames()) {
+    auto log = datagen::LoadDataset(name, options.scale);
+    if (!log.ok()) return 1;
+    std::vector<std::string> row = {name};
+    for (auto method : methods) {
+      double seconds = bench::TimeSeconds(options.repetitions, [&] {
+        auto db = bench::FreshDb();
+        index::IndexOptions idx_options;
+        idx_options.policy = index::Policy::kSkipTillNextMatch;
+        idx_options.method = method;
+        idx_options.num_threads = options.threads;
+        bench::BuildIndexOrDie(db.get(), *log, idx_options);
+      });
+      row.push_back(bench::Secs(seconds));
+      std::fprintf(stderr, "  %s / %s: %.3fs\n", name.c_str(),
+                   index::ExtractionMethodName(method), seconds);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table 6: index-construction time of
+//   [19] (subtree/suffix-array baseline)  vs
+//   our Strict-contiguity index (1 thread / all cores)  vs
+//   our STNM Indexing flavor (1 thread / all cores)     vs
+//   the Elasticsearch-like baseline.
+//
+// Expected shape (paper §5.3): [19] competitive on small synthetic logs,
+// collapsing on real-profile (BPI-like) logs — possibly refusing to finish
+// at all on bpi_2017 (reported as "very high"); Strict cheaper than
+// Indexing; all-cores several times faster than 1 thread; ES-like indexing
+// slower than ours on the large/real datasets.
+
+#include <cstdio>
+
+#include "baselines/esearch/es_engine.h"
+#include "baselines/subtree/subtree_index.h"
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+
+using namespace seqdet;
+
+namespace {
+
+double TimeOurs(const eventlog::EventLog& log, index::Policy policy,
+                size_t threads, const bench::BenchOptions& options) {
+  return bench::TimeSeconds(options.repetitions, [&] {
+    auto db = bench::FreshDb();
+    index::IndexOptions idx_options;
+    idx_options.policy = policy;
+    idx_options.method = index::ExtractionMethod::kIndexing;
+    idx_options.num_threads = threads;
+    bench::BuildIndexOrDie(db.get(), log, idx_options);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  std::printf("=== Table 6: index build times in seconds (scale=%.2f) ===\n",
+              options.scale);
+  bench::TablePrinter table({"Log file", "[19]", "Strict (1 thread)",
+                             "Strict", "Indexing (1 thread)", "Indexing",
+                             "Elasticsearch-like"});
+
+  // Budget reproducing the paper's bpi_2017 failure: the subtree baseline
+  // aborts when its subtree space explodes.
+  baseline::SubtreeIndexOptions subtree_options;
+  subtree_options.max_trie_nodes = 32u << 20;
+
+  for (const std::string& name : datagen::DatasetNames()) {
+    auto log = datagen::LoadDataset(name, options.scale);
+    if (!log.ok()) return 1;
+
+    std::string subtree_time;
+    {
+      double total = 0;
+      bool failed = false;
+      for (size_t r = 0; r < options.repetitions && !failed; ++r) {
+        Stopwatch watch;
+        auto subtree = baseline::SubtreeIndex::Build(*log, subtree_options);
+        if (!subtree.ok()) {
+          failed = true;
+          break;
+        }
+        total += watch.ElapsedSeconds();
+      }
+      subtree_time =
+          failed ? "very high (aborted)"
+                 : bench::Secs(total / options.repetitions);
+    }
+    std::fprintf(stderr, "  %s [19]: %s\n", name.c_str(),
+                 subtree_time.c_str());
+
+    double strict1 =
+        TimeOurs(*log, index::Policy::kStrictContiguity, 1, options);
+    double strict_all =
+        TimeOurs(*log, index::Policy::kStrictContiguity, options.threads,
+                 options);
+    double stnm1 =
+        TimeOurs(*log, index::Policy::kSkipTillNextMatch, 1, options);
+    double stnm_all =
+        TimeOurs(*log, index::Policy::kSkipTillNextMatch, options.threads,
+                 options);
+
+    double es = bench::TimeSeconds(options.repetitions, [&] {
+      auto engine = baseline::EsLikeEngine::Build(*log);
+      if (!engine.ok()) std::abort();
+    });
+    std::fprintf(stderr,
+                 "  %s strict1=%.3f strict=%.3f stnm1=%.3f stnm=%.3f "
+                 "es=%.3f\n",
+                 name.c_str(), strict1, strict_all, stnm1, stnm_all, es);
+
+    table.AddRow({name, subtree_time, bench::Secs(strict1),
+                  bench::Secs(strict_all), bench::Secs(stnm1),
+                  bench::Secs(stnm_all), bench::Secs(es)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Table 7: SC detection-query latency of the [19] baseline
+// (suffix-array binary search) vs our pair index, at pattern lengths 2 and
+// 10, averaged over sampled patterns that occur in the log.
+//
+// Expected shape (paper §5.4.1): [19] latency flat and small regardless of
+// pattern length; ours grows with pattern length and is competitive at
+// short lengths.
+
+#include <cstdio>
+
+#include "baselines/subtree/subtree_index.h"
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "query/query_processor.h"
+
+using namespace seqdet;
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  const size_t kQueries = 50;
+  std::printf(
+      "=== Table 7: SC query latency in milliseconds, avg of %zu queries "
+      "(scale=%.2f) ===\n",
+      kQueries, options.scale);
+  bench::TablePrinter table(
+      {"Log file", "[19] (len2)", "[19] (len10)", "Ours (len 2)",
+       "Ours (len 10)"});
+
+  baseline::SubtreeIndexOptions subtree_options;
+  subtree_options.max_trie_nodes = 32u << 20;
+
+  for (const std::string& name : datagen::DatasetNames()) {
+    if (name == "bpi_2017") continue;  // [19] does not finish (Table 6)
+    auto log = datagen::LoadDataset(name, options.scale);
+    if (!log.ok()) return 1;
+
+    auto subtree = baseline::SubtreeIndex::Build(*log, subtree_options);
+    auto db = bench::FreshDb();
+    index::IndexOptions idx_options;
+    idx_options.policy = index::Policy::kStrictContiguity;
+    idx_options.num_threads = options.threads;
+    auto index = bench::BuildIndexOrDie(db.get(), *log, idx_options);
+    query::QueryProcessor qp(index.get());
+
+    std::vector<std::string> row = {name};
+    for (size_t len : {size_t{2}, size_t{10}}) {
+      datagen::PatternSampler sampler(&(*log), options.seed + len);
+      auto patterns = sampler.SampleManyContiguous(kQueries, len);
+      if (subtree.ok()) {
+        Stopwatch watch;
+        size_t total = 0;
+        for (const auto& p : patterns) total += (*subtree)->Find(p).size();
+        row.push_back(bench::Millis(watch.ElapsedSeconds() / kQueries));
+        std::fprintf(stderr, "  %s [19] len%zu: %zu hits\n", name.c_str(),
+                     len, total);
+      } else {
+        row.push_back("n/a");
+      }
+    }
+    for (size_t len : {size_t{2}, size_t{10}}) {
+      datagen::PatternSampler sampler(&(*log), options.seed + len);
+      auto patterns = sampler.SampleManyContiguous(kQueries, len);
+      Stopwatch watch;
+      size_t total = 0;
+      for (const auto& p : patterns) {
+        auto matches = qp.Detect(query::Pattern(p));
+        if (matches.ok()) total += matches->size();
+      }
+      row.push_back(bench::Millis(watch.ElapsedSeconds() / kQueries));
+      std::fprintf(stderr, "  %s ours len%zu: %zu hits\n", name.c_str(), len,
+                   total);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

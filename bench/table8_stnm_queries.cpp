@@ -1,0 +1,83 @@
+// Reproduces Table 8: STNM query latency of the Elasticsearch-like
+// baseline vs SASE (no pre-processing) vs our pair index, at pattern
+// lengths 2, 5 and 10, each averaged over 100 random sampled patterns.
+//
+// Expected shape (paper §5.4.2): SASE acceptable on small logs but orders
+// of magnitude slower on large ones (it rescans the whole log per query);
+// ours fastest at length 2 and competitive at length 10, where the ES-like
+// engine closes the gap.
+
+#include <cstdio>
+
+#include "baselines/esearch/es_engine.h"
+#include "baselines/sase/sase_engine.h"
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "query/query_processor.h"
+
+using namespace seqdet;
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  const size_t kQueries = 100;  // the paper queries 100 random patterns
+
+  std::printf(
+      "=== Table 8: STNM query latency in milliseconds, avg of %zu queries "
+      "(scale=%.2f) ===\n",
+      kQueries, options.scale);
+
+  for (size_t len : {size_t{2}, size_t{5}, size_t{10}}) {
+    std::printf("--- pattern length = %zu ---\n", len);
+    bench::TablePrinter table(
+        {"Log file", "Elasticsearch-like", "SASE", "Our method"});
+    for (const std::string& name : datagen::DatasetNames()) {
+      auto log = datagen::LoadDataset(name, options.scale);
+      if (!log.ok()) return 1;
+
+      auto es = baseline::EsLikeEngine::Build(*log);
+      if (!es.ok()) return 1;
+      baseline::SaseEngine sase(&(*log));
+      auto db = bench::FreshDb();
+      index::IndexOptions idx_options;
+      idx_options.policy = index::Policy::kSkipTillNextMatch;
+      idx_options.num_threads = options.threads;
+      auto index = bench::BuildIndexOrDie(db.get(), *log, idx_options);
+      query::QueryProcessor qp(index.get());
+
+      datagen::PatternSampler sampler(&(*log), options.seed + len);
+      auto patterns = sampler.SampleManySubsequences(kQueries, len);
+      std::vector<std::vector<std::string>> term_patterns;
+      for (const auto& p : patterns) {
+        std::vector<std::string> terms;
+        for (auto a : p) terms.push_back(log->dictionary().Name(a));
+        term_patterns.push_back(std::move(terms));
+      }
+
+      Stopwatch watch;
+      for (const auto& terms : term_patterns) (*es)->DetectStnm(terms);
+      double es_time = watch.ElapsedSeconds() / kQueries;
+
+      watch.Restart();
+      for (const auto& p : patterns) {
+        sase.Detect(p, index::Policy::kSkipTillNextMatch);
+      }
+      double sase_time = watch.ElapsedSeconds() / kQueries;
+
+      watch.Restart();
+      for (const auto& p : patterns) {
+        auto matches = qp.Detect(query::Pattern(p));
+        (void)matches;
+      }
+      double our_time = watch.ElapsedSeconds() / kQueries;
+
+      std::fprintf(stderr, "  len%zu %s es=%.4f sase=%.4f ours=%.4f\n", len,
+                   name.c_str(), es_time, sase_time, our_time);
+      table.AddRow({name, bench::Millis(es_time), bench::Millis(sase_time),
+                    bench::Millis(our_time)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Clickstream funnel analysis — the motivating scenario of the paper's
+// §2.1: in web-session logs, detect
+//   (a) SC  : "search immediately followed by add-to-cart" (no action in
+//             between), and
+//   (b) STNM: "three searches eventually followed by a checkout" — with
+//             irrelevant clicks skipped.
+// Plus a funnel drop-off report built from Statistics queries.
+//
+//   ./build/examples/clickstream_funnel
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "index/sequence_index.h"
+#include "log/event_log.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+using namespace seqdet;
+
+namespace {
+
+// Synthesizes web sessions: browse/search/view/cart/checkout behaviour with
+// realistic drop-off (most sessions never reach checkout).
+eventlog::EventLog MakeClickstream(size_t sessions, uint64_t seed) {
+  const char* kActions[] = {"home",     "search", "view_product",
+                            "add_to_cart", "checkout", "help"};
+  eventlog::EventLog log;
+  Rng rng(seed);
+  for (size_t s = 0; s < sessions; ++s) {
+    eventlog::Timestamp ts = static_cast<eventlog::Timestamp>(
+        rng.NextBounded(1000000));
+    log.Append(s, "home", ts);
+    size_t clicks = 3 + rng.NextBounded(15);
+    int funnel_stage = 0;  // 0 browsing, 1 viewed, 2 carted
+    for (size_t c = 0; c < clicks; ++c) {
+      ts += 1 + static_cast<eventlog::Timestamp>(rng.NextBounded(120));
+      double roll = rng.NextDouble();
+      const char* action;
+      if (roll < 0.35) {
+        action = "search";
+      } else if (roll < 0.6) {
+        action = "view_product";
+        funnel_stage = std::max(funnel_stage, 1);
+      } else if (roll < 0.75 && funnel_stage >= 1) {
+        action = "add_to_cart";
+        funnel_stage = 2;
+      } else if (roll < 0.8 && funnel_stage == 2) {
+        action = "checkout";
+      } else if (roll < 0.9) {
+        action = "home";
+      } else {
+        action = "help";
+      }
+      log.Append(s, action, ts);
+    }
+    (void)kActions;
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  eventlog::EventLog log = MakeClickstream(/*sessions=*/2000, /*seed=*/7);
+  std::printf("clickstream: %zu sessions, %zu events, %zu actions\n",
+              log.num_traces(), log.num_events(), log.num_activities());
+
+  storage::DbOptions db_options;
+  db_options.table.in_memory = true;
+  db_options.table.use_wal = false;
+  auto db = storage::Database::Open("", db_options);
+
+  // Two indices over the same log: one per detection policy. (A production
+  // deployment would keep both, as the paper's Table 6 prices both.)
+  index::IndexOptions sc_options;
+  sc_options.policy = index::Policy::kStrictContiguity;
+  auto sc_index = index::SequenceIndex::Open(db->get(), sc_options);
+  // Policy is fixed per database (the tables encode one pair semantics),
+  // so STNM gets its own database.
+  auto db2 = storage::Database::Open("", db_options);
+  index::IndexOptions stnm_options;
+  stnm_options.policy = index::Policy::kSkipTillNextMatch;
+  auto stnm_index = index::SequenceIndex::Open(db2->get(), stnm_options);
+
+  if (!(*sc_index)->Update(log).ok() || !(*stnm_index)->Update(log).ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+
+  query::QueryProcessor sc_qp(sc_index->get());
+  query::QueryProcessor stnm_qp(stnm_index->get());
+
+  // (a) SC: search immediately followed by add_to_cart.
+  auto sc_pattern = query::Pattern::FromNames(
+      (*sc_index)->dictionary(), {"search", "add_to_cart"});
+  auto sc_matches = sc_qp.Detect(*sc_pattern);
+  std::printf(
+      "\n(a) SC 'search -> add_to_cart' (nothing in between): %zu "
+      "occurrences\n",
+      sc_matches->size());
+
+  // (b) STNM: a search that leads to a product view and eventually a
+  // checkout, with any number of irrelevant clicks skipped in between.
+  auto stnm_pattern = query::Pattern::FromNames(
+      (*stnm_index)->dictionary(),
+      {"search", "view_product", "checkout"});
+  auto stnm_matches = stnm_qp.Detect(*stnm_pattern);
+  std::printf(
+      "(b) STNM 'search ... view_product ... checkout': %zu occurrences\n",
+      stnm_matches->size());
+
+  // Funnel drop-off from pairwise statistics (upper bounds, no detection
+  // needed — the cheap Statistics query of §3.2.1).
+  auto funnel = query::Pattern::FromNames(
+      (*stnm_index)->dictionary(),
+      {"search", "view_product", "add_to_cart", "checkout"});
+  auto stats = stnm_qp.Statistics(*funnel);
+  std::printf("\nfunnel pairwise statistics:\n");
+  const auto& dict = (*stnm_index)->dictionary();
+  for (const auto& row : stats->pairs) {
+    std::printf("  %-14s -> %-14s %8llu completions, avg gap %7.1fs\n",
+                dict.Name(row.pair.first).c_str(),
+                dict.Name(row.pair.second).c_str(),
+                static_cast<unsigned long long>(row.total_completions),
+                row.average_duration);
+  }
+  std::printf("  full-funnel upper bound: %llu sessions\n",
+              static_cast<unsigned long long>(stats->completions_upper_bound));
+
+  // What do shoppers do right after carting an item?
+  auto after_cart = query::Pattern::FromNames(
+      (*stnm_index)->dictionary(), {"add_to_cart"});
+  auto proposals = stnm_qp.ContinueFast(*after_cart);
+  std::printf("\nafter add_to_cart, users most often continue with:\n");
+  for (size_t i = 0; i < proposals->size() && i < 3; ++i) {
+    std::printf("  %zu. %s (score %.3f)\n", i + 1,
+                dict.Name((*proposals)[i].activity).c_str(),
+                (*proposals)[i].score);
+  }
+  return 0;
+}

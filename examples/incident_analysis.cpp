@@ -1,0 +1,118 @@
+// Incident-log exploration with a *persistent* index: ingest an XES file
+// (written on first run), keep the index on disk across runs, and query it.
+// Demonstrates the full Figure-1 pipeline: log file -> pre-processing
+// component -> key-value tables -> query processor.
+//
+//   ./build/examples/incident_analysis [workdir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datagen/generators.h"
+#include "index/sequence_index.h"
+#include "log/xes_io.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+using namespace seqdet;
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::string workdir = argc > 1 ? argv[1] : "/tmp/seqdet_incidents";
+  fs::create_directories(workdir);
+  std::string xes_path = workdir + "/incidents.xes";
+  std::string db_path = workdir + "/indexdb";
+
+  // First run: synthesize an incident-management log (the bpi_2013 Volvo
+  // IT profile) and write it as XES, standing in for an exported log file.
+  if (!fs::exists(xes_path)) {
+    datagen::BpiProfile profile = datagen::Bpi2013Profile();
+    profile.num_traces = 1500;
+    eventlog::EventLog log = datagen::GenerateBpiLikeLog(profile);
+    auto write = eventlog::WriteXesLogFile(log, xes_path);
+    if (!write.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", write.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu incidents to %s\n", log.num_traces(),
+                xes_path.c_str());
+  }
+
+  // Every run: parse the XES file and (incrementally) index it. The second
+  // run finds the persisted index and LastChecked suppresses every
+  // already-indexed completion.
+  auto log = eventlog::ReadXesLogFile(xes_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu traces / %zu events from XES\n", log->num_traces(),
+              log->num_events());
+
+  auto db = storage::Database::Open(db_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "db open failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  auto index = index::SequenceIndex::Open(db->get(), index::IndexOptions{});
+  if (!index.ok()) {
+    std::fprintf(stderr, "index open failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = (*index)->Update(*log);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "update failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("update: %zu new pair completions (0 on re-runs — the "
+              "index is persistent and deduplicated)\n",
+              stats->pairs_indexed);
+
+  // Explore: which task most often follows the most common opening task,
+  // and which incidents ping-pong (same task twice with something between).
+  query::QueryProcessor qp(index->get());
+  const auto& dict = (*index)->dictionary();
+
+  auto openers = (*index)->GetFollowerStats(dict.Lookup("act_0"));
+  if (openers.ok() && !openers->empty()) {
+    std::printf("\nmost frequent successors of act_0:\n");
+    for (size_t i = 0; i < openers->size() && i < 3; ++i) {
+      std::printf("  %s: %llu times, avg %.0fs later\n",
+                  dict.Name((*openers)[i].other).c_str(),
+                  static_cast<unsigned long long>(
+                      (*openers)[i].total_completions),
+                  (*openers)[i].AverageDuration());
+    }
+  }
+
+  // Ping-pong detection: act_1 ... act_1 within the same incident (STNM).
+  auto pattern = query::Pattern::FromNames(dict, {"act_1", "act_1"});
+  if (pattern.ok()) {
+    auto matches = qp.Detect(*pattern);
+    if (matches.ok()) {
+      std::printf("\nincidents where act_1 recurs (ping-pong): %zu\n",
+                  matches->size());
+    }
+  }
+
+  std::printf("\nindex database tables in %s:\n", db_path.c_str());
+  for (const auto& name : (*db)->TableNames()) {
+    std::printf("  %-12s ~%zu entries\n", name.c_str(),
+                (*db)->GetTable(name)->ApproximateEntryCount());
+  }
+  for (const auto& name : (*db)->ShardedTableNames()) {
+    storage::ShardedTable* table = (*db)->GetShardedTable(name);
+    std::printf("  %-12s ~%zu entries (%zu shards)\n", name.c_str(),
+                table->ApproximateEntryCount(), table->num_shards());
+  }
+  if (auto flush = (*index)->Flush(); !flush.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", flush.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nre-run me: the index persists and the update is a no-op.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: build an index over a small in-memory event log and run all
+// three query families of the paper (statistics, detection, continuation).
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "index/sequence_index.h"
+#include "log/event_log.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+using namespace seqdet;
+
+int main() {
+  // 1. An event log: traces of (activity, timestamp) events. This is the
+  //    running example of the paper (§3.1.1, Table 3) plus one more trace.
+  eventlog::EventLog log;
+  log.Append(/*trace=*/1, "A", 1);
+  log.Append(1, "A", 2);
+  log.Append(1, "B", 3);
+  log.Append(1, "A", 4);
+  log.Append(1, "B", 5);
+  log.Append(1, "A", 6);
+  log.Append(/*trace=*/2, "A", 10);
+  log.Append(2, "B", 12);
+  log.Append(2, "C", 15);
+  log.SortAllTraces();
+
+  // 2. A database for the index tables. In-memory here; pass a directory
+  //    for a persistent index.
+  storage::DbOptions db_options;
+  db_options.table.in_memory = true;
+  db_options.table.use_wal = false;
+  auto db = storage::Database::Open("", db_options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The pre-processing component: builds the inverted event-pair index
+  //    (skip-till-next-match by default).
+  index::IndexOptions options;
+  auto index = index::SequenceIndex::Open(db->get(), options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index open failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  auto build = (*index)->Update(log);
+  if (!build.ok()) {
+    std::fprintf(stderr, "update failed: %s\n",
+                 build.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu traces, %zu pair completions\n",
+              build->traces_processed, build->pairs_indexed);
+
+  // 4. The query processor.
+  query::QueryProcessor qp(index->get());
+  const auto& dict = (*index)->dictionary();
+  auto pattern = query::Pattern::FromNames(dict, {"A", "B"});
+
+  // 4a. Statistics: pairwise counts and duration estimates.
+  auto stats = qp.Statistics(*pattern);
+  std::printf("\nStatistics for %s:\n", pattern->ToString(dict).c_str());
+  for (const auto& row : stats->pairs) {
+    std::printf("  (%s,%s): %llu completions, avg duration %.2f\n",
+                dict.Name(row.pair.first).c_str(),
+                dict.Name(row.pair.second).c_str(),
+                static_cast<unsigned long long>(row.total_completions),
+                row.average_duration);
+  }
+  std::printf("  whole-pattern upper bound: %llu completions\n",
+              static_cast<unsigned long long>(stats->completions_upper_bound));
+
+  // 4b. Detection: every occurrence, with timestamps.
+  auto matches = qp.Detect(*pattern);
+  std::printf("\nDetection of %s: %zu matches\n",
+              pattern->ToString(dict).c_str(), matches->size());
+  for (const auto& match : *matches) {
+    std::printf("  trace %llu at ts",
+                static_cast<unsigned long long>(match.trace));
+    for (auto ts : match.timestamps) {
+      std::printf(" %lld", static_cast<long long>(ts));
+    }
+    std::printf("\n");
+  }
+
+  // 4c. Continuation: which activity most likely comes next?
+  auto proposals = qp.ContinueAccurate(*pattern);
+  std::printf("\nMost likely continuations of %s:\n",
+              pattern->ToString(dict).c_str());
+  for (const auto& proposal : *proposals) {
+    std::printf("  %s  (completions=%llu, avg gap=%.2f, score=%.3f)\n",
+                dict.Name(proposal.activity).c_str(),
+                static_cast<unsigned long long>(proposal.total_completions),
+                proposal.average_duration, proposal.score);
+  }
+  return 0;
+}

@@ -1,0 +1,273 @@
+#include "baselines/esearch/es_engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace seqdet::baseline {
+
+using eventlog::ActivityDictionary;
+using eventlog::EventLog;
+using eventlog::Timestamp;
+using eventlog::Trace;
+using eventlog::TraceId;
+
+std::string TraceToJson(const Trace& trace,
+                        const ActivityDictionary& dictionary) {
+  std::string json = "{\"trace\":" + std::to_string(trace.id) +
+                     ",\"events\":[";
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    if (i) json += ',';
+    json += "{\"a\":\"";
+    json += dictionary.Name(trace.events[i].activity);
+    json += "\",\"t\":";
+    json += std::to_string(trace.events[i].ts);
+    json += '}';
+  }
+  json += "]}";
+  return json;
+}
+
+bool ParseTraceJson(const std::string& json, TraceId* trace_id,
+                    std::vector<std::string>* activities,
+                    std::vector<Timestamp>* timestamps) {
+  // Hand-rolled parser for exactly the shape TraceToJson emits; enough to
+  // model the server-side decode cost without a JSON library.
+  std::string_view s(json);
+  auto expect = [&s](std::string_view token) {
+    if (!StartsWith(s, token)) return false;
+    s.remove_prefix(token.size());
+    return true;
+  };
+  auto parse_int = [&s](int64_t* out) {
+    size_t i = 0;
+    bool neg = false;
+    if (i < s.size() && s[i] == '-') {
+      neg = true;
+      ++i;
+    }
+    int64_t v = 0;
+    size_t digits = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      v = v * 10 + (s[i] - '0');
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    *out = neg ? -v : v;
+    s.remove_prefix(i);
+    return true;
+  };
+
+  if (!expect("{\"trace\":")) return false;
+  int64_t id;
+  if (!parse_int(&id)) return false;
+  *trace_id = static_cast<TraceId>(id);
+  if (!expect(",\"events\":[")) return false;
+  bool first = true;
+  while (!StartsWith(s, "]")) {
+    if (!first && !expect(",")) return false;
+    first = false;
+    if (!expect("{\"a\":\"")) return false;
+    size_t quote = s.find('"');
+    if (quote == std::string_view::npos) return false;
+    activities->emplace_back(s.substr(0, quote));
+    s.remove_prefix(quote + 1);
+    if (!expect(",\"t\":")) return false;
+    int64_t ts;
+    if (!parse_int(&ts)) return false;
+    timestamps->push_back(ts);
+    if (!expect("}")) return false;
+  }
+  return expect("]}");
+}
+
+uint32_t EsLikeEngine::InternTerm(const std::string& term) {
+  auto it = term_ids_.find(term);
+  if (it != term_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(postings_.size());
+  term_ids_.emplace(term, id);
+  postings_.emplace_back();
+  return id;
+}
+
+Status EsLikeEngine::IngestDocument(const Trace& trace,
+                                    const ActivityDictionary& dictionary,
+                                    bool simulate_ingestion) {
+  Document doc;
+  doc.trace = trace.id;
+
+  std::vector<std::string> names;
+  if (simulate_ingestion) {
+    std::string json = TraceToJson(trace, dictionary);
+    TraceId parsed_id;
+    if (!ParseTraceJson(json, &parsed_id, &names, &doc.timestamps)) {
+      return Status::Corruption("document decode failed");
+    }
+    doc.trace = parsed_id;
+  } else {
+    names.reserve(trace.events.size());
+    doc.timestamps.reserve(trace.events.size());
+    for (const auto& e : trace.events) {
+      names.push_back(dictionary.Name(e.activity));
+      doc.timestamps.push_back(e.ts);
+    }
+  }
+
+  const uint32_t doc_id = static_cast<uint32_t>(documents_.size());
+  doc.tokens.reserve(names.size());
+  for (uint32_t pos = 0; pos < names.size(); ++pos) {
+    uint32_t term = InternTerm(names[pos]);
+    doc.tokens.push_back(term);
+    auto& term_postings = postings_[term];
+    if (term_postings.empty() || term_postings.back().doc != doc_id) {
+      term_postings.push_back(Posting{doc_id, {}});
+      ++num_postings_;
+    }
+    term_postings.back().positions.push_back(pos);
+  }
+  documents_.push_back(std::move(doc));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<EsLikeEngine>> EsLikeEngine::Build(
+    const EventLog& log, const EsOptions& options) {
+  auto engine = std::unique_ptr<EsLikeEngine>(new EsLikeEngine());
+  engine->documents_.reserve(log.num_traces());
+  for (const Trace& trace : log.traces()) {
+    SEQDET_RETURN_IF_ERROR(engine->IngestDocument(trace, log.dictionary(),
+                                                  options.simulate_ingestion));
+  }
+  return engine;
+}
+
+bool EsLikeEngine::ResolveTerms(const std::vector<std::string>& pattern_terms,
+                                std::vector<uint32_t>* term_ids) const {
+  term_ids->reserve(pattern_terms.size());
+  for (const std::string& term : pattern_terms) {
+    auto it = term_ids_.find(term);
+    if (it == term_ids_.end()) return false;
+    term_ids->push_back(it->second);
+  }
+  return !term_ids->empty();
+}
+
+std::vector<uint32_t> EsLikeEngine::CandidateDocuments(
+    const std::vector<uint32_t>& term_ids) const {
+  // Required multiplicity per distinct term.
+  std::unordered_map<uint32_t, uint32_t> required;
+  for (uint32_t t : term_ids) ++required[t];
+
+  // Drive the intersection from the rarest term (smallest doc list).
+  std::vector<std::pair<uint32_t, uint32_t>> terms;  // (term, multiplicity)
+  terms.reserve(required.size());
+  for (auto& [t, mult] : required) terms.emplace_back(t, mult);
+  std::sort(terms.begin(), terms.end(),
+            [this](const auto& a, const auto& b) {
+              return postings_[a.first].size() < postings_[b.first].size();
+            });
+
+  std::vector<uint32_t> candidates;
+  for (const Posting& posting : postings_[terms[0].first]) {
+    if (posting.positions.size() >= terms[0].second) {
+      candidates.push_back(posting.doc);
+    }
+  }
+  for (size_t i = 1; i < terms.size() && !candidates.empty(); ++i) {
+    const auto& plist = postings_[terms[i].first];
+    std::vector<uint32_t> next;
+    next.reserve(candidates.size());
+    size_t j = 0;
+    for (uint32_t doc : candidates) {
+      while (j < plist.size() && plist[j].doc < doc) ++j;
+      if (j < plist.size() && plist[j].doc == doc &&
+          plist[j].positions.size() >= terms[i].second) {
+        next.push_back(doc);
+      }
+    }
+    candidates = std::move(next);
+  }
+  return candidates;
+}
+
+std::vector<EsMatch> EsLikeEngine::DetectStnm(
+    const std::vector<std::string>& pattern_terms) const {
+  std::vector<EsMatch> out;
+  std::vector<uint32_t> term_ids;
+  if (!ResolveTerms(pattern_terms, &term_ids)) return out;
+
+  for (uint32_t doc_id : CandidateDocuments(term_ids)) {
+    const Document& doc = documents_[doc_id];
+    // Greedy span verification: repeatedly match the whole pattern against
+    // the term positions, never reusing an event (non-overlapping STNM).
+    // Position cursors per pattern slot are advanced by binary search over
+    // the per-term position lists.
+    int64_t cursor = -1;
+    for (;;) {
+      EsMatch match;
+      match.trace = doc.trace;
+      bool complete = true;
+      int64_t local = cursor;
+      for (uint32_t term : term_ids) {
+        const auto& plist = postings_[term];
+        auto it = std::lower_bound(
+            plist.begin(), plist.end(), doc_id,
+            [](const Posting& p, uint32_t d) { return p.doc < d; });
+        const auto& positions = it->positions;
+        auto pos_it = local < 0
+                          ? positions.begin()
+                          : std::upper_bound(positions.begin(),
+                                             positions.end(),
+                                             static_cast<uint32_t>(local));
+        if (pos_it == positions.end()) {
+          complete = false;
+          break;
+        }
+        local = *pos_it;
+        match.timestamps.push_back(doc.timestamps[*pos_it]);
+      }
+      if (!complete) break;
+      cursor = local;
+      out.push_back(std::move(match));
+    }
+  }
+  return out;
+}
+
+std::vector<EsMatch> EsLikeEngine::DetectSc(
+    const std::vector<std::string>& pattern_terms) const {
+  std::vector<EsMatch> out;
+  std::vector<uint32_t> term_ids;
+  if (!ResolveTerms(pattern_terms, &term_ids)) return out;
+
+  for (uint32_t doc_id : CandidateDocuments(term_ids)) {
+    const Document& doc = documents_[doc_id];
+    // Phrase query: anchor on the first term's positions, verify the rest
+    // at consecutive offsets.
+    const auto& first_plist = postings_[term_ids[0]];
+    auto it = std::lower_bound(
+        first_plist.begin(), first_plist.end(), doc_id,
+        [](const Posting& p, uint32_t d) { return p.doc < d; });
+    for (uint32_t anchor : it->positions) {
+      if (anchor + term_ids.size() > doc.tokens.size()) break;
+      bool ok = true;
+      for (size_t i = 1; i < term_ids.size(); ++i) {
+        if (doc.tokens[anchor + i] != term_ids[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      EsMatch match;
+      match.trace = doc.trace;
+      match.timestamps.reserve(term_ids.size());
+      for (size_t i = 0; i < term_ids.size(); ++i) {
+        match.timestamps.push_back(doc.timestamps[anchor + i]);
+      }
+      out.push_back(std::move(match));
+    }
+  }
+  return out;
+}
+
+}  // namespace seqdet::baseline

@@ -1,0 +1,72 @@
+#include "baselines/sase/sase_engine.h"
+
+namespace seqdet::baseline {
+
+using eventlog::ActivityId;
+using eventlog::Timestamp;
+using eventlog::Trace;
+
+void SaseEngine::DetectInTrace(const Trace& trace,
+                               const std::vector<ActivityId>& pattern,
+                               index::Policy policy,
+                               std::vector<SaseMatch>* out) const {
+  const auto& events = trace.events;
+  const size_t n = events.size();
+  const size_t p = pattern.size();
+  if (p == 0 || n < p) return;
+
+  if (policy == index::Policy::kStrictContiguity) {
+    // One NFA run per e_1 instance; under strict contiguity a run either
+    // advances on every event or dies, so runs are just window checks.
+    for (size_t start = 0; start + p <= n; ++start) {
+      bool ok = true;
+      for (size_t i = 0; i < p; ++i) {
+        if (events[start + i].activity != pattern[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      SaseMatch match;
+      match.trace = trace.id;
+      match.timestamps.reserve(p);
+      for (size_t i = 0; i < p; ++i) {
+        match.timestamps.push_back(events[start + i].ts);
+      }
+      out->push_back(std::move(match));
+    }
+    return;
+  }
+
+  // Skip-till-next-match: a single greedy run; after a complete match the
+  // automaton resets and continues after the match's last event, so matches
+  // never overlap.
+  size_t state = 0;
+  SaseMatch current;
+  current.trace = trace.id;
+  for (size_t i = 0; i < n; ++i) {
+    if (events[i].activity != pattern[state]) continue;  // skip irrelevant
+    current.timestamps.push_back(events[i].ts);
+    if (++state == p) {
+      out->push_back(current);
+      current.timestamps.clear();
+      state = 0;
+    }
+  }
+}
+
+std::vector<SaseMatch> SaseEngine::Detect(
+    const std::vector<ActivityId>& pattern, index::Policy policy) const {
+  std::vector<SaseMatch> out;
+  for (const Trace& trace : log_->traces()) {
+    DetectInTrace(trace, pattern, policy, &out);
+  }
+  return out;
+}
+
+size_t SaseEngine::Count(const std::vector<ActivityId>& pattern,
+                         index::Policy policy) const {
+  return Detect(pattern, policy).size();
+}
+
+}  // namespace seqdet::baseline

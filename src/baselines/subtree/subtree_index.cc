@@ -1,0 +1,222 @@
+#include "baselines/subtree/subtree_index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace seqdet::baseline {
+
+using eventlog::ActivityId;
+using eventlog::EventLog;
+using eventlog::Trace;
+
+Result<std::unique_ptr<SubtreeIndex>> SubtreeIndex::Build(
+    const EventLog& log, const SubtreeIndexOptions& options) {
+  auto index = std::unique_ptr<SubtreeIndex>(new SubtreeIndex());
+  SEQDET_RETURN_IF_ERROR(index->BuildTrie(log, options));
+  index->BuildPreorderString();
+  index->BuildSuffixArray(log);
+  return index;
+}
+
+Status SubtreeIndex::BuildTrie(const EventLog& log,
+                               const SubtreeIndexOptions& options) {
+  nodes_.clear();
+  nodes_.push_back(TrieNode{});  // root
+
+  for (const Trace& trace : log.traces()) {
+    const size_t n = trace.size();
+    for (size_t start = 0; start < n; ++start) {
+      uint32_t node = 0;  // root
+      for (size_t i = start; i < n; ++i) {
+        const ActivityId label = trace.events[i].activity;
+        // Linear sibling search (trie children are unordered lists).
+        uint32_t child = nodes_[node].first_child;
+        while (child != 0 && nodes_[child].label != label) {
+          child = nodes_[child].next_sibling;
+        }
+        if (child == 0) {
+          if (nodes_.size() >= options.max_trie_nodes) {
+            return Status::OutOfRange(StringPrintf(
+                "subtree index exceeded %zu trie nodes (the subtree "
+                "space of this log is too large, cf. bpi_2017 in the "
+                "paper)",
+                options.max_trie_nodes));
+          }
+          child = static_cast<uint32_t>(nodes_.size());
+          nodes_.push_back(TrieNode{label, 0, nodes_[node].first_child, {}});
+          nodes_[node].first_child = child;
+        }
+        // Storing the occurrence on every path node materializes all
+        // subtrees — the dominant cost of this method (§5.3).
+        nodes_[child].occurrences.push_back(
+            ScOccurrence{trace.id, static_cast<uint32_t>(start)});
+        node = child;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void SubtreeIndex::BuildPreorderString() {
+  preorder_.clear();
+  preorder_.reserve(nodes_.size() * 2);
+  // Iterative preorder DFS: labels are shifted by +1 so that 0 can mark
+  // "return to the previous level" as in [19]; |W| = 2 * #nodes.
+  struct Frame {
+    uint32_t node;
+    bool entered;
+  };
+  std::vector<Frame> stack;
+  for (uint32_t child = nodes_[0].first_child; child != 0;
+       child = nodes_[child].next_sibling) {
+    stack.push_back(Frame{child, false});
+  }
+  // The loop below visits children in next_sibling order; that order is
+  // reversed insertion order, which is fine — any fixed order yields a
+  // valid preorder encoding.
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.entered) {
+      preorder_.push_back(0);
+      continue;
+    }
+    preorder_.push_back(nodes_[frame.node].label + 1);
+    stack.push_back(Frame{frame.node, true});
+    for (uint32_t child = nodes_[frame.node].first_child; child != 0;
+         child = nodes_[child].next_sibling) {
+      stack.push_back(Frame{child, false});
+    }
+  }
+}
+
+void SubtreeIndex::BuildSuffixArray(const EventLog& log) {
+  trace_refs_.clear();
+  trace_refs_.reserve(log.num_traces());
+  size_t total = 0;
+  for (const Trace& trace : log.traces()) {
+    trace_refs_.push_back(&trace);
+    total += trace.size();
+  }
+  suffix_array_.clear();
+  suffix_array_.reserve(total);
+  for (uint32_t t = 0; t < trace_refs_.size(); ++t) {
+    for (uint32_t off = 0; off < trace_refs_[t]->size(); ++off) {
+      suffix_array_.push_back(SuffixRef{t, off});
+    }
+  }
+  auto less = [this](const SuffixRef& a, const SuffixRef& b) {
+    const auto& ea = trace_refs_[a.trace_index]->events;
+    const auto& eb = trace_refs_[b.trace_index]->events;
+    size_t i = a.offset, j = b.offset;
+    while (i < ea.size() && j < eb.size()) {
+      if (ea[i].activity != eb[j].activity) {
+        return ea[i].activity < eb[j].activity;
+      }
+      ++i;
+      ++j;
+    }
+    if (i < ea.size()) return false;  // a longer -> greater
+    if (j < eb.size()) return true;
+    // Equal suffixes: break ties deterministically.
+    if (a.trace_index != b.trace_index) return a.trace_index < b.trace_index;
+    return a.offset < b.offset;
+  };
+  std::sort(suffix_array_.begin(), suffix_array_.end(), less);
+}
+
+namespace {
+// -1 / 0 / +1: compares a suffix against `pattern` treated as a prefix
+// (0 means the pattern is a prefix of the suffix).
+int ComparePrefix(const std::vector<eventlog::Event>& events, size_t offset,
+                  const std::vector<ActivityId>& pattern) {
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (offset + i >= events.size()) return -1;  // suffix exhausted -> less
+    ActivityId s = events[offset + i].activity;
+    if (s != pattern[i]) return s < pattern[i] ? -1 : 1;
+  }
+  return 0;
+}
+}  // namespace
+
+std::pair<size_t, size_t> SubtreeIndex::EqualRange(
+    const std::vector<ActivityId>& pattern) const {
+  size_t lo = 0, hi = suffix_array_.size();
+  // Lower bound: first suffix not less than the pattern prefix.
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    const SuffixRef& ref = suffix_array_[mid];
+    if (ComparePrefix(trace_refs_[ref.trace_index]->events, ref.offset,
+                      pattern) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t begin = lo;
+  hi = suffix_array_.size();
+  // Upper bound: first suffix greater than the pattern prefix.
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    const SuffixRef& ref = suffix_array_[mid];
+    if (ComparePrefix(trace_refs_[ref.trace_index]->events, ref.offset,
+                      pattern) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {begin, lo};
+}
+
+std::vector<ScOccurrence> SubtreeIndex::Find(
+    const std::vector<ActivityId>& pattern) const {
+  std::vector<ScOccurrence> out;
+  if (pattern.empty()) return out;
+  auto [lo, hi] = EqualRange(pattern);
+  out.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) {
+    const SuffixRef& ref = suffix_array_[i];
+    out.push_back(
+        ScOccurrence{trace_refs_[ref.trace_index]->id, ref.offset});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t SubtreeIndex::Count(const std::vector<ActivityId>& pattern) const {
+  if (pattern.empty()) return 0;
+  auto [lo, hi] = EqualRange(pattern);
+  return hi - lo;
+}
+
+uint32_t SubtreeIndex::WalkTrie(
+    const std::vector<ActivityId>& pattern) const {
+  uint32_t node = 0;
+  for (ActivityId label : pattern) {
+    uint32_t child = nodes_[node].first_child;
+    while (child != 0 && nodes_[child].label != label) {
+      child = nodes_[child].next_sibling;
+    }
+    if (child == 0) return 0;
+    node = child;
+  }
+  return node;
+}
+
+std::vector<std::pair<ActivityId, size_t>> SubtreeIndex::Continuations(
+    const std::vector<ActivityId>& pattern) const {
+  std::vector<std::pair<ActivityId, size_t>> out;
+  uint32_t node = WalkTrie(pattern);
+  if (node == 0 && !pattern.empty()) return out;
+  for (uint32_t child = nodes_[node].first_child; child != 0;
+       child = nodes_[child].next_sibling) {
+    out.emplace_back(nodes_[child].label, nodes_[child].occurrences.size());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace seqdet::baseline

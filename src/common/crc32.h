@@ -1,0 +1,20 @@
+#ifndef SEQDET_COMMON_CRC32_H_
+#define SEQDET_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace seqdet {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to checksum WAL records
+/// and segment files so that torn writes are detected on recovery.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_CRC32_H_

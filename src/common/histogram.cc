@@ -1,0 +1,103 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace seqdet {
+
+void Histogram::Add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  sum_sq_ += value * value;
+  sorted_valid_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::min() const {
+  if (values_.empty()) return 0;
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  if (values_.empty()) return 0;
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Histogram::mean() const {
+  if (values_.empty()) return 0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Histogram::stddev() const {
+  if (values_.size() < 2) return 0;
+  double n = static_cast<double>(values_.size());
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (values_.empty()) return 0;
+  EnsureSorted();
+  if (p <= 0) return sorted_.front();
+  if (p >= 100) return sorted_.back();
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<size_t> Histogram::Buckets(size_t num_buckets) const {
+  std::vector<size_t> buckets(num_buckets, 0);
+  if (values_.empty() || num_buckets == 0) return buckets;
+  double lo = min(), hi = max();
+  double width = (hi - lo) / static_cast<double>(num_buckets);
+  if (width <= 0) {
+    buckets[0] = values_.size();
+    return buckets;
+  }
+  for (double v : values_) {
+    size_t b = static_cast<size_t>((v - lo) / width);
+    if (b >= num_buckets) b = num_buckets - 1;
+    buckets[b]++;
+  }
+  return buckets;
+}
+
+std::string Histogram::ToAscii(const std::string& title, size_t num_buckets,
+                               size_t bar_width) const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "%s: n=%zu min=%.2f mean=%.2f max=%.2f p50=%.2f p95=%.2f\n",
+                title.c_str(), count(), min(), mean(), max(), Percentile(50),
+                Percentile(95));
+  out += line;
+  if (values_.empty()) return out;
+  auto buckets = Buckets(num_buckets);
+  size_t peak = *std::max_element(buckets.begin(), buckets.end());
+  if (peak == 0) peak = 1;
+  double lo = min();
+  double width = (max() - lo) / static_cast<double>(num_buckets);
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    size_t bar = buckets[b] * bar_width / peak;
+    std::snprintf(line, sizeof(line), "  [%8.1f, %8.1f) %6zu |", lo + b * width,
+                  lo + (b + 1) * width, buckets[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace seqdet

@@ -1,0 +1,48 @@
+#ifndef SEQDET_COMMON_HISTOGRAM_H_
+#define SEQDET_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seqdet {
+
+/// Streaming summary of a numeric sample: count / min / max / mean / stddev
+/// plus exact percentiles (the full sample is retained; intended for
+/// dataset-profile reporting, not for hot paths).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+
+  size_t count() const { return values_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Exact percentile by nearest-rank, p in [0, 100].
+  double Percentile(double p) const;
+
+  /// Fixed-width bucket counts over [min, max] for textual display.
+  std::vector<size_t> Buckets(size_t num_buckets) const;
+
+  /// Multi-line textual rendering: stats header plus an ASCII bar chart.
+  /// Used by the Figure 2 harness to print trace-profile distributions.
+  std::string ToAscii(const std::string& title, size_t num_buckets = 10,
+                      size_t bar_width = 40) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_HISTOGRAM_H_

@@ -1,0 +1,88 @@
+#ifndef SEQDET_COMMON_RESULT_H_
+#define SEQDET_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace seqdet {
+
+/// A value-or-error type: holds either a `T` or a non-OK Status.
+///
+/// Modeled after arrow::Result / absl::StatusOr. A Result constructed from
+/// an OK status is a programming error (asserted in debug builds, converted
+/// to an Internal error otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, so functions can
+  /// `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit, so functions can
+  /// `return Status::NotFound(...);`).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the error (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked via assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or assigning the
+/// value into `lhs`.
+#define SEQDET_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  SEQDET_ASSIGN_OR_RETURN_IMPL_(                                 \
+      SEQDET_CONCAT_(_seqdet_result, __LINE__), lhs, rexpr)
+
+#define SEQDET_CONCAT_INNER_(a, b) a##b
+#define SEQDET_CONCAT_(a, b) SEQDET_CONCAT_INNER_(a, b)
+
+#define SEQDET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_RESULT_H_

@@ -1,0 +1,74 @@
+#ifndef SEQDET_COMMON_RNG_H_
+#define SEQDET_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seqdet {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every data generator in this repository takes an explicit seed so that
+/// datasets, workloads and benchmarks are reproducible run-to-run; nothing
+/// uses global random state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(double p = 0.5);
+
+  /// Approximately normally distributed value (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, .., n-1} with exponent `theta`.
+///
+/// Used by the generators to make activity frequencies skewed (start/end
+/// activities in real logs are far more frequent than error activities, as
+/// the paper notes in §5.4.1).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta, uint64_t seed);
+
+  /// Draws a rank in [0, n); rank 0 is the most frequent.
+  size_t Next();
+
+  size_t n() const { return n_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_RNG_H_

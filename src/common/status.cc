@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace seqdet {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace seqdet

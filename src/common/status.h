@@ -1,0 +1,108 @@
+#ifndef SEQDET_COMMON_STATUS_H_
+#define SEQDET_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace seqdet {
+
+/// Error categories used across the library. Mirrors the usual embedded-DB
+/// convention (RocksDB/LevelDB-style) of returning a Status from every
+/// operation that can fail instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kAlreadyExists = 5,
+  kOutOfRange = 6,
+  kInternal = 7,
+  kUnsupported = 8,
+};
+
+/// Returns a human-readable name for a status code ("Ok", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message. Functions that can fail return `Status` (or `Result<T>`), and
+/// callers are expected to check `ok()` before using any outputs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define SEQDET_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::seqdet::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_STATUS_H_

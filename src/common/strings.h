@@ -1,0 +1,37 @@
+#ifndef SEQDET_COMMON_STRINGS_H_
+#define SEQDET_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqdet {
+
+/// Splits `input` on `sep`; keeps empty fields (CSV semantics).
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a signed 64-bit integer; returns false on any non-numeric input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double; returns false on any non-numeric input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_STRINGS_H_

@@ -1,0 +1,69 @@
+#ifndef SEQDET_COMMON_THREAD_POOL_H_
+#define SEQDET_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace seqdet {
+
+/// Fixed-size thread pool.
+///
+/// Substitutes the paper's Spark executors: the index builder treats each
+/// trace independently ("parallelization-by-design", §5.3), so a plain task
+/// pool reproduces both the 1-executor and the all-cores configurations of
+/// Table 6.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  /// Schedules `fn` and returns a future for its completion.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `fn(i)` for i in [0, n), partitioned into contiguous chunks across
+  /// the pool, and blocks until every call returns.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Number of hardware threads, never 0.
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_THREAD_POOL_H_

@@ -1,0 +1,36 @@
+#ifndef SEQDET_COMMON_TIMER_H_
+#define SEQDET_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace seqdet {
+
+/// Monotonic stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_TIMER_H_

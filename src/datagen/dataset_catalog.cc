@@ -1,0 +1,76 @@
+#include "datagen/dataset_catalog.h"
+
+#include "datagen/generators.h"
+
+namespace seqdet::datagen {
+
+namespace {
+
+struct ProcessSpec {
+  const char* name;
+  size_t traces;
+  size_t activities;
+  uint64_t seed;
+  size_t tree_depth;  // deeper trees -> longer traces ("max" vs "min")
+};
+
+// Trace/activity counts from Table 4 of the paper. The med/max logs have
+// many events and unique activities per trace (deep trees, many parallel
+// blocks); min_10000 is shallow with a 15-activity alphabet.
+constexpr ProcessSpec kProcessSpecs[] = {
+    {"max_100", 100, 150, 101, 7},
+    {"max_500", 500, 159, 102, 7},
+    {"max_1000", 1000, 160, 103, 7},
+    {"med_5000", 5000, 95, 104, 6},
+    {"max_5000", 5000, 160, 105, 7},
+    {"max_10000", 10000, 160, 106, 7},
+    {"min_10000", 10000, 15, 107, 4},
+};
+
+}  // namespace
+
+Result<eventlog::EventLog> LoadDataset(const std::string& name, double scale) {
+  if (scale <= 0 || scale > 1) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  for (const ProcessSpec& spec : kProcessSpecs) {
+    if (name == spec.name) {
+      ProcessLogConfig config;
+      config.num_traces = ScaledTraces(spec.traces, scale);
+      config.num_activities = spec.activities;
+      config.seed = spec.seed;
+      config.tree.max_depth = spec.tree_depth;
+      return GenerateProcessLog(config);
+    }
+  }
+  BpiProfile profile;
+  if (name == "bpi_2013") {
+    profile = Bpi2013Profile();
+  } else if (name == "bpi_2017") {
+    profile = Bpi2017Profile();
+  } else if (name == "bpi_2020") {
+    profile = Bpi2020Profile();
+  } else {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+  profile.num_traces = ScaledTraces(profile.num_traces, scale);
+  return GenerateBpiLikeLog(profile);
+}
+
+std::vector<std::string> SyntheticDatasetNames() {
+  std::vector<std::string> names;
+  for (const ProcessSpec& spec : kProcessSpecs) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<std::string> BpiDatasetNames() {
+  return {"bpi_2013", "bpi_2020", "bpi_2017"};
+}
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names = SyntheticDatasetNames();
+  for (auto& n : BpiDatasetNames()) names.push_back(n);
+  return names;
+}
+
+}  // namespace seqdet::datagen

@@ -1,0 +1,158 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace seqdet::datagen {
+
+using eventlog::ActivityId;
+using eventlog::Event;
+using eventlog::EventLog;
+using eventlog::Timestamp;
+using eventlog::Trace;
+using eventlog::TraceId;
+
+namespace {
+
+/// Interns ids "act_0".."act_{n-1}" so generated ids match dictionary ids.
+void InternActivityNames(EventLog* log, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    log->dictionary().Intern(StringPrintf("act_%zu", i));
+  }
+}
+
+void AppendTrace(EventLog* log, TraceId id,
+                 const std::vector<ActivityId>& sequence, int64_t mean_gap,
+                 Rng* rng) {
+  Trace trace;
+  trace.id = id;
+  trace.events.reserve(sequence.size());
+  // Spread trace start times out so different traces overlap in time, like
+  // a real log.
+  Timestamp ts = static_cast<Timestamp>(rng->NextBounded(1u << 20));
+  for (ActivityId a : sequence) {
+    ts += rng->NextInRange(1, std::max<int64_t>(1, 2 * mean_gap - 1));
+    trace.events.push_back(Event{a, ts});
+  }
+  log->AddTrace(std::move(trace));
+}
+
+}  // namespace
+
+size_t ScaledTraces(size_t traces, double scale) {
+  if (scale >= 1.0) return traces;
+  double scaled = static_cast<double>(traces) * scale;
+  return std::max<size_t>(1, static_cast<size_t>(scaled));
+}
+
+EventLog GenerateProcessLog(const ProcessLogConfig& config) {
+  Rng rng(config.seed);
+  EventLog log;
+  InternActivityNames(&log, config.num_activities);
+  ProcessTree::Config tree_config = config.tree;
+  tree_config.num_activities = config.num_activities;
+  ProcessTree tree = ProcessTree::Random(tree_config, &rng);
+  for (size_t t = 0; t < config.num_traces; ++t) {
+    std::vector<ActivityId> sequence = tree.Simulate(&rng);
+    AppendTrace(&log, static_cast<TraceId>(t), sequence, config.mean_gap,
+                &rng);
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+EventLog GenerateRandomLog(const RandomLogConfig& config) {
+  Rng rng(config.seed);
+  EventLog log;
+  InternActivityNames(&log, config.num_activities);
+  ZipfSampler zipf(config.num_activities,
+                   config.activity_skew > 0 ? config.activity_skew : 1.0,
+                   config.seed ^ 0x5eedULL);
+  for (size_t t = 0; t < config.num_traces; ++t) {
+    size_t len = 1 + rng.NextBounded(config.max_events_per_trace);
+    std::vector<ActivityId> sequence;
+    sequence.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      size_t a = config.activity_skew > 0
+                     ? zipf.Next()
+                     : rng.NextBounded(config.num_activities);
+      sequence.push_back(static_cast<ActivityId>(a));
+    }
+    AppendTrace(&log, static_cast<TraceId>(t), sequence, config.mean_gap,
+                &rng);
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+BpiProfile Bpi2013Profile() {
+  return BpiProfile{"bpi_2013", 7554, 4, 8.6, 1, 123, 2013};
+}
+
+BpiProfile Bpi2017Profile() {
+  return BpiProfile{"bpi_2017", 31509, 26, 38.15, 10, 180, 2017};
+}
+
+BpiProfile Bpi2020Profile() {
+  return BpiProfile{"bpi_2020", 6886, 19, 5.3, 1, 20, 2020};
+}
+
+EventLog GenerateBpiLikeLog(const BpiProfile& profile) {
+  Rng rng(profile.seed);
+  EventLog log;
+  InternActivityNames(&log, profile.num_activities);
+  const size_t l = std::max<size_t>(1, profile.num_activities);
+
+  // First-order Markov chain over activities: every activity gets 2..4
+  // preferred successors carrying most of the probability mass, plus a
+  // small uniform tail. Start states are skewed toward activity 0 (real
+  // logs open with a registration/submission step).
+  const size_t kSuccessors = std::min<size_t>(4, l);
+  std::vector<std::vector<ActivityId>> preferred(l);
+  for (size_t a = 0; a < l; ++a) {
+    for (size_t s = 0; s < kSuccessors; ++s) {
+      preferred[a].push_back(
+          static_cast<ActivityId>(rng.NextBounded(l)));
+    }
+  }
+
+  // Trace lengths: log-normal calibrated so exp(mu) ~ mean, clamped to
+  // [min, max]. sigma grows with the max/mean spread so heavy tails
+  // (bpi_2013: mean 8.6, max 123) are reproduced.
+  const double mean = std::max(1.0, profile.mean_events_per_trace);
+  const double spread =
+      std::log(std::max(2.0, static_cast<double>(profile.max_events_per_trace) /
+                                 mean));
+  const double sigma = std::max(0.25, spread / 3.0);
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+
+  for (size_t t = 0; t < profile.num_traces; ++t) {
+    double draw = std::exp(rng.NextGaussian(mu, sigma));
+    size_t len = static_cast<size_t>(std::llround(draw));
+    len = std::clamp<size_t>(len, profile.min_events_per_trace,
+                             profile.max_events_per_trace);
+
+    std::vector<ActivityId> sequence;
+    sequence.reserve(len);
+    ActivityId current =
+        rng.NextBool(0.8) ? 0 : static_cast<ActivityId>(rng.NextBounded(l));
+    sequence.push_back(current);
+    for (size_t i = 1; i < len; ++i) {
+      if (rng.NextBool(0.85)) {
+        const auto& succ = preferred[current];
+        current = succ[rng.NextBounded(succ.size())];
+      } else {
+        current = static_cast<ActivityId>(rng.NextBounded(l));
+      }
+      sequence.push_back(current);
+    }
+    AppendTrace(&log, static_cast<TraceId>(t), sequence, /*mean_gap=*/3600,
+                &rng);
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+}  // namespace seqdet::datagen

@@ -1,0 +1,97 @@
+#include "datagen/pattern_sampler.h"
+
+#include <algorithm>
+
+namespace seqdet::datagen {
+
+using eventlog::ActivityId;
+using eventlog::Trace;
+
+PatternSampler::PatternSampler(const eventlog::EventLog* log, uint64_t seed)
+    : log_(log), rng_(seed) {
+  long_trace_index_.resize(log->num_traces());
+  for (size_t i = 0; i < long_trace_index_.size(); ++i) {
+    long_trace_index_[i] = i;
+  }
+  std::sort(long_trace_index_.begin(), long_trace_index_.end(),
+            [log](size_t a, size_t b) {
+              return log->traces()[a].size() < log->traces()[b].size();
+            });
+}
+
+const Trace* PatternSampler::PickTraceWithAtLeast(size_t length) {
+  // Binary search for the first trace with size >= length, then pick
+  // uniformly among the suffix.
+  auto it = std::lower_bound(
+      long_trace_index_.begin(), long_trace_index_.end(), length,
+      [this](size_t idx, size_t len) {
+        return log_->traces()[idx].size() < len;
+      });
+  if (it == long_trace_index_.end()) return nullptr;
+  size_t span = static_cast<size_t>(long_trace_index_.end() - it);
+  size_t pick = static_cast<size_t>(rng_.NextBounded(span));
+  return &log_->traces()[*(it + pick)];
+}
+
+std::vector<ActivityId> PatternSampler::SampleContiguous(size_t length) {
+  const Trace* trace = PickTraceWithAtLeast(length);
+  if (trace == nullptr) return SampleRandom(length);
+  size_t start = rng_.NextBounded(trace->size() - length + 1);
+  std::vector<ActivityId> pattern;
+  pattern.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    pattern.push_back(trace->events[start + i].activity);
+  }
+  return pattern;
+}
+
+std::vector<ActivityId> PatternSampler::SampleSubsequence(size_t length) {
+  const Trace* trace = PickTraceWithAtLeast(length);
+  if (trace == nullptr) return SampleRandom(length);
+  // Reservoir-free: draw `length` distinct positions, then sort.
+  std::vector<size_t> positions;
+  positions.reserve(length);
+  size_t n = trace->size();
+  // Floyd's algorithm for distinct samples.
+  for (size_t j = n - length; j < n; ++j) {
+    size_t t = rng_.NextBounded(j + 1);
+    if (std::find(positions.begin(), positions.end(), t) == positions.end()) {
+      positions.push_back(t);
+    } else {
+      positions.push_back(j);
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  std::vector<ActivityId> pattern;
+  pattern.reserve(length);
+  for (size_t p : positions) pattern.push_back(trace->events[p].activity);
+  return pattern;
+}
+
+std::vector<ActivityId> PatternSampler::SampleRandom(size_t length) {
+  std::vector<ActivityId> pattern;
+  pattern.reserve(length);
+  size_t l = std::max<size_t>(1, log_->num_activities());
+  for (size_t i = 0; i < length; ++i) {
+    pattern.push_back(static_cast<ActivityId>(rng_.NextBounded(l)));
+  }
+  return pattern;
+}
+
+std::vector<std::vector<ActivityId>> PatternSampler::SampleManySubsequences(
+    size_t count, size_t length) {
+  std::vector<std::vector<ActivityId>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(SampleSubsequence(length));
+  return out;
+}
+
+std::vector<std::vector<ActivityId>> PatternSampler::SampleManyContiguous(
+    size_t count, size_t length) {
+  std::vector<std::vector<ActivityId>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(SampleContiguous(length));
+  return out;
+}
+
+}  // namespace seqdet::datagen

@@ -1,0 +1,44 @@
+#ifndef SEQDET_DATAGEN_PATTERN_SAMPLER_H_
+#define SEQDET_DATAGEN_PATTERN_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "log/event_log.h"
+
+namespace seqdet::datagen {
+
+/// Samples query patterns for the benchmark workloads (§5.4 queries "100
+/// random patterns" per experiment).
+class PatternSampler {
+ public:
+  PatternSampler(const eventlog::EventLog* log, uint64_t seed);
+
+  /// A pattern that certainly occurs under SC: a contiguous slice of a
+  /// random trace with >= `length` events.
+  std::vector<eventlog::ActivityId> SampleContiguous(size_t length);
+
+  /// A pattern that certainly occurs under STNM: `length` events at random
+  /// increasing positions of a random trace.
+  std::vector<eventlog::ActivityId> SampleSubsequence(size_t length);
+
+  /// A uniformly random activity sequence (may or may not occur).
+  std::vector<eventlog::ActivityId> SampleRandom(size_t length);
+
+  /// Batch helpers used by the bench harnesses.
+  std::vector<std::vector<eventlog::ActivityId>> SampleManySubsequences(
+      size_t count, size_t length);
+  std::vector<std::vector<eventlog::ActivityId>> SampleManyContiguous(
+      size_t count, size_t length);
+
+ private:
+  const eventlog::Trace* PickTraceWithAtLeast(size_t length);
+
+  const eventlog::EventLog* log_;
+  Rng rng_;
+  std::vector<size_t> long_trace_index_;  // indices of traces, sorted by size
+};
+
+}  // namespace seqdet::datagen
+
+#endif  // SEQDET_DATAGEN_PATTERN_SAMPLER_H_

@@ -1,0 +1,158 @@
+#include "datagen/process_tree.h"
+
+#include <algorithm>
+
+namespace seqdet::datagen {
+
+using eventlog::ActivityId;
+
+ProcessTree ProcessTree::Random(const Config& config, Rng* rng) {
+  ProcessTree tree;
+  tree.num_activities_ = std::max<size_t>(1, config.num_activities);
+  std::vector<ActivityId> leaves(tree.num_activities_);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    leaves[i] = static_cast<ActivityId>(i);
+  }
+  rng->Shuffle(&leaves);
+  tree.root_ = BuildSubtree(&leaves, 1, config, rng);
+  return tree;
+}
+
+std::unique_ptr<ProcessTree::Node> ProcessTree::BuildSubtree(
+    std::vector<ActivityId>* leaves, size_t depth, const Config& config,
+    Rng* rng) {
+  auto node = std::make_unique<Node>();
+  if (leaves->size() == 1 || depth >= config.max_depth) {
+    if (leaves->size() == 1) {
+      node->op = Operator::kActivity;
+      node->activity = leaves->front();
+      return node;
+    }
+    // Depth budget exhausted but several activities remain: flat sequence.
+    node->op = Operator::kSequence;
+    for (ActivityId a : *leaves) {
+      auto leaf = std::make_unique<Node>();
+      leaf->op = Operator::kActivity;
+      leaf->activity = a;
+      node->children.push_back(std::move(leaf));
+    }
+    return node;
+  }
+
+  // Pick an operator; sequences dominate real process models, so weight
+  // them higher; loops are rarest.
+  double roll = rng->NextDouble();
+  if (roll < 0.45) {
+    node->op = Operator::kSequence;
+  } else if (roll < 0.70) {
+    node->op = Operator::kExclusive;
+  } else if (roll < 0.90) {
+    node->op = Operator::kParallel;
+  } else {
+    node->op = Operator::kLoop;
+    node->repeat_p = config.loop_repeat_p;
+  }
+
+  size_t max_fanout = std::max<size_t>(2, config.max_fanout);
+  size_t fanout = 2 + rng->NextBounded(max_fanout - 1);
+  fanout = std::min(fanout, leaves->size());
+  if (node->op == Operator::kLoop) fanout = 2;  // body + redo part
+
+  // Partition the remaining activities across children (each child gets at
+  // least one so every activity stays reachable... except under kExclusive,
+  // where only one branch executes per case; that is faithful to XOR
+  // splits, some activities are simply rarer).
+  std::vector<size_t> sizes(fanout, 1);
+  size_t remaining = leaves->size() - fanout;
+  for (size_t i = 0; i < remaining; ++i) {
+    sizes[rng->NextBounded(fanout)]++;
+  }
+  size_t offset = 0;
+  for (size_t c = 0; c < fanout; ++c) {
+    std::vector<ActivityId> part(leaves->begin() + offset,
+                                 leaves->begin() + offset + sizes[c]);
+    offset += sizes[c];
+    node->children.push_back(BuildSubtree(&part, depth + 1, config, rng));
+  }
+  return node;
+}
+
+std::vector<ActivityId> ProcessTree::Simulate(Rng* rng) const {
+  std::vector<ActivityId> out;
+  SimulateNode(*root_, &out, rng);
+  return out;
+}
+
+void ProcessTree::SimulateNode(const Node& node, std::vector<ActivityId>* out,
+                               Rng* rng) {
+  switch (node.op) {
+    case Operator::kActivity:
+      out->push_back(node.activity);
+      return;
+    case Operator::kSequence:
+      for (const auto& child : node.children) {
+        SimulateNode(*child, out, rng);
+      }
+      return;
+    case Operator::kExclusive: {
+      size_t pick = rng->NextBounded(node.children.size());
+      SimulateNode(*node.children[pick], out, rng);
+      return;
+    }
+    case Operator::kParallel: {
+      // Simulate each child into its own buffer, then interleave by random
+      // merge, preserving per-child order (true AND-split semantics).
+      std::vector<std::vector<ActivityId>> buffers;
+      buffers.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        std::vector<ActivityId> buf;
+        SimulateNode(*child, &buf, rng);
+        buffers.push_back(std::move(buf));
+      }
+      std::vector<size_t> pos(buffers.size(), 0);
+      size_t total = 0;
+      for (const auto& b : buffers) total += b.size();
+      for (size_t emitted = 0; emitted < total; ++emitted) {
+        // Choose among children with remaining events, weighted by how many
+        // they still have (keeps interleaving fair).
+        size_t remaining_total = 0;
+        for (size_t i = 0; i < buffers.size(); ++i) {
+          remaining_total += buffers[i].size() - pos[i];
+        }
+        size_t ticket = rng->NextBounded(remaining_total);
+        for (size_t i = 0; i < buffers.size(); ++i) {
+          size_t rem = buffers[i].size() - pos[i];
+          if (ticket < rem) {
+            out->push_back(buffers[i][pos[i]++]);
+            break;
+          }
+          ticket -= rem;
+        }
+      }
+      return;
+    }
+    case Operator::kLoop: {
+      SimulateNode(*node.children[0], out, rng);
+      // Cap iterations so pathological repeat_p cannot run away.
+      for (int iter = 0; iter < 50 && rng->NextBool(node.repeat_p); ++iter) {
+        if (node.children.size() > 1) {
+          SimulateNode(*node.children[1], out, rng);
+        }
+        SimulateNode(*node.children[0], out, rng);
+      }
+      return;
+    }
+  }
+}
+
+size_t ProcessTree::NodeDepth(const Node& node) {
+  size_t best = 0;
+  for (const auto& child : node.children) {
+    best = std::max(best, NodeDepth(*child));
+  }
+  return best + 1;
+}
+
+size_t ProcessTree::Depth() const { return root_ ? NodeDepth(*root_) : 0; }
+
+}  // namespace seqdet::datagen

@@ -1,0 +1,79 @@
+#ifndef SEQDET_DATAGEN_PROCESS_TREE_H_
+#define SEQDET_DATAGEN_PROCESS_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "log/event.h"
+
+namespace seqdet::datagen {
+
+/// A block-structured process model, the substitute for PLG2.
+///
+/// PLG2 generates random business-process models and plays them out into
+/// logs; we reproduce that with random process trees over the standard
+/// operators:
+///  * Activity — a leaf, emits one event;
+///  * Sequence — children in order;
+///  * Exclusive — exactly one child (XOR split);
+///  * Parallel  — all children, interleaved randomly (AND split);
+///  * Loop      — first child once, then with probability `repeat_p` the
+///                redo child and the first child again (structured loop).
+///
+/// Simulating the tree yields an activity sequence; traces generated from
+/// the same tree share the activity-correlation structure that makes logs
+/// "process-like" (the property §5.2 of the paper contrasts with its random
+/// datasets).
+class ProcessTree {
+ public:
+  enum class Operator { kActivity, kSequence, kExclusive, kParallel, kLoop };
+
+  struct Node {
+    Operator op = Operator::kActivity;
+    eventlog::ActivityId activity = 0;       // for kActivity
+    double repeat_p = 0.3;                   // for kLoop
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// Parameters of random tree construction.
+  struct Config {
+    size_t num_activities = 20;
+    size_t max_depth = 5;
+    /// Children per operator node, drawn uniformly in [2, max_fanout].
+    size_t max_fanout = 4;
+    double loop_repeat_p = 0.3;
+  };
+
+  /// Builds a random tree that uses each of the `config.num_activities`
+  /// activities exactly once as a leaf (ids 0..num_activities-1), so the
+  /// alphabet size of generated logs is exact.
+  static ProcessTree Random(const Config& config, Rng* rng);
+
+  /// Plays out one case: returns the activity sequence of a fresh trace.
+  std::vector<eventlog::ActivityId> Simulate(Rng* rng) const;
+
+  /// Number of leaves (== configured activity count for Random()).
+  size_t NumActivities() const { return num_activities_; }
+
+  /// Depth of the tree (single activity == 1).
+  size_t Depth() const;
+
+ private:
+  ProcessTree() = default;
+
+  static std::unique_ptr<Node> BuildSubtree(
+      std::vector<eventlog::ActivityId>* leaves, size_t depth,
+      const Config& config, Rng* rng);
+  static void SimulateNode(const Node& node,
+                           std::vector<eventlog::ActivityId>* out, Rng* rng);
+  static size_t NodeDepth(const Node& node);
+
+  std::unique_ptr<Node> root_;
+  size_t num_activities_ = 0;
+};
+
+}  // namespace seqdet::datagen
+
+#endif  // SEQDET_DATAGEN_PROCESS_TREE_H_

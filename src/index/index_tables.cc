@@ -1,0 +1,268 @@
+#include "index/index_tables.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/coding.h"
+
+namespace seqdet::index {
+
+using eventlog::ActivityId;
+using eventlog::Event;
+using eventlog::Timestamp;
+using eventlog::TraceId;
+
+// ---------------------------------------------------------------------------
+// SeqTable
+// ---------------------------------------------------------------------------
+
+std::string SeqTable::EncodeKey(TraceId trace) {
+  std::string key;
+  PutKeyU64(&key, trace);
+  return key;
+}
+
+void SeqTable::EncodeEvents(const std::vector<Event>& events,
+                            std::string* out) {
+  for (const Event& e : events) {
+    PutVarint32(out, e.activity);
+    PutVarint64SignedZigZag(out, e.ts);
+  }
+}
+
+bool SeqTable::DecodeEvents(std::string_view data, std::vector<Event>* out) {
+  while (!data.empty()) {
+    uint32_t activity;
+    int64_t ts;
+    if (!GetVarint32(&data, &activity) ||
+        !GetVarint64SignedZigZag(&data, &ts)) {
+      return false;
+    }
+    out->push_back(Event{activity, ts});
+  }
+  return true;
+}
+
+void SeqTable::StageAppend(TraceId trace, const std::vector<Event>& events,
+                           storage::WriteBatch* batch) const {
+  if (events.empty()) return;
+  std::string value;
+  EncodeEvents(events, &value);
+  batch->Append(EncodeKey(trace), value);
+}
+
+Result<std::vector<Event>> SeqTable::Get(TraceId trace) const {
+  std::string value;
+  Status s = table_->Get(EncodeKey(trace), &value);
+  if (s.IsNotFound()) return std::vector<Event>{};
+  SEQDET_RETURN_IF_ERROR(s);
+  std::vector<Event> events;
+  if (!DecodeEvents(value, &events)) {
+    return Status::Corruption("bad Seq value");
+  }
+  return events;
+}
+
+void SeqTable::StageDelete(TraceId trace, storage::WriteBatch* batch) const {
+  batch->Delete(EncodeKey(trace));
+}
+
+// ---------------------------------------------------------------------------
+// PairIndexTable
+// ---------------------------------------------------------------------------
+
+std::string PairIndexTable::EncodeKey(const EventTypePair& pair) {
+  std::string key;
+  PutKeyU32(&key, pair.first);
+  PutKeyU32(&key, pair.second);
+  return key;
+}
+
+void PairIndexTable::EncodePosting(const PairOccurrence& occurrence,
+                                   std::string* out) {
+  PutVarint64(out, occurrence.trace);
+  PutVarint64SignedZigZag(out, occurrence.ts_first);
+  // Durations are non-negative, so delta-encode the second timestamp.
+  PutVarint64(out,
+              static_cast<uint64_t>(occurrence.ts_second -
+                                    occurrence.ts_first));
+}
+
+bool PairIndexTable::DecodePostings(std::string_view data,
+                                    std::vector<PairOccurrence>* out) {
+  while (!data.empty()) {
+    uint64_t trace, duration;
+    int64_t ts_first;
+    if (!GetVarint64(&data, &trace) ||
+        !GetVarint64SignedZigZag(&data, &ts_first) ||
+        !GetVarint64(&data, &duration)) {
+      return false;
+    }
+    out->push_back(PairOccurrence{trace, ts_first,
+                                  ts_first + static_cast<int64_t>(duration)});
+  }
+  return true;
+}
+
+void PairIndexTable::StageAppend(const EventTypePair& pair,
+                                 const std::vector<PairOccurrence>& postings,
+                                 storage::WriteBatch* batch) const {
+  if (postings.empty()) return;
+  std::string value;
+  for (const PairOccurrence& occurrence : postings) {
+    EncodePosting(occurrence, &value);
+  }
+  batch->Append(EncodeKey(pair), value);
+}
+
+Result<std::vector<PairOccurrence>> PairIndexTable::Get(
+    const EventTypePair& pair) const {
+  std::string value;
+  Status s = table_->Get(EncodeKey(pair), &value);
+  if (s.IsNotFound()) return std::vector<PairOccurrence>{};
+  SEQDET_RETURN_IF_ERROR(s);
+  std::vector<PairOccurrence> postings;
+  if (!DecodePostings(value, &postings)) {
+    return Status::Corruption("bad Index posting list");
+  }
+  // Appends from successive update batches interleave traces; queries group
+  // by trace, so normalize here.
+  std::sort(postings.begin(), postings.end());
+  return postings;
+}
+
+// ---------------------------------------------------------------------------
+// CountTable
+// ---------------------------------------------------------------------------
+
+std::string CountTable::EncodeKey(ActivityId activity) {
+  std::string key;
+  PutKeyU32(&key, activity);
+  return key;
+}
+
+void CountTable::StageDelta(ActivityId key_activity,
+                            const PairCountStats& delta,
+                            storage::WriteBatch* batch) const {
+  std::string value;
+  PutVarint32(&value, delta.other);
+  PutVarint64SignedZigZag(&value, delta.sum_duration);
+  PutVarint64(&value, delta.total_completions);
+  batch->Append(EncodeKey(key_activity), value);
+}
+
+Status CountTable::DecodeDeltas(std::string_view value,
+                                std::vector<PairCountStats>* out) {
+  std::unordered_map<ActivityId, PairCountStats> totals;
+  while (!value.empty()) {
+    uint32_t other;
+    int64_t sum_duration;
+    uint64_t completions;
+    if (!GetVarint32(&value, &other) ||
+        !GetVarint64SignedZigZag(&value, &sum_duration) ||
+        !GetVarint64(&value, &completions)) {
+      return Status::Corruption("bad Count delta list");
+    }
+    PairCountStats& stats = totals[other];
+    stats.other = other;
+    stats.sum_duration += sum_duration;
+    stats.total_completions += completions;
+  }
+  out->reserve(totals.size());
+  for (auto& [other, stats] : totals) out->push_back(stats);
+  std::sort(out->begin(), out->end(),
+            [](const PairCountStats& a, const PairCountStats& b) {
+              if (a.total_completions != b.total_completions) {
+                return a.total_completions > b.total_completions;
+              }
+              return a.other < b.other;
+            });
+  return Status::OK();
+}
+
+Result<std::vector<PairCountStats>> CountTable::Get(
+    ActivityId activity) const {
+  std::string value;
+  Status s = table_->Get(EncodeKey(activity), &value);
+  if (s.IsNotFound()) return std::vector<PairCountStats>{};
+  SEQDET_RETURN_IF_ERROR(s);
+  std::vector<PairCountStats> out;
+  SEQDET_RETURN_IF_ERROR(DecodeDeltas(value, &out));
+  return out;
+}
+
+Status CountTable::FoldAll() {
+  storage::WriteBatch batch;
+  Status decode_error;
+  SEQDET_RETURN_IF_ERROR(table_->Scan(
+      "", "", [&](std::string_view key, std::string_view value) {
+        std::vector<PairCountStats> folded;
+        Status s = DecodeDeltas(value, &folded);
+        if (!s.ok()) {
+          decode_error = s;
+          return false;
+        }
+        std::string encoded;
+        for (const PairCountStats& stats : folded) {
+          PutVarint32(&encoded, stats.other);
+          PutVarint64SignedZigZag(&encoded, stats.sum_duration);
+          PutVarint64(&encoded, stats.total_completions);
+        }
+        batch.Put(key, encoded);
+        return true;
+      }));
+  SEQDET_RETURN_IF_ERROR(decode_error);
+  SEQDET_RETURN_IF_ERROR(table_->Apply(batch));
+  return table_->Compact();
+}
+
+Result<PairCountStats> CountTable::GetPair(ActivityId key_activity,
+                                           ActivityId other) const {
+  SEQDET_ASSIGN_OR_RETURN(auto all, Get(key_activity));
+  for (const PairCountStats& stats : all) {
+    if (stats.other == other) return stats;
+  }
+  return PairCountStats{other, 0, 0};
+}
+
+// ---------------------------------------------------------------------------
+// LastCheckedTable
+// ---------------------------------------------------------------------------
+
+std::string LastCheckedTable::EncodeKey(const EventTypePair& pair,
+                                        TraceId trace) {
+  std::string key;
+  PutKeyU32(&key, pair.first);
+  PutKeyU32(&key, pair.second);
+  PutKeyU64(&key, trace);
+  return key;
+}
+
+void LastCheckedTable::StagePut(const EventTypePair& pair, TraceId trace,
+                                Timestamp last_completion,
+                                storage::WriteBatch* batch) const {
+  std::string value;
+  PutVarint64SignedZigZag(&value, last_completion);
+  batch->Put(EncodeKey(pair, trace), value);
+}
+
+Result<std::optional<Timestamp>> LastCheckedTable::Get(
+    const EventTypePair& pair, TraceId trace) const {
+  std::string value;
+  Status s = table_->Get(EncodeKey(pair, trace), &value);
+  if (s.IsNotFound()) return std::optional<Timestamp>{};
+  SEQDET_RETURN_IF_ERROR(s);
+  std::string_view cursor(value);
+  int64_t ts;
+  if (!GetVarint64SignedZigZag(&cursor, &ts)) {
+    return Status::Corruption("bad LastChecked value");
+  }
+  return std::optional<Timestamp>{ts};
+}
+
+void LastCheckedTable::StageDelete(const EventTypePair& pair, TraceId trace,
+                                   storage::WriteBatch* batch) const {
+  batch->Delete(EncodeKey(pair, trace));
+}
+
+}  // namespace seqdet::index

@@ -1,0 +1,166 @@
+#ifndef SEQDET_INDEX_INDEX_TABLES_H_
+#define SEQDET_INDEX_INDEX_TABLES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/pair.h"
+#include "log/event.h"
+#include "storage/kv.h"
+#include "storage/write_batch.h"
+
+namespace seqdet::index {
+
+/// Typed accessors over the five key-value tables of §3.1.2. Each wrapper
+/// owns only the encoding; the storage::Table pointers are owned by the
+/// Database. Write methods stage into a WriteBatch so that a trace batch
+/// commits with one lock acquisition per table.
+
+// ---------------------------------------------------------------------------
+// Seq: trace_id -> [(activity, ts), ...]  (appendable)
+// ---------------------------------------------------------------------------
+class SeqTable {
+ public:
+  explicit SeqTable(storage::Kv* table) : table_(table) {}
+
+  static std::string EncodeKey(eventlog::TraceId trace);
+  static void EncodeEvents(const std::vector<eventlog::Event>& events,
+                           std::string* out);
+  static bool DecodeEvents(std::string_view data,
+                           std::vector<eventlog::Event>* out);
+
+  /// Stages an append of `events` to the stored sequence of `trace`.
+  void StageAppend(eventlog::TraceId trace,
+                   const std::vector<eventlog::Event>& events,
+                   storage::WriteBatch* batch) const;
+
+  /// Reads the full stored sequence of `trace` (empty when unknown).
+  Result<std::vector<eventlog::Event>> Get(eventlog::TraceId trace) const;
+
+  /// Stages the removal of a completed trace (§3.1.3 pruning).
+  void StageDelete(eventlog::TraceId trace, storage::WriteBatch* batch) const;
+
+  storage::Kv* table() const { return table_; }
+
+ private:
+  storage::Kv* table_;
+};
+
+// ---------------------------------------------------------------------------
+// Index: (ev_a, ev_b) -> [(trace, ts_a, ts_b), ...]  (appendable)
+// ---------------------------------------------------------------------------
+class PairIndexTable {
+ public:
+  explicit PairIndexTable(storage::Kv* table) : table_(table) {}
+
+  static std::string EncodeKey(const EventTypePair& pair);
+  static void EncodePosting(const PairOccurrence& occurrence,
+                            std::string* out);
+  static bool DecodePostings(std::string_view data,
+                             std::vector<PairOccurrence>* out);
+
+  void StageAppend(const EventTypePair& pair,
+                   const std::vector<PairOccurrence>& postings,
+                   storage::WriteBatch* batch) const;
+
+  /// Reads all completions of `pair`, sorted by (trace, ts_first) so that
+  /// query processing can group by trace. Empty when the pair never occurs.
+  Result<std::vector<PairOccurrence>> Get(const EventTypePair& pair) const;
+
+  storage::Kv* table() const { return table_; }
+
+ private:
+  storage::Kv* table_;
+};
+
+// ---------------------------------------------------------------------------
+// Count / ReverseCount: ev -> [(other_ev, sum_duration, completions), ...]
+// Stored as appendable deltas, aggregated on read (Cassandra-counter
+// style); compaction concatenates deltas without losing information.
+// ---------------------------------------------------------------------------
+struct PairCountStats {
+  eventlog::ActivityId other = 0;
+  int64_t sum_duration = 0;
+  uint64_t total_completions = 0;
+
+  double AverageDuration() const {
+    return total_completions == 0
+               ? 0.0
+               : static_cast<double>(sum_duration) /
+                     static_cast<double>(total_completions);
+  }
+};
+
+class CountTable {
+ public:
+  explicit CountTable(storage::Kv* table) : table_(table) {}
+
+  static std::string EncodeKey(eventlog::ActivityId activity);
+
+  /// Stages a delta for the pair (key_activity, stats.other).
+  void StageDelta(eventlog::ActivityId key_activity,
+                  const PairCountStats& delta,
+                  storage::WriteBatch* batch) const;
+
+  /// Aggregated statistics of every pair whose *key side* is `activity`
+  /// (first component for Count, second for ReverseCount), in descending
+  /// completion count.
+  Result<std::vector<PairCountStats>> Get(eventlog::ActivityId activity) const;
+
+  /// Aggregated statistics of one pair; zero stats when absent.
+  Result<PairCountStats> GetPair(eventlog::ActivityId key_activity,
+                                 eventlog::ActivityId other) const;
+
+  /// Rewrites every key's accumulated delta list as a single folded value
+  /// and compacts the table. Each Update() appends one delta per pair per
+  /// chunk, so long-running deployments should fold periodically to keep
+  /// reads O(#followers). Must not run concurrently with Update() — a
+  /// delta landing between the scan and the rewrite would be lost.
+  Status FoldAll();
+
+  storage::Kv* table() const { return table_; }
+
+ private:
+  static Status DecodeDeltas(std::string_view value,
+                             std::vector<PairCountStats>* out);
+
+  storage::Kv* table_;
+};
+
+// ---------------------------------------------------------------------------
+// LastChecked: (ev_a, ev_b, trace) -> last completion ts   (overwrite)
+// ---------------------------------------------------------------------------
+class LastCheckedTable {
+ public:
+  explicit LastCheckedTable(storage::Kv* table) : table_(table) {}
+
+  static std::string EncodeKey(const EventTypePair& pair,
+                               eventlog::TraceId trace);
+
+  void StagePut(const EventTypePair& pair, eventlog::TraceId trace,
+                eventlog::Timestamp last_completion,
+                storage::WriteBatch* batch) const;
+
+  /// Timestamp of the last indexed completion of `pair` in `trace`, or
+  /// nullopt when the pair has not been indexed for that trace.
+  Result<std::optional<eventlog::Timestamp>> Get(const EventTypePair& pair,
+                                                 eventlog::TraceId trace)
+      const;
+
+  /// Stages removal of every (pair, trace) entry for a pruned trace; the
+  /// caller supplies the pairs that exist (from the trace's events).
+  void StageDelete(const EventTypePair& pair, eventlog::TraceId trace,
+                   storage::WriteBatch* batch) const;
+
+  storage::Kv* table() const { return table_; }
+
+ private:
+  storage::Kv* table_;
+};
+
+}  // namespace seqdet::index
+
+#endif  // SEQDET_INDEX_INDEX_TABLES_H_

@@ -1,0 +1,78 @@
+#ifndef SEQDET_INDEX_PAIR_H_
+#define SEQDET_INDEX_PAIR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "log/event.h"
+
+namespace seqdet::index {
+
+/// An ordered pair of activity types — the unit the inverted index is built
+/// on (§3.1: "we build an inverted indexing of all event pairs").
+struct EventTypePair {
+  eventlog::ActivityId first = 0;
+  eventlog::ActivityId second = 0;
+
+  friend bool operator==(const EventTypePair&, const EventTypePair&) = default;
+  friend auto operator<=>(const EventTypePair&, const EventTypePair&) = default;
+};
+
+struct EventTypePairHash {
+  size_t operator()(const EventTypePair& p) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) |
+                                 p.second);
+  }
+};
+
+/// One completion of a pair inside one trace: the timestamps of its two
+/// events. Together with the trace id this is the posting the Index table
+/// stores: (trace_id, ts_a, ts_b).
+struct PairOccurrence {
+  eventlog::TraceId trace = 0;
+  eventlog::Timestamp ts_first = 0;
+  eventlog::Timestamp ts_second = 0;
+
+  friend bool operator==(const PairOccurrence&, const PairOccurrence&) =
+      default;
+  friend auto operator<=>(const PairOccurrence& a, const PairOccurrence& b) {
+    return std::tie(a.trace, a.ts_first, a.ts_second) <=>
+           std::tie(b.trace, b.ts_first, b.ts_second);
+  }
+};
+
+/// A pair completion tagged with its type pair — what the extractors emit.
+struct PairRow {
+  EventTypePair pair;
+  PairOccurrence occurrence;
+
+  friend bool operator==(const PairRow&, const PairRow&) = default;
+};
+
+/// Detection policy (§2.1, plus the §7 extension).
+enum class Policy {
+  /// Strict contiguity: matching events are consecutive in the trace.
+  kStrictContiguity,
+  /// Skip-till-next-match: irrelevant events are skipped; matched pairs of
+  /// the same type never overlap (Table 3 semantics).
+  kSkipTillNextMatch,
+  /// Skip-till-any-match: every ordered event pair is indexed, overlaps
+  /// included — the relaxed policy §7 leaves as future work. Index size is
+  /// O(n²) per trace, but pattern detection becomes *exhaustive*: every
+  /// subsequence occurrence decomposes into consecutive pairs that share
+  /// their middle events, so the Algorithm-2 join returns all of them.
+  kSkipTillAnyMatch,
+};
+
+const char* PolicyName(Policy policy);
+
+/// Parses "SC" / "STNM" / "STAM" (case-insensitive); false on anything
+/// else.
+bool ParsePolicyName(const std::string& name, Policy* policy);
+
+}  // namespace seqdet::index
+
+#endif  // SEQDET_INDEX_PAIR_H_

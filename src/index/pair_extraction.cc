@@ -1,0 +1,318 @@
+#include "index/pair_extraction.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+namespace seqdet::index {
+
+using eventlog::ActivityId;
+using eventlog::Event;
+using eventlog::Timestamp;
+using eventlog::Trace;
+
+namespace {
+constexpr Timestamp kNoCompletion = std::numeric_limits<Timestamp>::min();
+}  // namespace
+
+const char* ExtractionMethodName(ExtractionMethod method) {
+  switch (method) {
+    case ExtractionMethod::kParsing:
+      return "Parsing";
+    case ExtractionMethod::kIndexing:
+      return "Indexing";
+    case ExtractionMethod::kState:
+      return "State";
+  }
+  return "Unknown";
+}
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kStrictContiguity:
+      return "SC";
+    case Policy::kSkipTillNextMatch:
+      return "STNM";
+    case Policy::kSkipTillAnyMatch:
+      return "STAM";
+  }
+  return "Unknown";
+}
+
+bool ParsePolicyName(const std::string& name, Policy* policy) {
+  std::string upper;
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c))));
+  if (upper == "SC") {
+    *policy = Policy::kStrictContiguity;
+  } else if (upper == "STNM") {
+    *policy = Policy::kSkipTillNextMatch;
+  } else if (upper == "STAM") {
+    *policy = Policy::kSkipTillAnyMatch;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void ExtractScPairs(const Trace& trace, std::vector<PairRow>* out) {
+  for (size_t i = 0; i + 1 < trace.events.size(); ++i) {
+    const Event& a = trace.events[i];
+    const Event& b = trace.events[i + 1];
+    out->push_back(PairRow{EventTypePair{a.activity, b.activity},
+                           PairOccurrence{trace.id, a.ts, b.ts}});
+  }
+}
+
+void ExtractStnmParsing(const Trace& trace, std::vector<PairRow>* out) {
+  // Algorithm 6: for every distinct anchor type x (handled at its first
+  // occurrence, guarded by checkedList), a forward scan over the rest of
+  // the trace produces all STNM pairs (x, *). The pseudocode's
+  // inter_events bookkeeping plus its "extra checks ... to prevent entering
+  // the same pairs twice" amount to per-second-type greedy state: the index
+  // of the next usable x occurrence and the end timestamp of the last
+  // completion.
+  //
+  // Faithful to the paper's data structures, checkedList and the per-scan
+  // type state are plain lists probed by linear scans (Algorithm 6 checks
+  // "ev_j.type not in inter_events" against a list). This is what gives
+  // Parsing its O(n·l'^2) behaviour and the superlinear degradation with
+  // the number of distinct activities that Figure 3(c) shows — replacing
+  // these lists with hash maps would collapse Parsing into the Indexing
+  // flavor's profile and erase the phenomenon the paper measures.
+  const auto& events = trace.events;
+  const size_t n = events.size();
+
+  struct SecondTypeState {
+    ActivityId type = 0;
+    size_t next_anchor = 0;             // index into x_occs
+    Timestamp last_end = kNoCompletion; // ts of last completion's 2nd event
+  };
+
+  std::vector<ActivityId> checked;  // the paper's checkedList
+  std::vector<Timestamp> x_occs;
+  std::vector<SecondTypeState> state;  // association list, linear probes
+
+  for (size_t i = 0; i < n; ++i) {
+    const ActivityId x = events[i].activity;
+    if (std::find(checked.begin(), checked.end(), x) != checked.end()) {
+      continue;
+    }
+    checked.push_back(x);
+
+    x_occs.clear();
+    state.clear();
+    for (size_t j = i; j < n; ++j) {
+      const Event& e = events[j];
+      SecondTypeState* st = nullptr;
+      for (SecondTypeState& candidate : state) {
+        if (candidate.type == e.activity) {
+          st = &candidate;
+          break;
+        }
+      }
+      if (st == nullptr) {
+        state.push_back(SecondTypeState{e.activity, 0, kNoCompletion});
+        st = &state.back();
+      }
+      while (st->next_anchor < x_occs.size() &&
+             x_occs[st->next_anchor] <= st->last_end) {
+        ++st->next_anchor;
+      }
+      if (st->next_anchor < x_occs.size() &&
+          x_occs[st->next_anchor] < e.ts) {
+        out->push_back(
+            PairRow{EventTypePair{x, e.activity},
+                    PairOccurrence{trace.id, x_occs[st->next_anchor], e.ts}});
+        st->last_end = e.ts;
+      }
+      if (e.activity == x) x_occs.push_back(e.ts);
+    }
+  }
+}
+
+void ExtractStnmIndexing(const Trace& trace, std::vector<PairRow>* out) {
+  // Indexing flavor: one pass records the occurrence timestamps of every
+  // type; then every ordered combination of occurring types is resolved by
+  // a greedy two-list merge, "similar to a merging of two lists, while
+  // checking for time constraints" (§4.2).
+  std::vector<ActivityId> distinct;
+  std::unordered_map<ActivityId, std::vector<Timestamp>> occurrences;
+  for (const Event& e : trace.events) {
+    auto [it, inserted] = occurrences.try_emplace(e.activity);
+    if (inserted) distinct.push_back(e.activity);
+    it->second.push_back(e.ts);
+  }
+
+  for (ActivityId x : distinct) {
+    const auto& first_list = occurrences[x];
+    for (ActivityId y : distinct) {
+      const auto& second_list = occurrences[y];
+      size_t i = 0, j = 0;
+      Timestamp last_end = kNoCompletion;
+      while (i < first_list.size()) {
+        if (first_list[i] <= last_end) {
+          ++i;
+          continue;
+        }
+        while (j < second_list.size() && second_list[j] <= first_list[i]) {
+          ++j;
+        }
+        if (j >= second_list.size()) break;
+        out->push_back(
+            PairRow{EventTypePair{x, y},
+                    PairOccurrence{trace.id, first_list[i], second_list[j]}});
+        last_end = second_list[j];
+        ++i;
+      }
+    }
+  }
+}
+
+void ExtractStnmState(const Trace& trace, std::vector<PairRow>* out) {
+  // Algorithm 8: the hash map holds, per type pair, the alternating list
+  // [first1, second1, first2, second2, ...]; an odd-sized list has a
+  // pending first ("anchor") event. For every new event we first try to
+  // complete pairs where it is the second component, then register it as a
+  // pending first. (The paper's procedure lists the first-component loop
+  // first; for self-pairs (y, y) that order would pair an event with
+  // itself, so completions must be attempted first — one of the "extra
+  // checks" the text alludes to.)
+  std::vector<ActivityId> distinct;
+  {
+    std::unordered_map<ActivityId, bool> seen;
+    for (const Event& e : trace.events) {
+      if (!seen[e.activity]) {
+        seen[e.activity] = true;
+        distinct.push_back(e.activity);
+      }
+    }
+  }
+
+  std::unordered_map<EventTypePair, std::vector<Timestamp>, EventTypePairHash>
+      lists;
+  lists.reserve(distinct.size() * distinct.size());
+  for (ActivityId a : distinct) {
+    for (ActivityId b : distinct) {
+      lists.try_emplace(EventTypePair{a, b});
+    }
+  }
+
+  for (const Event& e : trace.events) {
+    const ActivityId y = e.activity;
+    bool completed_self = false;
+    // New event as the 2nd component of (t, y).
+    for (ActivityId t : distinct) {
+      auto& list = lists[EventTypePair{t, y}];
+      if (list.size() % 2 == 1 && list.back() < e.ts) {
+        list.push_back(e.ts);
+        if (t == y) completed_self = true;
+      }
+    }
+    // New event as the 1st component of (y, t).
+    for (ActivityId t : distinct) {
+      if (t == y && completed_self) continue;
+      auto& list = lists[EventTypePair{y, t}];
+      if (list.size() % 2 == 0) list.push_back(e.ts);
+    }
+  }
+
+  // Trim pending firsts and emit completions.
+  for (ActivityId a : distinct) {
+    for (ActivityId b : distinct) {
+      const auto& list = lists[EventTypePair{a, b}];
+      const size_t completed = list.size() / 2;
+      for (size_t k = 0; k < completed; ++k) {
+        out->push_back(PairRow{
+            EventTypePair{a, b},
+            PairOccurrence{trace.id, list[2 * k], list[2 * k + 1]}});
+      }
+    }
+  }
+}
+
+void ExtractStamPairs(const Trace& trace, std::vector<PairRow>* out) {
+  const auto& events = trace.events;
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].ts <= events[i].ts) continue;  // strict time order
+      out->push_back(PairRow{
+          EventTypePair{events[i].activity, events[j].activity},
+          PairOccurrence{trace.id, events[i].ts, events[j].ts}});
+    }
+  }
+}
+
+void ExtractPairs(const Trace& trace, Policy policy, ExtractionMethod method,
+                  std::vector<PairRow>* out) {
+  if (policy == Policy::kStrictContiguity) {
+    ExtractScPairs(trace, out);
+    return;
+  }
+  if (policy == Policy::kSkipTillAnyMatch) {
+    ExtractStamPairs(trace, out);
+    return;
+  }
+  switch (method) {
+    case ExtractionMethod::kParsing:
+      ExtractStnmParsing(trace, out);
+      return;
+    case ExtractionMethod::kIndexing:
+      ExtractStnmIndexing(trace, out);
+      return;
+    case ExtractionMethod::kState:
+      ExtractStnmState(trace, out);
+      return;
+  }
+}
+
+void StnmStateExtractor::Add(const Event& event) {
+  const ActivityId y = event.activity;
+  auto is_new = std::find(seen_types_.begin(), seen_types_.end(), y) ==
+                seen_types_.end();
+  if (is_new) {
+    // Lazily create the pair states this type participates in. For pairs
+    // (t, y) the pending anchor is t's earliest occurrence so far, which is
+    // exactly the front of (t, t)'s list (t's first occurrence is always
+    // registered there as the initial pending first, and never trimmed
+    // until drain).
+    for (ActivityId t : seen_types_) {
+      auto& self = states_[EventTypePair{t, t}];
+      eventlog::Timestamp first_occ = self.timestamps.front();
+      states_[EventTypePair{t, y}].timestamps.push_back(first_occ);
+      states_.try_emplace(EventTypePair{y, t});
+    }
+    states_.try_emplace(EventTypePair{y, y});
+    seen_types_.push_back(y);
+  }
+
+  bool completed_self = false;
+  for (ActivityId t : seen_types_) {
+    auto& list = states_[EventTypePair{t, y}].timestamps;
+    if (list.size() % 2 == 1 && list.back() < event.ts) {
+      list.push_back(event.ts);
+      if (t == y) completed_self = true;
+    }
+  }
+  for (ActivityId t : seen_types_) {
+    if (t == y && completed_self) continue;
+    auto& list = states_[EventTypePair{y, t}].timestamps;
+    if (list.size() % 2 == 0) list.push_back(event.ts);
+  }
+}
+
+void StnmStateExtractor::DrainCompleted(std::vector<PairRow>* out) {
+  for (auto& [pair, state] : states_) {
+    const size_t completed = state.timestamps.size() / 2;
+    for (size_t k = state.drained; k < completed; ++k) {
+      out->push_back(PairRow{
+          pair, PairOccurrence{trace_id_, state.timestamps[2 * k],
+                               state.timestamps[2 * k + 1]}});
+    }
+    state.drained = completed;
+  }
+}
+
+}  // namespace seqdet::index

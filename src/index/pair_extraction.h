@@ -1,0 +1,92 @@
+#ifndef SEQDET_INDEX_PAIR_EXTRACTION_H_
+#define SEQDET_INDEX_PAIR_EXTRACTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/pair.h"
+#include "log/event_log.h"
+
+namespace seqdet::index {
+
+/// The three STNM pair-extraction flavors of Section 4 of the paper, plus
+/// strict contiguity. All STNM flavors compute exactly the same pair set
+/// (the greedy non-overlapping semantics of Table 3); they differ in how —
+/// and therefore in cost profile:
+///
+///  * kParsing  — Algorithm 6: one forward scan per distinct anchor type;
+///                time O(n·l'), space O(n + l²) per trace.
+///  * kIndexing — first records the occurrence positions of every type,
+///                then merges occurrence lists per type combination;
+///                time O(n + l'²), dominant winner in the paper's Figure 3.
+///  * kState    — Algorithm 8: a single pass keeping per-pair timestamp
+///                lists in a hash map, the streaming-friendly flavor;
+///                time O(n·l') with high constant (hash access per event).
+///
+/// (l' = distinct activities in the trace, n = trace length.)
+enum class ExtractionMethod {
+  kParsing,
+  kIndexing,
+  kState,
+};
+
+const char* ExtractionMethodName(ExtractionMethod method);
+
+/// Emits the strict-contiguity pairs of `trace` (consecutive events).
+void ExtractScPairs(const eventlog::Trace& trace, std::vector<PairRow>* out);
+
+/// Emits the STNM pairs of `trace` using the Parsing flavor (Algorithm 6).
+void ExtractStnmParsing(const eventlog::Trace& trace,
+                        std::vector<PairRow>* out);
+
+/// Emits the STNM pairs of `trace` using the Indexing flavor.
+void ExtractStnmIndexing(const eventlog::Trace& trace,
+                         std::vector<PairRow>* out);
+
+/// Emits the STNM pairs of `trace` using the State flavor (Algorithm 8).
+void ExtractStnmState(const eventlog::Trace& trace, std::vector<PairRow>* out);
+
+/// Emits every ordered event pair of `trace` (skip-till-any-match, the §7
+/// extension). O(n²) output; the cost §7 warns about is real — use the
+/// IndexOptions::max_stam_pairs_per_trace guard for hostile traces.
+void ExtractStamPairs(const eventlog::Trace& trace,
+                      std::vector<PairRow>* out);
+
+/// Dispatcher: extracts pairs for `policy` (`method` is only consulted for
+/// STNM; SC and STAM have a single implementation each).
+void ExtractPairs(const eventlog::Trace& trace, Policy policy,
+                  ExtractionMethod method, std::vector<PairRow>* out);
+
+/// Streaming STNM extractor wrapping the State flavor: events can be fed
+/// one at a time (the scenario §4.2 argues State is built for — "in a fully
+/// dynamic environment ... it is easier to keep a state of the sequence").
+/// Completed pairs can be drained incrementally.
+class StnmStateExtractor {
+ public:
+  explicit StnmStateExtractor(eventlog::TraceId trace_id)
+      : trace_id_(trace_id) {}
+
+  /// Feeds the next event (timestamps must be non-decreasing).
+  void Add(const eventlog::Event& event);
+
+  /// Moves every pair completed since the last drain into `out`.
+  void DrainCompleted(std::vector<PairRow>* out);
+
+  eventlog::TraceId trace_id() const { return trace_id_; }
+
+ private:
+  struct PairState {
+    // Alternating [first1, second1, first2, second2, ..., maybe pending].
+    std::vector<eventlog::Timestamp> timestamps;
+    // Completions already drained (in units of completed pairs).
+    size_t drained = 0;
+  };
+
+  eventlog::TraceId trace_id_;
+  std::vector<eventlog::ActivityId> seen_types_;
+  std::unordered_map<EventTypePair, PairState, EventTypePairHash> states_;
+};
+
+}  // namespace seqdet::index
+
+#endif  // SEQDET_INDEX_PAIR_EXTRACTION_H_

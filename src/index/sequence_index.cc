@@ -1,0 +1,686 @@
+#include "index/sequence_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/coding.h"
+#include "common/strings.h"
+
+namespace seqdet::index {
+
+using eventlog::Event;
+using eventlog::EventLog;
+using eventlog::Timestamp;
+using eventlog::Trace;
+using eventlog::TraceId;
+
+namespace {
+constexpr std::string_view kPeriodCountKey = "period_count";
+constexpr std::string_view kActivitiesKey = "activities";
+constexpr std::string_view kShardCountKey = "shard_count";
+constexpr std::string_view kPolicyKey = "policy";
+}  // namespace
+
+SequenceIndex::SequenceIndex(storage::Database* db,
+                             const IndexOptions& options)
+    : db_(db), options_(options) {
+  size_t threads = options_.num_threads == 0
+                       ? ThreadPool::HardwareConcurrency()
+                       : options_.num_threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Result<std::unique_ptr<SequenceIndex>> SequenceIndex::Open(
+    storage::Database* db, const IndexOptions& options) {
+  auto index =
+      std::unique_ptr<SequenceIndex>(new SequenceIndex(db, options));
+  SEQDET_RETURN_IF_ERROR(index->OpenTables());
+  return index;
+}
+
+Status SequenceIndex::OpenTables() {
+  SEQDET_ASSIGN_OR_RETURN(storage::Table * meta,
+                          db_->GetOrCreateTable("meta"));
+  meta_ = meta;
+
+  // The shard count of the physical tables is persisted so reopening with
+  // different options cannot mis-route keys.
+  uint64_t shards = 0;
+  {
+    std::string value;
+    Status s = meta_->Get(kShardCountKey, &value);
+    if (s.ok()) {
+      std::string_view cursor(value);
+      if (!GetVarint64(&cursor, &shards) || shards == 0) {
+        return Status::Corruption("bad meta shard_count");
+      }
+    } else if (s.IsNotFound()) {
+      shards = options_.storage_shards != 0
+                   ? options_.storage_shards
+                   : std::min<size_t>(16, 2 * pool_->num_threads());
+      std::string encoded;
+      PutVarint64(&encoded, shards);
+      SEQDET_RETURN_IF_ERROR(meta_->Put(kShardCountKey, encoded));
+    } else {
+      return s;
+    }
+  }
+  shards_ = static_cast<size_t>(shards);
+
+  // The detection policy is baked into the stored pair semantics; reopening
+  // an SC index with STNM options (or vice versa) would silently return
+  // wrong results, so it is persisted and checked.
+  {
+    std::string value;
+    Status s = meta_->Get(kPolicyKey, &value);
+    if (s.ok()) {
+      Policy stored;
+      if (!ParsePolicyName(value, &stored)) {
+        return Status::Corruption("bad meta policy: " + value);
+      }
+      if (stored != options_.policy) {
+        return Status::InvalidArgument(
+            StringPrintf("index was built with policy %s but opened with %s",
+                         PolicyName(stored), PolicyName(options_.policy)));
+      }
+    } else if (s.IsNotFound()) {
+      SEQDET_RETURN_IF_ERROR(
+          meta_->Put(kPolicyKey, PolicyName(options_.policy)));
+    } else {
+      return s;
+    }
+  }
+
+  auto open = [this](const std::string& name) -> Result<storage::Kv*> {
+    auto sharded = db_->GetOrCreateShardedTable(name, shards_);
+    if (!sharded.ok()) return sharded.status();
+    return static_cast<storage::Kv*>(*sharded);
+  };
+
+  SEQDET_ASSIGN_OR_RETURN(storage::Kv * seq, open("seq"));
+  seq_ = std::make_unique<SeqTable>(seq);
+  SEQDET_ASSIGN_OR_RETURN(storage::Kv * count, open("count"));
+  count_ = std::make_unique<CountTable>(count);
+  SEQDET_ASSIGN_OR_RETURN(storage::Kv * rcount, open("rcount"));
+  reverse_count_ = std::make_unique<CountTable>(rcount);
+  SEQDET_ASSIGN_OR_RETURN(storage::Kv * lastchecked, open("lastchecked"));
+  last_checked_ = std::make_unique<LastCheckedTable>(lastchecked);
+
+  // Recover the period count (>= 1).
+  uint64_t periods = 1;
+  std::string value;
+  Status s = meta_->Get(kPeriodCountKey, &value);
+  if (s.ok()) {
+    std::string_view cursor(value);
+    if (!GetVarint64(&cursor, &periods) || periods == 0) {
+      return Status::Corruption("bad meta period_count");
+    }
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+  for (uint64_t p = 0; p < periods; ++p) {
+    SEQDET_ASSIGN_OR_RETURN(
+        storage::Kv * t,
+        open(StringPrintf("index_p%llu",
+                          static_cast<unsigned long long>(p))));
+    index_tables_.push_back(std::make_unique<PairIndexTable>(t));
+  }
+  SEQDET_RETURN_IF_ERROR(LoadDictionary());
+  return PersistPeriodCount();
+}
+
+Status SequenceIndex::LoadDictionary() {
+  std::string value;
+  Status s = meta_->Get(kActivitiesKey, &value);
+  if (s.IsNotFound()) return Status::OK();
+  SEQDET_RETURN_IF_ERROR(s);
+  std::string_view cursor(value);
+  while (!cursor.empty()) {
+    std::string_view name;
+    if (!GetLengthPrefixed(&cursor, &name)) {
+      return Status::Corruption("bad meta activities list");
+    }
+    dictionary_.Intern(name);
+  }
+  return Status::OK();
+}
+
+Status SequenceIndex::PersistDictionary() {
+  std::string value;
+  for (const std::string& name : dictionary_.names()) {
+    PutLengthPrefixed(&value, name);
+  }
+  return meta_->Put(kActivitiesKey, value);
+}
+
+Status SequenceIndex::PersistPeriodCount() {
+  std::string value;
+  PutVarint64(&value, index_tables_.size());
+  return meta_->Put(kPeriodCountKey, value);
+}
+
+Status SequenceIndex::StartNewPeriod() {
+  SEQDET_ASSIGN_OR_RETURN(
+      storage::ShardedTable * t,
+      db_->GetOrCreateShardedTable(
+          StringPrintf("index_p%llu",
+                       static_cast<unsigned long long>(index_tables_.size())),
+          shards_));
+  index_tables_.push_back(std::make_unique<PairIndexTable>(t));
+  return PersistPeriodCount();
+}
+
+Result<UpdateStats> SequenceIndex::Update(const EventLog& new_events) {
+  // Algorithm 1. Each trace is independent ("each trace is processed
+  // separately in parallel using Spark", §4), so the batch is partitioned
+  // into contiguous chunks across the pool; every worker stages into its
+  // own WriteBatches and commits them to the (thread-safe) tables.
+  // Remap the batch's activity ids (which are local to its own dictionary)
+  // into the index's persistent dictionary by name — what keeps ids stable
+  // across batches and restarts.
+  std::vector<eventlog::ActivityId> remap;
+  remap.reserve(new_events.dictionary().size());
+  bool identity = true;
+  for (const std::string& name : new_events.dictionary().names()) {
+    eventlog::ActivityId id = dictionary_.Intern(name);
+    if (id != remap.size()) identity = false;
+    remap.push_back(id);
+  }
+  SEQDET_RETURN_IF_ERROR(PersistDictionary());
+
+  const auto& traces = new_events.traces();
+  const size_t num_chunks =
+      std::min<size_t>(std::max<size_t>(1, pool_->num_threads()),
+                       std::max<size_t>(1, traces.size()));
+  const size_t per_chunk = (traces.size() + num_chunks - 1) / num_chunks;
+
+  PairIndexTable* active_index = index_tables_.back().get();
+
+  std::atomic<size_t> pairs_extracted{0};
+  std::atomic<size_t> pairs_indexed{0};
+  std::atomic<size_t> events_appended{0};
+  std::mutex error_mu;
+  Status first_error;
+
+  auto process_chunk = [&](size_t begin, size_t end) {
+    storage::WriteBatch seq_batch, index_batch, lastchecked_batch;
+    std::vector<PairRow> rows;
+    // Count/ReverseCount deltas aggregate across the whole chunk (one delta
+    // per pair per chunk, not per trace) — Count reads decode every stored
+    // delta, so keeping the delta count low is what keeps the Statistics
+    // and Fast-continuation queries O(#followers).
+    std::unordered_map<EventTypePair, PairCountStats, EventTypePairHash>
+        count_deltas;
+
+    auto fail = [&](const Status& s) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = s;
+    };
+
+    for (size_t t = begin; t < end; ++t) {
+      const Trace& incoming = traces[t];
+      if (incoming.empty()) continue;
+
+      // Line 2: rebuild the full trace sequence as in the Seq table.
+      std::vector<Event> stored;
+      if (options_.maintain_seq) {
+        auto stored_result = seq_->Get(incoming.id);
+        if (!stored_result.ok()) {
+          fail(stored_result.status());
+          return;
+        }
+        stored = std::move(stored_result).value();
+        if (!std::is_sorted(stored.begin(), stored.end())) {
+          std::sort(stored.begin(), stored.end());
+        }
+      }
+
+      std::vector<Event> incoming_events;
+      incoming_events.reserve(incoming.events.size());
+      for (const Event& e : incoming.events) {
+        incoming_events.push_back(identity ? e
+                                           : Event{remap[e.activity], e.ts});
+      }
+      std::stable_sort(incoming_events.begin(), incoming_events.end());
+
+      // Fresh events = incoming minus stored (multiset difference), so a
+      // replayed batch is fully idempotent: it neither re-indexes pairs
+      // (LastChecked) nor duplicates the Seq table.
+      std::vector<Event> fresh_events;
+      fresh_events.reserve(incoming_events.size());
+      {
+        size_t si = 0;
+        for (const Event& e : incoming_events) {
+          while (si < stored.size() && stored[si] < e) ++si;
+          if (si < stored.size() && stored[si] == e) {
+            ++si;  // already stored; consume one occurrence
+          } else {
+            fresh_events.push_back(e);
+          }
+        }
+      }
+
+      Trace full;
+      full.id = incoming.id;
+      full.events.resize(stored.size() + fresh_events.size());
+      std::merge(stored.begin(), stored.end(), fresh_events.begin(),
+                 fresh_events.end(), full.events.begin());
+      const size_t stored_count = stored.size();
+
+      // create_pairs: any of the Section 4 flavors.
+      rows.clear();
+      ExtractPairs(full, options_.policy, options_.method, &rows);
+      pairs_extracted.fetch_add(rows.size(), std::memory_order_relaxed);
+
+      // Group by pair so LastChecked is consulted once per (pair, trace).
+      // Sorting the flat row vector is considerably cheaper than building a
+      // per-trace map — the grouping is on the hot path of every build.
+      std::sort(rows.begin(), rows.end(),
+                [](const PairRow& a, const PairRow& b) {
+                  if (a.pair != b.pair) return a.pair < b.pair;
+                  return a.occurrence < b.occurrence;
+                });
+
+      std::vector<PairOccurrence> occurrences;
+      for (size_t row_begin = 0; row_begin < rows.size();) {
+        size_t row_end = row_begin + 1;
+        while (row_end < rows.size() &&
+               rows[row_end].pair == rows[row_begin].pair) {
+          ++row_end;
+        }
+        const EventTypePair pair = rows[row_begin].pair;
+        occurrences.clear();
+        for (size_t r = row_begin; r < row_end; ++r) {
+          occurrences.push_back(rows[r].occurrence);
+        }
+        row_begin = row_end;
+        Timestamp last_completion = std::numeric_limits<Timestamp>::min();
+        if (options_.maintain_last_checked && stored_count > 0) {
+          auto lt = last_checked_->Get(pair, full.id);
+          if (!lt.ok()) {
+            fail(lt.status());
+            return;
+          }
+          if (lt.value().has_value()) last_completion = *lt.value();
+        }
+
+        // Lines 9-10 of Algorithm 1, with the guard on the *completion*
+        // timestamp rather than the paper's first-event timestamp: under SC
+        // consecutive completions of a self-pair share an event
+        // (ts_first == previous ts_second), so `ev_a.ts > lt` would drop a
+        // genuinely new completion. `ts_second > lt` is exact for both
+        // policies (STNM completions never overlap, SC completions have
+        // strictly increasing end timestamps).
+        std::vector<PairOccurrence> fresh;
+        Timestamp newest = last_completion;
+        for (const PairOccurrence& occurrence : occurrences) {
+          if (occurrence.ts_second > last_completion) {
+            fresh.push_back(occurrence);
+            newest = std::max(newest, occurrence.ts_second);
+          }
+        }
+        if (fresh.empty()) continue;
+        pairs_indexed.fetch_add(fresh.size(), std::memory_order_relaxed);
+
+        active_index->StageAppend(pair, fresh, &index_batch);
+        if (options_.maintain_last_checked) {
+          last_checked_->StagePut(pair, full.id, newest, &lastchecked_batch);
+        }
+        if (options_.maintain_counts) {
+          PairCountStats& delta = count_deltas[pair];
+          delta.total_completions += fresh.size();
+          for (const PairOccurrence& occurrence : fresh) {
+            delta.sum_duration += occurrence.ts_second - occurrence.ts_first;
+          }
+        }
+      }
+
+      events_appended.fetch_add(fresh_events.size(),
+                                std::memory_order_relaxed);
+      if (options_.maintain_seq) {
+        seq_->StageAppend(full.id, fresh_events, &seq_batch);
+      }
+    }
+
+    // Line 14: append the staged postings.
+    auto commit = [&](storage::Kv* table, const storage::WriteBatch& b) {
+      if (b.empty()) return;
+      Status s = table->Apply(b);
+      if (!s.ok()) fail(s);
+    };
+    commit(active_index->table(), index_batch);
+    if (options_.maintain_seq) commit(seq_->table(), seq_batch);
+    if (options_.maintain_counts) {
+      storage::WriteBatch count_batch, rcount_batch;
+      for (const auto& [pair, stats] : count_deltas) {
+        PairCountStats delta = stats;
+        delta.other = pair.second;
+        count_->StageDelta(pair.first, delta, &count_batch);
+        delta.other = pair.first;
+        reverse_count_->StageDelta(pair.second, delta, &rcount_batch);
+      }
+      commit(count_->table(), count_batch);
+      commit(reverse_count_->table(), rcount_batch);
+    }
+    if (options_.maintain_last_checked) {
+      commit(last_checked_->table(), lastchecked_batch);
+    }
+  };
+
+  if (num_chunks <= 1) {
+    process_chunk(0, traces.size());
+  } else {
+    std::vector<std::future<void>> futures;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t begin = c * per_chunk;
+      size_t end = std::min(traces.size(), begin + per_chunk);
+      if (begin >= end) break;
+      futures.push_back(
+          pool_->Submit([&process_chunk, begin, end] {
+            process_chunk(begin, end);
+          }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  if (!first_error.ok()) return first_error;
+
+  UpdateStats stats;
+  stats.traces_processed = traces.size();
+  stats.events_appended = events_appended.load();
+  stats.pairs_extracted = pairs_extracted.load();
+  stats.pairs_indexed = pairs_indexed.load();
+  return stats;
+}
+
+Status SequenceIndex::PruneTrace(TraceId trace) {
+  if (!options_.maintain_seq) {
+    return Status::Unsupported("pruning requires the Seq table");
+  }
+  SEQDET_ASSIGN_OR_RETURN(auto events, seq_->Get(trace));
+  storage::WriteBatch seq_batch, lastchecked_batch;
+  seq_->StageDelete(trace, &seq_batch);
+
+  if (options_.maintain_last_checked) {
+    std::unordered_set<eventlog::ActivityId> distinct;
+    for (const Event& e : events) distinct.insert(e.activity);
+    for (eventlog::ActivityId a : distinct) {
+      for (eventlog::ActivityId b : distinct) {
+        last_checked_->StageDelete(EventTypePair{a, b}, trace,
+                                   &lastchecked_batch);
+      }
+    }
+    SEQDET_RETURN_IF_ERROR(
+        last_checked_->table()->Apply(lastchecked_batch));
+  }
+  return seq_->table()->Apply(seq_batch);
+}
+
+Result<std::vector<PairOccurrence>> SequenceIndex::GetPairPostings(
+    const EventTypePair& pair) const {
+  std::vector<PairOccurrence> all;
+  for (const auto& table : index_tables_) {
+    SEQDET_ASSIGN_OR_RETURN(auto postings, table->Get(pair));
+    if (all.empty()) {
+      all = std::move(postings);
+    } else {
+      all.insert(all.end(), postings.begin(), postings.end());
+    }
+  }
+  if (index_tables_.size() > 1) {
+    std::sort(all.begin(), all.end());
+  }
+  return all;
+}
+
+Result<std::vector<PairCountStats>> SequenceIndex::GetFollowerStats(
+    eventlog::ActivityId activity) const {
+  if (!options_.maintain_counts) {
+    return Status::Unsupported("Count table disabled");
+  }
+  return count_->Get(activity);
+}
+
+Result<std::vector<PairCountStats>> SequenceIndex::GetPredecessorStats(
+    eventlog::ActivityId activity) const {
+  if (!options_.maintain_counts) {
+    return Status::Unsupported("ReverseCount table disabled");
+  }
+  return reverse_count_->Get(activity);
+}
+
+Result<PairCountStats> SequenceIndex::GetPairStats(
+    const EventTypePair& pair) const {
+  if (!options_.maintain_counts) {
+    return Status::Unsupported("Count table disabled");
+  }
+  return count_->GetPair(pair.first, pair.second);
+}
+
+Result<std::optional<Timestamp>> SequenceIndex::GetLastCompletion(
+    const EventTypePair& pair, TraceId trace) const {
+  if (!options_.maintain_last_checked) {
+    return Status::Unsupported("LastChecked table disabled");
+  }
+  return last_checked_->Get(pair, trace);
+}
+
+Result<std::optional<Timestamp>> SequenceIndex::GetPairLastCompletion(
+    const EventTypePair& pair) const {
+  if (!options_.maintain_last_checked) {
+    return Status::Unsupported("LastChecked table disabled");
+  }
+  std::string prefix = PairIndexTable::EncodeKey(pair);
+  std::optional<Timestamp> newest;
+  Status scan = last_checked_->table()->Scan(
+      prefix, storage::PrefixScanEnd(prefix),
+      [&newest](std::string_view, std::string_view value) {
+        std::string_view cursor(value);
+        int64_t ts;
+        if (GetVarint64SignedZigZag(&cursor, &ts)) {
+          if (!newest.has_value() || ts > *newest) newest = ts;
+        }
+        return true;
+      });
+  SEQDET_RETURN_IF_ERROR(scan);
+  return newest;
+}
+
+Result<std::vector<Event>> SequenceIndex::GetTraceSequence(
+    TraceId trace) const {
+  if (!options_.maintain_seq) {
+    return Status::Unsupported("Seq table disabled");
+  }
+  return seq_->Get(trace);
+}
+
+Result<ConsistencyReport> SequenceIndex::CheckConsistency() const {
+  ConsistencyReport report;
+  constexpr size_t kMaxViolations = 100;
+  auto violate = [&report](std::string message) {
+    if (report.violations.size() < kMaxViolations) {
+      report.violations.push_back(std::move(message));
+    }
+  };
+  const bool overlap_allowed =
+      options_.policy == Policy::kSkipTillAnyMatch;
+
+  // Pass 1: walk every period's posting lists, verifying per-posting and
+  // per-trace ordering invariants and accumulating per-pair totals.
+  struct PairTotals {
+    uint64_t completions = 0;
+    int64_t sum_duration = 0;
+  };
+  std::unordered_map<EventTypePair, PairTotals, EventTypePairHash> totals;
+  std::unordered_map<EventTypePair,
+                     std::unordered_map<TraceId, Timestamp>,
+                     EventTypePairHash>
+      newest_completion;
+
+  for (size_t period = 0; period < index_tables_.size(); ++period) {
+    Status scan = index_tables_[period]->table()->Scan(
+        "", "", [&](std::string_view key, std::string_view value) {
+          std::string_view key_cursor(key);
+          uint32_t first, second;
+          if (!GetKeyU32(&key_cursor, &first) ||
+              !GetKeyU32(&key_cursor, &second) || !key_cursor.empty()) {
+            violate(StringPrintf("period %zu: malformed index key", period));
+            return true;
+          }
+          EventTypePair pair{first, second};
+          std::vector<PairOccurrence> postings;
+          if (!PairIndexTable::DecodePostings(value, &postings)) {
+            violate(StringPrintf("pair (%u,%u): undecodable posting list",
+                                 first, second));
+            return true;
+          }
+          ++report.pairs_checked;
+          report.postings_checked += postings.size();
+
+          std::sort(postings.begin(), postings.end());
+          PairTotals& pair_totals = totals[pair];
+          auto& newest = newest_completion[pair];
+          const PairOccurrence* previous = nullptr;
+          for (const PairOccurrence& p : postings) {
+            if (p.ts_first >= p.ts_second) {
+              violate(StringPrintf(
+                  "pair (%u,%u) trace %llu: posting with ts_first >= "
+                  "ts_second",
+                  first, second,
+                  static_cast<unsigned long long>(p.trace)));
+            }
+            if (!overlap_allowed && previous != nullptr &&
+                previous->trace == p.trace &&
+                p.ts_first <= previous->ts_second) {
+              violate(StringPrintf(
+                  "pair (%u,%u) trace %llu: overlapping postings under %s",
+                  first, second, static_cast<unsigned long long>(p.trace),
+                  PolicyName(options_.policy)));
+            }
+            previous = &p;
+            ++pair_totals.completions;
+            pair_totals.sum_duration += p.ts_second - p.ts_first;
+            auto [entry, inserted] = newest.try_emplace(p.trace, p.ts_second);
+            if (!inserted) {
+              entry->second = std::max(entry->second, p.ts_second);
+            }
+          }
+          return true;
+        });
+    SEQDET_RETURN_IF_ERROR(scan);
+  }
+
+  // Pass 2: Count / ReverseCount agree with the posting lists.
+  if (options_.maintain_counts) {
+    for (const auto& [pair, expected] : totals) {
+      SEQDET_ASSIGN_OR_RETURN(PairCountStats forward,
+                              count_->GetPair(pair.first, pair.second));
+      if (forward.total_completions != expected.completions ||
+          forward.sum_duration != expected.sum_duration) {
+        violate(StringPrintf(
+            "pair (%u,%u): Count says %llu completions / %lld duration, "
+            "postings say %llu / %lld",
+            pair.first, pair.second,
+            static_cast<unsigned long long>(forward.total_completions),
+            static_cast<long long>(forward.sum_duration),
+            static_cast<unsigned long long>(expected.completions),
+            static_cast<long long>(expected.sum_duration)));
+      }
+      SEQDET_ASSIGN_OR_RETURN(PairCountStats reverse,
+                              reverse_count_->GetPair(pair.second,
+                                                      pair.first));
+      if (reverse.total_completions != expected.completions) {
+        violate(StringPrintf(
+            "pair (%u,%u): ReverseCount completions %llu != postings %llu",
+            pair.first, pair.second,
+            static_cast<unsigned long long>(reverse.total_completions),
+            static_cast<unsigned long long>(expected.completions)));
+      }
+    }
+  }
+
+  // Pass 3: LastChecked matches the newest posting end, unless the trace
+  // was pruned (no Seq entry).
+  if (options_.maintain_last_checked && options_.maintain_seq) {
+    std::unordered_map<TraceId, bool> pruned;
+    auto is_pruned = [&](TraceId trace) -> Result<bool> {
+      auto it = pruned.find(trace);
+      if (it != pruned.end()) return it->second;
+      SEQDET_ASSIGN_OR_RETURN(auto events, seq_->Get(trace));
+      bool gone = events.empty();
+      pruned.emplace(trace, gone);
+      return gone;
+    };
+    for (const auto& [pair, by_trace] : newest_completion) {
+      for (const auto& [trace, newest] : by_trace) {
+        SEQDET_ASSIGN_OR_RETURN(bool gone, is_pruned(trace));
+        if (gone) continue;
+        SEQDET_ASSIGN_OR_RETURN(auto lt, last_checked_->Get(pair, trace));
+        if (!lt.has_value() || *lt != newest) {
+          violate(StringPrintf(
+              "pair (%u,%u) trace %llu: LastChecked %s != newest posting "
+              "end %lld",
+              pair.first, pair.second,
+              static_cast<unsigned long long>(trace),
+              lt.has_value()
+                  ? std::to_string(static_cast<long long>(*lt)).c_str()
+                  : "absent",
+              static_cast<long long>(newest)));
+        }
+      }
+    }
+  }
+
+  // Pass 4: stored sequences are sorted.
+  if (options_.maintain_seq) {
+    Status scan = seq_->table()->Scan(
+        "", "", [&](std::string_view key, std::string_view value) {
+          std::string_view key_cursor(key);
+          uint64_t trace = 0;
+          GetKeyU64(&key_cursor, &trace);
+          std::vector<Event> events;
+          if (!SeqTable::DecodeEvents(value, &events)) {
+            violate(StringPrintf("trace %llu: undecodable Seq value",
+                                 static_cast<unsigned long long>(trace)));
+            return true;
+          }
+          ++report.traces_checked;
+          if (!std::is_sorted(events.begin(), events.end())) {
+            // Out-of-order appends are tolerated by Update (it re-sorts),
+            // but flag them: they indicate batches arrived out of time
+            // order.
+            violate(StringPrintf(
+                "trace %llu: Seq events stored out of timestamp order",
+                static_cast<unsigned long long>(trace)));
+          }
+          return true;
+        });
+    SEQDET_RETURN_IF_ERROR(scan);
+  }
+  return report;
+}
+
+Status SequenceIndex::CompactStatistics() {
+  if (!options_.maintain_counts) {
+    return Status::Unsupported("Count table disabled");
+  }
+  SEQDET_RETURN_IF_ERROR(count_->FoldAll());
+  return reverse_count_->FoldAll();
+}
+
+Status SequenceIndex::Flush() {
+  SEQDET_RETURN_IF_ERROR(seq_->table()->Flush());
+  for (const auto& t : index_tables_) {
+    SEQDET_RETURN_IF_ERROR(t->table()->Flush());
+  }
+  SEQDET_RETURN_IF_ERROR(count_->table()->Flush());
+  SEQDET_RETURN_IF_ERROR(reverse_count_->table()->Flush());
+  SEQDET_RETURN_IF_ERROR(last_checked_->table()->Flush());
+  return meta_->Flush();
+}
+
+}  // namespace seqdet::index

@@ -1,0 +1,196 @@
+#ifndef SEQDET_INDEX_SEQUENCE_INDEX_H_
+#define SEQDET_INDEX_SEQUENCE_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "index/index_tables.h"
+#include "index/pair.h"
+#include "index/pair_extraction.h"
+#include "log/event_log.h"
+#include "storage/database.h"
+
+namespace seqdet::index {
+
+/// Configuration of the pre-processing component.
+struct IndexOptions {
+  Policy policy = Policy::kSkipTillNextMatch;
+  ExtractionMethod method = ExtractionMethod::kIndexing;
+  /// Worker threads for per-trace pair extraction (the paper's Spark
+  /// executors). 1 disables parallelism.
+  size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Maintain the Count/ReverseCount statistics tables (needed by the
+  /// Statistics query and the Fast/Hybrid continuation).
+  bool maintain_counts = true;
+  /// Maintain the Seq table (needed for incremental updates that span
+  /// multiple batches and for trace pruning).
+  bool maintain_seq = true;
+  /// Maintain LastChecked (needed to avoid duplicate postings across
+  /// batches; disabling it is only safe when every trace arrives whole in a
+  /// single batch — the ablation bench measures the cost).
+  bool maintain_last_checked = true;
+  /// Physical shards per logical table (the Cassandra-partition analogue;
+  /// lets parallel builders commit without contending on one table lock).
+  /// 0 picks a default from the thread count. The value is persisted in the
+  /// meta table on first build and reused on reopen.
+  size_t storage_shards = 0;
+};
+
+/// Result of a CheckConsistency() sweep.
+struct ConsistencyReport {
+  size_t pairs_checked = 0;
+  size_t postings_checked = 0;
+  size_t traces_checked = 0;
+  /// Human-readable descriptions of every violated invariant; empty means
+  /// the index is internally consistent.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Aggregate counters of one Update() call.
+struct UpdateStats {
+  size_t traces_processed = 0;
+  size_t events_appended = 0;
+  size_t pairs_extracted = 0;  // before LastChecked filtering
+  size_t pairs_indexed = 0;    // actually appended to the Index table
+};
+
+/// The pre-processing component of Figure 1: builds and incrementally
+/// maintains the inverted event-pair index inside a storage::Database.
+///
+/// Tables managed (names in the database):
+///   seq, index_p<N> (one per period), count, rcount, lastchecked, meta.
+class SequenceIndex {
+ public:
+  /// Opens (or creates) the index structures inside `db`. The database
+  /// retains ownership of the tables; `db` must outlive the index.
+  static Result<std::unique_ptr<SequenceIndex>> Open(storage::Database* db,
+                                                     const IndexOptions&
+                                                         options);
+
+  SequenceIndex(const SequenceIndex&) = delete;
+  SequenceIndex& operator=(const SequenceIndex&) = delete;
+
+  /// Algorithm 1: indexes a batch of new events. Traces already indexed are
+  /// extended; previously indexed completions are skipped via LastChecked.
+  /// Returns counters for observability.
+  ///
+  /// Crash/error semantics: commits are per-table (the underlying store has
+  /// no cross-table transactions — neither does the paper's Cassandra). If
+  /// Update fails partway, the Index table may already hold postings whose
+  /// LastChecked entries were not yet written, in which case retrying the
+  /// same batch can duplicate those postings. Treat a failed Update as
+  /// requiring manual inspection rather than a blind retry.
+  Result<UpdateStats> Update(const eventlog::EventLog& new_events);
+
+  /// Closes the current index period and routes subsequent postings to a
+  /// fresh index table (§3.1.3: "a separate index table can be used for
+  /// different periods"). Queries transparently merge all periods.
+  Status StartNewPeriod();
+
+  /// Removes a completed trace from Seq and LastChecked (§3.1.3 pruning).
+  /// Index postings remain queryable. "Completed" is a contract: pruning
+  /// removes the dedup state, so if the trace's events are ever re-sent in
+  /// a later batch they will be re-indexed as duplicates — only prune
+  /// traces that can receive no further (or repeated) events.
+  Status PruneTrace(eventlog::TraceId trace);
+
+  // --- read path used by the query processor -----------------------------
+
+  /// All completions of `pair` across every period, sorted by
+  /// (trace, ts_first).
+  Result<std::vector<PairOccurrence>> GetPairPostings(
+      const EventTypePair& pair) const;
+
+  /// Count table: stats of pairs (activity, *), most frequent first.
+  Result<std::vector<PairCountStats>> GetFollowerStats(
+      eventlog::ActivityId activity) const;
+
+  /// ReverseCount table: stats of pairs (*, activity).
+  Result<std::vector<PairCountStats>> GetPredecessorStats(
+      eventlog::ActivityId activity) const;
+
+  /// Stats of one specific pair (zero stats when never completed).
+  Result<PairCountStats> GetPairStats(const EventTypePair& pair) const;
+
+  /// LastChecked lookup.
+  Result<std::optional<eventlog::Timestamp>> GetLastCompletion(
+      const EventTypePair& pair, eventlog::TraceId trace) const;
+
+  /// The most recent completion timestamp of `pair` across *all* traces
+  /// (LastChecked range scan; powers the Statistics query's
+  /// last-completion column, §3.2.1).
+  Result<std::optional<eventlog::Timestamp>> GetPairLastCompletion(
+      const EventTypePair& pair) const;
+
+  /// The stored event sequence of `trace` (empty when unknown or pruned).
+  /// Activity ids are in terms of dictionary().
+  Result<std::vector<eventlog::Event>> GetTraceSequence(
+      eventlog::TraceId trace) const;
+
+  /// The index's own persistent activity dictionary. Batches passed to
+  /// Update() may carry arbitrary per-log dictionaries; events are remapped
+  /// by *name* into this dictionary, which is what makes ids stable across
+  /// batches and reopen. All ids accepted/returned by the read path are in
+  /// terms of this dictionary.
+  const eventlog::ActivityDictionary& dictionary() const {
+    return dictionary_;
+  }
+
+  /// Flushes all managed tables.
+  Status Flush();
+
+  /// fsck for the index: verifies the cross-table invariants that
+  /// Update() maintains —
+  ///   * every Index posting has ts_first < ts_second;
+  ///   * per (pair, trace), postings never overlap under SC/STNM;
+  ///   * Count/ReverseCount totals equal the posting-list lengths and
+  ///     duration sums;
+  ///   * LastChecked equals the newest posting end per (pair, trace);
+  ///   * Seq sequences are sorted.
+  /// Read-only; scans every table, so run it offline. Pruned traces
+  /// legitimately retain postings without Seq/LastChecked entries — those
+  /// are not reported.
+  Result<ConsistencyReport> CheckConsistency() const;
+
+  /// Maintenance: folds the Count/ReverseCount delta lists into single
+  /// values and compacts those tables. Every Update() appends one delta
+  /// per pair, so periodic folding keeps statistics reads O(#followers).
+  /// Must not run concurrently with Update().
+  Status CompactStatistics();
+
+  const IndexOptions& options() const { return options_; }
+  size_t num_periods() const { return index_tables_.size(); }
+  storage::Database* database() const { return db_; }
+
+ private:
+  SequenceIndex(storage::Database* db, const IndexOptions& options);
+
+  Status OpenTables();
+  Status PersistPeriodCount();
+  Status LoadDictionary();
+  Status PersistDictionary();
+
+  storage::Database* db_;
+  IndexOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  eventlog::ActivityDictionary dictionary_;
+
+  std::unique_ptr<SeqTable> seq_;
+  std::vector<std::unique_ptr<PairIndexTable>> index_tables_;  // one/period
+  std::unique_ptr<CountTable> count_;
+  std::unique_ptr<CountTable> reverse_count_;
+  std::unique_ptr<LastCheckedTable> last_checked_;
+  storage::Kv* meta_ = nullptr;
+  size_t shards_ = 1;
+};
+
+}  // namespace seqdet::index
+
+#endif  // SEQDET_INDEX_SEQUENCE_INDEX_H_

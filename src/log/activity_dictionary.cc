@@ -1,0 +1,19 @@
+#include "log/activity_dictionary.h"
+
+namespace seqdet::eventlog {
+
+ActivityId ActivityDictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  ActivityId id = static_cast<ActivityId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+ActivityId ActivityDictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidActivity : it->second;
+}
+
+}  // namespace seqdet::eventlog

@@ -1,0 +1,50 @@
+#ifndef SEQDET_LOG_ACTIVITY_DICTIONARY_H_
+#define SEQDET_LOG_ACTIVITY_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "log/event.h"
+
+namespace seqdet::eventlog {
+
+/// Bidirectional mapping between activity names and dense ActivityIds.
+///
+/// The indices and the pair extractors work on dense integer ids; names only
+/// matter at the log-parsing and result-presentation boundaries. Ids are
+/// assigned in first-seen order, so a dictionary built from the same log is
+/// deterministic.
+class ActivityDictionary {
+ public:
+  ActivityDictionary() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  ActivityId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidActivity when unknown.
+  ActivityId Lookup(std::string_view name) const;
+
+  /// Returns the name for `id`. Requires a valid id.
+  const std::string& Name(ActivityId id) const { return names_.at(id); }
+
+  bool Contains(std::string_view name) const {
+    return Lookup(name) != kInvalidActivity;
+  }
+
+  /// Number of distinct activities (the paper's `l = |A|`).
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// All names, indexed by id.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ActivityId> ids_;
+};
+
+}  // namespace seqdet::eventlog
+
+#endif  // SEQDET_LOG_ACTIVITY_DICTIONARY_H_

@@ -1,0 +1,78 @@
+#include "log/csv_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace seqdet::eventlog {
+
+Result<EventLog> ReadCsvLog(std::istream& in) {
+  EventLog log;
+  std::string line;
+  size_t line_no = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = Split(trimmed, ',');
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: expected at least 3 fields, got %zu",
+                       line_no, fields.size()));
+    }
+    int64_t trace_id;
+    if (!ParseInt64(fields[0], &trace_id)) {
+      // Tolerate a single header row ("trace_id,activity,timestamp").
+      if (first_data_line) {
+        first_data_line = false;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: bad trace id '%s'", line_no,
+                       fields[0].c_str()));
+    }
+    first_data_line = false;
+    int64_t ts;
+    if (!ParseInt64(fields[2], &ts)) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu: bad timestamp '%s'", line_no, fields[2].c_str()));
+    }
+    std::string_view activity = Trim(fields[1]);
+    if (activity.empty()) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: empty activity", line_no));
+    }
+    log.Append(static_cast<TraceId>(trace_id), activity, ts);
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+Result<EventLog> ReadCsvLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadCsvLog(in);
+}
+
+Status WriteCsvLog(const EventLog& log, std::ostream& out) {
+  out << "trace_id,activity,timestamp\n";
+  for (const Trace& t : log.traces()) {
+    for (const Event& e : t.events) {
+      out << t.id << ',' << log.dictionary().Name(e.activity) << ',' << e.ts
+          << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteCsvLogFile(const EventLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteCsvLog(log, out);
+}
+
+}  // namespace seqdet::eventlog

@@ -1,0 +1,36 @@
+#ifndef SEQDET_LOG_CSV_IO_H_
+#define SEQDET_LOG_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "log/event_log.h"
+
+namespace seqdet::eventlog {
+
+/// CSV log format: one event per row, `trace_id,activity,timestamp`,
+/// with an optional header row. This mirrors the relational shape of the
+/// paper's log database (§3.1): "each row ... contains the trace identifier,
+/// the event type, the timestamp".
+///
+/// Rows may contain extra application-specific columns after the first
+/// three; they are ignored, as the paper does.
+
+/// Parses a CSV stream into an event log. Traces are sorted by timestamp on
+/// return. Malformed rows yield an InvalidArgument status naming the line.
+Result<EventLog> ReadCsvLog(std::istream& in);
+
+/// Parses the CSV file at `path`.
+Result<EventLog> ReadCsvLogFile(const std::string& path);
+
+/// Writes `log` as CSV (with a header row).
+Status WriteCsvLog(const EventLog& log, std::ostream& out);
+
+/// Writes `log` to the file at `path`.
+Status WriteCsvLogFile(const EventLog& log, const std::string& path);
+
+}  // namespace seqdet::eventlog
+
+#endif  // SEQDET_LOG_CSV_IO_H_

@@ -1,0 +1,44 @@
+#ifndef SEQDET_LOG_EVENT_H_
+#define SEQDET_LOG_EVENT_H_
+
+#include <cstdint>
+#include <tuple>
+
+namespace seqdet::eventlog {
+
+/// Interned identifier of an activity (event type); see ActivityDictionary.
+using ActivityId = uint32_t;
+
+/// Identifier of a trace / case / session.
+using TraceId = uint64_t;
+
+/// Event timestamp. The paper treats timestamps as opaque ordered values and
+/// falls back to the position in the trace when none is recorded (§3.1.1);
+/// an int64 covers both epoch-milliseconds and positions.
+using Timestamp = int64_t;
+
+constexpr ActivityId kInvalidActivity = static_cast<ActivityId>(-1);
+
+/// One log record inside a trace: an instance of an activity at a time.
+///
+/// Definition 2.1 of the paper: events carry an activity (via the surjective
+/// assignment delta), a timestamp, and belong to exactly one case (which in
+/// this library is the Trace that owns the event, so no back-pointer is
+/// stored here).
+struct Event {
+  ActivityId activity = kInvalidActivity;
+  Timestamp ts = 0;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.activity == b.activity && a.ts == b.ts;
+  }
+  /// Orders by timestamp, breaking ties by activity so sorting is stable
+  /// across runs.
+  friend bool operator<(const Event& a, const Event& b) {
+    return std::tie(a.ts, a.activity) < std::tie(b.ts, b.activity);
+  }
+};
+
+}  // namespace seqdet::eventlog
+
+#endif  // SEQDET_LOG_EVENT_H_

@@ -1,0 +1,69 @@
+#include "log/event_log.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace seqdet::eventlog {
+
+void Trace::SortByTimestamp() {
+  std::stable_sort(events.begin(), events.end());
+}
+
+bool Trace::IsSorted() const {
+  return std::is_sorted(events.begin(), events.end());
+}
+
+size_t Trace::DistinctActivities() const {
+  std::unordered_set<ActivityId> seen;
+  seen.reserve(events.size());
+  for (const Event& e : events) seen.insert(e.activity);
+  return seen.size();
+}
+
+void EventLog::Append(TraceId trace_id, const Event& event) {
+  auto it = trace_pos_.find(trace_id);
+  if (it == trace_pos_.end()) {
+    trace_pos_.emplace(trace_id, traces_.size());
+    traces_.push_back(Trace{trace_id, {event}});
+  } else {
+    traces_[it->second].events.push_back(event);
+  }
+}
+
+void EventLog::Append(TraceId trace_id, std::string_view activity_name,
+                      Timestamp ts) {
+  Append(trace_id, Event{dictionary_.Intern(activity_name), ts});
+}
+
+void EventLog::AddTrace(Trace trace) {
+  auto it = trace_pos_.find(trace.id);
+  if (it == trace_pos_.end()) {
+    trace_pos_.emplace(trace.id, traces_.size());
+    traces_.push_back(std::move(trace));
+  } else {
+    auto& dst = traces_[it->second].events;
+    dst.insert(dst.end(), trace.events.begin(), trace.events.end());
+  }
+}
+
+void EventLog::SortAllTraces() {
+  for (Trace& t : traces_) t.SortByTimestamp();
+}
+
+const Trace* EventLog::FindTrace(TraceId id) const {
+  auto it = trace_pos_.find(id);
+  return it == trace_pos_.end() ? nullptr : &traces_[it->second];
+}
+
+Trace* EventLog::FindTrace(TraceId id) {
+  auto it = trace_pos_.find(id);
+  return it == trace_pos_.end() ? nullptr : &traces_[it->second];
+}
+
+size_t EventLog::num_events() const {
+  size_t n = 0;
+  for (const Trace& t : traces_) n += t.size();
+  return n;
+}
+
+}  // namespace seqdet::eventlog

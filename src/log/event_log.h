@@ -1,0 +1,77 @@
+#ifndef SEQDET_LOG_EVENT_LOG_H_
+#define SEQDET_LOG_EVENT_LOG_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "log/activity_dictionary.h"
+#include "log/event.h"
+
+namespace seqdet::eventlog {
+
+/// A case / session / trace: the timestamp-ordered events of one logical
+/// execution unit (Definition 2.1).
+struct Trace {
+  TraceId id = 0;
+  std::vector<Event> events;
+
+  size_t size() const { return events.size(); }
+  bool empty() const { return events.empty(); }
+
+  /// Sorts events by (ts, activity); establishes the total order the paper's
+  /// `<=` requires.
+  void SortByTimestamp();
+
+  /// True if events are already in (ts, activity) order.
+  bool IsSorted() const;
+
+  /// Number of distinct activities appearing in this trace.
+  size_t DistinctActivities() const;
+};
+
+/// An in-memory event log: an activity dictionary plus a set of traces.
+///
+/// This is the unit that the pre-processing component consumes — both the
+/// "log database" and the batches of new events of Figure 1 are EventLogs.
+class EventLog {
+ public:
+  EventLog() = default;
+
+  /// Appends `event` to the trace `trace_id`, creating the trace if needed.
+  void Append(TraceId trace_id, const Event& event);
+
+  /// Convenience: interns `activity_name` and appends.
+  void Append(TraceId trace_id, std::string_view activity_name, Timestamp ts);
+
+  /// Adds a whole trace. Fails silently into a merge if the id exists:
+  /// events are appended to the existing trace.
+  void AddTrace(Trace trace);
+
+  /// Sorts every trace by timestamp.
+  void SortAllTraces();
+
+  /// Returns the trace with `id` or nullptr.
+  const Trace* FindTrace(TraceId id) const;
+  Trace* FindTrace(TraceId id);
+
+  const std::vector<Trace>& traces() const { return traces_; }
+  std::vector<Trace>& traces() { return traces_; }
+
+  ActivityDictionary& dictionary() { return dictionary_; }
+  const ActivityDictionary& dictionary() const { return dictionary_; }
+
+  size_t num_traces() const { return traces_.size(); }
+  size_t num_events() const;
+  size_t num_activities() const { return dictionary_.size(); }
+
+ private:
+  ActivityDictionary dictionary_;
+  std::vector<Trace> traces_;
+  std::unordered_map<TraceId, size_t> trace_pos_;
+};
+
+}  // namespace seqdet::eventlog
+
+#endif  // SEQDET_LOG_EVENT_LOG_H_

@@ -1,0 +1,48 @@
+#include "log/log_statistics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace seqdet::eventlog {
+
+LogStatistics LogStatistics::Compute(const EventLog& log) {
+  LogStatistics stats;
+  stats.num_traces = log.num_traces();
+  stats.num_activities = log.num_activities();
+  stats.min_events_per_trace = std::numeric_limits<size_t>::max();
+  for (const Trace& t : log.traces()) {
+    stats.num_events += t.size();
+    stats.min_events_per_trace = std::min(stats.min_events_per_trace, t.size());
+    stats.max_events_per_trace = std::max(stats.max_events_per_trace, t.size());
+    stats.events_per_trace.Add(static_cast<double>(t.size()));
+    stats.activities_per_trace.Add(
+        static_cast<double>(t.DistinctActivities()));
+  }
+  if (stats.num_traces == 0) {
+    stats.min_events_per_trace = 0;
+  } else {
+    stats.mean_events_per_trace =
+        static_cast<double>(stats.num_events) /
+        static_cast<double>(stats.num_traces);
+  }
+  return stats;
+}
+
+std::string LogStatistics::SummaryRow(const std::string& name) const {
+  return StringPrintf("%-12s %8zu traces %6zu activities %9zu events "
+                      "(per-trace mean=%.2f min=%zu max=%zu)",
+                      name.c_str(), num_traces, num_activities, num_events,
+                      mean_events_per_trace, min_events_per_trace,
+                      max_events_per_trace);
+}
+
+std::string LogStatistics::DistributionReport(const std::string& name) const {
+  std::string out = SummaryRow(name) + "\n";
+  out += events_per_trace.ToAscii("  events/trace");
+  out += activities_per_trace.ToAscii("  unique activities/trace");
+  return out;
+}
+
+}  // namespace seqdet::eventlog

@@ -1,0 +1,38 @@
+#ifndef SEQDET_LOG_LOG_STATISTICS_H_
+#define SEQDET_LOG_LOG_STATISTICS_H_
+
+#include <string>
+
+#include "common/histogram.h"
+#include "log/event_log.h"
+
+namespace seqdet::eventlog {
+
+/// Profile of an event log: the numbers the paper reports in Table 4 and the
+/// distributions of Figure 2.
+struct LogStatistics {
+  size_t num_traces = 0;
+  size_t num_events = 0;
+  size_t num_activities = 0;  // the paper's l = |A|
+  double mean_events_per_trace = 0;
+  size_t min_events_per_trace = 0;
+  size_t max_events_per_trace = 0;  // the paper's n
+
+  /// Figure 2 (left column): events per trace.
+  Histogram events_per_trace;
+  /// Figure 2 (right column): unique activities per trace.
+  Histogram activities_per_trace;
+
+  /// Computes the full profile of `log`.
+  static LogStatistics Compute(const EventLog& log);
+
+  /// One Table-4-style summary row: "name  traces  activities  events ...".
+  std::string SummaryRow(const std::string& name) const;
+
+  /// Figure-2-style textual distributions.
+  std::string DistributionReport(const std::string& name) const;
+};
+
+}  // namespace seqdet::eventlog
+
+#endif  // SEQDET_LOG_LOG_STATISTICS_H_

@@ -1,0 +1,420 @@
+#include "log/xes_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace seqdet::eventlog {
+
+namespace {
+
+// Days since epoch for the first day of each month (non-leap year).
+constexpr int kCumulativeDays[12] = {0,   31,  59,  90,  120, 151,
+                                     181, 212, 243, 273, 304, 334};
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  // Count of days since 1970-01-01 (proleptic Gregorian).
+  int64_t days = 0;
+  if (year >= 1970) {
+    for (int y = 1970; y < year; ++y) days += IsLeap(y) ? 366 : 365;
+  } else {
+    for (int y = year; y < 1970; ++y) days -= IsLeap(y) ? 366 : 365;
+  }
+  days += kCumulativeDays[month - 1];
+  if (month > 2 && IsLeap(year)) days += 1;
+  days += day - 1;
+  return days;
+}
+
+/// A very small pull-parser for the XML subset XES files use: start tags
+/// with double-quoted attributes, end tags, self-closing tags. Comments,
+/// processing instructions and CDATA are skipped. Text content is ignored
+/// (XES carries data in attributes).
+class MiniXmlParser {
+ public:
+  explicit MiniXmlParser(std::istream& in) : in_(in) {}
+
+  struct Tag {
+    std::string name;
+    std::map<std::string, std::string> attrs;
+    bool closing = false;      // </name>
+    bool self_closing = false; // <name ... />
+  };
+
+  /// Advances to the next tag. Returns false at end of input, sets *error
+  /// on malformed input.
+  bool NextTag(Tag* tag, std::string* error) {
+    int c;
+    // Skip to the next '<'.
+    while ((c = in_.get()) != EOF && c != '<') {
+    }
+    if (c == EOF) return false;
+    tag->name.clear();
+    tag->attrs.clear();
+    tag->closing = false;
+    tag->self_closing = false;
+
+    c = in_.get();
+    if (c == EOF) {
+      *error = "truncated tag";
+      return false;
+    }
+    if (c == '?' || c == '!') {  // <?xml ...?>, <!-- ... -->, <!DOCTYPE ...>
+      SkipSpecial(c);
+      return NextTag(tag, error);
+    }
+    if (c == '/') {
+      tag->closing = true;
+      c = in_.get();
+    }
+    while (c != EOF && !std::isspace(c) && c != '>' && c != '/') {
+      tag->name.push_back(static_cast<char>(c));
+      c = in_.get();
+    }
+    // Attributes.
+    for (;;) {
+      while (c != EOF && std::isspace(c)) c = in_.get();
+      if (c == EOF) {
+        *error = "truncated tag " + tag->name;
+        return false;
+      }
+      if (c == '>') return true;
+      if (c == '/') {
+        tag->self_closing = true;
+        c = in_.get();  // consume '>'
+        if (c != '>') {
+          *error = "malformed self-closing tag " + tag->name;
+          return false;
+        }
+        return true;
+      }
+      std::string key, value;
+      while (c != EOF && c != '=' && !std::isspace(c)) {
+        key.push_back(static_cast<char>(c));
+        c = in_.get();
+      }
+      while (c != EOF && c != '=') c = in_.get();
+      c = in_.get();
+      while (c != EOF && std::isspace(c)) c = in_.get();
+      if (c != '"' && c != '\'') {
+        *error = "expected quoted attribute value in <" + tag->name + ">";
+        return false;
+      }
+      int quote = c;
+      c = in_.get();
+      while (c != EOF && c != quote) {
+        value.push_back(static_cast<char>(c));
+        c = in_.get();
+      }
+      if (c == EOF) {
+        *error = "unterminated attribute in <" + tag->name + ">";
+        return false;
+      }
+      tag->attrs[key] = Unescape(value);
+      c = in_.get();
+    }
+  }
+
+ private:
+  void SkipSpecial(int first) {
+    if (first == '!') {
+      // Could be a comment <!-- ... --> or doctype; for comments require
+      // the terminating "-->", otherwise stop at '>'.
+      int c1 = in_.get();
+      int c2 = in_.get();
+      if (c1 == '-' && c2 == '-') {
+        int a = 0, b = 0, c = 0;
+        while ((c = in_.get()) != EOF) {
+          if (a == '-' && b == '-' && c == '>') return;
+          a = b;
+          b = c;
+        }
+        return;
+      }
+    }
+    int c;
+    while ((c = in_.get()) != EOF && c != '>') {
+    }
+  }
+
+  static std::string Unescape(const std::string& s) {
+    if (s.find('&') == std::string::npos) return s;
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      if (s.compare(i, 4, "&lt;") == 0) {
+        out.push_back('<');
+        i += 3;
+      } else if (s.compare(i, 4, "&gt;") == 0) {
+        out.push_back('>');
+        i += 3;
+      } else if (s.compare(i, 5, "&amp;") == 0) {
+        out.push_back('&');
+        i += 4;
+      } else if (s.compare(i, 6, "&quot;") == 0) {
+        out.push_back('"');
+        i += 5;
+      } else if (s.compare(i, 6, "&apos;") == 0) {
+        out.push_back('\'');
+        i += 5;
+      } else {
+        out.push_back(s[i]);
+      }
+    }
+    return out;
+  }
+
+  std::istream& in_;
+};
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseIso8601Millis(std::string_view s, int64_t* millis_out) {
+  // Accepted shapes: YYYY-MM-DDTHH:MM:SS[.fff][Z|+HH:MM|-HH:MM]
+  int year, month, day, hour, minute, second;
+  int consumed = 0;
+  std::string buf(s);
+  if (std::sscanf(buf.c_str(), "%4d-%2d-%2dT%2d:%2d:%2d%n", &year, &month,
+                  &day, &hour, &minute, &second, &consumed) != 6) {
+    return false;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return false;
+  }
+  std::string_view rest = s.substr(static_cast<size_t>(consumed));
+  int64_t millis = 0;
+  if (!rest.empty() && rest.front() == '.') {
+    rest.remove_prefix(1);
+    int digits = 0;
+    while (!rest.empty() && std::isdigit(static_cast<unsigned char>(
+                                rest.front()))) {
+      if (digits < 3) millis = millis * 10 + (rest.front() - '0');
+      rest.remove_prefix(1);
+      ++digits;
+    }
+    while (digits < 3) {
+      millis *= 10;
+      ++digits;
+    }
+  }
+  int64_t offset_minutes = 0;
+  if (!rest.empty()) {
+    if (rest.front() == 'Z') {
+      rest.remove_prefix(1);
+    } else if (rest.front() == '+' || rest.front() == '-') {
+      int sign = rest.front() == '+' ? 1 : -1;
+      int oh, om;
+      std::string obuf(rest.substr(1));
+      if (std::sscanf(obuf.c_str(), "%2d:%2d", &oh, &om) != 2) {
+        // Also allow +HHMM.
+        if (std::sscanf(obuf.c_str(), "%2d%2d", &oh, &om) != 2) return false;
+      }
+      offset_minutes = sign * (oh * 60 + om);
+      rest = {};
+    }
+  }
+  int64_t days = DaysFromCivil(year, month, day);
+  int64_t secs = days * 86400 + hour * 3600 + minute * 60 + second -
+                 offset_minutes * 60;
+  *millis_out = secs * 1000 + millis;
+  return true;
+}
+
+namespace {
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+Result<EventLog> ReadXesLog(std::istream& in, const XesReadOptions& options) {
+  EventLog log;
+  MiniXmlParser parser(in);
+  MiniXmlParser::Tag tag;
+  std::string error;
+
+  bool in_trace = false;
+  bool in_event = false;
+  TraceId current_trace = 0;
+  TraceId next_synthetic_id = 0;
+  bool trace_has_explicit_id = false;
+  std::string event_activity;
+  Timestamp event_ts = 0;
+  bool event_has_ts = false;
+  bool event_lifecycle_matches = true;
+  size_t event_position = 0;
+  Trace trace;
+
+  while (parser.NextTag(&tag, &error)) {
+    if (tag.name == "trace") {
+      if (tag.closing) {
+        in_trace = false;
+        if (!trace_has_explicit_id) trace.id = next_synthetic_id;
+        ++next_synthetic_id;
+        log.AddTrace(std::move(trace));
+        trace = Trace{};
+      } else {
+        in_trace = true;
+        trace_has_explicit_id = false;
+        current_trace = next_synthetic_id;
+        trace = Trace{current_trace, {}};
+        event_position = 0;
+      }
+      continue;
+    }
+    if (tag.name == "event") {
+      if (tag.closing) {
+        if (!in_trace) {
+          return Status::Corruption("event outside trace");
+        }
+        if (event_activity.empty()) {
+          return Status::Corruption("event without concept:name");
+        }
+        if (event_lifecycle_matches) {
+          Timestamp ts = event_has_ts
+                             ? event_ts
+                             : static_cast<Timestamp>(event_position);
+          trace.events.push_back(
+              Event{log.dictionary().Intern(event_activity), ts});
+          ++event_position;
+        }
+        in_event = false;
+      } else {
+        in_event = true;
+        event_activity.clear();
+        event_has_ts = false;
+        event_lifecycle_matches = true;
+      }
+      continue;
+    }
+    if (tag.name == "string" || tag.name == "date" || tag.name == "int") {
+      auto key_it = tag.attrs.find("key");
+      auto val_it = tag.attrs.find("value");
+      if (key_it == tag.attrs.end() || val_it == tag.attrs.end()) continue;
+      const std::string& key = key_it->second;
+      const std::string& value = val_it->second;
+      if (in_event) {
+        if (key == "concept:name") {
+          event_activity = value;
+        } else if (key == "lifecycle:transition") {
+          if (!options.lifecycle_filter.empty()) {
+            event_lifecycle_matches =
+                EqualsIgnoreCase(value, options.lifecycle_filter);
+          }
+        } else if (key == "time:timestamp") {
+          if (tag.name == "int") {
+            int64_t v;
+            if (!ParseInt64(value, &v)) {
+              return Status::Corruption("bad int timestamp: " + value);
+            }
+            event_ts = v;
+            event_has_ts = true;
+          } else if (tag.name == "date") {
+            int64_t ms;
+            if (!ParseIso8601Millis(value, &ms)) {
+              return Status::Corruption("bad ISO-8601 timestamp: " + value);
+            }
+            event_ts = ms;
+            event_has_ts = true;
+          }
+        }
+      } else if (in_trace && key == "concept:name") {
+        int64_t numeric;
+        // Accept "17", "case_17", "trace 17": use the trailing integer when
+        // present, otherwise fall back to sequential ids.
+        std::string_view v = value;
+        size_t digit_start = v.find_last_not_of("0123456789");
+        digit_start = digit_start == std::string_view::npos ? 0
+                                                            : digit_start + 1;
+        if (digit_start < v.size() &&
+            ParseInt64(v.substr(digit_start), &numeric)) {
+          trace.id = static_cast<TraceId>(numeric);
+          trace_has_explicit_id = true;
+        }
+      }
+      continue;
+    }
+    // Unknown tags (<log>, <extension>, <global>, <classifier>, <float>,
+    // <boolean>, ...) are skipped.
+  }
+  if (!error.empty()) return Status::Corruption("XES parse error: " + error);
+  log.SortAllTraces();
+  return log;
+}
+
+Result<EventLog> ReadXesLogFile(const std::string& path,
+                                const XesReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadXesLog(in, options);
+}
+
+Status WriteXesLog(const EventLog& log, std::ostream& out) {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<log>\n";
+  for (const Trace& t : log.traces()) {
+    out << "  <trace>\n    <string key=\"concept:name\" value=\"" << t.id
+        << "\"/>\n";
+    for (const Event& e : t.events) {
+      out << "    <event>\n      <string key=\"concept:name\" value=\""
+          << Escape(log.dictionary().Name(e.activity))
+          << "\"/>\n      <int key=\"time:timestamp\" value=\"" << e.ts
+          << "\"/>\n    </event>\n";
+    }
+    out << "  </trace>\n";
+  }
+  out << "</log>\n";
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteXesLogFile(const EventLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteXesLog(log, out);
+}
+
+}  // namespace seqdet::eventlog

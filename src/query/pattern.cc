@@ -1,0 +1,37 @@
+#include "query/pattern.h"
+
+namespace seqdet::query {
+
+Result<Pattern> Pattern::FromNames(
+    const eventlog::ActivityDictionary& dictionary,
+    const std::vector<std::string>& names) {
+  Pattern pattern;
+  pattern.activities.reserve(names.size());
+  for (const std::string& name : names) {
+    eventlog::ActivityId id = dictionary.Lookup(name);
+    if (id == eventlog::kInvalidActivity) {
+      return Status::NotFound("unknown activity: " + name);
+    }
+    pattern.activities.push_back(id);
+  }
+  return pattern;
+}
+
+std::string Pattern::ToString(
+    const eventlog::ActivityDictionary& dictionary) const {
+  std::string out = "<";
+  for (size_t i = 0; i < activities.size(); ++i) {
+    if (i) out += ", ";
+    out += dictionary.Name(activities[i]);
+  }
+  out += ">";
+  return out;
+}
+
+Pattern Pattern::Extended(eventlog::ActivityId next) const {
+  Pattern out = *this;
+  out.activities.push_back(next);
+  return out;
+}
+
+}  // namespace seqdet::query

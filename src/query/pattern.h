@@ -1,0 +1,39 @@
+#ifndef SEQDET_QUERY_PATTERN_H_
+#define SEQDET_QUERY_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "log/activity_dictionary.h"
+#include "log/event.h"
+
+namespace seqdet::query {
+
+/// A query pattern: the sequence of event types <ev_1, ..., ev_p> every
+/// query type of §3.2.1 takes as input.
+struct Pattern {
+  std::vector<eventlog::ActivityId> activities;
+
+  Pattern() = default;
+  explicit Pattern(std::vector<eventlog::ActivityId> ids)
+      : activities(std::move(ids)) {}
+
+  size_t size() const { return activities.size(); }
+  bool empty() const { return activities.empty(); }
+
+  /// Resolves activity names against `dictionary`; fails on unknown names.
+  static Result<Pattern> FromNames(
+      const eventlog::ActivityDictionary& dictionary,
+      const std::vector<std::string>& names);
+
+  /// Renders back to names for display.
+  std::string ToString(const eventlog::ActivityDictionary& dictionary) const;
+
+  /// The extended pattern <ev_1, ..., ev_p, next>.
+  Pattern Extended(eventlog::ActivityId next) const;
+};
+
+}  // namespace seqdet::query
+
+#endif  // SEQDET_QUERY_PATTERN_H_

@@ -1,0 +1,134 @@
+#include "query/pattern_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace seqdet::query {
+
+namespace {
+
+struct Token {
+  std::string text;
+  bool quoted = false;
+};
+
+struct Tokenizer {
+  std::string_view input;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= input.size();
+  }
+
+  /// Returns the next token: an arrow, a comparison, a quoted string (sans
+  /// quotes, marked quoted so keywords can be used as activity names), a
+  /// number, or a bare word.
+  Result<Token> Next() {
+    SkipSpace();
+    if (pos >= input.size()) {
+      return Status::InvalidArgument("unexpected end of query");
+    }
+    char c = input[pos];
+    if (c == '"') {
+      size_t close = input.find('"', pos + 1);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated quote");
+      }
+      Token token{std::string(input.substr(pos + 1, close - pos - 1)), true};
+      pos = close + 1;
+      return token;
+    }
+    if (input.substr(pos, 2) == "->" || input.substr(pos, 2) == "<=") {
+      pos += 2;
+      return Token{std::string(input.substr(pos - 2, 2)), false};
+    }
+    size_t start = pos;
+    while (pos < input.size() &&
+           !std::isspace(static_cast<unsigned char>(input[pos])) &&
+           input.substr(pos, 2) != "->" && input.substr(pos, 2) != "<=") {
+      ++pos;
+    }
+    if (pos == start) {
+      return Status::InvalidArgument("empty token");
+    }
+    return Token{std::string(input.substr(start, pos - start)), false};
+  }
+
+  /// Peeks without consuming.
+  Result<Token> Peek() {
+    size_t saved = pos;
+    auto token = Next();
+    pos = saved;
+    return token;
+  }
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParsePatternQuery(
+    std::string_view text, const eventlog::ActivityDictionary& dictionary) {
+  Tokenizer tokens{text};
+  ParsedQuery query;
+
+  // Steps: name ("->" name)*. Quoting suspends keyword recognition, so
+  // activities literally named "within" or "gap" stay expressible.
+  for (;;) {
+    SEQDET_ASSIGN_OR_RETURN(Token name, tokens.Next());
+    if (!name.quoted &&
+        (name.text == "->" || name.text == "<=" || name.text == "within" ||
+         name.text == "gap")) {
+      return Status::InvalidArgument("expected an activity name, got '" +
+                                     name.text + "'");
+    }
+    eventlog::ActivityId id = dictionary.Lookup(name.text);
+    if (id == eventlog::kInvalidActivity) {
+      return Status::NotFound("unknown activity: " + name.text);
+    }
+    query.pattern.activities.push_back(id);
+
+    if (tokens.AtEnd()) return query;
+    auto peeked = tokens.Peek();
+    if (!peeked.ok()) return peeked.status();
+    if (peeked->quoted || peeked->text != "->") break;
+    (void)tokens.Next();  // consume the arrow (cannot fail; just peeked)
+  }
+
+  // Constraints.
+  while (!tokens.AtEnd()) {
+    SEQDET_ASSIGN_OR_RETURN(Token keyword, tokens.Next());
+    if (keyword.text == "within") {
+      SEQDET_ASSIGN_OR_RETURN(Token value, tokens.Next());
+      int64_t span;
+      if (!ParseInt64(value.text, &span) || span < 0) {
+        return Status::InvalidArgument("bad 'within' bound: " + value.text);
+      }
+      query.constraints.max_span = span;
+    } else if (keyword.text == "gap") {
+      SEQDET_ASSIGN_OR_RETURN(Token op, tokens.Next());
+      if (op.text != "<=") {
+        return Status::InvalidArgument("expected '<=' after 'gap'");
+      }
+      SEQDET_ASSIGN_OR_RETURN(Token value, tokens.Next());
+      int64_t gap;
+      if (!ParseInt64(value.text, &gap) || gap < 0) {
+        return Status::InvalidArgument("bad gap bound: " + value.text);
+      }
+      query.constraints.max_gap = gap;
+    } else {
+      return Status::InvalidArgument("unknown constraint: " + keyword.text);
+    }
+  }
+  return query;
+}
+
+}  // namespace seqdet::query

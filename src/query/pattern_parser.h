@@ -1,0 +1,39 @@
+#ifndef SEQDET_QUERY_PATTERN_PARSER_H_
+#define SEQDET_QUERY_PATTERN_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/pattern.h"
+#include "query/query_processor.h"
+
+namespace seqdet::query {
+
+/// A parsed textual query: the pattern plus optional time constraints.
+struct ParsedQuery {
+  Pattern pattern;
+  DetectionConstraints constraints;
+};
+
+/// Parses the small textual pattern language used by the CLI and examples:
+///
+/// ```
+///   query      := step ( "->" step )*  constraint*
+///   step       := NAME | '"' any chars '"'
+///   constraint := "within" INT        -- max first-to-last span
+///               | "gap" "<=" INT      -- max gap between matched events
+/// ```
+///
+/// Examples:
+///   `search -> add_to_cart -> checkout within 3600`
+///   `"Create Fine" -> "Send Fine" gap <= 86400`
+///
+/// Activity names are resolved against `dictionary`; unknown names fail
+/// with NotFound, malformed syntax with InvalidArgument.
+Result<ParsedQuery> ParsePatternQuery(
+    std::string_view text, const eventlog::ActivityDictionary& dictionary);
+
+}  // namespace seqdet::query
+
+#endif  // SEQDET_QUERY_PATTERN_PARSER_H_

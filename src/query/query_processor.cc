@@ -1,0 +1,548 @@
+#include "query/query_processor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace seqdet::query {
+
+using eventlog::ActivityId;
+using eventlog::Timestamp;
+using eventlog::TraceId;
+using index::EventTypePair;
+using index::PairCountStats;
+using index::PairOccurrence;
+
+namespace {
+
+/// Equation 1. A zero average duration (instantaneous completions) would
+/// divide by zero; such candidates are maximally "close", so rank them by
+/// completions alone.
+double Score(uint64_t completions, double average_duration) {
+  if (average_duration <= 0) return static_cast<double>(completions);
+  return static_cast<double>(completions) / average_duration;
+}
+
+struct TraceTsKey {
+  TraceId trace;
+  Timestamp ts;
+  friend bool operator==(const TraceTsKey&, const TraceTsKey&) = default;
+};
+
+struct TraceTsKeyHash {
+  size_t operator()(const TraceTsKey& k) const {
+    uint64_t h = k.trace * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<uint64_t>(k.ts) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Result<StatisticsResult> QueryProcessor::Statistics(
+    const Pattern& pattern, const StatisticsOptions& options) const {
+  if (pattern.size() < 2) {
+    return Status::InvalidArgument("statistics needs a pattern of >= 2");
+  }
+  StatisticsResult result;
+  result.completions_upper_bound = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i + 1 < pattern.size(); ++i) {
+    EventTypePair pair{pattern.activities[i], pattern.activities[i + 1]};
+    SEQDET_ASSIGN_OR_RETURN(PairCountStats stats,
+                            index_->GetPairStats(pair));
+    PairStatisticsRow row;
+    row.pair = pair;
+    row.total_completions = stats.total_completions;
+    row.average_duration = stats.AverageDuration();
+    if (options.include_last_completion) {
+      SEQDET_ASSIGN_OR_RETURN(row.last_completion,
+                              index_->GetPairLastCompletion(pair));
+    }
+    result.completions_upper_bound =
+        std::min(result.completions_upper_bound, stats.total_completions);
+    result.estimated_duration += row.average_duration;
+    result.pairs.push_back(row);
+  }
+  return result;
+}
+
+std::vector<PatternMatch> QueryProcessor::ExtendMatches(
+    const std::vector<PatternMatch>& matches,
+    const std::vector<PairOccurrence>& postings) {
+  // Algorithm 2 lines 5-13: keep matches whose last event coincides with
+  // the first event of a posting of the next pair — a hash join on
+  // (trace, ts_first). Under SC/STNM a pair's completions never share
+  // their first event, so each key maps to one continuation; under
+  // skip-till-any-match several postings share a first event and every one
+  // extends the match (overlapping results are the point of that policy).
+  std::unordered_map<TraceTsKey, std::vector<Timestamp>, TraceTsKeyHash>
+      continuation;
+  continuation.reserve(postings.size());
+  for (const PairOccurrence& posting : postings) {
+    continuation[TraceTsKey{posting.trace, posting.ts_first}].push_back(
+        posting.ts_second);
+  }
+  std::vector<PatternMatch> extended;
+  for (const PatternMatch& match : matches) {
+    auto it = continuation.find(
+        TraceTsKey{match.trace, match.timestamps.back()});
+    if (it == continuation.end()) continue;
+    for (Timestamp ts : it->second) {
+      PatternMatch next = match;
+      next.timestamps.push_back(ts);
+      extended.push_back(std::move(next));
+    }
+  }
+  return extended;
+}
+
+Result<std::vector<PatternMatch>> QueryProcessor::Detect(
+    const Pattern& pattern, const DetectionConstraints& constraints) const {
+  if (pattern.size() < 2) {
+    return Status::InvalidArgument(
+        "detection needs a pattern of >= 2 events (the index is pair-based)");
+  }
+  auto gap_ok = [&constraints](const PatternMatch& m) {
+    if (!constraints.max_gap.has_value()) return true;
+    size_t n = m.timestamps.size();
+    return m.timestamps[n - 1] - m.timestamps[n - 2] <= *constraints.max_gap;
+  };
+
+  SEQDET_ASSIGN_OR_RETURN(
+      auto first_postings,
+      index_->GetPairPostings(
+          EventTypePair{pattern.activities[0], pattern.activities[1]}));
+  std::vector<PatternMatch> matches;
+  matches.reserve(first_postings.size());
+  for (const PairOccurrence& posting : first_postings) {
+    PatternMatch match{posting.trace,
+                       {posting.ts_first, posting.ts_second}};
+    if (gap_ok(match)) matches.push_back(std::move(match));
+  }
+  for (size_t i = 1; i + 1 < pattern.size() && !matches.empty(); ++i) {
+    SEQDET_ASSIGN_OR_RETURN(
+        auto postings,
+        index_->GetPairPostings(EventTypePair{pattern.activities[i],
+                                              pattern.activities[i + 1]}));
+    matches = ExtendMatches(matches, postings);
+    if (constraints.max_gap.has_value()) {
+      std::erase_if(matches,
+                    [&gap_ok](const PatternMatch& m) { return !gap_ok(m); });
+    }
+  }
+  if (constraints.max_span.has_value()) {
+    std::erase_if(matches, [&constraints](const PatternMatch& m) {
+      return m.timestamps.back() - m.timestamps.front() >
+             *constraints.max_span;
+    });
+  }
+  return matches;
+}
+
+Result<std::vector<std::vector<PatternMatch>>> QueryProcessor::DetectBatch(
+    const std::vector<Pattern>& patterns, ThreadPool* pool,
+    const DetectionConstraints& constraints) const {
+  std::vector<std::vector<PatternMatch>> results(patterns.size());
+  std::vector<Status> statuses(patterns.size());
+  auto run_one = [&](size_t i) {
+    auto matches = Detect(patterns[i], constraints);
+    if (matches.ok()) {
+      results[i] = std::move(matches).value();
+    } else {
+      statuses[i] = matches.status();
+    }
+  };
+  if (pool != nullptr && patterns.size() > 1) {
+    pool->ParallelFor(patterns.size(), run_one);
+  } else {
+    for (size_t i = 0; i < patterns.size(); ++i) run_one(i);
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return results;
+}
+
+Result<std::vector<PatternMatch>> QueryProcessor::DetectInTrace(
+    eventlog::TraceId trace, const Pattern& pattern) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  if (index_->options().policy == index::Policy::kSkipTillAnyMatch) {
+    return Status::Unsupported(
+        "per-trace drill-down is not available under skip-till-any-match");
+  }
+  SEQDET_ASSIGN_OR_RETURN(auto events, index_->GetTraceSequence(trace));
+  std::vector<PatternMatch> matches;
+  const auto& ids = pattern.activities;
+  if (index_->options().policy == index::Policy::kStrictContiguity) {
+    for (size_t start = 0; start + ids.size() <= events.size(); ++start) {
+      bool ok = true;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (events[start + i].activity != ids[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      PatternMatch match;
+      match.trace = trace;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        match.timestamps.push_back(events[start + i].ts);
+      }
+      matches.push_back(std::move(match));
+    }
+  } else {
+    // Greedy whole-pattern STNM.
+    size_t state = 0;
+    PatternMatch current;
+    current.trace = trace;
+    for (const auto& e : events) {
+      if (e.activity != ids[state]) continue;
+      current.timestamps.push_back(e.ts);
+      if (++state == ids.size()) {
+        matches.push_back(current);
+        current.timestamps.clear();
+        state = 0;
+      }
+    }
+  }
+  return matches;
+}
+
+void QueryProcessor::RankProposals(
+    std::vector<ContinuationProposal>* proposals) {
+  for (ContinuationProposal& p : *proposals) {
+    p.score = Score(p.total_completions, p.average_duration);
+  }
+  std::sort(proposals->begin(), proposals->end(),
+            [](const ContinuationProposal& a, const ContinuationProposal& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.activity < b.activity;
+            });
+}
+
+Result<ContinuationProposal> QueryProcessor::VerifyCandidate(
+    const Pattern& pattern, const std::vector<PatternMatch>& base_matches,
+    ActivityId candidate, const ContinuationConstraints& constraints) const {
+  SEQDET_ASSIGN_OR_RETURN(
+      auto postings,
+      index_->GetPairPostings(
+          EventTypePair{pattern.activities.back(), candidate}));
+  std::vector<PatternMatch> extended =
+      ExtendMatches(base_matches, postings);
+
+  ContinuationProposal proposal;
+  proposal.activity = candidate;
+  int64_t total_gap = 0;
+  for (const PatternMatch& match : extended) {
+    Timestamp gap = match.timestamps[match.timestamps.size() - 1] -
+                    match.timestamps[match.timestamps.size() - 2];
+    if (constraints.max_gap.has_value() && gap > *constraints.max_gap) {
+      continue;  // line 7: time constraint
+    }
+    ++proposal.total_completions;
+    total_gap += gap;
+  }
+  proposal.average_duration =
+      proposal.total_completions == 0
+          ? 0.0
+          : static_cast<double>(total_gap) /
+                static_cast<double>(proposal.total_completions);
+  return proposal;
+}
+
+Result<ContinuationProposal> QueryProcessor::VerifySingleEventCandidate(
+    ActivityId base, ActivityId candidate,
+    const ContinuationConstraints& constraints) const {
+  SEQDET_ASSIGN_OR_RETURN(
+      auto postings,
+      index_->GetPairPostings(EventTypePair{base, candidate}));
+  ContinuationProposal proposal;
+  proposal.activity = candidate;
+  int64_t total_gap = 0;
+  for (const PairOccurrence& posting : postings) {
+    Timestamp gap = posting.ts_second - posting.ts_first;
+    if (constraints.max_gap.has_value() && gap > *constraints.max_gap) {
+      continue;
+    }
+    ++proposal.total_completions;
+    total_gap += gap;
+  }
+  proposal.average_duration =
+      proposal.total_completions == 0
+          ? 0.0
+          : static_cast<double>(total_gap) /
+                static_cast<double>(proposal.total_completions);
+  return proposal;
+}
+
+Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueAccurate(
+    const Pattern& pattern, const ContinuationConstraints& constraints) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty continuation pattern");
+  }
+  // Line 2: candidate continuations from the Count table.
+  SEQDET_ASSIGN_OR_RETURN(
+      auto candidates, index_->GetFollowerStats(pattern.activities.back()));
+
+  // Detect the base pattern once; each candidate only joins one more pair
+  // (§5.4.2: continuation is incremental, the base is not re-queried).
+  std::vector<PatternMatch> base_matches;
+  if (pattern.size() >= 2) {
+    SEQDET_ASSIGN_OR_RETURN(base_matches, Detect(pattern));
+  }
+
+  std::vector<ContinuationProposal> proposals;
+  proposals.reserve(candidates.size());
+  for (const PairCountStats& candidate : candidates) {
+    ContinuationProposal proposal;
+    if (pattern.size() == 1) {
+      SEQDET_ASSIGN_OR_RETURN(
+          proposal,
+          VerifySingleEventCandidate(pattern.activities.back(),
+                                     candidate.other, constraints));
+    } else {
+      SEQDET_ASSIGN_OR_RETURN(
+          proposal, VerifyCandidate(pattern, base_matches, candidate.other,
+                                    constraints));
+    }
+    proposals.push_back(proposal);
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueAccurateNaive(
+    const Pattern& pattern, const ContinuationConstraints& constraints) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty continuation pattern");
+  }
+  SEQDET_ASSIGN_OR_RETURN(
+      auto candidates, index_->GetFollowerStats(pattern.activities.back()));
+  std::vector<ContinuationProposal> proposals;
+  proposals.reserve(candidates.size());
+  for (const PairCountStats& candidate : candidates) {
+    Pattern extended = pattern.Extended(candidate.other);
+    ContinuationProposal proposal;
+    proposal.activity = candidate.other;
+    if (extended.size() < 2) {
+      proposals.push_back(proposal);
+      continue;
+    }
+    SEQDET_ASSIGN_OR_RETURN(auto matches, Detect(extended));
+    int64_t total_gap = 0;
+    for (const PatternMatch& match : matches) {
+      Timestamp gap = match.timestamps[match.timestamps.size() - 1] -
+                      match.timestamps[match.timestamps.size() - 2];
+      if (constraints.max_gap.has_value() && gap > *constraints.max_gap) {
+        continue;
+      }
+      ++proposal.total_completions;
+      total_gap += gap;
+    }
+    proposal.average_duration =
+        proposal.total_completions == 0
+            ? 0.0
+            : static_cast<double>(total_gap) /
+                  static_cast<double>(proposal.total_completions);
+    proposals.push_back(proposal);
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueFast(
+    const Pattern& pattern) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty continuation pattern");
+  }
+  // Lines 2-8: upper bound of whole-pattern completions.
+  uint64_t max_completions = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i + 1 < pattern.size(); ++i) {
+    SEQDET_ASSIGN_OR_RETURN(
+        PairCountStats stats,
+        index_->GetPairStats(EventTypePair{pattern.activities[i],
+                                           pattern.activities[i + 1]}));
+    max_completions = std::min(max_completions, stats.total_completions);
+  }
+  // Lines 10-13: cap each candidate's count by the pattern bound.
+  SEQDET_ASSIGN_OR_RETURN(
+      auto candidates, index_->GetFollowerStats(pattern.activities.back()));
+  std::vector<ContinuationProposal> proposals;
+  proposals.reserve(candidates.size());
+  for (const PairCountStats& candidate : candidates) {
+    ContinuationProposal proposal;
+    proposal.activity = candidate.other;
+    proposal.total_completions =
+        std::min(max_completions, candidate.total_completions);
+    proposal.average_duration = candidate.AverageDuration();
+    proposals.push_back(proposal);
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+namespace {
+
+/// The pattern with `candidate` inserted before position `gap_index`.
+Pattern Spliced(const Pattern& pattern, size_t gap_index,
+                ActivityId candidate) {
+  Pattern out;
+  out.activities.reserve(pattern.size() + 1);
+  out.activities.insert(out.activities.end(), pattern.activities.begin(),
+                        pattern.activities.begin() +
+                            static_cast<ptrdiff_t>(gap_index));
+  out.activities.push_back(candidate);
+  out.activities.insert(out.activities.end(),
+                        pattern.activities.begin() +
+                            static_cast<ptrdiff_t>(gap_index),
+                        pattern.activities.end());
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueInsertFast(
+    const Pattern& pattern, size_t gap_index) const {
+  if (pattern.empty() || gap_index > pattern.size()) {
+    return Status::InvalidArgument("bad continuation gap index");
+  }
+  if (gap_index == pattern.size()) return ContinueFast(pattern);
+  if (gap_index == 0) {
+    // Prepend: candidates are predecessors of the first event.
+    SEQDET_ASSIGN_OR_RETURN(
+        auto predecessors,
+        index_->GetPredecessorStats(pattern.activities.front()));
+    std::vector<ContinuationProposal> proposals;
+    for (const PairCountStats& candidate : predecessors) {
+      proposals.push_back(ContinuationProposal{
+          candidate.other, candidate.total_completions,
+          candidate.AverageDuration(), 0});
+    }
+    RankProposals(&proposals);
+    return proposals;
+  }
+
+  const ActivityId left = pattern.activities[gap_index - 1];
+  const ActivityId right = pattern.activities[gap_index];
+  SEQDET_ASSIGN_OR_RETURN(auto followers, index_->GetFollowerStats(left));
+  SEQDET_ASSIGN_OR_RETURN(auto predecessors,
+                          index_->GetPredecessorStats(right));
+  std::unordered_map<ActivityId, PairCountStats> into_right;
+  for (const PairCountStats& p : predecessors) into_right.emplace(p.other, p);
+
+  // Upper bound from the rest of the pattern's pairs.
+  uint64_t pattern_bound = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i + 1 < pattern.size(); ++i) {
+    if (i + 1 == gap_index) continue;  // the split pair is replaced
+    SEQDET_ASSIGN_OR_RETURN(
+        PairCountStats stats,
+        index_->GetPairStats(EventTypePair{pattern.activities[i],
+                                           pattern.activities[i + 1]}));
+    pattern_bound = std::min(pattern_bound, stats.total_completions);
+  }
+
+  std::vector<ContinuationProposal> proposals;
+  for (const PairCountStats& out_of_left : followers) {
+    auto it = into_right.find(out_of_left.other);
+    if (it == into_right.end()) continue;  // never precedes `right`
+    ContinuationProposal proposal;
+    proposal.activity = out_of_left.other;
+    proposal.total_completions =
+        std::min({pattern_bound, out_of_left.total_completions,
+                  it->second.total_completions});
+    proposal.average_duration =
+        out_of_left.AverageDuration() + it->second.AverageDuration();
+    proposals.push_back(proposal);
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+Result<std::vector<ContinuationProposal>>
+QueryProcessor::ContinueInsertAccurate(
+    const Pattern& pattern, size_t gap_index,
+    const ContinuationConstraints& constraints) const {
+  if (pattern.empty() || gap_index > pattern.size()) {
+    return Status::InvalidArgument("bad continuation gap index");
+  }
+  if (gap_index == pattern.size()) {
+    return ContinueAccurate(pattern, constraints);
+  }
+  SEQDET_ASSIGN_OR_RETURN(auto candidates,
+                          ContinueInsertFast(pattern, gap_index));
+  std::vector<ContinuationProposal> proposals;
+  proposals.reserve(candidates.size());
+  for (const ContinuationProposal& candidate : candidates) {
+    Pattern spliced = Spliced(pattern, gap_index, candidate.activity);
+    ContinuationProposal proposal;
+    proposal.activity = candidate.activity;
+    if (spliced.size() < 2) {
+      proposals.push_back(candidate);
+      continue;
+    }
+    SEQDET_ASSIGN_OR_RETURN(auto matches, Detect(spliced));
+    int64_t total_gap = 0;
+    for (const PatternMatch& match : matches) {
+      // Duration of the detour through the inserted event.
+      size_t at = gap_index;  // index of the inserted event in the match
+      Timestamp gap =
+          at + 1 < match.timestamps.size()
+              ? match.timestamps[at + 1] -
+                    (at > 0 ? match.timestamps[at - 1]
+                            : match.timestamps[at])
+              : match.timestamps[at] - match.timestamps[at - 1];
+      if (constraints.max_gap.has_value() && gap > *constraints.max_gap) {
+        continue;
+      }
+      ++proposal.total_completions;
+      total_gap += gap;
+    }
+    proposal.average_duration =
+        proposal.total_completions == 0
+            ? 0.0
+            : static_cast<double>(total_gap) /
+                  static_cast<double>(proposal.total_completions);
+    proposals.push_back(proposal);
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueHybrid(
+    const Pattern& pattern, size_t top_k,
+    const ContinuationConstraints& constraints) const {
+  // Line 3: initial ranking from the Fast heuristic.
+  SEQDET_ASSIGN_OR_RETURN(auto fast, ContinueFast(pattern));
+  if (top_k == 0) return fast;
+
+  // Line 4: Accurate verification of the topK candidates only.
+  std::vector<PatternMatch> base_matches;
+  if (pattern.size() >= 2) {
+    SEQDET_ASSIGN_OR_RETURN(base_matches, Detect(pattern));
+  }
+  std::vector<ContinuationProposal> proposals;
+  size_t limit = std::min(top_k, fast.size());
+  for (size_t i = 0; i < limit; ++i) {
+    ContinuationProposal proposal;
+    if (pattern.size() == 1) {
+      SEQDET_ASSIGN_OR_RETURN(
+          proposal,
+          VerifySingleEventCandidate(pattern.activities.back(),
+                                     fast[i].activity, constraints));
+    } else {
+      SEQDET_ASSIGN_OR_RETURN(
+          proposal, VerifyCandidate(pattern, base_matches, fast[i].activity,
+                                    constraints));
+    }
+    proposals.push_back(proposal);
+  }
+  // Line 5: only the verified topK are returned, re-ranked by their
+  // accurate scores. (Mixing the unverified Fast tail back in would let
+  // its optimistic upper-bound counts outrank verified candidates.)
+  RankProposals(&proposals);
+  return proposals;
+}
+
+}  // namespace seqdet::query

@@ -1,0 +1,187 @@
+#ifndef SEQDET_QUERY_QUERY_PROCESSOR_H_
+#define SEQDET_QUERY_QUERY_PROCESSOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "index/sequence_index.h"
+#include "query/pattern.h"
+
+namespace seqdet::query {
+
+/// One detected occurrence of a pattern: the trace and the timestamp of
+/// each matched event (so callers get start/end times for free, §3.2.1).
+struct PatternMatch {
+  eventlog::TraceId trace = 0;
+  std::vector<eventlog::Timestamp> timestamps;
+
+  friend bool operator==(const PatternMatch&, const PatternMatch&) = default;
+};
+
+/// Statistics-query output for one consecutive pair of the pattern.
+struct PairStatisticsRow {
+  index::EventTypePair pair;
+  uint64_t total_completions = 0;
+  double average_duration = 0;
+  /// Timestamp of the pair's most recent indexed completion across all
+  /// traces (from LastChecked, §3.2.1); absent unless requested or never
+  /// completed.
+  std::optional<eventlog::Timestamp> last_completion;
+};
+
+/// Knobs for the Statistics query.
+struct StatisticsOptions {
+  /// Also retrieve each pair's most recent completion timestamp. Costs one
+  /// LastChecked range scan per pair.
+  bool include_last_completion = false;
+};
+
+/// Optional constraints for detection queries (a practical extension the
+/// paper's time-aware queries motivate).
+struct DetectionConstraints {
+  /// Max time between consecutive matched events.
+  std::optional<eventlog::Timestamp> max_gap;
+  /// Max time between the first and the last matched event.
+  std::optional<eventlog::Timestamp> max_span;
+};
+
+/// Output of the Statistics query: pairwise rows plus the derived
+/// whole-pattern insights §3.2.1 describes.
+struct StatisticsResult {
+  std::vector<PairStatisticsRow> pairs;
+  /// Upper bound on whole-pattern completions (min over pair completions).
+  uint64_t completions_upper_bound = 0;
+  /// Estimate of the whole-pattern duration (sum of pair avg durations).
+  double estimated_duration = 0;
+};
+
+/// One ranked pattern-continuation candidate.
+struct ContinuationProposal {
+  eventlog::ActivityId activity = 0;
+  uint64_t total_completions = 0;
+  double average_duration = 0;
+  /// Equation 1: total_completions / average_duration.
+  double score = 0;
+};
+
+/// Optional constraint for the Accurate continuation (Algorithm 3 line 7):
+/// only count completions whose gap between ev_p and the appended event is
+/// at most `max_gap`.
+struct ContinuationConstraints {
+  std::optional<eventlog::Timestamp> max_gap;
+};
+
+/// The query-processor component of Figure 1. All queries run against a
+/// SequenceIndex; none touches the raw log.
+class QueryProcessor {
+ public:
+  explicit QueryProcessor(const index::SequenceIndex* index)
+      : index_(index) {}
+
+  /// Statistics query: per consecutive pair, completions and average
+  /// duration from the Count table; plus whole-pattern bounds.
+  Result<StatisticsResult> Statistics(
+      const Pattern& pattern, const StatisticsOptions& options = {}) const;
+
+  /// Pattern detection (Algorithm 2): every trace occurrence of `pattern`
+  /// under the index's policy. Patterns need >= 2 events (the index is
+  /// pair-based).
+  Result<std::vector<PatternMatch>> Detect(
+      const Pattern& pattern,
+      const DetectionConstraints& constraints = {}) const;
+
+  /// Accurate continuation (Algorithm 3): every candidate continuation is
+  /// verified with a full detection of the extended pattern.
+  Result<std::vector<ContinuationProposal>> ContinueAccurate(
+      const Pattern& pattern,
+      const ContinuationConstraints& constraints = {}) const;
+
+  /// Algorithm 3 exactly as printed: getCompletions(tempPattern) re-runs
+  /// the full detection for every candidate, so the cost is
+  /// |candidates| x Detect(p+1). ContinueAccurate computes the base
+  /// matches once and joins each candidate's single extra pair instead —
+  /// same results, and the ablation bench quantifies the gap.
+  Result<std::vector<ContinuationProposal>> ContinueAccurateNaive(
+      const Pattern& pattern,
+      const ContinuationConstraints& constraints = {}) const;
+
+  /// Fast continuation (Algorithm 4): pure Count-table heuristic; the
+  /// completion count is the min of the pattern's pairwise upper bound and
+  /// the candidate pair's count.
+  Result<std::vector<ContinuationProposal>> ContinueFast(
+      const Pattern& pattern) const;
+
+  /// Hybrid continuation (Algorithm 5): Fast ranking, then Accurate
+  /// verification of the topK candidates; only the verified candidates are
+  /// returned, re-ranked by their accurate scores. topK = 0 degenerates to
+  /// Fast (the full heuristic list); topK >= |A| to Accurate.
+  Result<std::vector<ContinuationProposal>> ContinueHybrid(
+      const Pattern& pattern, size_t top_k,
+      const ContinuationConstraints& constraints = {}) const;
+
+  /// Evaluates many detection queries, optionally in parallel on `pool`
+  /// (reads are lock-free against a quiescent index, so this scales with
+  /// cores). Result i corresponds to patterns[i]; a failed query yields an
+  /// empty result and the first error is returned.
+  Result<std::vector<std::vector<PatternMatch>>> DetectBatch(
+      const std::vector<Pattern>& patterns, ThreadPool* pool = nullptr,
+      const DetectionConstraints& constraints = {}) const;
+
+  /// Drill-down: detects `pattern` inside one stored trace by replaying
+  /// its Seq-table sequence. Unlike Detect this uses *whole-pattern*
+  /// semantics (SC: all windows; STNM: greedy non-overlapping), so it can
+  /// also verify Algorithm 2 results. Requires the Seq table; STAM is
+  /// unsupported (enumeration can be exponential — use Detect).
+  Result<std::vector<PatternMatch>> DetectInTrace(
+      eventlog::TraceId trace, const Pattern& pattern) const;
+
+  /// §7 extension — continuation "at arbitrary places in the query
+  /// pattern": proposes events to insert between pattern[gap_index-1] and
+  /// pattern[gap_index]. gap_index = pattern.size() appends at the end
+  /// (== ContinueAccurate). Candidates are events that both follow the
+  /// left neighbour and precede the right neighbour (Count ∩ ReverseCount);
+  /// each is verified with a full detection of the spliced pattern.
+  Result<std::vector<ContinuationProposal>> ContinueInsertAccurate(
+      const Pattern& pattern, size_t gap_index,
+      const ContinuationConstraints& constraints = {}) const;
+
+  /// Heuristic flavor of ContinueInsertAccurate: pairwise Count bounds
+  /// only, no detection.
+  Result<std::vector<ContinuationProposal>> ContinueInsertFast(
+      const Pattern& pattern, size_t gap_index) const;
+
+  const index::SequenceIndex* index() const { return index_; }
+
+ private:
+  /// Joins `matches` with the postings of (last pattern event, next):
+  /// keeps matches whose last event is the first component of a posting,
+  /// extended by the posting's second timestamp (the Algorithm 2 step).
+  static std::vector<PatternMatch> ExtendMatches(
+      const std::vector<PatternMatch>& matches,
+      const std::vector<index::PairOccurrence>& postings);
+
+  /// Scores + sorts proposals by Equation 1 (descending).
+  static void RankProposals(std::vector<ContinuationProposal>* proposals);
+
+  /// Accurate verification of a single candidate given the precomputed
+  /// base-pattern matches (the "incremental" advantage of §5.4.2: the base
+  /// pattern is not re-detected per candidate).
+  Result<ContinuationProposal> VerifyCandidate(
+      const Pattern& pattern, const std::vector<PatternMatch>& base_matches,
+      eventlog::ActivityId candidate,
+      const ContinuationConstraints& constraints) const;
+
+  /// Accurate verification for a single-event base pattern: the postings of
+  /// (base, candidate) are themselves the completions.
+  Result<ContinuationProposal> VerifySingleEventCandidate(
+      eventlog::ActivityId base, eventlog::ActivityId candidate,
+      const ContinuationConstraints& constraints) const;
+
+  const index::SequenceIndex* index_;
+};
+
+}  // namespace seqdet::query
+
+#endif  // SEQDET_QUERY_QUERY_PROCESSOR_H_

@@ -1,0 +1,350 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace seqdet::server {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 1u << 20;  // 1 MiB
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  JsonWriter json;
+  json.BeginObject().Key("error").String(message).EndObject();
+  return HttpResponse{status, "application/json", json.str()};
+}
+
+std::string HttpServer::UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> HttpServer::ParseQueryString(
+    std::string_view s) {
+  std::map<std::string, std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t amp = s.find('&', start);
+    if (amp == std::string_view::npos) amp = s.size();
+    std::string_view pair = s.substr(start, amp - start);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out[UrlDecode(pair)] = "";
+      } else {
+        out[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    start = amp + 1;
+  }
+  return out;
+}
+
+void HttpServer::Route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::Internal("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(StringPrintf("bind(127.0.0.1:%u) failed", port));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string buffer;
+  buffer.reserve(4096);
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while (buffer.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+  }
+  if (header_end == std::string::npos) {
+    HttpResponse bad = HttpResponse::Error(400, "malformed request");
+    std::string raw = StringPrintf(
+        "HTTP/1.1 400 Bad Request\r\nContent-Length: %zu\r\nConnection: "
+        "close\r\n\r\n",
+        bad.body.size());
+    SendAll(fd, raw + bad.body);
+    return;
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  HttpRequest request;
+  {
+    size_t line_end = buffer.find("\r\n");
+    std::string_view line(buffer.data(), line_end);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string_view::npos
+                     ? std::string_view::npos
+                     : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      SendAll(fd,
+              "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n");
+      return;
+    }
+    request.method = std::string(line.substr(0, sp1));
+    std::string target(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    size_t question = target.find('?');
+    if (question == std::string::npos) {
+      request.path = UrlDecode(target);
+    } else {
+      request.path = UrlDecode(target.substr(0, question));
+      request.query = ParseQueryString(
+          std::string_view(target).substr(question + 1));
+    }
+  }
+
+  // Content-Length body (POST).
+  size_t content_length = 0;
+  {
+    std::string_view headers(buffer.data() + buffer.find("\r\n") + 2,
+                             header_end - buffer.find("\r\n") - 2);
+    for (auto& header : Split(headers, '\n')) {
+      auto colon = header.find(':');
+      if (colon == std::string::npos) continue;
+      std::string key(Trim(header.substr(0, colon)));
+      for (auto& c : key) c = static_cast<char>(std::tolower(
+          static_cast<unsigned char>(c)));
+      if (key == "content-length") {
+        int64_t v;
+        if (ParseInt64(Trim(header.substr(colon + 1)), &v) && v >= 0 &&
+            static_cast<size_t>(v) < kMaxRequestBytes) {
+          content_length = static_cast<size_t>(v);
+        }
+      }
+    }
+  }
+  size_t body_start = header_end + 4;
+  while (buffer.size() < body_start + content_length &&
+         buffer.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  request.body = buffer.substr(body_start, content_length);
+
+  HttpResponse response;
+  auto it = routes_.find(request.path);
+  if (it == routes_.end()) {
+    response = HttpResponse::Error(404, "no such endpoint: " + request.path);
+  } else {
+    response = it->second(request);
+  }
+
+  std::string raw = StringPrintf(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
+  SendAll(fd, raw + response.body);
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::MaybeComma() {
+  if (need_comma_) out_.push_back(',');
+  need_comma_ = false;
+}
+
+void JsonWriter::Escape(std::string_view s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += StringPrintf("\\u%04x", c);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  Escape(key);
+  out_.push_back(':');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  Escape(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  MaybeComma();
+  out_ += StringPrintf("%.6g", value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+}  // namespace seqdet::server

@@ -1,0 +1,112 @@
+#ifndef SEQDET_SERVER_HTTP_SERVER_H_
+#define SEQDET_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace seqdet::server {
+
+/// A parsed HTTP request (the subset a query API needs).
+struct HttpRequest {
+  std::string method;  // "GET" / "POST"
+  std::string path;    // without the query string
+  std::map<std::string, std::string> query;  // decoded query parameters
+  std::string body;
+};
+
+/// A response to serialize.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse Json(std::string body) {
+    return HttpResponse{200, "application/json", std::move(body)};
+  }
+  static HttpResponse Error(int status, const std::string& message);
+};
+
+/// Minimal blocking HTTP/1.1 server over POSIX sockets — the substitute
+/// for the paper's Java Spring query processor (Figure 1's second
+/// component runs as a service). One accept loop on a background thread;
+/// handlers run inline per connection ("Connection: close" semantics),
+/// which is plenty for a query API whose work is index lookups.
+///
+/// Not exposed to untrusted networks: it binds 127.0.0.1 only and parses
+/// defensively (bounded header/body sizes, malformed requests get 400).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for exact path `path`.
+  void Route(const std::string& path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(uint16_t port);
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the loop. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// Percent-decodes a URL component ("%20" -> ' ', '+' -> ' ').
+  static std::string UrlDecode(std::string_view s);
+
+  /// Parses "a=1&b=x%20y" into a map.
+  static std::map<std::string, std::string> ParseQueryString(
+      std::string_view s);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+};
+
+/// Tiny JSON writer for the handlers (strings, numbers, arrays, objects —
+/// write-only; the server never parses client JSON).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void Escape(std::string_view s);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace seqdet::server
+
+#endif  // SEQDET_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,183 @@
+#include "server/query_service.h"
+
+#include "common/strings.h"
+#include "query/pattern_parser.h"
+
+namespace seqdet::server {
+
+namespace {
+
+size_t LimitParam(const HttpRequest& request, size_t fallback) {
+  auto it = request.query.find("limit");
+  if (it == request.query.end()) return fallback;
+  int64_t v;
+  return ParseInt64(it->second, &v) && v >= 0 ? static_cast<size_t>(v)
+                                              : fallback;
+}
+
+}  // namespace
+
+void QueryService::RegisterRoutes(HttpServer* server) {
+  server->Route("/health",
+                [this](const HttpRequest& r) { return HandleHealth(r); });
+  server->Route("/info",
+                [this](const HttpRequest& r) { return HandleInfo(r); });
+  server->Route("/detect",
+                [this](const HttpRequest& r) { return HandleDetect(r); });
+  server->Route("/stats",
+                [this](const HttpRequest& r) { return HandleStats(r); });
+  server->Route("/continue",
+                [this](const HttpRequest& r) { return HandleContinue(r); });
+}
+
+HttpResponse QueryService::HandleHealth(const HttpRequest&) const {
+  JsonWriter json;
+  json.BeginObject().Key("status").String("ok").EndObject();
+  return HttpResponse::Json(json.str());
+}
+
+HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("policy")
+      .String(index::PolicyName(index_->options().policy))
+      .Key("periods")
+      .Int(static_cast<int64_t>(index_->num_periods()))
+      .Key("activities")
+      .Int(static_cast<int64_t>(index_->dictionary().size()))
+      .EndObject();
+  return HttpResponse::Json(json.str());
+}
+
+HttpResponse QueryService::HandleDetect(const HttpRequest& request) const {
+  auto q = request.query.find("q");
+  if (q == request.query.end()) {
+    return HttpResponse::Error(400, "missing q parameter");
+  }
+  auto parsed = query::ParsePatternQuery(q->second, index_->dictionary());
+  if (!parsed.ok()) {
+    return HttpResponse::Error(400, parsed.status().ToString());
+  }
+  auto matches = qp_.Detect(parsed->pattern, parsed->constraints);
+  if (!matches.ok()) {
+    return HttpResponse::Error(400, matches.status().ToString());
+  }
+  size_t limit = LimitParam(request, 100);
+  JsonWriter json;
+  json.BeginObject()
+      .Key("total")
+      .Int(static_cast<int64_t>(matches->size()))
+      .Key("matches")
+      .BeginArray();
+  for (size_t i = 0; i < matches->size() && i < limit; ++i) {
+    const auto& match = (*matches)[i];
+    json.BeginObject()
+        .Key("trace")
+        .Int(static_cast<int64_t>(match.trace))
+        .Key("timestamps")
+        .BeginArray();
+    for (auto ts : match.timestamps) json.Int(ts);
+    json.EndArray().EndObject();
+  }
+  json.EndArray().EndObject();
+  return HttpResponse::Json(json.str());
+}
+
+HttpResponse QueryService::HandleStats(const HttpRequest& request) const {
+  auto q = request.query.find("q");
+  if (q == request.query.end()) {
+    return HttpResponse::Error(400, "missing q parameter");
+  }
+  auto parsed = query::ParsePatternQuery(q->second, index_->dictionary());
+  if (!parsed.ok()) {
+    return HttpResponse::Error(400, parsed.status().ToString());
+  }
+  query::StatisticsOptions options;
+  options.include_last_completion = request.query.count("last") > 0;
+  auto stats = qp_.Statistics(parsed->pattern, options);
+  if (!stats.ok()) {
+    return HttpResponse::Error(400, stats.status().ToString());
+  }
+  const auto& dict = index_->dictionary();
+  JsonWriter json;
+  json.BeginObject().Key("pairs").BeginArray();
+  for (const auto& row : stats->pairs) {
+    json.BeginObject()
+        .Key("first")
+        .String(dict.Name(row.pair.first))
+        .Key("second")
+        .String(dict.Name(row.pair.second))
+        .Key("completions")
+        .Int(static_cast<int64_t>(row.total_completions))
+        .Key("avg_duration")
+        .Double(row.average_duration);
+    if (row.last_completion.has_value()) {
+      json.Key("last_completion").Int(*row.last_completion);
+    }
+    json.EndObject();
+  }
+  json.EndArray()
+      .Key("completions_upper_bound")
+      .Int(static_cast<int64_t>(stats->completions_upper_bound))
+      .Key("estimated_duration")
+      .Double(stats->estimated_duration)
+      .EndObject();
+  return HttpResponse::Json(json.str());
+}
+
+HttpResponse QueryService::HandleContinue(const HttpRequest& request) const {
+  auto q = request.query.find("q");
+  if (q == request.query.end()) {
+    return HttpResponse::Error(400, "missing q parameter");
+  }
+  auto parsed = query::ParsePatternQuery(q->second, index_->dictionary());
+  if (!parsed.ok()) {
+    return HttpResponse::Error(400, parsed.status().ToString());
+  }
+  std::string mode = "accurate";
+  if (auto it = request.query.find("mode"); it != request.query.end()) {
+    mode = it->second;
+  }
+  Result<std::vector<query::ContinuationProposal>> proposals =
+      Status::Internal("unset");
+  if (mode == "accurate") {
+    proposals = qp_.ContinueAccurate(parsed->pattern);
+  } else if (mode == "fast") {
+    proposals = qp_.ContinueFast(parsed->pattern);
+  } else if (mode == "hybrid") {
+    size_t topk = 5;
+    if (auto it = request.query.find("topk"); it != request.query.end()) {
+      int64_t v;
+      if (ParseInt64(it->second, &v) && v >= 0) {
+        topk = static_cast<size_t>(v);
+      }
+    }
+    proposals = qp_.ContinueHybrid(parsed->pattern, topk);
+  } else {
+    return HttpResponse::Error(400, "unknown mode: " + mode);
+  }
+  if (!proposals.ok()) {
+    return HttpResponse::Error(400, proposals.status().ToString());
+  }
+  const auto& dict = index_->dictionary();
+  size_t limit = LimitParam(request, 20);
+  JsonWriter json;
+  json.BeginObject().Key("proposals").BeginArray();
+  for (size_t i = 0; i < proposals->size() && i < limit; ++i) {
+    const auto& p = (*proposals)[i];
+    json.BeginObject()
+        .Key("activity")
+        .String(dict.Name(p.activity))
+        .Key("completions")
+        .Int(static_cast<int64_t>(p.total_completions))
+        .Key("avg_duration")
+        .Double(p.average_duration)
+        .Key("score")
+        .Double(p.score)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  return HttpResponse::Json(json.str());
+}
+
+}  // namespace seqdet::server

@@ -1,0 +1,44 @@
+#ifndef SEQDET_SERVER_QUERY_SERVICE_H_
+#define SEQDET_SERVER_QUERY_SERVICE_H_
+
+#include "index/sequence_index.h"
+#include "query/query_processor.h"
+#include "server/http_server.h"
+
+namespace seqdet::server {
+
+/// The query-processor service of Figure 1 (the paper deploys it as a Java
+/// Spring application): JSON-over-HTTP endpoints in front of a
+/// SequenceIndex.
+///
+/// Endpoints (all GET, pattern expressions use the textual language of
+/// query/pattern_parser.h, URL-encoded in `q`):
+///   /health                               liveness probe
+///   /info                                 policy, periods, activity count
+///   /detect?q=A->B[&limit=N]              pattern detection
+///   /stats?q=A->B[&last=1]                pairwise statistics
+///   /continue?q=A->B&mode=accurate|fast|hybrid[&topk=K][&limit=N]
+///
+/// The service borrows the index; both must outlive the HttpServer.
+class QueryService {
+ public:
+  explicit QueryService(const index::SequenceIndex* index)
+      : index_(index), qp_(index) {}
+
+  /// Registers every endpoint on `server`.
+  void RegisterRoutes(HttpServer* server);
+
+ private:
+  HttpResponse HandleHealth(const HttpRequest& request) const;
+  HttpResponse HandleInfo(const HttpRequest& request) const;
+  HttpResponse HandleDetect(const HttpRequest& request) const;
+  HttpResponse HandleStats(const HttpRequest& request) const;
+  HttpResponse HandleContinue(const HttpRequest& request) const;
+
+  const index::SequenceIndex* index_;
+  query::QueryProcessor qp_;
+};
+
+}  // namespace seqdet::server
+
+#endif  // SEQDET_SERVER_QUERY_SERVICE_H_

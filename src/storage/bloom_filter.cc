@@ -1,0 +1,46 @@
+#include "storage/bloom_filter.h"
+
+#include <algorithm>
+
+namespace seqdet::storage {
+
+BloomFilter::BloomFilter(size_t expected_keys, size_t bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 63) / 64, 0);
+  // k = ln(2) * bits/key, clamped to a sane range.
+  num_probes_ = std::clamp<size_t>(
+      static_cast<size_t>(0.69 * static_cast<double>(bits_per_key)), 1, 8);
+}
+
+uint64_t BloomFilter::Hash(std::string_view key, uint64_t seed) {
+  // FNV-1a with a seed twist; double hashing derives the probe sequence.
+  uint64_t h = 0xcbf29ce484222325ULL ^ (seed * 0x9e3779b97f4a7c15ULL);
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const uint64_t h1 = Hash(key, 1);
+  const uint64_t h2 = Hash(key, 2) | 1;  // odd stride
+  const size_t nbits = bits_.size() * 64;
+  for (size_t i = 0; i < num_probes_; ++i) {
+    size_t bit = (h1 + i * h2) % nbits;
+    bits_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const uint64_t h1 = Hash(key, 1);
+  const uint64_t h2 = Hash(key, 2) | 1;
+  const size_t nbits = bits_.size() * 64;
+  for (size_t i = 0; i < num_probes_; ++i) {
+    size_t bit = (h1 + i * h2) % nbits;
+    if ((bits_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace seqdet::storage

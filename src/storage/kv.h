@@ -1,0 +1,64 @@
+#ifndef SEQDET_STORAGE_KV_H_
+#define SEQDET_STORAGE_KV_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/write_batch.h"
+
+namespace seqdet::storage {
+
+/// The key-value surface the index layer programs against. Two
+/// implementations exist:
+///  * Table        — one memtable + segment stack + WAL under one lock;
+///  * ShardedTable — N Tables routed by key hash, the analogue of a
+///                   Cassandra table spread over token-ring partitions;
+///                   writers touching different shards proceed in parallel.
+class Kv {
+ public:
+  virtual ~Kv() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Status Append(std::string_view key, std::string_view fragment) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+
+  /// Applies all records of `batch` (atomic per shard).
+  virtual Status Apply(const WriteBatch& batch) = 0;
+
+  /// Reads the folded value of `key`; NotFound when absent.
+  virtual Status Get(std::string_view key, std::string* value) const = 0;
+
+  virtual bool Contains(std::string_view key) const = 0;
+
+  /// Ordered scan over [start_key, end_key); empty end = unbounded. `fn`
+  /// returning false stops the scan.
+  virtual Status Scan(
+      std::string_view start_key, std::string_view end_key,
+      const std::function<bool(std::string_view, std::string_view)>& fn)
+      const = 0;
+
+  virtual Status Flush() = 0;
+  virtual Status Compact() = 0;
+  virtual size_t ApproximateEntryCount() const = 0;
+  virtual const std::string& name() const = 0;
+};
+
+/// Smallest key strictly greater than every key with `prefix`; empty means
+/// "unbounded" (prefix was all 0xff). Pass as Scan's end_key to get a
+/// prefix scan.
+inline std::string PrefixScanEnd(std::string_view prefix) {
+  std::string end(prefix);
+  while (!end.empty() && static_cast<unsigned char>(end.back()) == 0xffu) {
+    end.pop_back();
+  }
+  if (!end.empty()) {
+    end.back() = static_cast<char>(static_cast<unsigned char>(end.back()) + 1);
+  }
+  return end;
+}
+
+}  // namespace seqdet::storage
+
+#endif  // SEQDET_STORAGE_KV_H_

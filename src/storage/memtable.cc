@@ -1,0 +1,61 @@
+#include "storage/memtable.h"
+
+namespace seqdet::storage {
+
+void MemTable::Apply(RecordKind kind, std::string_view key,
+                     std::string_view value) {
+  auto it = entries_.find(key);
+  switch (kind) {
+    case RecordKind::kPut:
+      if (it == entries_.end()) {
+        approximate_bytes_ += key.size() + value.size() + 32;
+        entries_.emplace(std::string(key),
+                         Entry{RecordKind::kPut, std::string(value)});
+      } else {
+        approximate_bytes_ += value.size();
+        approximate_bytes_ -= it->second.value.size();
+        it->second.kind = RecordKind::kPut;
+        it->second.value.assign(value);
+      }
+      break;
+    case RecordKind::kDelete:
+      if (it == entries_.end()) {
+        approximate_bytes_ += key.size() + 32;
+        entries_.emplace(std::string(key), Entry{RecordKind::kDelete, {}});
+      } else {
+        approximate_bytes_ -= it->second.value.size();
+        it->second.kind = RecordKind::kDelete;
+        it->second.value.clear();
+      }
+      break;
+    case RecordKind::kAppend:
+      if (it == entries_.end()) {
+        approximate_bytes_ += key.size() + value.size() + 32;
+        entries_.emplace(std::string(key),
+                         Entry{RecordKind::kAppend, std::string(value)});
+      } else {
+        approximate_bytes_ += value.size();
+        if (it->second.kind == RecordKind::kDelete) {
+          // Delete followed by append == put of just the fragment.
+          it->second.kind = RecordKind::kPut;
+          it->second.value.assign(value);
+        } else {
+          // Put+append stays kPut; append+append stays kAppend.
+          it->second.value.append(value);
+        }
+      }
+      break;
+  }
+}
+
+const MemTable::Entry* MemTable::Find(std::string_view key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void MemTable::Clear() {
+  entries_.clear();
+  approximate_bytes_ = 0;
+}
+
+}  // namespace seqdet::storage

@@ -1,0 +1,56 @@
+#ifndef SEQDET_STORAGE_MEMTABLE_H_
+#define SEQDET_STORAGE_MEMTABLE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "storage/record.h"
+
+namespace seqdet::storage {
+
+/// In-memory write buffer of one table: an ordered map from key to the
+/// *partially folded* state of that key since the last flush.
+///
+/// Each entry collapses the mutation history seen by the memtable:
+///  * kPut     — the key was overwritten (or deleted-then-appended etc.);
+///               `value` is final as of this memtable, older segments are
+///               irrelevant.
+///  * kDelete  — tombstone; shadows older segments.
+///  * kAppend  — only appends were seen; `value` is the concatenation of the
+///               fragments and must be merged after older state on reads.
+class MemTable {
+ public:
+  struct Entry {
+    RecordKind kind = RecordKind::kAppend;
+    std::string value;
+  };
+
+  MemTable() = default;
+
+  /// Folds one mutation into the buffered state of `key`.
+  void Apply(RecordKind kind, std::string_view key, std::string_view value);
+
+  /// Returns the buffered entry for `key` or nullptr.
+  const Entry* Find(std::string_view key) const;
+
+  const std::map<std::string, Entry, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Approximate heap usage, used for flush thresholds.
+  size_t ApproximateBytes() const { return approximate_bytes_; }
+
+  void Clear();
+
+ private:
+  std::map<std::string, Entry, std::less<>> entries_;
+  size_t approximate_bytes_ = 0;
+};
+
+}  // namespace seqdet::storage
+
+#endif  // SEQDET_STORAGE_MEMTABLE_H_

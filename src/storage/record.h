@@ -1,0 +1,31 @@
+#ifndef SEQDET_STORAGE_RECORD_H_
+#define SEQDET_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace seqdet::storage {
+
+/// Kinds of mutations a table accepts.
+///
+/// `kAppend` is the store's merge operator: the fragment is logically
+/// concatenated to whatever value the key already has. The event-pair index
+/// relies on it — incremental index updates append `(trace, ts_a, ts_b)`
+/// triples to posting lists without reading them back (Cassandra-style
+/// write-path behaviour, resolved lazily on reads and during compaction).
+enum class RecordKind : uint8_t {
+  kPut = 0,
+  kAppend = 1,
+  kDelete = 2,
+};
+
+/// A single mutation against one key.
+struct Record {
+  RecordKind kind = RecordKind::kPut;
+  std::string key;
+  std::string value;  // empty for kDelete
+};
+
+}  // namespace seqdet::storage
+
+#endif  // SEQDET_STORAGE_RECORD_H_

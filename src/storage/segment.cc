@@ -1,0 +1,147 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/strings.h"
+
+namespace seqdet::storage {
+
+namespace {
+constexpr std::string_view kMagic = "SDSEG1";
+constexpr size_t kFooterSize = 8 + 4;  // fixed64 count + fixed32 crc
+}  // namespace
+
+Result<std::shared_ptr<Segment>> Segment::FromBuffer(std::string buffer) {
+  if (buffer.size() < kMagic.size() + kFooterSize) {
+    return Status::Corruption("segment too small");
+  }
+  if (std::string_view(buffer).substr(0, kMagic.size()) != kMagic) {
+    return Status::Corruption("bad segment magic");
+  }
+  std::string_view footer =
+      std::string_view(buffer).substr(buffer.size() - kFooterSize);
+  uint64_t count;
+  uint32_t crc;
+  GetFixed64(&footer, &count);
+  GetFixed32(&footer, &crc);
+  std::string_view body(buffer.data(), buffer.size() - kFooterSize);
+  if (Crc32(body) != crc) {
+    return Status::Corruption("segment checksum mismatch");
+  }
+
+  auto segment = std::shared_ptr<Segment>(new Segment());
+  segment->buffer_ = std::move(buffer);
+  std::string_view cursor(segment->buffer_);
+  cursor.remove_prefix(kMagic.size());
+  cursor.remove_suffix(kFooterSize);
+  // The footer is outside the checksummed body, so `count` is untrusted:
+  // clamp the reservation to what the body could possibly hold (entries
+  // are >= 3 bytes) and rely on the count-mismatch check below.
+  segment->entries_.reserve(
+      std::min<uint64_t>(count, cursor.size() / 3 + 1));
+  while (!cursor.empty()) {
+    if (segment->entries_.size() == count) {
+      return Status::Corruption("segment has trailing bytes");
+    }
+    uint8_t kind = static_cast<uint8_t>(cursor.front());
+    if (kind > static_cast<uint8_t>(RecordKind::kDelete)) {
+      return Status::Corruption("bad record kind in segment");
+    }
+    cursor.remove_prefix(1);
+    std::string_view key, value;
+    if (!GetLengthPrefixed(&cursor, &key) ||
+        !GetLengthPrefixed(&cursor, &value)) {
+      return Status::Corruption("truncated segment entry");
+    }
+    segment->entries_.push_back(
+        EntryRef{key, static_cast<RecordKind>(kind), value});
+  }
+  if (segment->entries_.size() != count) {
+    return Status::Corruption(
+        StringPrintf("segment entry count mismatch: footer says %llu, "
+                     "parsed %zu",
+                     static_cast<unsigned long long>(count),
+                     segment->entries_.size()));
+  }
+  segment->bloom_ = BloomFilter(segment->entries_.size());
+  for (const EntryRef& entry : segment->entries_) {
+    segment->bloom_.Add(entry.key);
+  }
+  return segment;
+}
+
+Result<std::shared_ptr<Segment>> Segment::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open segment " + path);
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read failed for segment " + path);
+  }
+  auto result = FromBuffer(std::move(buffer));
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  result.status().message() + " (" + path + ")");
+  }
+  return result;
+}
+
+size_t Segment::LowerBound(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const EntryRef& e, std::string_view k) { return e.key < k; });
+  return static_cast<size_t>(it - entries_.begin());
+}
+
+const Segment::EntryRef* Segment::Find(std::string_view key) const {
+  if (!bloom_.MayContain(key)) return nullptr;
+  size_t pos = LowerBound(key);
+  if (pos < entries_.size() && entries_[pos].key == key) {
+    return &entries_[pos];
+  }
+  return nullptr;
+}
+
+SegmentBuilder::SegmentBuilder() { buffer_.append(kMagic); }
+
+Status SegmentBuilder::Add(std::string_view key, RecordKind kind,
+                           std::string_view value) {
+  if (finished_) return Status::Internal("builder already finished");
+  if (count_ > 0 && key <= last_key_) {
+    return Status::InvalidArgument("segment keys must be strictly ascending");
+  }
+  buffer_.push_back(static_cast<char>(kind));
+  PutLengthPrefixed(&buffer_, key);
+  PutLengthPrefixed(&buffer_, value);
+  last_key_.assign(key);
+  ++count_;
+  return Status::OK();
+}
+
+std::string SegmentBuilder::Finish() {
+  finished_ = true;
+  uint32_t crc = Crc32(buffer_);
+  PutFixed64(&buffer_, count_);
+  PutFixed32(&buffer_, crc);
+  return std::move(buffer_);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view buffer) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    if (!out) return Status::IOError("write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace seqdet::storage

@@ -1,0 +1,94 @@
+#ifndef SEQDET_STORAGE_SEGMENT_H_
+#define SEQDET_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/bloom_filter.h"
+#include "storage/record.h"
+
+namespace seqdet::storage {
+
+/// Immutable sorted run of folded records, the on-disk unit of a table.
+///
+/// Layout:
+/// ```
+///   "SDSEG1"                                  6-byte magic
+///   entry*   : kind(1) varint(klen) key varint(vlen) value   (ascending key)
+///   footer   : fixed64 entry_count, fixed32 crc32(everything before footer)
+/// ```
+///
+/// Readers keep the whole segment in memory and binary-search a parsed
+/// entry index. That matches this library's scale (posting lists of a few
+/// hundred MB at most) and keeps point reads allocation-free; a block-based
+/// format would drop in behind the same interface if needed.
+class Segment {
+ public:
+  struct EntryRef {
+    std::string_view key;
+    RecordKind kind;
+    std::string_view value;
+  };
+
+  /// Parses a serialized segment (validates magic, footer and checksum).
+  static Result<std::shared_ptr<Segment>> FromBuffer(std::string buffer);
+
+  /// Reads and parses the segment file at `path`.
+  static Result<std::shared_ptr<Segment>> Load(const std::string& path);
+
+  /// Binary-searches for `key`; returns nullptr when absent. A Bloom
+  /// filter built at load time rejects most absent keys without the
+  /// search.
+  const EntryRef* Find(std::string_view key) const;
+
+  /// Bloom pre-test only (false = definitely absent).
+  bool MayContain(std::string_view key) const {
+    return bloom_.MayContain(key);
+  }
+
+  /// Index of the first entry with key >= `key` (for scans).
+  size_t LowerBound(std::string_view key) const;
+
+  const std::vector<EntryRef>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  size_t SizeBytes() const { return buffer_.size(); }
+
+ private:
+  Segment() : bloom_(0) {}
+
+  std::string buffer_;
+  std::vector<EntryRef> entries_;  // views into buffer_
+  BloomFilter bloom_;
+};
+
+/// Streams folded records (in ascending key order) into the segment format.
+class SegmentBuilder {
+ public:
+  SegmentBuilder();
+
+  /// Adds one entry; keys must be strictly ascending.
+  Status Add(std::string_view key, RecordKind kind, std::string_view value);
+
+  /// Seals the segment and returns the serialized bytes.
+  std::string Finish();
+
+  size_t num_entries() const { return count_; }
+
+ private:
+  std::string buffer_;
+  std::string last_key_;
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Writes `buffer` to `path` atomically (write temp + rename).
+Status WriteFileAtomic(const std::string& path, std::string_view buffer);
+
+}  // namespace seqdet::storage
+
+#endif  // SEQDET_STORAGE_SEGMENT_H_

@@ -1,0 +1,132 @@
+#ifndef SEQDET_STORAGE_TABLE_H_
+#define SEQDET_STORAGE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/kv.h"
+#include "storage/memtable.h"
+#include "storage/segment.h"
+#include "storage/wal.h"
+#include "storage/write_batch.h"
+
+namespace seqdet::storage {
+
+/// Tuning knobs for a table (shared by all tables of a Database).
+struct TableOptions {
+  /// Memtable size that triggers an automatic flush to a segment.
+  size_t memtable_flush_bytes = 32u << 20;
+  /// Write mutations to a WAL before applying (disabled in in-memory mode).
+  bool use_wal = true;
+  /// fflush the WAL after every record (slow; default batches).
+  bool sync_wal = false;
+  /// Keep segments purely in memory; nothing touches the filesystem.
+  bool in_memory = false;
+  /// Auto-compact when a flush leaves more than this many segments
+  /// (size-tiered-style read-amplification bound). 0 disables.
+  size_t max_segments = 0;
+};
+
+/// A named key-value table (the analogue of one Cassandra table in the
+/// paper: Seq, Index, Count, ReverseCount, LastChecked each map to one
+/// Table).
+///
+/// Write path: WAL append -> memtable fold. Reads consult the memtable and
+/// then segments newest-to-oldest, folding `kAppend` fragments over the
+/// newest `kPut` base (or over nothing). `Flush` turns the memtable into an
+/// immutable sorted segment; `Compact` merges all segments into one,
+/// resolving appends and dropping tombstones.
+///
+/// Thread-safe: reads take a shared lock, writes/flush/compact an exclusive
+/// lock.
+class Table : public Kv {
+ public:
+  /// Opens (and recovers) the table `name` inside `dir`. In in-memory mode
+  /// `dir` is unused.
+  static Result<std::unique_ptr<Table>> Open(const std::string& dir,
+                                             const std::string& name,
+                                             const TableOptions& options);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Append(std::string_view key, std::string_view fragment) override;
+  Status Delete(std::string_view key) override;
+
+  /// Applies all records of `batch` atomically (one lock acquisition).
+  Status Apply(const WriteBatch& batch) override;
+
+  /// Reads the folded value of `key`. Returns NotFound when the key has no
+  /// live value.
+  Status Get(std::string_view key, std::string* value) const override;
+
+  bool Contains(std::string_view key) const override;
+
+  /// Calls `fn(key, folded_value)` for every live key in
+  /// [start_key, end_key) in ascending order. An empty `end_key` means "to
+  /// the end"; an empty `start_key` means "from the beginning". If `fn`
+  /// returns false the scan stops early.
+  Status Scan(
+      std::string_view start_key, std::string_view end_key,
+      const std::function<bool(std::string_view, std::string_view)>& fn)
+      const override;
+
+  /// Scans all keys beginning with `prefix`.
+  Status ScanPrefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view, std::string_view)>& fn)
+      const;
+
+  /// Persists the memtable as a new segment (no-op when empty).
+  Status Flush() override;
+
+  /// Flushes, then merges every segment into a single one.
+  Status Compact() override;
+
+  const std::string& name() const override { return name_; }
+  size_t NumSegments() const;
+  size_t MemTableBytes() const;
+  size_t ApproximateEntryCount() const override;
+
+  /// Deletes this table's files. The table must be destroyed afterwards.
+  Status DestroyFiles();
+
+ private:
+  Table(std::string dir, std::string name, TableOptions options);
+
+  Status Recover();
+  Status WriteRecordLocked(RecordKind kind, std::string_view key,
+                           std::string_view value);
+  Status MaybeFlushLocked();
+  Status FlushLocked();
+  Status CompactLocked();
+  std::string SegmentPath(uint64_t id) const;
+  std::string WalPath(uint64_t id) const;
+  Status RotateWalLocked(uint64_t flushed_id);
+
+  // Folds the value of `key` across memtable + segments. Returns true when
+  // a live value exists.
+  bool FoldGetLocked(std::string_view key, std::string* value) const;
+
+  std::string dir_;
+  std::string name_;
+  TableOptions options_;
+
+  mutable std::shared_mutex mu_;
+  MemTable mem_;
+  std::vector<std::shared_ptr<Segment>> segments_;  // oldest first
+  std::vector<uint64_t> segment_ids_;               // parallel to segments_
+  WalWriter wal_;
+  uint64_t next_segment_id_ = 0;
+};
+
+}  // namespace seqdet::storage
+
+#endif  // SEQDET_STORAGE_TABLE_H_

@@ -1,0 +1,112 @@
+#include "storage/wal.h"
+
+#include <sys/stat.h>
+
+#include <fstream>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace seqdet::storage {
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path, bool sync_each_record) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open WAL " + path);
+  }
+  path_ = path;
+  sync_each_record_ = sync_each_record;
+  return Status::OK();
+}
+
+Status WalWriter::Add(RecordKind kind, std::string_view key,
+                      std::string_view value) {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  std::string payload;
+  payload.reserve(key.size() + value.size() + 12);
+  payload.push_back(static_cast<char>(kind));
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+
+  std::string header;
+  PutFixed32(&header, Crc32(payload));
+  PutVarint64(&header, payload.size());
+
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IOError("WAL write failed: " + path_);
+  }
+  if (sync_each_record_) return Flush();
+  return Status::OK();
+}
+
+Status WalWriter::Flush() {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("WAL flush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot truncate WAL " + path_);
+  }
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(RecordKind, std::string_view, std::string_view)>&
+        fn,
+    size_t* replayed) {
+  if (replayed != nullptr) *replayed = 0;
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::OK();  // No WAL yet: nothing to replay.
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open WAL " + path);
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  std::string_view cursor(buffer);
+  while (!cursor.empty()) {
+    uint32_t crc;
+    uint64_t len;
+    if (!GetFixed32(&cursor, &crc) || !GetVarint64(&cursor, &len) ||
+        cursor.size() < len) {
+      break;  // Torn tail: stop replaying.
+    }
+    std::string_view payload = cursor.substr(0, len);
+    cursor.remove_prefix(len);
+    if (Crc32(payload) != crc) break;  // Corrupt tail.
+    if (payload.empty()) break;
+    uint8_t kind = static_cast<uint8_t>(payload.front());
+    if (kind > static_cast<uint8_t>(RecordKind::kDelete)) break;
+    payload.remove_prefix(1);
+    std::string_view key, value;
+    if (!GetLengthPrefixed(&payload, &key) ||
+        !GetLengthPrefixed(&payload, &value)) {
+      break;
+    }
+    fn(static_cast<RecordKind>(kind), key, value);
+    if (replayed != nullptr) ++*replayed;
+  }
+  return Status::OK();
+}
+
+}  // namespace seqdet::storage

@@ -1,0 +1,63 @@
+#ifndef SEQDET_STORAGE_WAL_H_
+#define SEQDET_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/record.h"
+
+namespace seqdet::storage {
+
+/// Per-table write-ahead log.
+///
+/// Record layout: `fixed32 crc(payload)  varint payload_len  payload`,
+/// with `payload = kind(1) varint(klen) key varint(vlen) value`.
+///
+/// Replay tolerates a corrupt/truncated tail — recovery keeps every record
+/// up to the first bad checksum and discards the rest, which is the correct
+/// behaviour for a crash mid-append.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (appends to) the log at `path`.
+  Status Open(const std::string& path, bool sync_each_record);
+
+  /// Appends one mutation.
+  Status Add(RecordKind kind, std::string_view key, std::string_view value);
+
+  /// Flushes buffered bytes to the OS.
+  Status Flush();
+
+  /// Truncates the log to empty (called after a successful memtable flush).
+  Status Reset();
+
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool sync_each_record_ = false;
+};
+
+/// Replays the WAL at `path`, invoking `fn` for each intact record in
+/// order. Missing file is fine (returns OK, zero records). Returns the
+/// number of replayed records in `*replayed` when non-null.
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(RecordKind, std::string_view, std::string_view)>&
+        fn,
+    size_t* replayed = nullptr);
+
+}  // namespace seqdet::storage
+
+#endif  // SEQDET_STORAGE_WAL_H_

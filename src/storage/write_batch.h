@@ -1,0 +1,50 @@
+#ifndef SEQDET_STORAGE_WRITE_BATCH_H_
+#define SEQDET_STORAGE_WRITE_BATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/record.h"
+
+namespace seqdet::storage {
+
+/// An ordered group of mutations applied atomically to one table.
+///
+/// The index builder accumulates all pair postings of a trace batch into a
+/// WriteBatch so the per-table lock is taken once per batch rather than once
+/// per posting.
+class WriteBatch {
+ public:
+  WriteBatch() = default;
+
+  void Put(std::string_view key, std::string_view value) {
+    records_.push_back(
+        Record{RecordKind::kPut, std::string(key), std::string(value)});
+  }
+
+  void Append(std::string_view key, std::string_view fragment) {
+    records_.push_back(
+        Record{RecordKind::kAppend, std::string(key), std::string(fragment)});
+  }
+
+  void Delete(std::string_view key) {
+    records_.push_back(Record{RecordKind::kDelete, std::string(key), {}});
+  }
+
+  /// Appends a pre-built record (used when re-partitioning a batch).
+  void Add(Record record) { records_.push_back(std::move(record)); }
+
+  void Clear() { records_.clear(); }
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace seqdet::storage
+
+#endif  // SEQDET_STORAGE_WRITE_BATCH_H_

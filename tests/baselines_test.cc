@@ -1,0 +1,367 @@
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "baselines/esearch/es_engine.h"
+#include "baselines/sase/sase_engine.h"
+#include "baselines/subtree/subtree_index.h"
+#include "common/rng.h"
+#include "datagen/generators.h"
+#include "gtest/gtest.h"
+#include "log/event_log.h"
+
+namespace seqdet::baseline {
+namespace {
+
+using eventlog::ActivityId;
+using eventlog::EventLog;
+using eventlog::Timestamp;
+
+EventLog Letters(const std::vector<std::pair<int, std::string>>& traces) {
+  EventLog log;
+  for (const auto& [id, s] : traces) {
+    int ts = 1;
+    for (char c : s) log.Append(id, std::string(1, c), ts++);
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+std::vector<ActivityId> Ids(const EventLog& log, const std::string& s) {
+  std::vector<ActivityId> ids;
+  for (char c : s) ids.push_back(log.dictionary().Lookup(std::string(1, c)));
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// SubtreeIndex ([19])
+// ---------------------------------------------------------------------------
+
+TEST(SubtreeIndexTest, FindsAllContiguousOccurrences) {
+  EventLog log = Letters({{1, "ABAB"}, {2, "BABA"}});
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok()) << index.status();
+  auto hits = (*index)->Find(Ids(log, "AB"));
+  // trace1: positions 0, 2; trace2: position 1.
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], (ScOccurrence{1, 0}));
+  EXPECT_EQ(hits[1], (ScOccurrence{1, 2}));
+  EXPECT_EQ(hits[2], (ScOccurrence{2, 1}));
+  EXPECT_EQ((*index)->Count(Ids(log, "AB")), 3u);
+}
+
+TEST(SubtreeIndexTest, NoFalsePositives) {
+  EventLog log = Letters({{1, "AXB"}});
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE((*index)->Find(Ids(log, "AB")).empty());  // not contiguous
+  EXPECT_EQ((*index)->Find(Ids(log, "AXB")).size(), 1u);
+}
+
+TEST(SubtreeIndexTest, FullTracePattern) {
+  EventLog log = Letters({{1, "ABC"}});
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->Find(Ids(log, "ABC")).size(), 1u);
+  EXPECT_TRUE((*index)->Find(Ids(log, "ABCD")).empty());
+  EXPECT_TRUE((*index)->Find({}).empty());
+}
+
+TEST(SubtreeIndexTest, TrieSizesAreQuadraticInTraceLength) {
+  EventLog log = Letters({{1, "ABCDEFGH"}});  // 8 distinct events
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok());
+  // All suffixes are distinct: nodes = 8+7+...+1 = 36 (plus root).
+  EXPECT_EQ((*index)->num_trie_nodes(), 37u);
+  EXPECT_EQ((*index)->preorder_length(), 72u);  // 2 * non-root nodes
+  EXPECT_EQ((*index)->num_suffixes(), 8u);
+}
+
+TEST(SubtreeIndexTest, NodeBudgetAborts) {
+  datagen::RandomLogConfig config;
+  config.num_traces = 20;
+  config.max_events_per_trace = 50;
+  config.num_activities = 20;
+  EventLog log = datagen::GenerateRandomLog(config);
+  SubtreeIndexOptions options;
+  options.max_trie_nodes = 100;
+  auto index = SubtreeIndex::Build(log, options);
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsOutOfRange());
+}
+
+TEST(SubtreeIndexTest, MatchesBruteForceOnRandomLogs) {
+  Rng rng(41);
+  datagen::RandomLogConfig config;
+  config.num_traces = 15;
+  config.max_events_per_trace = 30;
+  config.num_activities = 4;
+  config.seed = 99;
+  EventLog log = datagen::GenerateRandomLog(config);
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok());
+  for (int round = 0; round < 40; ++round) {
+    size_t m = 1 + rng.NextBounded(4);
+    std::vector<ActivityId> pattern;
+    for (size_t i = 0; i < m; ++i) {
+      pattern.push_back(static_cast<ActivityId>(rng.NextBounded(4)));
+    }
+    std::vector<ScOccurrence> expected;
+    for (const auto& t : log.traces()) {
+      for (size_t s = 0; s + m <= t.size(); ++s) {
+        bool ok = true;
+        for (size_t j = 0; j < m; ++j) {
+          if (t.events[s + j].activity != pattern[j]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) expected.push_back({t.id, static_cast<uint32_t>(s)});
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ((*index)->Find(pattern), expected) << "round " << round;
+  }
+}
+
+TEST(SubtreeIndexTest, ContinuationsCountFollowers) {
+  EventLog log = Letters({{1, "ABC"}, {2, "ABD"}, {3, "ABC"}});
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok());
+  auto next = (*index)->Continuations(Ids(log, "AB"));
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0].first, log.dictionary().Lookup("C"));
+  EXPECT_EQ(next[0].second, 2u);
+  EXPECT_EQ(next[1].second, 1u);
+  // Empty pattern: continuations from the root = every event occurrence.
+  auto root = (*index)->Continuations({});
+  EXPECT_FALSE(root.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SaseEngine
+// ---------------------------------------------------------------------------
+
+TEST(SaseEngineTest, ScFindsOverlappingOccurrences) {
+  EventLog log = Letters({{1, "AAA"}});
+  SaseEngine engine(&log);
+  auto matches = engine.Detect(Ids(log, "AA"), index::Policy::kStrictContiguity);
+  EXPECT_EQ(matches.size(), 2u);  // positions 0 and 1
+}
+
+TEST(SaseEngineTest, ScRespectsContiguity) {
+  EventLog log = Letters({{1, "AXB"}, {2, "AB"}});
+  SaseEngine engine(&log);
+  auto matches = engine.Detect(Ids(log, "AB"), index::Policy::kStrictContiguity);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].trace, 2u);
+}
+
+TEST(SaseEngineTest, StnmGreedyNonOverlapping) {
+  // §2.1 introduction: <AAABAACB>, pattern AAB -> matches at
+  // timestamps (1,2,4) and (5,6,8).
+  EventLog log = Letters({{1, "AAABAACB"}});
+  SaseEngine engine(&log);
+  auto matches =
+      engine.Detect(Ids(log, "AAB"), index::Policy::kSkipTillNextMatch);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].timestamps, (std::vector<Timestamp>{1, 2, 4}));
+  EXPECT_EQ(matches[1].timestamps, (std::vector<Timestamp>{5, 6, 8}));
+}
+
+TEST(SaseEngineTest, StnmSkipsIrrelevant) {
+  EventLog log = Letters({{1, "XAXXBX"}});
+  SaseEngine engine(&log);
+  auto matches =
+      engine.Detect(Ids(log, "AB"), index::Policy::kSkipTillNextMatch);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].timestamps, (std::vector<Timestamp>{2, 5}));
+}
+
+TEST(SaseEngineTest, EmptyPatternAndShortTraces) {
+  EventLog log = Letters({{1, "A"}});
+  SaseEngine engine(&log);
+  EXPECT_TRUE(engine.Detect({}, index::Policy::kSkipTillNextMatch).empty());
+  EXPECT_TRUE(engine.Detect(Ids(log, "AB"), index::Policy::kSkipTillNextMatch)
+                  .empty());
+  EXPECT_EQ(engine.Count(Ids(log, "A"), index::Policy::kStrictContiguity),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// EsLikeEngine
+// ---------------------------------------------------------------------------
+
+TEST(EsEngineTest, JsonRoundTrip) {
+  EventLog log = Letters({{42, "AB"}});
+  std::string json = TraceToJson(log.traces()[0], log.dictionary());
+  eventlog::TraceId id;
+  std::vector<std::string> activities;
+  std::vector<Timestamp> timestamps;
+  ASSERT_TRUE(ParseTraceJson(json, &id, &activities, &timestamps));
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(activities, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(timestamps, (std::vector<Timestamp>{1, 2}));
+}
+
+TEST(EsEngineTest, JsonRejectsGarbage) {
+  eventlog::TraceId id;
+  std::vector<std::string> activities;
+  std::vector<Timestamp> timestamps;
+  EXPECT_FALSE(ParseTraceJson("{}", &id, &activities, &timestamps));
+  EXPECT_FALSE(ParseTraceJson("{\"trace\":1,\"events\":[{\"a\":\"x\"", &id,
+                              &activities, &timestamps));
+}
+
+TEST(EsEngineTest, EmptyTraceDocument) {
+  EventLog log;
+  log.AddTrace(eventlog::Trace{5, {}});
+  auto engine = EsLikeEngine::Build(log);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ((*engine)->num_documents(), 1u);
+}
+
+TEST(EsEngineTest, StnmMatchesSase) {
+  datagen::RandomLogConfig config;
+  config.num_traces = 25;
+  config.max_events_per_trace = 40;
+  config.num_activities = 5;
+  config.seed = 17;
+  EventLog log = datagen::GenerateRandomLog(config);
+  auto engine = EsLikeEngine::Build(log);
+  ASSERT_TRUE(engine.ok());
+  SaseEngine sase(&log);
+  Rng rng(18);
+  for (int round = 0; round < 30; ++round) {
+    size_t m = 2 + rng.NextBounded(4);
+    std::vector<std::string> terms;
+    std::vector<ActivityId> ids;
+    for (size_t i = 0; i < m; ++i) {
+      ActivityId a = static_cast<ActivityId>(rng.NextBounded(5));
+      ids.push_back(a);
+      terms.push_back(log.dictionary().Name(a));
+    }
+    auto es = (*engine)->DetectStnm(terms);
+    auto reference = sase.Detect(ids, index::Policy::kSkipTillNextMatch);
+    ASSERT_EQ(es.size(), reference.size()) << "round " << round;
+    // Compare full match sets (order may differ).
+    auto key = [](const auto& m) {
+      return std::make_pair(m.trace, m.timestamps);
+    };
+    std::set<std::pair<eventlog::TraceId, std::vector<Timestamp>>> a_set,
+        b_set;
+    for (const auto& m : es) a_set.insert(key(m));
+    for (const auto& m : reference) b_set.insert(key(m));
+    EXPECT_EQ(a_set, b_set) << "round " << round;
+  }
+}
+
+TEST(EsEngineTest, ScMatchesSase) {
+  datagen::RandomLogConfig config;
+  config.num_traces = 25;
+  config.max_events_per_trace = 40;
+  config.num_activities = 4;
+  config.seed = 19;
+  EventLog log = datagen::GenerateRandomLog(config);
+  auto engine = EsLikeEngine::Build(log);
+  ASSERT_TRUE(engine.ok());
+  SaseEngine sase(&log);
+  Rng rng(20);
+  for (int round = 0; round < 30; ++round) {
+    size_t m = 2 + rng.NextBounded(3);
+    std::vector<std::string> terms;
+    std::vector<ActivityId> ids;
+    for (size_t i = 0; i < m; ++i) {
+      ActivityId a = static_cast<ActivityId>(rng.NextBounded(4));
+      ids.push_back(a);
+      terms.push_back(log.dictionary().Name(a));
+    }
+    auto es = (*engine)->DetectSc(terms);
+    auto reference = sase.Detect(ids, index::Policy::kStrictContiguity);
+    EXPECT_EQ(es.size(), reference.size()) << "round " << round;
+  }
+}
+
+TEST(EsEngineTest, UnknownTermYieldsNoMatches) {
+  EventLog log = Letters({{1, "AB"}});
+  auto engine = EsLikeEngine::Build(log);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE((*engine)->DetectStnm({"A", "GHOST"}).empty());
+  EXPECT_TRUE((*engine)->DetectStnm({}).empty());
+}
+
+TEST(EsEngineTest, MultiplicityPruning) {
+  // Pattern AA requires two A positions; trace with one A is pruned before
+  // verification.
+  EventLog log = Letters({{1, "AXB"}, {2, "AXA"}});
+  auto engine = EsLikeEngine::Build(log);
+  ASSERT_TRUE(engine.ok());
+  auto matches = (*engine)->DetectStnm({"A", "A"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].trace, 2u);
+}
+
+TEST(EsEngineTest, PatternLongerThanAnyDocument) {
+  EventLog log = Letters({{1, "AB"}, {2, "BA"}});
+  auto engine = EsLikeEngine::Build(log);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE((*engine)->DetectStnm({"A", "B", "A", "B", "A"}).empty());
+  EXPECT_TRUE((*engine)->DetectSc({"A", "B", "A"}).empty());
+}
+
+TEST(EsEngineTest, ScPhraseWithRepeatedTerms) {
+  EventLog log = Letters({{1, "AABAA"}});
+  auto engine = EsLikeEngine::Build(log);
+  ASSERT_TRUE(engine.ok());
+  // "AA" occurs contiguously at positions 0 and 3.
+  EXPECT_EQ((*engine)->DetectSc({"A", "A"}).size(), 2u);
+  // "ABA" once.
+  EXPECT_EQ((*engine)->DetectSc({"A", "B", "A"}).size(), 1u);
+}
+
+TEST(SubtreeIndexTest, EmptyLog) {
+  EventLog log;
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE((*index)->Find({0}).empty());
+  EXPECT_EQ((*index)->num_suffixes(), 0u);
+}
+
+TEST(SubtreeIndexTest, ContinuationsOfAbsentPattern) {
+  EventLog log = Letters({{1, "ABC"}});
+  auto index = SubtreeIndex::Build(log);
+  ASSERT_TRUE(index.ok());
+  auto ids = Ids(log, "C");
+  ids.push_back(999);  // path that does not exist
+  EXPECT_TRUE((*index)->Continuations(ids).empty());
+}
+
+TEST(SaseEngineTest, CountAgreesWithDetectSize) {
+  datagen::RandomLogConfig config;
+  config.num_traces = 10;
+  config.max_events_per_trace = 20;
+  config.num_activities = 3;
+  EventLog log = datagen::GenerateRandomLog(config);
+  SaseEngine engine(&log);
+  std::vector<ActivityId> pattern = {0, 1};  // act_0 -> act_1
+  size_t count = engine.Count(pattern, index::Policy::kSkipTillNextMatch);
+  EXPECT_EQ(count,
+            engine.Detect(pattern, index::Policy::kSkipTillNextMatch).size());
+  EXPECT_GT(count, 0u);
+}
+
+TEST(EsEngineTest, IngestionSimulationToggle) {
+  EventLog log = Letters({{1, "ABC"}});
+  EsOptions with, without;
+  without.simulate_ingestion = false;
+  auto a = EsLikeEngine::Build(log, with);
+  auto b = EsLikeEngine::Build(log, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->DetectStnm({"A", "C"}).size(),
+            (*b)->DetectStnm({"A", "C"}).size());
+  EXPECT_EQ((*a)->num_terms(), (*b)->num_terms());
+}
+
+}  // namespace
+}  // namespace seqdet::baseline

@@ -1,0 +1,467 @@
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace seqdet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+}
+
+Status FailThrough() {
+  SEQDET_RETURN_IF_ERROR(Status::IOError("disk gone"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailThrough().IsIOError());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoublePositive(int v) {
+  SEQDET_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_EQ(r.value_or(-1), 21);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*DoublePositive(5), 10);
+  EXPECT_TRUE(DoublePositive(0).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Coding
+// ---------------------------------------------------------------------------
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed32(&buf, 0xffffffffu);
+  std::string_view cursor(buf);
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&cursor, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&cursor, &v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(GetFixed32(&cursor, &v));
+  EXPECT_EQ(v, 0xffffffffu);
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  std::string_view cursor(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&cursor, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const std::vector<uint64_t> values = {
+      0,      1,       127,        128,         16383,
+      16384,  (1u << 21) - 1, 1u << 21, 0xffffffffULL,
+      1ULL << 32, 1ULL << 63, ~0ULL};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  std::string_view cursor(buf);
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&cursor, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string buf;
+  for (uint32_t v : {0u, 1u, 300u, 70000u, ~0u}) PutVarint32(&buf, v);
+  std::string_view cursor(buf);
+  for (uint32_t v : {0u, 1u, 300u, 70000u, ~0u}) {
+    uint32_t got;
+    ASSERT_TRUE(GetVarint32(&cursor, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(CodingTest, VarintTruncationDetected) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.resize(buf.size() - 1);
+  std::string_view cursor(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&cursor, &v));
+}
+
+TEST(CodingTest, ZigZagRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-123456},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    std::string buf;
+    PutVarint64SignedZigZag(&buf, v);
+    std::string_view cursor(buf);
+    int64_t got;
+    ASSERT_TRUE(GetVarint64SignedZigZag(&cursor, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view cursor(buf), out;
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &out));
+  EXPECT_EQ(out, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &out));
+  EXPECT_EQ(out, "");
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &out));
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(CodingTest, KeyEncodingPreservesOrder) {
+  // memcmp order of encoded keys must equal numeric order.
+  std::vector<uint64_t> values = {0, 1, 255, 256, 65535, 1ULL << 32, ~0ULL};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    std::string a, b;
+    PutKeyU64(&a, values[i]);
+    PutKeyU64(&b, values[i + 1]);
+    EXPECT_LT(a, b) << values[i] << " vs " << values[i + 1];
+  }
+  for (uint32_t i = 0; i < 1000; i += 7) {
+    std::string a, b;
+    PutKeyU32(&a, i);
+    PutKeyU32(&b, i + 1);
+    EXPECT_LT(a, b);
+  }
+}
+
+TEST(CodingTest, KeyEncodingRoundTrip) {
+  std::string buf;
+  PutKeyU32(&buf, 0xcafebabeu);
+  PutKeyU64(&buf, 0x0123456789abcdefULL);
+  std::string_view cursor(buf);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetKeyU32(&cursor, &v32));
+  ASSERT_TRUE(GetKeyU64(&cursor, &v64));
+  EXPECT_EQ(v32, 0xcafebabeu);
+  EXPECT_EQ(v64, 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  for (double v : {0.0, -1.5, 3.14159, 1e300, -1e-300}) {
+    std::string buf;
+    PutDouble(&buf, v);
+    std::string_view cursor(buf);
+    double got;
+    ASSERT_TRUE(GetDouble(&cursor, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical IEEE CRC-32 of "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(""), 0u); }
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data = "the quick brown fox";
+  uint32_t clean = Crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(Crc32(data), clean);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks) {
+  ZipfSampler zipf(100, 1.0, 42);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Next()]++;
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(ZipfSamplerTest, CoversSupport) {
+  ZipfSampler zipf(5, 0.5, 43);
+  std::set<size_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(zipf.Next());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringsTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64(" -42 ", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_FALSE(ParseDouble("3.5q", &v));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_NEAR(h.stddev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 5.0);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_FALSE(h.ToAscii("empty").empty());
+}
+
+TEST(HistogramTest, BucketsSumToCount) {
+  Histogram h;
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.NextDouble() * 100);
+  auto buckets = h.Buckets(10);
+  size_t total = 0;
+  for (size_t b : buckets) total += b;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(HistogramTest, SingleValueBuckets) {
+  Histogram h;
+  h.Add(7);
+  h.Add(7);
+  auto buckets = h.Buckets(4);
+  EXPECT_EQ(buckets[0], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ManyTasksDrain) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 500);
+}
+
+}  // namespace
+}  // namespace seqdet

@@ -1,0 +1,289 @@
+#include <set>
+
+#include "datagen/dataset_catalog.h"
+#include "datagen/generators.h"
+#include "datagen/pattern_sampler.h"
+#include "datagen/process_tree.h"
+#include "gtest/gtest.h"
+#include "log/log_statistics.h"
+
+namespace seqdet::datagen {
+namespace {
+
+using eventlog::EventLog;
+using eventlog::LogStatistics;
+
+// ---------------------------------------------------------------------------
+// ProcessTree
+// ---------------------------------------------------------------------------
+
+TEST(ProcessTreeTest, UsesExactAlphabet) {
+  Rng rng(1);
+  ProcessTree::Config config;
+  config.num_activities = 12;
+  ProcessTree tree = ProcessTree::Random(config, &rng);
+  EXPECT_EQ(tree.NumActivities(), 12u);
+  // Across many simulations, every activity must be reachable... not
+  // guaranteed under XOR splits for a single run, but the union over many
+  // runs should cover most of the alphabet and never exceed it.
+  std::set<eventlog::ActivityId> seen;
+  for (int i = 0; i < 300; ++i) {
+    for (auto a : tree.Simulate(&rng)) {
+      EXPECT_LT(a, 12u);
+      seen.insert(a);
+    }
+  }
+  EXPECT_GE(seen.size(), 6u);
+}
+
+TEST(ProcessTreeTest, SimulationsAreNonEmptyAndBounded) {
+  Rng rng(2);
+  ProcessTree::Config config;
+  config.num_activities = 30;
+  config.max_depth = 6;
+  ProcessTree tree = ProcessTree::Random(config, &rng);
+  for (int i = 0; i < 100; ++i) {
+    auto trace = tree.Simulate(&rng);
+    EXPECT_FALSE(trace.empty());
+    EXPECT_LT(trace.size(), 10000u);  // loop cap keeps traces finite
+  }
+}
+
+TEST(ProcessTreeTest, DeterministicGivenSeed) {
+  ProcessTree::Config config;
+  config.num_activities = 10;
+  Rng rng1(7), rng2(7);
+  ProcessTree t1 = ProcessTree::Random(config, &rng1);
+  ProcessTree t2 = ProcessTree::Random(config, &rng2);
+  EXPECT_EQ(t1.Simulate(&rng1), t2.Simulate(&rng2));
+}
+
+TEST(ProcessTreeTest, SingleActivity) {
+  Rng rng(3);
+  ProcessTree::Config config;
+  config.num_activities = 1;
+  ProcessTree tree = ProcessTree::Random(config, &rng);
+  auto trace = tree.Simulate(&rng);
+  EXPECT_FALSE(trace.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(ProcessLogGeneratorTest, HonorsConfig) {
+  ProcessLogConfig config;
+  config.num_traces = 50;
+  config.num_activities = 20;
+  config.seed = 11;
+  EventLog log = GenerateProcessLog(config);
+  EXPECT_EQ(log.num_traces(), 50u);
+  EXPECT_LE(log.num_activities(), 20u);
+  for (const auto& t : log.traces()) {
+    EXPECT_TRUE(t.IsSorted());
+    EXPECT_FALSE(t.empty());
+  }
+}
+
+TEST(ProcessLogGeneratorTest, Deterministic) {
+  ProcessLogConfig config;
+  config.num_traces = 10;
+  config.seed = 5;
+  EventLog a = GenerateProcessLog(config);
+  EventLog b = GenerateProcessLog(config);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (size_t i = 0; i < a.num_traces(); ++i) {
+    EXPECT_EQ(a.traces()[i].events, b.traces()[i].events);
+  }
+}
+
+TEST(RandomLogGeneratorTest, HonorsConfig) {
+  RandomLogConfig config;
+  config.num_traces = 40;
+  config.max_events_per_trace = 25;
+  config.num_activities = 10;
+  config.seed = 3;
+  EventLog log = GenerateRandomLog(config);
+  EXPECT_EQ(log.num_traces(), 40u);
+  for (const auto& t : log.traces()) {
+    EXPECT_GE(t.size(), 1u);
+    EXPECT_LE(t.size(), 25u);
+    EXPECT_TRUE(t.IsSorted());
+  }
+  EXPECT_LE(log.num_activities(), 10u);
+}
+
+TEST(RandomLogGeneratorTest, SkewProducesImbalance) {
+  RandomLogConfig config;
+  config.num_traces = 200;
+  config.max_events_per_trace = 50;
+  config.num_activities = 20;
+  config.activity_skew = 1.2;
+  EventLog log = GenerateRandomLog(config);
+  std::vector<size_t> counts(20, 0);
+  for (const auto& t : log.traces()) {
+    for (const auto& e : t.events) counts[e.activity]++;
+  }
+  auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*max_it, *min_it * 3);
+}
+
+TEST(BpiSimulatorTest, MatchesPublishedProfiles) {
+  struct Case {
+    BpiProfile profile;
+    double mean_tolerance;
+  };
+  for (const auto& [profile, tol] :
+       {Case{Bpi2013Profile(), 2.5}, Case{Bpi2020Profile(), 1.5}}) {
+    EventLog log = GenerateBpiLikeLog(profile);
+    auto stats = LogStatistics::Compute(log);
+    EXPECT_EQ(stats.num_traces, profile.num_traces) << profile.name;
+    EXPECT_LE(stats.num_activities, profile.num_activities) << profile.name;
+    EXPECT_GE(stats.min_events_per_trace, profile.min_events_per_trace)
+        << profile.name;
+    EXPECT_LE(stats.max_events_per_trace, profile.max_events_per_trace)
+        << profile.name;
+    EXPECT_NEAR(stats.mean_events_per_trace, profile.mean_events_per_trace,
+                tol)
+        << profile.name;
+  }
+}
+
+TEST(BpiSimulatorTest, ScaledTraces) {
+  EXPECT_EQ(ScaledTraces(1000, 1.0), 1000u);
+  EXPECT_EQ(ScaledTraces(1000, 0.1), 100u);
+  EXPECT_EQ(ScaledTraces(3, 0.001), 1u);  // never zero
+}
+
+// ---------------------------------------------------------------------------
+// Dataset catalog
+// ---------------------------------------------------------------------------
+
+TEST(DatasetCatalogTest, AllNamesLoadAtSmallScale) {
+  for (const std::string& name : DatasetNames()) {
+    auto log = LoadDataset(name, 0.02);
+    ASSERT_TRUE(log.ok()) << name << ": " << log.status();
+    EXPECT_GT(log->num_traces(), 0u) << name;
+    EXPECT_GT(log->num_events(), 0u) << name;
+  }
+}
+
+TEST(DatasetCatalogTest, UnknownNameRejected) {
+  EXPECT_TRUE(LoadDataset("nope", 1.0).status().IsNotFound());
+}
+
+TEST(DatasetCatalogTest, BadScaleRejected) {
+  EXPECT_TRUE(LoadDataset("max_100", 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(LoadDataset("max_100", 1.5).status().IsInvalidArgument());
+}
+
+TEST(DatasetCatalogTest, Table4TraceCountsAtFullScale) {
+  auto log = LoadDataset("max_100", 1.0);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_traces(), 100u);
+  // 150 activities configured; XOR branches may leave a few unused.
+  EXPECT_GT(log->num_activities(), 100u);
+  EXPECT_LE(log->num_activities(), 150u);
+}
+
+TEST(DatasetCatalogTest, MinDatasetHasSmallAlphabet) {
+  auto log = LoadDataset("min_10000", 0.01);
+  ASSERT_TRUE(log.ok());
+  EXPECT_LE(log->num_activities(), 15u);
+}
+
+TEST(DatasetCatalogTest, DeterministicAcrossCalls) {
+  auto a = LoadDataset("med_5000", 0.01);
+  auto b = LoadDataset("med_5000", 0.01);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_traces(), b->num_traces());
+  for (size_t i = 0; i < a->num_traces(); ++i) {
+    EXPECT_EQ(a->traces()[i].events, b->traces()[i].events);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PatternSampler
+// ---------------------------------------------------------------------------
+
+TEST(PatternSamplerTest, ContiguousPatternsOccurInLog) {
+  RandomLogConfig config;
+  config.num_traces = 30;
+  config.max_events_per_trace = 40;
+  config.num_activities = 8;
+  EventLog log = GenerateRandomLog(config);
+  PatternSampler sampler(&log, 77);
+  for (int i = 0; i < 50; ++i) {
+    auto pattern = sampler.SampleContiguous(4);
+    ASSERT_EQ(pattern.size(), 4u);
+    // Verify some trace contains the pattern contiguously.
+    bool found = false;
+    for (const auto& t : log.traces()) {
+      for (size_t s = 0; !found && s + 4 <= t.size(); ++s) {
+        bool ok = true;
+        for (size_t j = 0; j < 4; ++j) {
+          if (t.events[s + j].activity != pattern[j]) {
+            ok = false;
+            break;
+          }
+        }
+        found = ok;
+      }
+      if (found) break;
+    }
+    EXPECT_TRUE(found) << "sample " << i;
+  }
+}
+
+TEST(PatternSamplerTest, SubsequencePatternsOccurInLog) {
+  RandomLogConfig config;
+  config.num_traces = 30;
+  config.max_events_per_trace = 40;
+  config.num_activities = 8;
+  EventLog log = GenerateRandomLog(config);
+  PatternSampler sampler(&log, 78);
+  for (int i = 0; i < 50; ++i) {
+    auto pattern = sampler.SampleSubsequence(5);
+    ASSERT_EQ(pattern.size(), 5u);
+    bool found = false;
+    for (const auto& t : log.traces()) {
+      size_t pos = 0;
+      for (const auto& e : t.events) {
+        if (pos < 5 && e.activity == pattern[pos]) ++pos;
+      }
+      if (pos == 5) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "sample " << i;
+  }
+}
+
+TEST(PatternSamplerTest, FallsBackWhenTracesTooShort) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "B", 2);
+  log.SortAllTraces();
+  PatternSampler sampler(&log, 79);
+  auto pattern = sampler.SampleContiguous(10);  // longer than any trace
+  EXPECT_EQ(pattern.size(), 10u);               // random fallback
+}
+
+TEST(PatternSamplerTest, BatchHelpers) {
+  RandomLogConfig config;
+  config.num_traces = 10;
+  config.max_events_per_trace = 20;
+  config.num_activities = 5;
+  EventLog log = GenerateRandomLog(config);
+  PatternSampler sampler(&log, 80);
+  auto many = sampler.SampleManySubsequences(7, 3);
+  EXPECT_EQ(many.size(), 7u);
+  for (auto& p : many) EXPECT_EQ(p.size(), 3u);
+  auto contiguous = sampler.SampleManyContiguous(4, 2);
+  EXPECT_EQ(contiguous.size(), 4u);
+}
+
+}  // namespace
+}  // namespace seqdet::datagen

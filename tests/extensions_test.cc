@@ -1,0 +1,410 @@
+// Tests of the paper's §7 extensions and the practical additions this
+// library ships beyond the core reproduction: skip-till-any-match,
+// time-constrained detection, insert-position continuation, the pairwise
+// last-completion statistic, and policy persistence safety.
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/pair_extraction.h"
+#include "index/sequence_index.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+namespace seqdet {
+namespace {
+
+using eventlog::ActivityId;
+using eventlog::EventLog;
+using eventlog::Timestamp;
+using eventlog::Trace;
+using index::EventTypePair;
+using index::IndexOptions;
+using index::PairRow;
+using index::Policy;
+using index::SequenceIndex;
+using query::ContinuationProposal;
+using query::DetectionConstraints;
+using query::Pattern;
+using query::PatternMatch;
+using query::QueryProcessor;
+
+std::unique_ptr<storage::Database> InMemoryDb() {
+  storage::DbOptions options;
+  options.table.in_memory = true;
+  options.table.use_wal = false;
+  return std::move(storage::Database::Open("", options)).value();
+}
+
+struct Fixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<SequenceIndex> index;
+  std::unique_ptr<QueryProcessor> qp;
+
+  explicit Fixture(const EventLog& log,
+                   Policy policy = Policy::kSkipTillAnyMatch) {
+    db = InMemoryDb();
+    IndexOptions options;
+    options.policy = policy;
+    options.num_threads = 1;
+    index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    auto stats = index->Update(log);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    qp = std::make_unique<QueryProcessor>(index.get());
+  }
+};
+
+EventLog Letters(const std::vector<std::pair<int, std::string>>& traces) {
+  EventLog log;
+  for (const auto& [id, s] : traces) {
+    int ts = 1;
+    for (char c : s) log.Append(id, std::string(1, c), ts++);
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+Pattern NamedPattern(const Fixture& f, const std::string& letters) {
+  std::vector<std::string> names;
+  for (char c : letters) names.emplace_back(1, c);
+  auto p = Pattern::FromNames(f.index->dictionary(), names);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return *p;
+}
+
+// ---------------------------------------------------------------------------
+// Skip-till-any-match
+// ---------------------------------------------------------------------------
+
+TEST(StamExtractionTest, EmitsEveryOrderedPair) {
+  Trace trace{1, {{0, 1}, {1, 2}, {0, 3}}};
+  std::vector<PairRow> rows;
+  index::ExtractStamPairs(trace, &rows);
+  // (A,B,1,2), (A,A,1,3), (B,A,2,3).
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(StamExtractionTest, PaperExampleCounts) {
+  // Trace of Table 3: <A1 A2 B3 A4 B5 A6>; STAM emits all C(6,2) = 15
+  // ordered pairs.
+  Trace trace{1, {{0, 1}, {0, 2}, {1, 3}, {0, 4}, {1, 5}, {0, 6}}};
+  std::vector<PairRow> rows;
+  index::ExtractStamPairs(trace, &rows);
+  EXPECT_EQ(rows.size(), 15u);
+}
+
+// Brute-force reference: every strictly increasing position assignment.
+size_t CountAllSubsequenceOccurrences(const Trace& trace,
+                                      const std::vector<ActivityId>& pattern) {
+  // DP over positions: ways[j] = number of ways to match pattern prefix j.
+  std::vector<size_t> ways(pattern.size() + 1, 0);
+  ways[0] = 1;
+  for (const auto& e : trace.events) {
+    for (size_t j = pattern.size(); j >= 1; --j) {
+      if (pattern[j - 1] == e.activity) ways[j] += ways[j - 1];
+    }
+  }
+  return ways[pattern.size()];
+}
+
+TEST(StamDetectionTest, FindsAllOverlappingOccurrences) {
+  // §2.1: in <AAABAACB> the any-match policy also finds e.g. positions
+  // (1,3,8); detection over STAM pairs must count every occurrence.
+  EventLog log = Letters({{1, "AAABAACB"}});
+  Fixture f(log);
+  Pattern pattern = NamedPattern(f, "AAB");
+  auto matches = f.qp->Detect(pattern);
+  ASSERT_TRUE(matches.ok());
+  size_t expected = CountAllSubsequenceOccurrences(
+      *log.FindTrace(1), pattern.activities);
+  EXPECT_EQ(matches->size(), expected);
+  EXPECT_GT(expected, 2u);  // strictly more than STNM's two
+}
+
+TEST(StamDetectionTest, MatchesBruteForceOnRandomTraces) {
+  Rng rng(77);
+  for (int round = 0; round < 15; ++round) {
+    EventLog log;
+    size_t n = 5 + rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      log.Append(1, std::string(1, static_cast<char>('A' + rng.NextBounded(3))),
+                 static_cast<Timestamp>(i + 1));
+    }
+    log.SortAllTraces();
+    Fixture f(log);
+    for (size_t len : {size_t{2}, size_t{3}, size_t{4}}) {
+      std::vector<ActivityId> ids;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>('A' + rng.NextBounded(3));
+        names.emplace_back(1, c);
+      }
+      auto pattern = Pattern::FromNames(f.index->dictionary(), names);
+      if (!pattern.ok()) continue;  // letter absent from this log
+      auto matches = f.qp->Detect(*pattern);
+      ASSERT_TRUE(matches.ok());
+      size_t expected = CountAllSubsequenceOccurrences(
+          log.traces()[0], pattern->activities);
+      EXPECT_EQ(matches->size(), expected)
+          << "round " << round << " len " << len;
+    }
+  }
+}
+
+TEST(StamDetectionTest, TripleRepeatDetectable) {
+  // Under STNM the X,X,X pattern is undetectable by Algorithm 2 (see
+  // DESIGN.md); under skip-till-any-match it must be found.
+  EventLog log = Letters({{1, "AAA"}});
+  Fixture f(log);
+  auto matches = f.qp->Detect(NamedPattern(f, "AAA"));
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+}
+
+TEST(StamIncrementalTest, BatchesDoNotDuplicate) {
+  EventLog batch1 = Letters({{1, "AB"}});
+  EventLog batch2;
+  batch2.Append(1, "A", 3);
+  batch2.Append(1, "B", 4);
+  batch2.SortAllTraces();
+
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.policy = Policy::kSkipTillAnyMatch;
+  options.num_threads = 1;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  ASSERT_TRUE(index->Update(batch1).ok());
+  ASSERT_TRUE(index->Update(batch2).ok());
+  // Full trace A1 B2 A3 B4: (A,B) pairs: (1,2),(1,4),(3,4) = 3 postings.
+  auto ab = index->GetPairPostings(EventTypePair{
+      index->dictionary().Lookup("A"), index->dictionary().Lookup("B")});
+  ASSERT_TRUE(ab.ok());
+  EXPECT_EQ(ab->size(), 3u);
+  // Re-sending everything adds nothing.
+  EventLog all = Letters({{1, "AB"}});
+  all.Append(1, "A", 3);
+  all.Append(1, "B", 4);
+  all.SortAllTraces();
+  auto stats = index->Update(all);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pairs_indexed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Detection constraints
+// ---------------------------------------------------------------------------
+
+TEST(DetectionConstraintsTest, MaxGapFilters) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "B", 100);  // slow
+  log.Append(2, "A", 1);
+  log.Append(2, "B", 3);  // fast
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "AB");
+  DetectionConstraints constraints;
+  constraints.max_gap = 10;
+  auto matches = f.qp->Detect(pattern, constraints);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].trace, 2u);
+}
+
+TEST(DetectionConstraintsTest, MaxSpanFilters) {
+  EventLog log = Letters({{1, "ABC"}});       // span 2
+  log.Append(2, "A", 1);
+  log.Append(2, "B", 2);
+  log.Append(2, "C", 500);  // span 499
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  DetectionConstraints constraints;
+  constraints.max_span = 100;
+  auto matches = f.qp->Detect(NamedPattern(f, "ABC"), constraints);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].trace, 1u);
+}
+
+TEST(DetectionConstraintsTest, UnconstrainedEqualsDefault) {
+  EventLog log = Letters({{1, "ABAB"}, {2, "AABB"}});
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "AB");
+  auto plain = f.qp->Detect(pattern);
+  auto constrained = f.qp->Detect(pattern, DetectionConstraints{});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_EQ(*plain, *constrained);
+}
+
+// ---------------------------------------------------------------------------
+// Insert-position continuation (§7)
+// ---------------------------------------------------------------------------
+
+TEST(InsertContinuationTest, ProposesMiddleEvent) {
+  // A ... C traces where the middle is usually B, rarely D.
+  EventLog log;
+  for (int t = 0; t < 5; ++t) {
+    log.Append(t, "A", 1);
+    log.Append(t, t < 4 ? "B" : "D", 2);
+    log.Append(t, "C", 3);
+  }
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "AC");
+  auto proposals = f.qp->ContinueInsertAccurate(pattern, 1);
+  ASSERT_TRUE(proposals.ok());
+  ASSERT_EQ(proposals->size(), 2u);
+  const auto& dict = f.index->dictionary();
+  EXPECT_EQ(dict.Name((*proposals)[0].activity), "B");
+  EXPECT_EQ((*proposals)[0].total_completions, 4u);
+  EXPECT_EQ(dict.Name((*proposals)[1].activity), "D");
+  EXPECT_EQ((*proposals)[1].total_completions, 1u);
+}
+
+TEST(InsertContinuationTest, GapAtEndEqualsAppendContinuation) {
+  EventLog log = Letters({{1, "ABC"}, {2, "ABD"}});
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "AB");
+  auto append = f.qp->ContinueAccurate(pattern);
+  auto insert = f.qp->ContinueInsertAccurate(pattern, pattern.size());
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(insert.ok());
+  ASSERT_EQ(append->size(), insert->size());
+  for (size_t i = 0; i < append->size(); ++i) {
+    EXPECT_EQ((*append)[i].activity, (*insert)[i].activity);
+    EXPECT_EQ((*append)[i].total_completions, (*insert)[i].total_completions);
+  }
+}
+
+TEST(InsertContinuationTest, PrependProposesPredecessors) {
+  EventLog log = Letters({{1, "XB"}, {2, "XB"}, {3, "YB"}});
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "B");
+  auto proposals = f.qp->ContinueInsertFast(pattern, 0);
+  ASSERT_TRUE(proposals.ok());
+  ASSERT_EQ(proposals->size(), 2u);
+  EXPECT_EQ(f.index->dictionary().Name((*proposals)[0].activity), "X");
+  EXPECT_EQ((*proposals)[0].total_completions, 2u);
+}
+
+TEST(InsertContinuationTest, FastBoundsAccurate) {
+  Rng rng(31);
+  EventLog log;
+  for (size_t t = 0; t < 20; ++t) {
+    for (size_t i = 0; i < 15; ++i) {
+      log.Append(t, std::string(1, static_cast<char>('A' + rng.NextBounded(4))),
+                 static_cast<Timestamp>(i + 1));
+    }
+  }
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "AB");
+  auto fast = f.qp->ContinueInsertFast(pattern, 1);
+  auto accurate = f.qp->ContinueInsertAccurate(pattern, 1);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(accurate.ok());
+  for (const auto& a : *accurate) {
+    auto it = std::find_if(fast->begin(), fast->end(),
+                           [&](const ContinuationProposal& p) {
+                             return p.activity == a.activity;
+                           });
+    ASSERT_NE(it, fast->end());
+    EXPECT_GE(it->total_completions, a.total_completions);
+  }
+}
+
+TEST(InsertContinuationTest, BadGapIndexRejected) {
+  EventLog log = Letters({{1, "AB"}});
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  EXPECT_TRUE(f.qp->ContinueInsertFast(NamedPattern(f, "AB"), 5)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      f.qp->ContinueInsertAccurate(Pattern(), 0).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Statistics last-completion
+// ---------------------------------------------------------------------------
+
+TEST(StatisticsLastCompletionTest, ReportsNewestAcrossTraces) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "B", 5);
+  log.Append(2, "A", 10);
+  log.Append(2, "B", 42);
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  query::StatisticsOptions options;
+  options.include_last_completion = true;
+  auto stats = f.qp->Statistics(NamedPattern(f, "AB"), options);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->pairs.size(), 1u);
+  ASSERT_TRUE(stats->pairs[0].last_completion.has_value());
+  EXPECT_EQ(*stats->pairs[0].last_completion, 42);
+}
+
+TEST(StatisticsLastCompletionTest, AbsentPairHasNone) {
+  EventLog log = Letters({{1, "AB"}});
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  query::StatisticsOptions options;
+  options.include_last_completion = true;
+  auto stats = f.qp->Statistics(NamedPattern(f, "BA"), options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->pairs[0].last_completion.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Policy persistence
+// ---------------------------------------------------------------------------
+
+TEST(PolicyPersistenceTest, MismatchedReopenRejected) {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() /
+             ("seqdet_policy_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    auto db = storage::Database::Open(dir.string());
+    IndexOptions options;
+    options.policy = Policy::kStrictContiguity;
+    auto index = SequenceIndex::Open(db->get(), options);
+    ASSERT_TRUE(index.ok()) << index.status();
+    ASSERT_TRUE((*index)->Flush().ok());
+  }
+  {
+    auto db = storage::Database::Open(dir.string());
+    IndexOptions options;
+    options.policy = Policy::kSkipTillNextMatch;
+    auto index = SequenceIndex::Open(db->get(), options);
+    ASSERT_FALSE(index.ok());
+    EXPECT_TRUE(index.status().IsInvalidArgument());
+  }
+  {
+    auto db = storage::Database::Open(dir.string());
+    IndexOptions options;
+    options.policy = Policy::kStrictContiguity;
+    EXPECT_TRUE(SequenceIndex::Open(db->get(), options).ok());
+  }
+  fs::remove_all(dir);
+}
+
+TEST(PolicyNamesTest, ParseRoundTrip) {
+  for (Policy p : {Policy::kStrictContiguity, Policy::kSkipTillNextMatch,
+                   Policy::kSkipTillAnyMatch}) {
+    Policy parsed;
+    ASSERT_TRUE(index::ParsePolicyName(index::PolicyName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  Policy parsed;
+  EXPECT_TRUE(index::ParsePolicyName("stnm", &parsed));
+  EXPECT_EQ(parsed, Policy::kSkipTillNextMatch);
+  EXPECT_FALSE(index::ParsePolicyName("bogus", &parsed));
+}
+
+}  // namespace
+}  // namespace seqdet

@@ -1,0 +1,275 @@
+// Failure injection: corrupted/truncated on-disk state must surface as
+// clean Status errors (or be recovered up to the damage), never as crashes
+// or silent wrong answers.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "index/sequence_index.h"
+#include "log/event_log.h"
+#include "storage/database.h"
+#include "storage/segment.h"
+#include "storage/write_batch.h"
+
+namespace seqdet {
+namespace {
+
+namespace fs = std::filesystem;
+using storage::Database;
+using storage::RecordKind;
+using storage::Segment;
+using storage::SegmentBuilder;
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("seqdet_failure_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+// Returns the first file under `dir` matching `suffix` (by extension).
+fs::path FindFile(const fs::path& dir, const std::string& suffix) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().string().ends_with(suffix)) return entry.path();
+  }
+  return {};
+}
+
+void FlipByteAt(const fs::path& file, size_t offset) {
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+TEST(FailureInjectionTest, CorruptSegmentBodyDetectedOnReopen) {
+  TempDir dir;
+  {
+    auto db = Database::Open(dir.str());
+    ASSERT_TRUE(db.ok());
+    auto table = (*db)->GetOrCreateTable("victim");
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)->Put("key", "value").ok());
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  fs::path segment = FindFile(dir.path(), ".seg");
+  ASSERT_FALSE(segment.empty());
+  FlipByteAt(segment, 10);  // inside the entry body
+
+  auto db = Database::Open(dir.str());
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption()) << db.status();
+}
+
+TEST(FailureInjectionTest, CorruptSegmentMagicDetected) {
+  TempDir dir;
+  {
+    auto db = Database::Open(dir.str());
+    auto table = (*db)->GetOrCreateTable("victim");
+    ASSERT_TRUE((*table)->Put("key", "value").ok());
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  fs::path segment = FindFile(dir.path(), ".seg");
+  FlipByteAt(segment, 0);  // magic
+  auto db = Database::Open(dir.str());
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+TEST(FailureInjectionTest, TruncatedSegmentDetected) {
+  TempDir dir;
+  {
+    auto db = Database::Open(dir.str());
+    auto table = (*db)->GetOrCreateTable("victim");
+    ASSERT_TRUE((*table)->Put("key", std::string(1000, 'v')).ok());
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  fs::path segment = FindFile(dir.path(), ".seg");
+  fs::resize_file(segment, fs::file_size(segment) / 2);
+  auto db = Database::Open(dir.str());
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+TEST(FailureInjectionTest, TornWalTailRecoversPrefix) {
+  TempDir dir;
+  {
+    auto db = Database::Open(dir.str());
+    auto table = (*db)->GetOrCreateTable("t");
+    ASSERT_TRUE((*table)->Put("committed", "yes").ok());
+    ASSERT_TRUE((*table)->Put("torn", "half").ok());
+    // No flush: both records only exist in the WAL.
+  }
+  fs::path wal = FindFile(dir.path(), ".wal");
+  ASSERT_FALSE(wal.empty());
+  fs::resize_file(wal, fs::file_size(wal) - 4);
+
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  storage::Table* table = (*db)->GetTable("t");
+  ASSERT_NE(table, nullptr);
+  std::string value;
+  EXPECT_TRUE(table->Get("committed", &value).ok());
+  EXPECT_TRUE(table->Get("torn", &value).IsNotFound());
+}
+
+TEST(FailureInjectionTest, CorruptWalRecordStopsReplayCleanly) {
+  TempDir dir;
+  {
+    auto db = Database::Open(dir.str());
+    auto table = (*db)->GetOrCreateTable("t");
+    ASSERT_TRUE((*table)->Put("a", "1").ok());
+    ASSERT_TRUE((*table)->Put("b", "2").ok());
+    ASSERT_TRUE((*table)->Put("c", "3").ok());
+  }
+  fs::path wal = FindFile(dir.path(), ".wal");
+  // Flip a byte inside the second record's payload; replay keeps "a" and
+  // drops everything from the damage onward.
+  FlipByteAt(wal, fs::file_size(wal) / 2);
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  storage::Table* table = (*db)->GetTable("t");
+  std::string value;
+  EXPECT_TRUE(table->Get("a", &value).ok());
+  EXPECT_TRUE(table->Get("c", &value).IsNotFound());
+}
+
+TEST(FailureInjectionTest, CorruptIndexMetaSurfacesError) {
+  TempDir dir;
+  {
+    auto db = Database::Open(dir.str());
+    index::IndexOptions options;
+    options.num_threads = 1;
+    auto index = index::SequenceIndex::Open(db->get(), options);
+    ASSERT_TRUE(index.ok());
+    eventlog::EventLog log;
+    log.Append(1, "A", 1);
+    log.Append(1, "B", 2);
+    log.SortAllTraces();
+    ASSERT_TRUE((*index)->Update(log).ok());
+    ASSERT_TRUE((*index)->Flush().ok());
+  }
+  // Damage the meta table's segment.
+  fs::path meta_segment;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    std::string name = entry.path().filename().string();
+    if (name.starts_with("meta.") && name.ends_with(".seg")) {
+      meta_segment = entry.path();
+    }
+  }
+  ASSERT_FALSE(meta_segment.empty());
+  FlipByteAt(meta_segment, 12);
+  auto db = Database::Open(dir.str());
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(FailureInjectionTest, StaleWalAfterFlushCrashIsNotReplayed) {
+  // Crash window: the memtable flushed into a segment but the process died
+  // before the WAL rotation removed the old log. Replaying that log would
+  // double-apply the appends; recovery must recognize it as stale by its
+  // generation id and discard it.
+  TempDir dir;
+  fs::path stale_wal;
+  std::string saved_wal_bytes;
+  {
+    auto db = Database::Open(dir.str());
+    auto table = (*db)->GetOrCreateTable("t");
+    storage::WriteBatch batch;  // Apply flushes the WAL to the OS
+    batch.Append("k", "once");
+    ASSERT_TRUE((*table)->Apply(batch).ok());
+    stale_wal = FindFile(dir.path(), ".wal");
+    ASSERT_FALSE(stale_wal.empty());
+    {
+      std::ifstream in(stale_wal, std::ios::binary);
+      saved_wal_bytes.assign(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(saved_wal_bytes.empty());
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  // Re-materialize the pre-flush WAL, simulating a crash before rotation
+  // finished deleting it.
+  {
+    std::ofstream out(stale_wal, std::ios::binary);
+    out.write(saved_wal_bytes.data(),
+              static_cast<std::streamsize>(saved_wal_bytes.size()));
+  }
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  std::string value;
+  ASSERT_TRUE((*db)->GetTable("t")->Get("k", &value).ok());
+  EXPECT_EQ(value, "once");  // not "onceonce"
+}
+
+TEST(FailureInjectionTest, PostCompactionWritesSurviveReopen) {
+  // Compaction reuses the next segment id; writes after a compaction must
+  // land in a WAL generation that recovery replays.
+  TempDir dir;
+  {
+    auto db = Database::Open(dir.str());
+    auto table = (*db)->GetOrCreateTable("t");
+    ASSERT_TRUE((*table)->Append("k", "a").ok());
+    ASSERT_TRUE((*table)->Flush().ok());
+    ASSERT_TRUE((*table)->Append("k", "b").ok());
+    ASSERT_TRUE((*table)->Compact().ok());
+    ASSERT_TRUE((*table)->Append("k", "c").ok());  // WAL only
+  }
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  std::string value;
+  ASSERT_TRUE((*db)->GetTable("t")->Get("k", &value).ok());
+  EXPECT_EQ(value, "abc");
+}
+
+TEST(FailureInjectionTest, SegmentBuilderOutputSurvivesRoundTripFuzz) {
+  // Property: flipping any single byte of a sealed segment either still
+  // decodes to the same entries (impossible given the checksum) or fails
+  // with Corruption — never crashes, never returns different data.
+  SegmentBuilder builder;
+  ASSERT_TRUE(builder.Add("alpha", RecordKind::kPut, "1").ok());
+  ASSERT_TRUE(builder.Add("beta", RecordKind::kAppend, "22").ok());
+  ASSERT_TRUE(builder.Add("gamma", RecordKind::kDelete, "").ok());
+  std::string sealed = builder.Finish();
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    std::string mutated = sealed;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+    auto segment = Segment::FromBuffer(mutated);
+    EXPECT_FALSE(segment.ok()) << "byte " << i;
+  }
+}
+
+TEST(FailureInjectionTest, MissingSegmentFileFailsToOpen) {
+  EXPECT_FALSE(Segment::Load("/nonexistent/file.seg").ok());
+}
+
+TEST(FailureInjectionTest, EmptyDirectoryOpensCleanly) {
+  TempDir dir;
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->TableNames().empty());
+}
+
+TEST(FailureInjectionTest, UnwritableDirectoryReported) {
+  auto db = Database::Open("/proc/definitely/not/writable");
+  EXPECT_FALSE(db.ok());
+}
+
+}  // namespace
+}  // namespace seqdet

@@ -1,0 +1,298 @@
+// End-to-end tests: dataset generation -> index build -> queries, with
+// cross-system agreement checks between the pair index, SASE, the
+// ES-like engine and the subtree baseline.
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "log/xes_io.h"
+
+#include "baselines/esearch/es_engine.h"
+#include "baselines/sase/sase_engine.h"
+#include "baselines/subtree/subtree_index.h"
+#include "common/rng.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "gtest/gtest.h"
+#include "index/sequence_index.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+namespace seqdet {
+namespace {
+
+using eventlog::ActivityId;
+using eventlog::EventLog;
+using eventlog::Timestamp;
+using eventlog::Trace;
+using index::EventTypePair;
+using index::IndexOptions;
+using index::Policy;
+using index::SequenceIndex;
+using query::Pattern;
+using query::PatternMatch;
+using query::QueryProcessor;
+
+std::unique_ptr<storage::Database> InMemoryDb() {
+  storage::DbOptions options;
+  options.table.in_memory = true;
+  options.table.use_wal = false;
+  return std::move(storage::Database::Open("", options)).value();
+}
+
+std::unique_ptr<SequenceIndex> BuildIndex(storage::Database* db,
+                                          const EventLog& log,
+                                          Policy policy) {
+  IndexOptions options;
+  options.policy = policy;
+  options.num_threads = 2;
+  auto index = SequenceIndex::Open(db, options);
+  EXPECT_TRUE(index.ok());
+  auto stats = (*index)->Update(log);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return std::move(index).value();
+}
+
+std::vector<std::string> TermsOf(const EventLog& log,
+                                 const std::vector<ActivityId>& pattern) {
+  std::vector<std::string> terms;
+  for (ActivityId a : pattern) terms.push_back(log.dictionary().Name(a));
+  return terms;
+}
+
+// Every match must reference real events of its trace, in order.
+void ValidateMatches(const EventLog& log,
+                     const std::vector<ActivityId>& pattern,
+                     const std::vector<PatternMatch>& matches) {
+  for (const PatternMatch& match : matches) {
+    const Trace* trace = log.FindTrace(match.trace);
+    ASSERT_NE(trace, nullptr);
+    ASSERT_EQ(match.timestamps.size(), pattern.size());
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(match.timestamps[i - 1], match.timestamps[i]);
+      }
+      bool exists = false;
+      for (const auto& e : trace->events) {
+        if (e.ts == match.timestamps[i] && e.activity == pattern[i]) {
+          exists = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(exists) << "phantom event in match";
+    }
+  }
+}
+
+TEST(IntegrationTest, ScAgreesAcrossAllFourSystems) {
+  auto log_result = datagen::LoadDataset("med_5000", 0.01);
+  ASSERT_TRUE(log_result.ok());
+  const EventLog& log = *log_result;
+
+  auto db = InMemoryDb();
+  auto index = BuildIndex(db.get(), log, Policy::kStrictContiguity);
+  QueryProcessor qp(index.get());
+  baseline::SaseEngine sase(&log);
+  auto es = baseline::EsLikeEngine::Build(log);
+  ASSERT_TRUE(es.ok());
+  auto subtree = baseline::SubtreeIndex::Build(log);
+  ASSERT_TRUE(subtree.ok()) << subtree.status();
+
+  datagen::PatternSampler sampler(&log, 7);
+  for (size_t len : {2, 3, 5}) {
+    for (int round = 0; round < 15; ++round) {
+      auto pattern = sampler.SampleContiguous(len);
+      auto ours = qp.Detect(Pattern(pattern));
+      ASSERT_TRUE(ours.ok());
+      size_t sase_count =
+          sase.Count(pattern, Policy::kStrictContiguity);
+      size_t subtree_count = (*subtree)->Count(pattern);
+      size_t es_count = (*es)->DetectSc(TermsOf(log, pattern)).size();
+      EXPECT_EQ(ours->size(), sase_count) << "len " << len;
+      EXPECT_EQ(ours->size(), subtree_count) << "len " << len;
+      EXPECT_EQ(ours->size(), es_count) << "len " << len;
+      EXPECT_GT(ours->size(), 0u) << "sampled pattern must occur";
+      ValidateMatches(log, pattern, *ours);
+    }
+  }
+}
+
+TEST(IntegrationTest, StnmLengthTwoAgreesWithSaseAndEs) {
+  auto log_result = datagen::LoadDataset("bpi_2013", 0.02);
+  ASSERT_TRUE(log_result.ok());
+  const EventLog& log = *log_result;
+
+  auto db = InMemoryDb();
+  auto index = BuildIndex(db.get(), log, Policy::kSkipTillNextMatch);
+  QueryProcessor qp(index.get());
+  baseline::SaseEngine sase(&log);
+  auto es = baseline::EsLikeEngine::Build(log);
+  ASSERT_TRUE(es.ok());
+
+  datagen::PatternSampler sampler(&log, 13);
+  for (int round = 0; round < 25; ++round) {
+    auto pattern = sampler.SampleSubsequence(2);
+    auto ours = qp.Detect(Pattern(pattern));
+    ASSERT_TRUE(ours.ok());
+    // For length-2 patterns the pair index IS the greedy match set, so all
+    // three systems agree exactly.
+    auto reference = sase.Detect(pattern, Policy::kSkipTillNextMatch);
+    auto es_matches = (*es)->DetectStnm(TermsOf(log, pattern));
+    EXPECT_EQ(ours->size(), reference.size()) << "round " << round;
+    EXPECT_EQ(ours->size(), es_matches.size()) << "round " << round;
+    ValidateMatches(log, pattern, *ours);
+  }
+}
+
+TEST(IntegrationTest, StnmLongPatternsAreValidAndDetected) {
+  auto log_result = datagen::LoadDataset("min_10000", 0.005);
+  ASSERT_TRUE(log_result.ok());
+  const EventLog& log = *log_result;
+
+  auto db = InMemoryDb();
+  auto index = BuildIndex(db.get(), log, Policy::kSkipTillNextMatch);
+  QueryProcessor qp(index.get());
+
+  datagen::PatternSampler sampler(&log, 29);
+  size_t non_empty = 0;
+  for (int round = 0; round < 20; ++round) {
+    auto pattern = sampler.SampleSubsequence(4);
+    auto ours = qp.Detect(Pattern(pattern));
+    ASSERT_TRUE(ours.ok());
+    ValidateMatches(log, pattern, *ours);
+    if (!ours->empty()) ++non_empty;
+  }
+  // Algorithm 2 joins greedy pairs, which can miss some occurrences of
+  // longer patterns (see DESIGN.md); but on real-ish logs the vast
+  // majority of sampled existing patterns must still be found.
+  EXPECT_GE(non_empty, 15u);
+}
+
+TEST(IntegrationTest, StatisticsBoundsHoldOnRealDataset) {
+  auto log_result = datagen::LoadDataset("bpi_2020", 0.02);
+  ASSERT_TRUE(log_result.ok());
+  const EventLog& log = *log_result;
+  auto db = InMemoryDb();
+  auto index = BuildIndex(db.get(), log, Policy::kSkipTillNextMatch);
+  QueryProcessor qp(index.get());
+  datagen::PatternSampler sampler(&log, 31);
+  for (int round = 0; round < 20; ++round) {
+    auto pattern = sampler.SampleSubsequence(3);
+    auto stats = qp.Statistics(Pattern(pattern));
+    auto matches = qp.Detect(Pattern(pattern));
+    ASSERT_TRUE(stats.ok());
+    ASSERT_TRUE(matches.ok());
+    EXPECT_LE(matches->size(), stats->completions_upper_bound);
+  }
+}
+
+TEST(IntegrationTest, ContinuationPipelineOnDataset) {
+  auto log_result = datagen::LoadDataset("max_100", 0.5);
+  ASSERT_TRUE(log_result.ok());
+  const EventLog& log = *log_result;
+  auto db = InMemoryDb();
+  auto index = BuildIndex(db.get(), log, Policy::kSkipTillNextMatch);
+  QueryProcessor qp(index.get());
+  datagen::PatternSampler sampler(&log, 37);
+
+  auto pattern = Pattern(sampler.SampleSubsequence(3));
+  auto accurate = qp.ContinueAccurate(pattern);
+  auto fast = qp.ContinueFast(pattern);
+  ASSERT_TRUE(accurate.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(accurate->size(), fast->size());  // same candidate set
+
+  // Hybrid accuracy increases with k (Figure 7's property): compute the
+  // fraction of accurate's top-|accurate| activities present in hybrid's
+  // top-k proposals.
+  auto accuracy_at = [&](size_t k) {
+    auto hybrid = qp.ContinueHybrid(pattern, k);
+    EXPECT_TRUE(hybrid.ok());
+    size_t take = std::min(accurate->size(), hybrid->size());
+    std::set<ActivityId> accurate_top, hybrid_top;
+    for (size_t i = 0; i < take; ++i) {
+      accurate_top.insert((*accurate)[i].activity);
+      hybrid_top.insert((*hybrid)[i].activity);
+    }
+    size_t inter = 0;
+    for (ActivityId a : accurate_top) inter += hybrid_top.count(a);
+    return take == 0 ? 1.0 : static_cast<double>(inter) / take;
+  };
+  double full = accuracy_at(accurate->size());
+  EXPECT_DOUBLE_EQ(full, 1.0);  // k = all candidates degenerates to Accurate
+}
+
+TEST(IntegrationTest, IndexSurvivesReopenWithQueries) {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() /
+             ("seqdet_integration_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  auto log_result = datagen::LoadDataset("bpi_2013", 0.01);
+  ASSERT_TRUE(log_result.ok());
+  const EventLog& log = *log_result;
+  datagen::PatternSampler sampler(&log, 41);
+  auto pattern = Pattern(sampler.SampleSubsequence(3));
+
+  size_t expected_matches = 0;
+  {
+    auto db = storage::Database::Open(dir.string());
+    ASSERT_TRUE(db.ok());
+    IndexOptions options;
+    options.num_threads = 2;
+    auto index = SequenceIndex::Open(db->get(), options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->Update(log).ok());
+    auto matches = QueryProcessor(index->get()).Detect(pattern);
+    ASSERT_TRUE(matches.ok());
+    expected_matches = matches->size();
+    ASSERT_TRUE((*index)->Flush().ok());
+  }
+  {
+    auto db = storage::Database::Open(dir.string());
+    ASSERT_TRUE(db.ok());
+    auto index = SequenceIndex::Open(db->get(), IndexOptions{});
+    ASSERT_TRUE(index.ok());
+    auto matches = QueryProcessor(index->get()).Detect(pattern);
+    ASSERT_TRUE(matches.ok());
+    EXPECT_EQ(matches->size(), expected_matches);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(IntegrationTest, XesRoundTripPreservesQueryResults) {
+  auto log_result = datagen::LoadDataset("max_100", 0.2);
+  ASSERT_TRUE(log_result.ok());
+  EventLog& log = *log_result;
+
+  std::ostringstream buffer;
+  ASSERT_TRUE(eventlog::WriteXesLog(log, buffer).ok());
+  std::istringstream in(buffer.str());
+  auto reread = eventlog::ReadXesLog(in);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  ASSERT_EQ(reread->num_events(), log.num_events());
+
+  auto db1 = InMemoryDb(), db2 = InMemoryDb();
+  auto index1 = BuildIndex(db1.get(), log, Policy::kSkipTillNextMatch);
+  auto index2 = BuildIndex(db2.get(), *reread, Policy::kSkipTillNextMatch);
+  QueryProcessor qp1(index1.get()), qp2(index2.get());
+  datagen::PatternSampler sampler(&log, 43);
+  for (int round = 0; round < 10; ++round) {
+    auto ids = sampler.SampleSubsequence(3);
+    // Map through names for the second index (intern order may differ).
+    std::vector<std::string> names = TermsOf(log, ids);
+    auto p1 = Pattern(ids);
+    auto p2 = Pattern::FromNames(index2->dictionary(), names);
+    ASSERT_TRUE(p2.ok());
+    auto m1 = qp1.Detect(p1);
+    auto m2 = qp2.Detect(*p2);
+    ASSERT_TRUE(m1.ok());
+    ASSERT_TRUE(m2.ok());
+    EXPECT_EQ(m1->size(), m2->size()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace seqdet

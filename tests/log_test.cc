@@ -1,0 +1,312 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "log/activity_dictionary.h"
+#include "log/csv_io.h"
+#include "log/event_log.h"
+#include "log/log_statistics.h"
+#include "log/xes_io.h"
+
+namespace seqdet::eventlog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ActivityDictionary
+// ---------------------------------------------------------------------------
+
+TEST(ActivityDictionaryTest, InternAssignsDenseIds) {
+  ActivityDictionary dict;
+  EXPECT_EQ(dict.Intern("A"), 0u);
+  EXPECT_EQ(dict.Intern("B"), 1u);
+  EXPECT_EQ(dict.Intern("A"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ActivityDictionaryTest, LookupAndName) {
+  ActivityDictionary dict;
+  ActivityId a = dict.Intern("submit");
+  EXPECT_EQ(dict.Lookup("submit"), a);
+  EXPECT_EQ(dict.Lookup("unknown"), kInvalidActivity);
+  EXPECT_EQ(dict.Name(a), "submit");
+  EXPECT_TRUE(dict.Contains("submit"));
+  EXPECT_FALSE(dict.Contains("nope"));
+}
+
+// ---------------------------------------------------------------------------
+// Trace / EventLog
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SortByTimestamp) {
+  Trace t{1, {{0, 5}, {1, 2}, {2, 9}}};
+  EXPECT_FALSE(t.IsSorted());
+  t.SortByTimestamp();
+  EXPECT_TRUE(t.IsSorted());
+  EXPECT_EQ(t.events[0].ts, 2);
+  EXPECT_EQ(t.events[2].ts, 9);
+}
+
+TEST(TraceTest, DistinctActivities) {
+  Trace t{1, {{0, 1}, {1, 2}, {0, 3}, {2, 4}}};
+  EXPECT_EQ(t.DistinctActivities(), 3u);
+}
+
+TEST(EventLogTest, AppendGroupsByTrace) {
+  EventLog log;
+  log.Append(10, "A", 1);
+  log.Append(11, "B", 1);
+  log.Append(10, "B", 2);
+  EXPECT_EQ(log.num_traces(), 2u);
+  EXPECT_EQ(log.num_events(), 3u);
+  EXPECT_EQ(log.num_activities(), 2u);
+  const Trace* t = log.FindTrace(10);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->size(), 2u);
+  EXPECT_EQ(log.FindTrace(99), nullptr);
+}
+
+TEST(EventLogTest, AddTraceMergesSameId) {
+  EventLog log;
+  log.AddTrace(Trace{5, {{0, 1}}});
+  log.AddTrace(Trace{5, {{1, 2}}});
+  EXPECT_EQ(log.num_traces(), 1u);
+  EXPECT_EQ(log.FindTrace(5)->size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  EventLog log;
+  log.Append(1, "start", 10);
+  log.Append(1, "end", 20);
+  log.Append(2, "start", 5);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsvLog(log, out).ok());
+  std::istringstream in(out.str());
+  auto read = ReadCsvLog(in);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->num_traces(), 2u);
+  EXPECT_EQ(read->num_events(), 3u);
+  const Trace* t1 = read->FindTrace(1);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(read->dictionary().Name(t1->events[0].activity), "start");
+  EXPECT_EQ(t1->events[1].ts, 20);
+}
+
+TEST(CsvTest, HeaderAndCommentsSkipped) {
+  std::istringstream in(
+      "trace_id,activity,timestamp\n"
+      "# comment line\n"
+      "\n"
+      "1,A,3\n");
+  auto log = ReadCsvLog(in);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_events(), 1u);
+}
+
+TEST(CsvTest, ExtraColumnsIgnored) {
+  std::istringstream in("1,A,3,ignored,metadata\n");
+  auto log = ReadCsvLog(in);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_events(), 1u);
+}
+
+TEST(CsvTest, BadTimestampRejected) {
+  std::istringstream in("1,A,xyz\n");
+  auto log = ReadCsvLog(in);
+  ASSERT_FALSE(log.ok());
+  EXPECT_TRUE(log.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, TooFewFieldsRejected) {
+  std::istringstream in("1,A\n");
+  EXPECT_FALSE(ReadCsvLog(in).ok());
+}
+
+TEST(CsvTest, TracesSortedOnRead) {
+  std::istringstream in("1,B,9\n1,A,2\n");
+  auto log = ReadCsvLog(in);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->FindTrace(1)->IsSorted());
+}
+
+// ---------------------------------------------------------------------------
+// XES
+// ---------------------------------------------------------------------------
+
+TEST(XesTest, ParsesMinimalDocument) {
+  std::istringstream in(R"(<?xml version="1.0"?>
+<log>
+  <extension name="Concept" prefix="concept" uri="http://x"/>
+  <trace>
+    <string key="concept:name" value="42"/>
+    <event>
+      <string key="concept:name" value="register"/>
+      <int key="time:timestamp" value="100"/>
+    </event>
+    <event>
+      <string key="concept:name" value="approve"/>
+      <int key="time:timestamp" value="200"/>
+    </event>
+  </trace>
+</log>)");
+  auto log = ReadXesLog(in);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_traces(), 1u);
+  const Trace* t = log->FindTrace(42);
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ(log->dictionary().Name(t->events[0].activity), "register");
+  EXPECT_EQ(t->events[1].ts, 200);
+}
+
+TEST(XesTest, IsoDateTimestamps) {
+  std::istringstream in(R"(<log><trace>
+    <string key="concept:name" value="case_7"/>
+    <event>
+      <string key="concept:name" value="A"/>
+      <date key="time:timestamp" value="1970-01-01T00:00:01.500Z"/>
+    </event>
+  </trace></log>)");
+  auto log = ReadXesLog(in);
+  ASSERT_TRUE(log.ok()) << log.status();
+  const Trace* t = log->FindTrace(7);  // trailing integer of "case_7"
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->events[0].ts, 1500);
+}
+
+TEST(XesTest, MissingTimestampFallsBackToPosition) {
+  std::istringstream in(R"(<log><trace>
+    <event><string key="concept:name" value="A"/></event>
+    <event><string key="concept:name" value="B"/></event>
+  </trace></log>)");
+  auto log = ReadXesLog(in);
+  ASSERT_TRUE(log.ok()) << log.status();
+  const Trace& t = log->traces()[0];
+  EXPECT_EQ(t.events[0].ts, 0);
+  EXPECT_EQ(t.events[1].ts, 1);
+}
+
+TEST(XesTest, EscapedAttributeValues) {
+  std::istringstream in(R"(<log><trace>
+    <event><string key="concept:name" value="a &amp; b &lt;x&gt;"/>
+    <int key="time:timestamp" value="1"/></event>
+  </trace></log>)");
+  auto log = ReadXesLog(in);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->dictionary().Name(log->traces()[0].events[0].activity),
+            "a & b <x>");
+}
+
+TEST(XesTest, RoundTrip) {
+  EventLog original;
+  original.Append(3, "first", 10);
+  original.Append(3, "second", 25);
+  original.Append(4, "first", 7);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteXesLog(original, out).ok());
+  std::istringstream in(out.str());
+  auto read = ReadXesLog(in);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->num_traces(), 2u);
+  const Trace* t = read->FindTrace(3);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->events[1].ts, 25);
+  EXPECT_EQ(read->dictionary().Name(t->events[1].activity), "second");
+}
+
+TEST(XesTest, LifecycleFilterKeepsCompletionsOnly) {
+  // A start+complete pair per task, plus one event without the attribute.
+  std::istringstream in(R"(<log><trace>
+    <event><string key="concept:name" value="A"/>
+      <string key="lifecycle:transition" value="start"/>
+      <int key="time:timestamp" value="1"/></event>
+    <event><string key="concept:name" value="A"/>
+      <string key="lifecycle:transition" value="COMPLETE"/>
+      <int key="time:timestamp" value="5"/></event>
+    <event><string key="concept:name" value="B"/>
+      <int key="time:timestamp" value="9"/></event>
+  </trace></log>)");
+  XesReadOptions options;
+  options.lifecycle_filter = "complete";
+  auto log = ReadXesLog(in, options);
+  ASSERT_TRUE(log.ok()) << log.status();
+  const Trace& t = log->traces()[0];
+  ASSERT_EQ(t.size(), 2u);  // start event dropped, case-insensitive match
+  EXPECT_EQ(t.events[0].ts, 5);
+  EXPECT_EQ(log->dictionary().Name(t.events[1].activity), "B");
+}
+
+TEST(XesTest, NoLifecycleFilterKeepsEverything) {
+  std::istringstream in(R"(<log><trace>
+    <event><string key="concept:name" value="A"/>
+      <string key="lifecycle:transition" value="start"/>
+      <int key="time:timestamp" value="1"/></event>
+  </trace></log>)");
+  auto log = ReadXesLog(in);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_events(), 1u);
+}
+
+TEST(XesTest, EventWithoutNameRejected) {
+  std::istringstream in(R"(<log><trace>
+    <event><int key="time:timestamp" value="1"/></event>
+  </trace></log>)");
+  EXPECT_FALSE(ReadXesLog(in).ok());
+}
+
+TEST(Iso8601Test, ParsesOffsets) {
+  int64_t ms;
+  ASSERT_TRUE(ParseIso8601Millis("1970-01-01T01:00:00.000+01:00", &ms));
+  EXPECT_EQ(ms, 0);
+  ASSERT_TRUE(ParseIso8601Millis("1970-01-02T00:00:00Z", &ms));
+  EXPECT_EQ(ms, 86400000);
+  ASSERT_TRUE(ParseIso8601Millis("1969-12-31T23:59:59Z", &ms));
+  EXPECT_EQ(ms, -1000);
+}
+
+TEST(Iso8601Test, LeapYearHandled) {
+  int64_t feb29, mar01;
+  ASSERT_TRUE(ParseIso8601Millis("2020-02-29T00:00:00Z", &feb29));
+  ASSERT_TRUE(ParseIso8601Millis("2020-03-01T00:00:00Z", &mar01));
+  EXPECT_EQ(mar01 - feb29, 86400000);
+}
+
+TEST(Iso8601Test, RejectsGarbage) {
+  int64_t ms;
+  EXPECT_FALSE(ParseIso8601Millis("not a date", &ms));
+  EXPECT_FALSE(ParseIso8601Millis("2020-13-01T00:00:00Z", &ms));
+}
+
+// ---------------------------------------------------------------------------
+// LogStatistics
+// ---------------------------------------------------------------------------
+
+TEST(LogStatisticsTest, ComputesTable4Numbers) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "B", 2);
+  log.Append(1, "A", 3);
+  log.Append(2, "A", 1);
+  auto stats = LogStatistics::Compute(log);
+  EXPECT_EQ(stats.num_traces, 2u);
+  EXPECT_EQ(stats.num_events, 4u);
+  EXPECT_EQ(stats.num_activities, 2u);
+  EXPECT_EQ(stats.min_events_per_trace, 1u);
+  EXPECT_EQ(stats.max_events_per_trace, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_events_per_trace, 2.0);
+  EXPECT_EQ(stats.events_per_trace.count(), 2u);
+  EXPECT_EQ(stats.activities_per_trace.count(), 2u);
+}
+
+TEST(LogStatisticsTest, EmptyLog) {
+  EventLog log;
+  auto stats = LogStatistics::Compute(log);
+  EXPECT_EQ(stats.num_traces, 0u);
+  EXPECT_EQ(stats.min_events_per_trace, 0u);
+  EXPECT_FALSE(stats.SummaryRow("empty").empty());
+}
+
+}  // namespace
+}  // namespace seqdet::eventlog

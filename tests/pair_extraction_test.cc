@@ -1,0 +1,309 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/pair_extraction.h"
+
+namespace seqdet::index {
+namespace {
+
+using eventlog::ActivityId;
+using eventlog::Event;
+using eventlog::Timestamp;
+using eventlog::Trace;
+
+// Builds a trace from (activity, ts) pairs.
+Trace MakeTrace(eventlog::TraceId id,
+                std::initializer_list<std::pair<ActivityId, Timestamp>>
+                    events) {
+  Trace t;
+  t.id = id;
+  for (auto& [a, ts] : events) t.events.push_back(Event{a, ts});
+  return t;
+}
+
+// Canonical form for comparing extractor output regardless of emit order.
+std::set<std::tuple<ActivityId, ActivityId, Timestamp, Timestamp>> Canon(
+    const std::vector<PairRow>& rows) {
+  std::set<std::tuple<ActivityId, ActivityId, Timestamp, Timestamp>> out;
+  for (const PairRow& r : rows) {
+    out.emplace(r.pair.first, r.pair.second, r.occurrence.ts_first,
+                r.occurrence.ts_second);
+  }
+  EXPECT_EQ(out.size(), rows.size()) << "duplicate pair rows emitted";
+  return out;
+}
+
+/// Reference STNM extractor: per type pair, an independent greedy scan over
+/// the trace. O(n * l^2) but obviously correct — the ground truth for the
+/// property tests.
+std::vector<PairRow> ReferenceStnm(const Trace& trace) {
+  std::set<ActivityId> types;
+  for (const Event& e : trace.events) types.insert(e.activity);
+  std::vector<PairRow> out;
+  for (ActivityId x : types) {
+    for (ActivityId y : types) {
+      Timestamp pending_first = 0;
+      bool have_first = false;
+      for (const Event& e : trace.events) {
+        if (!have_first) {
+          if (e.activity == x) {
+            pending_first = e.ts;
+            have_first = true;
+          }
+          continue;
+        }
+        if (e.activity == y && e.ts > pending_first) {
+          out.push_back(PairRow{EventTypePair{x, y},
+                                PairOccurrence{trace.id, pending_first,
+                                               e.ts}});
+          have_first = false;  // restart the scan after this completion
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// The worked example of §2.1 / Table 3 of the paper:
+// trace <(A,1), (A,2), (B,3), (A,4), (B,5), (A,6)>.
+constexpr ActivityId A = 0, B = 1, C = 2;
+Trace PaperTrace() {
+  return MakeTrace(7, {{A, 1}, {A, 2}, {B, 3}, {A, 4}, {B, 5}, {A, 6}});
+}
+
+TEST(ScExtractionTest, PaperExample) {
+  std::vector<PairRow> rows;
+  ExtractScPairs(PaperTrace(), &rows);
+  // Consecutive pairs: (A,A):(1,2), (A,B):(2,3), (B,A):(3,4), (A,B):(4,5),
+  // (B,A):(5,6). Table 3 lists SC (B,A) as "(3,4),(4,5)"; (4,5) is the
+  // (A,B) pair at those positions, so we treat that as a typo (see
+  // DESIGN.md) and expect the consecutive semantics.
+  auto canon = Canon(rows);
+  std::set<std::tuple<ActivityId, ActivityId, Timestamp, Timestamp>>
+      expected = {{A, A, 1, 2}, {A, B, 2, 3}, {B, A, 3, 4},
+                  {A, B, 4, 5}, {B, A, 5, 6}};
+  EXPECT_EQ(canon, expected);
+}
+
+TEST(ScExtractionTest, EmptyAndSingleton) {
+  std::vector<PairRow> rows;
+  ExtractScPairs(MakeTrace(1, {}), &rows);
+  EXPECT_TRUE(rows.empty());
+  ExtractScPairs(MakeTrace(1, {{A, 5}}), &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+// Each STNM flavor must reproduce Table 3 exactly.
+class StnmFlavorTest : public ::testing::TestWithParam<ExtractionMethod> {};
+
+TEST_P(StnmFlavorTest, PaperTable3) {
+  std::vector<PairRow> rows;
+  ExtractPairs(PaperTrace(), Policy::kSkipTillNextMatch, GetParam(), &rows);
+  auto canon = Canon(rows);
+  std::set<std::tuple<ActivityId, ActivityId, Timestamp, Timestamp>>
+      expected = {
+          {A, A, 1, 2}, {A, A, 4, 6},            // (A,A)
+          {B, A, 3, 4}, {B, A, 5, 6},            // (B,A)
+          {B, B, 3, 5},                          // (B,B)
+          {A, B, 1, 3}, {A, B, 4, 5},            // (A,B)
+      };
+  EXPECT_EQ(canon, expected);
+}
+
+TEST_P(StnmFlavorTest, AabExampleFromIntroduction) {
+  // §2.1: log <AAABAACB>. The greedy pair semantics yields
+  // (A,A): (1,2),(3,5) and (A,B): (1,4),(5,8).
+  Trace trace = MakeTrace(1, {{A, 1}, {A, 2}, {A, 3}, {B, 4},
+                              {A, 5}, {A, 6}, {C, 7}, {B, 8}});
+  std::vector<PairRow> rows;
+  ExtractPairs(trace, Policy::kSkipTillNextMatch, GetParam(), &rows);
+  auto canon = Canon(rows);
+  EXPECT_TRUE(canon.count({A, A, 1, 2}));
+  EXPECT_TRUE(canon.count({A, A, 3, 5}));
+  EXPECT_TRUE(canon.count({A, B, 1, 4}));
+  EXPECT_TRUE(canon.count({A, B, 5, 8}));
+}
+
+TEST_P(StnmFlavorTest, SingleActivityRepetition) {
+  Trace trace = MakeTrace(1, {{A, 1}, {A, 2}, {A, 3}, {A, 4}, {A, 5}});
+  std::vector<PairRow> rows;
+  ExtractPairs(trace, Policy::kSkipTillNextMatch, GetParam(), &rows);
+  // Greedy non-overlapping self pairs: (1,2), (3,4); 5 stays pending.
+  auto canon = Canon(rows);
+  std::set<std::tuple<ActivityId, ActivityId, Timestamp, Timestamp>>
+      expected = {{A, A, 1, 2}, {A, A, 3, 4}};
+  EXPECT_EQ(canon, expected);
+}
+
+TEST_P(StnmFlavorTest, NoPairsForSingletonTrace) {
+  std::vector<PairRow> rows;
+  ExtractPairs(MakeTrace(1, {{A, 1}}), Policy::kSkipTillNextMatch, GetParam(),
+               &rows);
+  EXPECT_TRUE(rows.empty());
+  ExtractPairs(MakeTrace(1, {}), Policy::kSkipTillNextMatch, GetParam(),
+               &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_P(StnmFlavorTest, AllDistinctActivities) {
+  Trace trace = MakeTrace(1, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  std::vector<PairRow> rows;
+  ExtractPairs(trace, Policy::kSkipTillNextMatch, GetParam(), &rows);
+  // Every ordered pair (i, j) with i before j completes exactly once:
+  // C(4,2) = 6 pairs.
+  EXPECT_EQ(rows.size(), 6u);
+  EXPECT_EQ(Canon(rows), Canon(ReferenceStnm(trace)));
+}
+
+TEST_P(StnmFlavorTest, MatchesReferenceOnRandomTraces) {
+  Rng rng(1234 + static_cast<uint64_t>(GetParam()));
+  for (int round = 0; round < 60; ++round) {
+    size_t n = 1 + rng.NextBounded(60);
+    size_t l = 1 + rng.NextBounded(8);
+    Trace trace;
+    trace.id = round;
+    Timestamp ts = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ts += 1 + static_cast<Timestamp>(rng.NextBounded(3));
+      trace.events.push_back(
+          Event{static_cast<ActivityId>(rng.NextBounded(l)), ts});
+    }
+    std::vector<PairRow> rows;
+    ExtractPairs(trace, Policy::kSkipTillNextMatch, GetParam(), &rows);
+    EXPECT_EQ(Canon(rows), Canon(ReferenceStnm(trace)))
+        << "round " << round << " n=" << n << " l=" << l;
+  }
+}
+
+TEST_P(StnmFlavorTest, PairsNeverOverlapProperty) {
+  Rng rng(777);
+  for (int round = 0; round < 20; ++round) {
+    size_t n = 10 + rng.NextBounded(100);
+    Trace trace;
+    trace.id = round;
+    for (size_t i = 0; i < n; ++i) {
+      trace.events.push_back(Event{
+          static_cast<ActivityId>(rng.NextBounded(5)),
+          static_cast<Timestamp>(i + 1)});
+    }
+    std::vector<PairRow> rows;
+    ExtractPairs(trace, Policy::kSkipTillNextMatch, GetParam(), &rows);
+    // Per (a, b): completions sorted by first ts must not overlap, and
+    // every completion must have ts_first < ts_second.
+    std::map<EventTypePair, std::vector<PairOccurrence>> grouped;
+    for (const PairRow& r : rows) grouped[r.pair].push_back(r.occurrence);
+    for (auto& [pair, occurrences] : grouped) {
+      std::sort(occurrences.begin(), occurrences.end());
+      for (size_t i = 0; i < occurrences.size(); ++i) {
+        EXPECT_LT(occurrences[i].ts_first, occurrences[i].ts_second);
+        if (i > 0) {
+          EXPECT_GT(occurrences[i].ts_first, occurrences[i - 1].ts_second)
+              << "overlapping completions for pair (" << pair.first << ","
+              << pair.second << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, StnmFlavorTest,
+                         ::testing::Values(ExtractionMethod::kParsing,
+                                           ExtractionMethod::kIndexing,
+                                           ExtractionMethod::kState),
+                         [](const auto& info) {
+                           return ExtractionMethodName(info.param);
+                         });
+
+TEST(StnmCrossFlavorTest, AllThreeFlavorsAgreeOnProcessLikeTraces) {
+  Rng rng(31);
+  for (int round = 0; round < 30; ++round) {
+    // Traces with heavy repetition (loop-like) stress the greedy logic.
+    Trace trace;
+    trace.id = round;
+    Timestamp ts = 0;
+    size_t blocks = 2 + rng.NextBounded(6);
+    for (size_t b = 0; b < blocks; ++b) {
+      for (ActivityId a : {A, B, C}) {
+        if (rng.NextBool(0.7)) {
+          ts += 1;
+          trace.events.push_back(Event{a, ts});
+        }
+      }
+    }
+    std::vector<PairRow> parsing, indexing, state;
+    ExtractStnmParsing(trace, &parsing);
+    ExtractStnmIndexing(trace, &indexing);
+    ExtractStnmState(trace, &state);
+    EXPECT_EQ(Canon(parsing), Canon(indexing)) << "round " << round;
+    EXPECT_EQ(Canon(indexing), Canon(state)) << "round " << round;
+  }
+}
+
+TEST(StreamingStateExtractorTest, MatchesBatchExtraction) {
+  Rng rng(55);
+  for (int round = 0; round < 30; ++round) {
+    Trace trace;
+    trace.id = 9;
+    size_t n = 1 + rng.NextBounded(50);
+    for (size_t i = 0; i < n; ++i) {
+      trace.events.push_back(Event{
+          static_cast<ActivityId>(rng.NextBounded(6)),
+          static_cast<Timestamp>(i + 1)});
+    }
+    StnmStateExtractor streaming(trace.id);
+    std::vector<PairRow> streamed;
+    for (const Event& e : trace.events) {
+      streaming.Add(e);
+      // Drain at arbitrary points; results must accumulate to the same set.
+      if (rng.NextBool(0.3)) streaming.DrainCompleted(&streamed);
+    }
+    streaming.DrainCompleted(&streamed);
+    std::vector<PairRow> batch;
+    ExtractStnmState(trace, &batch);
+    EXPECT_EQ(Canon(streamed), Canon(batch)) << "round " << round;
+  }
+}
+
+TEST(StreamingStateExtractorTest, DrainIsIncremental) {
+  StnmStateExtractor streaming(1);
+  streaming.Add(Event{A, 1});
+  streaming.Add(Event{B, 2});
+  std::vector<PairRow> first;
+  streaming.DrainCompleted(&first);
+  EXPECT_EQ(first.size(), 1u);  // (A,B,1,2)
+  std::vector<PairRow> second;
+  streaming.DrainCompleted(&second);
+  EXPECT_TRUE(second.empty());  // nothing new
+  streaming.Add(Event{A, 3});  // completes (B,A,2,3) and (A,A,1,3)
+  streaming.DrainCompleted(&second);
+  ASSERT_EQ(second.size(), 2u);
+  std::set<EventTypePair> pairs = {second[0].pair, second[1].pair};
+  EXPECT_TRUE(pairs.count(EventTypePair{B, A}));
+  EXPECT_TRUE(pairs.count(EventTypePair{A, A}));
+}
+
+TEST(ExtractPairsTest, ScPolicyIgnoresMethod) {
+  Trace trace = PaperTrace();
+  std::vector<PairRow> a, b;
+  ExtractPairs(trace, Policy::kStrictContiguity, ExtractionMethod::kParsing,
+               &a);
+  ExtractPairs(trace, Policy::kStrictContiguity, ExtractionMethod::kState,
+               &b);
+  EXPECT_EQ(Canon(a), Canon(b));
+  EXPECT_EQ(a.size(), trace.size() - 1);
+}
+
+TEST(ExtractionNamesTest, Names) {
+  EXPECT_STREQ(ExtractionMethodName(ExtractionMethod::kParsing), "Parsing");
+  EXPECT_STREQ(ExtractionMethodName(ExtractionMethod::kIndexing), "Indexing");
+  EXPECT_STREQ(ExtractionMethodName(ExtractionMethod::kState), "State");
+  EXPECT_STREQ(PolicyName(Policy::kStrictContiguity), "SC");
+  EXPECT_STREQ(PolicyName(Policy::kSkipTillNextMatch), "STNM");
+}
+
+}  // namespace
+}  // namespace seqdet::index

@@ -1,0 +1,632 @@
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/sequence_index.h"
+#include "query/pattern.h"
+#include "query/pattern_parser.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+namespace seqdet::query {
+namespace {
+
+using eventlog::EventLog;
+using eventlog::Timestamp;
+using index::EventTypePair;
+using index::IndexOptions;
+using index::Policy;
+using index::SequenceIndex;
+
+struct Fixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<SequenceIndex> index;
+
+  explicit Fixture(const EventLog& log,
+                   Policy policy = Policy::kSkipTillNextMatch) {
+    storage::DbOptions db_options;
+    db_options.table.in_memory = true;
+    db_options.table.use_wal = false;
+    db = std::move(storage::Database::Open("", db_options)).value();
+    IndexOptions options;
+    options.num_threads = 1;
+    options.policy = policy;
+    index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    auto stats = index->Update(log);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+  }
+};
+
+// The paper's example trace.
+EventLog PaperLog() {
+  EventLog log;
+  log.Append(7, "A", 1);
+  log.Append(7, "A", 2);
+  log.Append(7, "B", 3);
+  log.Append(7, "A", 4);
+  log.Append(7, "B", 5);
+  log.Append(7, "A", 6);
+  log.SortAllTraces();
+  return log;
+}
+
+Pattern NamedPattern(const Fixture& f, std::vector<std::string> names) {
+  auto p = Pattern::FromNames(f.index->dictionary(), names);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return *p;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern
+// ---------------------------------------------------------------------------
+
+TEST(PatternTest, FromNamesResolvesIds) {
+  eventlog::ActivityDictionary dict;
+  dict.Intern("x");
+  dict.Intern("y");
+  auto p = Pattern::FromNames(dict, {"y", "x", "y"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->activities, (std::vector<eventlog::ActivityId>{1, 0, 1}));
+  EXPECT_EQ(p->ToString(dict), "<y, x, y>");
+}
+
+TEST(PatternTest, UnknownNameRejected) {
+  eventlog::ActivityDictionary dict;
+  EXPECT_TRUE(Pattern::FromNames(dict, {"ghost"}).status().IsNotFound());
+}
+
+TEST(PatternTest, ExtendedAppends) {
+  Pattern p({1, 2});
+  Pattern q = p.Extended(3);
+  EXPECT_EQ(q.activities, (std::vector<eventlog::ActivityId>{1, 2, 3}));
+  EXPECT_EQ(p.size(), 2u);  // original untouched
+}
+
+// ---------------------------------------------------------------------------
+// Detection (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+TEST(DetectTest, PairPatternReturnsPostings) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  auto matches = QueryProcessor(f.index.get())
+                     .Detect(NamedPattern(f, {"A", "B"}));
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);  // (1,3) and (4,5)
+  EXPECT_EQ((*matches)[0].timestamps, (std::vector<Timestamp>{1, 3}));
+  EXPECT_EQ((*matches)[1].timestamps, (std::vector<Timestamp>{4, 5}));
+}
+
+TEST(DetectTest, TripleJoinsOnSharedEvent) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  // A->B->A: (A,B) completions (1,3),(4,5); (B,A) completions (3,4),(5,6).
+  // Joins: [1,3]+(3,4) -> [1,3,4]; [4,5]+(5,6) -> [4,5,6].
+  auto matches = qp.Detect(NamedPattern(f, {"A", "B", "A"}));
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);
+  EXPECT_EQ((*matches)[0].timestamps, (std::vector<Timestamp>{1, 3, 4}));
+  EXPECT_EQ((*matches)[1].timestamps, (std::vector<Timestamp>{4, 5, 6}));
+}
+
+TEST(DetectTest, IntroductionExample) {
+  // §2.1: <AAABAACB>, pattern AAB. Whole-pattern STNM semantics has two
+  // occurrences ([1,2,4] and [5,6,8]); Algorithm 2 joins the *greedy pair*
+  // completions — (A,A): (1,2),(3,5) and (A,B): (1,4),(5,8) — whose only
+  // join is [3,5,8]. Reproducing the paper's algorithm faithfully means
+  // one match here (a documented limitation, see DESIGN.md §4), and the
+  // reported match must be a valid STNM occurrence.
+  EventLog log;
+  int ts = 1;
+  for (char c : std::string("AAABAACB")) {
+    log.Append(1, std::string(1, c), ts++);
+  }
+  log.SortAllTraces();
+  Fixture f(log);
+  auto matches =
+      QueryProcessor(f.index.get()).Detect(NamedPattern(f, {"A", "A", "B"}));
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].timestamps, (std::vector<Timestamp>{3, 5, 8}));
+}
+
+TEST(DetectTest, NoMatchesForAbsentPattern) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  auto matches = qp.Detect(NamedPattern(f, {"B", "B", "B"}));
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(DetectTest, PatternTooShortRejected) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  EXPECT_TRUE(qp.Detect(Pattern({0})).status().IsInvalidArgument());
+  EXPECT_TRUE(qp.Detect(Pattern()).status().IsInvalidArgument());
+}
+
+TEST(DetectTest, MatchesSpanMultipleTraces) {
+  EventLog log;
+  for (eventlog::TraceId t = 0; t < 5; ++t) {
+    log.Append(t, "X", 1);
+    log.Append(t, "Y", 2);
+    log.Append(t, "Z", 3);
+  }
+  log.SortAllTraces();
+  Fixture f(log);
+  auto matches =
+      QueryProcessor(f.index.get()).Detect(NamedPattern(f, {"X", "Y", "Z"}));
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 5u);
+  std::set<eventlog::TraceId> traces;
+  for (auto& m : *matches) traces.insert(m.trace);
+  EXPECT_EQ(traces.size(), 5u);
+}
+
+TEST(DetectTest, ScPolicyRequiresContiguity) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "X", 2);
+  log.Append(1, "B", 3);
+  log.Append(2, "A", 1);
+  log.Append(2, "B", 2);
+  log.SortAllTraces();
+  Fixture f(log, Policy::kStrictContiguity);
+  auto matches =
+      QueryProcessor(f.index.get()).Detect(NamedPattern(f, {"A", "B"}));
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].trace, 2u);  // trace 1 has X in between
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+TEST(StatisticsTest, PairRowsAndBounds) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  auto stats =
+      QueryProcessor(f.index.get()).Statistics(NamedPattern(f, {"A", "B", "A"}));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->pairs.size(), 2u);
+  // (A,B): completions (1,3),(4,5) -> 2 completions, durations 2+1.
+  EXPECT_EQ(stats->pairs[0].total_completions, 2u);
+  EXPECT_NEAR(stats->pairs[0].average_duration, 1.5, 1e-9);
+  // (B,A): completions (3,4),(5,6) -> 2 completions, avg 1.
+  EXPECT_EQ(stats->pairs[1].total_completions, 2u);
+  EXPECT_NEAR(stats->pairs[1].average_duration, 1.0, 1e-9);
+  EXPECT_EQ(stats->completions_upper_bound, 2u);
+  EXPECT_NEAR(stats->estimated_duration, 2.5, 1e-9);
+}
+
+TEST(StatisticsTest, AbsentPairGivesZeroBound) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  auto stats = QueryProcessor(f.index.get())
+                   .Statistics(NamedPattern(f, {"B", "B", "A"}));
+  ASSERT_TRUE(stats.ok());
+  // (B,B) completes once (3,5); bound = min(1, ...) but (B,A) has 2.
+  EXPECT_EQ(stats->completions_upper_bound, 1u);
+}
+
+TEST(StatisticsTest, UpperBoundIsActuallyAnUpperBound) {
+  // Property: true completion count <= pairwise upper bound.
+  Rng rng(9);
+  EventLog log;
+  for (size_t t = 0; t < 20; ++t) {
+    for (size_t i = 0; i < 30; ++i) {
+      log.Append(t, std::string(1, static_cast<char>('A' + rng.NextBounded(4))),
+                 static_cast<Timestamp>(i + 1));
+    }
+  }
+  log.SortAllTraces();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::string> names;
+    for (int j = 0; j < 3; ++j) {
+      names.push_back(std::string(1, static_cast<char>('A' + rng.NextBounded(4))));
+    }
+    Pattern pattern = NamedPattern(f, names);
+    auto stats = qp.Statistics(pattern);
+    auto matches = qp.Detect(pattern);
+    ASSERT_TRUE(stats.ok());
+    ASSERT_TRUE(matches.ok());
+    EXPECT_LE(matches->size(), stats->completions_upper_bound);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Continuation (Algorithms 3-5)
+// ---------------------------------------------------------------------------
+
+EventLog ContinuationLog() {
+  // After "A B", the continuation C happens twice quickly, D once slowly.
+  EventLog log;
+  for (eventlog::TraceId t = 0; t < 4; ++t) {
+    log.Append(t, "A", 1);
+    log.Append(t, "B", 2);
+    if (t < 2) {
+      log.Append(t, "C", 3);
+    } else if (t == 2) {
+      log.Append(t, "D", 50);
+    }
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+TEST(ContinuationTest, AccurateRanksByScore) {
+  EventLog log = ContinuationLog();
+  Fixture f(log);
+  auto proposals = QueryProcessor(f.index.get())
+                       .ContinueAccurate(NamedPattern(f, {"A", "B"}));
+  ASSERT_TRUE(proposals.ok());
+  ASSERT_EQ(proposals->size(), 2u);  // C and D follow B
+  const auto& dict = f.index->dictionary();
+  EXPECT_EQ(dict.Name((*proposals)[0].activity), "C");
+  EXPECT_EQ((*proposals)[0].total_completions, 2u);
+  EXPECT_NEAR((*proposals)[0].average_duration, 1.0, 1e-9);
+  EXPECT_EQ(dict.Name((*proposals)[1].activity), "D");
+  EXPECT_EQ((*proposals)[1].total_completions, 1u);
+  EXPECT_GT((*proposals)[0].score, (*proposals)[1].score);
+}
+
+TEST(ContinuationTest, AccurateHonorsTimeConstraint) {
+  EventLog log = ContinuationLog();
+  Fixture f(log);
+  ContinuationConstraints constraints;
+  constraints.max_gap = 10;  // D's gap of 48 exceeds it
+  auto proposals =
+      QueryProcessor(f.index.get())
+          .ContinueAccurate(NamedPattern(f, {"A", "B"}), constraints);
+  ASSERT_TRUE(proposals.ok());
+  const auto& dict = f.index->dictionary();
+  for (const auto& p : *proposals) {
+    if (dict.Name(p.activity) == "D") {
+      EXPECT_EQ(p.total_completions, 0u);
+    }
+  }
+}
+
+TEST(ContinuationTest, NaiveAlgorithm3MatchesIncremental) {
+  Rng rng(88);
+  EventLog log;
+  for (size_t t = 0; t < 20; ++t) {
+    for (size_t i = 0; i < 20; ++i) {
+      log.Append(t, std::string(1, static_cast<char>('A' + rng.NextBounded(4))),
+                 static_cast<Timestamp>(i + 1));
+    }
+  }
+  log.SortAllTraces();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  for (auto names : {std::vector<std::string>{"A", "B"},
+                     std::vector<std::string>{"C"},
+                     std::vector<std::string>{"A", "B", "C"}}) {
+    Pattern pattern = NamedPattern(f, names);
+    auto naive = qp.ContinueAccurateNaive(pattern);
+    auto incremental = qp.ContinueAccurate(pattern);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_TRUE(incremental.ok());
+    ASSERT_EQ(naive->size(), incremental->size());
+    for (size_t i = 0; i < naive->size(); ++i) {
+      EXPECT_EQ((*naive)[i].activity, (*incremental)[i].activity) << i;
+      EXPECT_EQ((*naive)[i].total_completions,
+                (*incremental)[i].total_completions)
+          << i;
+      EXPECT_DOUBLE_EQ((*naive)[i].average_duration,
+                       (*incremental)[i].average_duration)
+          << i;
+    }
+  }
+}
+
+TEST(ContinuationTest, FastUsesUpperBound) {
+  EventLog log = ContinuationLog();
+  Fixture f(log);
+  auto proposals = QueryProcessor(f.index.get())
+                       .ContinueFast(NamedPattern(f, {"A", "B"}));
+  ASSERT_TRUE(proposals.ok());
+  ASSERT_EQ(proposals->size(), 2u);
+  // (A,B) completes 4 times; (B,C) twice; candidate count min(4,2)=2.
+  EXPECT_EQ((*proposals)[0].total_completions, 2u);
+}
+
+TEST(ContinuationTest, FastNeverUnderestimatesAccurate) {
+  // Property: fast's count is an upper bound of accurate's count per
+  // candidate (fast is min of pairwise bounds; accurate is the true join).
+  Rng rng(21);
+  EventLog log;
+  for (size_t t = 0; t < 25; ++t) {
+    for (size_t i = 0; i < 20; ++i) {
+      log.Append(t, std::string(1, static_cast<char>('A' + rng.NextBounded(5))),
+                 static_cast<Timestamp>(i + 1));
+    }
+  }
+  log.SortAllTraces();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  Pattern pattern = NamedPattern(f, {"A", "B"});
+  auto fast = qp.ContinueFast(pattern);
+  auto accurate = qp.ContinueAccurate(pattern);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(accurate.ok());
+  for (const auto& a : *accurate) {
+    auto it = std::find_if(
+        fast->begin(), fast->end(),
+        [&](const ContinuationProposal& p) { return p.activity == a.activity; });
+    ASSERT_NE(it, fast->end());
+    EXPECT_GE(it->total_completions, a.total_completions)
+        << "candidate " << a.activity;
+  }
+}
+
+TEST(ContinuationTest, HybridDegeneratesToFastAtZero) {
+  EventLog log = ContinuationLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  Pattern pattern = NamedPattern(f, {"A", "B"});
+  auto fast = qp.ContinueFast(pattern);
+  auto hybrid = qp.ContinueHybrid(pattern, 0);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_EQ(fast->size(), hybrid->size());
+  for (size_t i = 0; i < fast->size(); ++i) {
+    EXPECT_EQ((*fast)[i].activity, (*hybrid)[i].activity);
+    EXPECT_EQ((*fast)[i].total_completions, (*hybrid)[i].total_completions);
+  }
+}
+
+TEST(ContinuationTest, HybridEqualsAccurateAtFullK) {
+  Rng rng(22);
+  EventLog log;
+  for (size_t t = 0; t < 15; ++t) {
+    for (size_t i = 0; i < 18; ++i) {
+      log.Append(t, std::string(1, static_cast<char>('A' + rng.NextBounded(5))),
+                 static_cast<Timestamp>(i + 1));
+    }
+  }
+  log.SortAllTraces();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  Pattern pattern = NamedPattern(f, {"A", "B"});
+  auto accurate = qp.ContinueAccurate(pattern);
+  auto hybrid = qp.ContinueHybrid(pattern, 100);  // k >= |A|
+  ASSERT_TRUE(accurate.ok());
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_EQ(accurate->size(), hybrid->size());
+  for (size_t i = 0; i < accurate->size(); ++i) {
+    EXPECT_EQ((*accurate)[i].activity, (*hybrid)[i].activity) << i;
+    EXPECT_EQ((*accurate)[i].total_completions,
+              (*hybrid)[i].total_completions)
+        << i;
+  }
+}
+
+TEST(ContinuationTest, SingleEventPattern) {
+  EventLog log = ContinuationLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  auto proposals = qp.ContinueAccurate(NamedPattern(f, {"B"}));
+  ASSERT_TRUE(proposals.ok());
+  ASSERT_EQ(proposals->size(), 2u);
+  EXPECT_EQ((*proposals)[0].total_completions, 2u);  // B->C twice
+  auto hybrid = qp.ContinueHybrid(NamedPattern(f, {"B"}), 1);
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_EQ((*hybrid)[0].total_completions, 2u);
+}
+
+TEST(ContinuationTest, EmptyPatternRejected) {
+  EventLog log = ContinuationLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  EXPECT_TRUE(qp.ContinueAccurate(Pattern()).status().IsInvalidArgument());
+  EXPECT_TRUE(qp.ContinueFast(Pattern()).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Pattern parser
+// ---------------------------------------------------------------------------
+
+eventlog::ActivityDictionary ParserDict() {
+  eventlog::ActivityDictionary dict;
+  dict.Intern("search");
+  dict.Intern("add_to_cart");
+  dict.Intern("Create Fine");
+  return dict;
+}
+
+TEST(PatternParserTest, ParsesSteps) {
+  auto dict = ParserDict();
+  auto parsed = ParsePatternQuery("search -> add_to_cart", dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->pattern.activities,
+            (std::vector<eventlog::ActivityId>{0, 1}));
+  EXPECT_FALSE(parsed->constraints.max_gap.has_value());
+  EXPECT_FALSE(parsed->constraints.max_span.has_value());
+}
+
+TEST(PatternParserTest, QuotedNamesAndConstraints) {
+  auto dict = ParserDict();
+  auto parsed = ParsePatternQuery(
+      "\"Create Fine\" -> search within 3600 gap <= 60", dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->pattern.activities,
+            (std::vector<eventlog::ActivityId>{2, 0}));
+  ASSERT_TRUE(parsed->constraints.max_span.has_value());
+  EXPECT_EQ(*parsed->constraints.max_span, 3600);
+  ASSERT_TRUE(parsed->constraints.max_gap.has_value());
+  EXPECT_EQ(*parsed->constraints.max_gap, 60);
+}
+
+TEST(PatternParserTest, SingleStep) {
+  auto dict = ParserDict();
+  auto parsed = ParsePatternQuery("search", dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->pattern.size(), 1u);
+}
+
+TEST(PatternParserTest, WhitespaceTolerant) {
+  auto dict = ParserDict();
+  auto parsed = ParsePatternQuery("  search->add_to_cart   within   5 ",
+                                  dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->pattern.size(), 2u);
+  EXPECT_EQ(*parsed->constraints.max_span, 5);
+}
+
+TEST(PatternParserTest, QuotedKeywordIsAnActivityName) {
+  eventlog::ActivityDictionary dict;
+  dict.Intern("within");
+  dict.Intern("gap");
+  auto parsed = ParsePatternQuery("\"within\" -> \"gap\"", dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->pattern.size(), 2u);
+}
+
+TEST(PatternParserTest, NegativeTimestampsInLogStillQueryable) {
+  // Events before the epoch (negative timestamps) round-trip through the
+  // zigzag encodings end to end.
+  EventLog log;
+  log.Append(1, "A", -100);
+  log.Append(1, "B", -50);
+  log.SortAllTraces();
+  Fixture f(log);
+  auto matches = QueryProcessor(f.index.get())
+                     .Detect(NamedPattern(f, {"A", "B"}));
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].timestamps, (std::vector<Timestamp>{-100, -50}));
+}
+
+TEST(PatternParserTest, Errors) {
+  auto dict = ParserDict();
+  EXPECT_TRUE(ParsePatternQuery("", dict).status().IsInvalidArgument());
+  EXPECT_TRUE(ParsePatternQuery("ghost", dict).status().IsNotFound());
+  EXPECT_TRUE(ParsePatternQuery("search ->", dict).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePatternQuery("search within abc", dict)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePatternQuery("search gap 5", dict)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePatternQuery("search frobnicate 5", dict)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePatternQuery("\"unterminated", dict)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Batch + per-trace detection
+// ---------------------------------------------------------------------------
+
+TEST(DetectBatchTest, MatchesSequentialResults) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  std::vector<Pattern> patterns = {NamedPattern(f, {"A", "B"}),
+                                   NamedPattern(f, {"B", "A"}),
+                                   NamedPattern(f, {"A", "B", "A"})};
+  ThreadPool pool(3);
+  auto parallel = qp.DetectBatch(patterns, &pool);
+  auto serial = qp.DetectBatch(patterns, nullptr);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(parallel->size(), 3u);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_EQ((*parallel)[i], (*serial)[i]) << i;
+    auto direct = qp.Detect(patterns[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ((*parallel)[i], *direct) << i;
+  }
+}
+
+TEST(DetectBatchTest, ErrorSurfaces) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  std::vector<Pattern> patterns = {NamedPattern(f, {"A", "B"}), Pattern()};
+  EXPECT_TRUE(qp.DetectBatch(patterns).status().IsInvalidArgument());
+}
+
+TEST(DetectInTraceTest, StnmGreedyWholePattern) {
+  EventLog log = PaperLog();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  auto matches = qp.DetectInTrace(7, NamedPattern(f, {"A", "B"}));
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);  // greedy: (1,3) and (4,5)
+  EXPECT_EQ((*matches)[0].timestamps, (std::vector<Timestamp>{1, 3}));
+  auto missing = qp.DetectInTrace(999, NamedPattern(f, {"A", "B"}));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+}
+
+TEST(DetectInTraceTest, AgreesWithDetectForLengthTwo) {
+  // For pattern length 2 the index postings ARE the greedy whole-pattern
+  // matches, so drill-down and global detection agree exactly per trace.
+  Rng rng(91);
+  EventLog log;
+  for (size_t t = 0; t < 10; ++t) {
+    for (size_t i = 0; i < 30; ++i) {
+      log.Append(t, std::string(1, static_cast<char>('A' + rng.NextBounded(3))),
+                 static_cast<Timestamp>(i + 1));
+    }
+  }
+  log.SortAllTraces();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  for (char a = 'A'; a <= 'C'; ++a) {
+    for (char b = 'A'; b <= 'C'; ++b) {
+      Pattern pattern = NamedPattern(
+          f, {std::string(1, a), std::string(1, b)});
+      auto global = qp.Detect(pattern);
+      ASSERT_TRUE(global.ok());
+      size_t per_trace_total = 0;
+      for (size_t t = 0; t < 10; ++t) {
+        auto local = qp.DetectInTrace(t, pattern);
+        ASSERT_TRUE(local.ok());
+        per_trace_total += local->size();
+      }
+      EXPECT_EQ(global->size(), per_trace_total) << a << b;
+    }
+  }
+}
+
+TEST(DetectInTraceTest, ScWindows) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "A", 2);
+  log.Append(1, "A", 3);
+  log.SortAllTraces();
+  Fixture f(log, Policy::kStrictContiguity);
+  QueryProcessor qp(f.index.get());
+  auto matches = qp.DetectInTrace(1, NamedPattern(f, {"A", "A"}));
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);  // overlapping windows
+}
+
+TEST(ContinuationTest, DeadEndActivityYieldsNoProposals) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "END", 2);
+  log.SortAllTraces();
+  Fixture f(log);
+  QueryProcessor qp(f.index.get());
+  auto proposals = qp.ContinueFast(NamedPattern(f, {"A", "END"}));
+  ASSERT_TRUE(proposals.ok());
+  EXPECT_TRUE(proposals->empty());
+}
+
+}  // namespace
+}  // namespace seqdet::query

@@ -1,0 +1,229 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "index/sequence_index.h"
+#include "log/event_log.h"
+#include "server/http_server.h"
+#include "server/query_service.h"
+#include "storage/database.h"
+
+namespace seqdet::server {
+namespace {
+
+/// Blocking single-request HTTP client for the tests.
+std::string HttpGet(uint16_t port, const std::string& target) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string request = "GET " + target +
+                        " HTTP/1.1\r\nHost: localhost\r\n"
+                        "Connection: close\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer primitives
+// ---------------------------------------------------------------------------
+
+TEST(UrlDecodeTest, DecodesEscapes) {
+  EXPECT_EQ(HttpServer::UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(HttpServer::UrlDecode("A-%3E%22x%22"), "A->\"x\"");
+  EXPECT_EQ(HttpServer::UrlDecode("plain"), "plain");
+  EXPECT_EQ(HttpServer::UrlDecode("bad%zz"), "bad%zz");  // invalid stays
+}
+
+TEST(ParseQueryStringTest, SplitsPairs) {
+  auto q = HttpServer::ParseQueryString("a=1&b=x%20y&flag&empty=");
+  EXPECT_EQ(q["a"], "1");
+  EXPECT_EQ(q["b"], "x y");
+  EXPECT_EQ(q.count("flag"), 1u);
+  EXPECT_EQ(q["empty"], "");
+}
+
+TEST(JsonWriterTest, BuildsNestedDocument) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("name")
+      .String("a\"b\n")
+      .Key("n")
+      .Int(-5)
+      .Key("list")
+      .BeginArray()
+      .Int(1)
+      .Int(2)
+      .EndArray()
+      .Key("ok")
+      .Bool(true)
+      .EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"a\\\"b\\n\",\"n\":-5,\"list\":[1,2],\"ok\":true}");
+}
+
+TEST(HttpServerTest, RoutesAndNotFound) {
+  HttpServer server;
+  server.Route("/hello", [](const HttpRequest& r) {
+    auto it = r.query.find("name");
+    return HttpResponse::Json("{\"hi\":\"" +
+                              (it == r.query.end() ? "world" : it->second) +
+                              "\"}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  std::string ok = HttpGet(server.port(), "/hello?name=bob");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(ok), "{\"hi\":\"bob\"}");
+
+  std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  server.Route("/x", [](const HttpRequest&) {
+    return HttpResponse::Json("{}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(HttpGet(server.port(), "/x").find("200"), std::string::npos);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// QueryService end-to-end
+// ---------------------------------------------------------------------------
+
+struct ServiceFixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<index::SequenceIndex> index;
+  std::unique_ptr<QueryService> service;
+  HttpServer server;
+
+  ServiceFixture() {
+    storage::DbOptions options;
+    options.table.in_memory = true;
+    options.table.use_wal = false;
+    db = std::move(storage::Database::Open("", options)).value();
+    index::IndexOptions idx_options;
+    idx_options.num_threads = 1;
+    index =
+        std::move(index::SequenceIndex::Open(db.get(), idx_options)).value();
+    eventlog::EventLog log;
+    log.Append(1, "search", 1);
+    log.Append(1, "cart", 5);
+    log.Append(1, "checkout", 9);
+    log.Append(2, "search", 2);
+    log.Append(2, "cart", 90);
+    log.SortAllTraces();
+    EXPECT_TRUE(index->Update(log).ok());
+    service = std::make_unique<QueryService>(index.get());
+    service->RegisterRoutes(&server);
+    EXPECT_TRUE(server.Start(0).ok());
+  }
+  ~ServiceFixture() { server.Stop(); }
+};
+
+TEST(QueryServiceTest, Health) {
+  ServiceFixture f;
+  std::string body = BodyOf(HttpGet(f.server.port(), "/health"));
+  EXPECT_EQ(body, "{\"status\":\"ok\"}");
+}
+
+TEST(QueryServiceTest, Info) {
+  ServiceFixture f;
+  std::string body = BodyOf(HttpGet(f.server.port(), "/info"));
+  EXPECT_NE(body.find("\"policy\":\"STNM\""), std::string::npos);
+  EXPECT_NE(body.find("\"activities\":3"), std::string::npos);
+}
+
+TEST(QueryServiceTest, DetectWithConstraints) {
+  ServiceFixture f;
+  // search -> cart, unconstrained: both traces.
+  std::string all =
+      BodyOf(HttpGet(f.server.port(), "/detect?q=search+-%3E+cart"));
+  EXPECT_NE(all.find("\"total\":2"), std::string::npos);
+  // gap <= 10 excludes trace 2 (gap 88).
+  std::string constrained = BodyOf(HttpGet(
+      f.server.port(), "/detect?q=search+-%3E+cart+gap+%3C%3D+10"));
+  EXPECT_NE(constrained.find("\"total\":1"), std::string::npos);
+  EXPECT_NE(constrained.find("\"trace\":1"), std::string::npos);
+}
+
+TEST(QueryServiceTest, DetectErrors) {
+  ServiceFixture f;
+  EXPECT_NE(HttpGet(f.server.port(), "/detect").find("400"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(f.server.port(), "/detect?q=ghost").find("400"),
+            std::string::npos);
+}
+
+TEST(QueryServiceTest, Stats) {
+  ServiceFixture f;
+  std::string body = BodyOf(
+      HttpGet(f.server.port(), "/stats?q=search+-%3E+cart&last=1"));
+  EXPECT_NE(body.find("\"completions\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"last_completion\":90"), std::string::npos);
+}
+
+TEST(QueryServiceTest, ContinueModes) {
+  ServiceFixture f;
+  for (std::string mode : {"accurate", "fast", "hybrid"}) {
+    std::string body = BodyOf(HttpGet(
+        f.server.port(), "/continue?q=search&mode=" + mode + "&topk=2"));
+    EXPECT_NE(body.find("\"activity\":\"cart\""), std::string::npos)
+        << mode << ": " << body;
+  }
+  EXPECT_NE(HttpGet(f.server.port(), "/continue?q=search&mode=bogus")
+                .find("400"),
+            std::string::npos);
+}
+
+TEST(QueryServiceTest, MalformedHttpGets400) {
+  ServiceFixture f;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(f.server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string garbage = "NONSENSE\r\n\r\n";
+  ::send(fd, garbage.data(), garbage.size(), 0);
+  char buffer[512];
+  ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  ::close(fd);
+  ASSERT_GT(n, 0);
+  EXPECT_NE(std::string(buffer, static_cast<size_t>(n)).find("400"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace seqdet::server

@@ -1,0 +1,465 @@
+// seqdet — command-line front end for the sequence-detection index.
+//
+//   seqdet generate --dataset=max_1000 --scale=0.1 --out=log.xes
+//   seqdet index    --db=./idx --log=log.xes [--policy=STNM]
+//                   [--method=indexing|parsing|state] [--threads=N]
+//   seqdet info     --db=./idx
+//   seqdet stats    --db=./idx --pattern=act_1,act_2,act_3
+//   seqdet detect   --db=./idx --pattern=act_1,act_2 [--limit=20]
+//                   [--max-gap=N] [--max-span=N]
+//   seqdet continue --db=./idx --pattern=act_1,act_2
+//                   [--mode=accurate|fast|hybrid] [--topk=5] [--limit=10]
+//   seqdet prune    --db=./idx --trace=42
+//
+// The database directory persists across invocations; `index` is
+// incremental (re-indexing the same file is a no-op thanks to LastChecked).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "datagen/dataset_catalog.h"
+#include "index/sequence_index.h"
+#include "log/csv_io.h"
+#include "log/log_statistics.h"
+#include "log/xes_io.h"
+#include "query/pattern_parser.h"
+#include "query/query_processor.h"
+#include "server/http_server.h"
+#include "server/query_service.h"
+#include "storage/database.h"
+
+using namespace seqdet;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "")
+      const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    int64_t v;
+    return it != flags.end() && ParseInt64(it->second, &v) ? v : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    double v;
+    return it != flags.end() && ParseDouble(it->second, &v) ? v : fallback;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args.flags[arg.substr(2)] = "true";
+    } else {
+      args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: seqdet <command> [flags]\n"
+      "  generate --dataset=<name>|--profile=bpi_2013 --out=<file>\n"
+      "           [--scale=0..1]   write a synthetic log (.xes or .csv)\n"
+      "  index    --db=<dir> --log=<file> [--policy=SC|STNM|STAM]\n"
+      "           [--method=indexing|parsing|state] [--threads=N]\n"
+      "           [--lifecycle=complete]  keep only matching XES events\n"
+      "  info     --db=<dir>\n"
+      "  stats    --db=<dir> --pattern=a,b,c [--last-completion]\n"
+      "  detect   --db=<dir> --pattern=a,b,c [--limit=N] [--max-gap=N]\n"
+      "           [--max-span=N]\n"
+      "  query    --db=<dir> --q=\"a -> b within N gap <= M\" [--limit=N]\n"
+      "  serve    --db=<dir> [--port=8391]   JSON-over-HTTP query service\n"
+      "  continue --db=<dir> --pattern=a,b [--mode=accurate|fast|hybrid]\n"
+      "           [--topk=K] [--limit=N] [--insert-at=I]\n"
+      "  prune    --db=<dir> --trace=<id>\n"
+      "  check    --db=<dir>   fsck: verify cross-table invariants\n"
+      "datasets: ");
+  for (const auto& name : datagen::DatasetNames()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<eventlog::EventLog> LoadLogFile(const Args& args,
+                                       const std::string& path) {
+  if (EndsWith(path, ".xes")) {
+    eventlog::XesReadOptions options;
+    options.lifecycle_filter = args.Get("lifecycle");
+    return eventlog::ReadXesLogFile(path, options);
+  }
+  if (EndsWith(path, ".csv")) return eventlog::ReadCsvLogFile(path);
+  return Status::InvalidArgument("log file must end in .xes or .csv: " +
+                                 path);
+}
+
+Result<std::unique_ptr<index::SequenceIndex>> OpenIndex(
+    const Args& args, storage::Database* db) {
+  index::IndexOptions options;
+  std::string policy = args.Get("policy", "STNM");
+  if (!index::ParsePolicyName(policy, &options.policy)) {
+    return Status::InvalidArgument("unknown policy: " + policy);
+  }
+  std::string method = args.Get("method", "indexing");
+  if (method == "indexing") {
+    options.method = index::ExtractionMethod::kIndexing;
+  } else if (method == "parsing") {
+    options.method = index::ExtractionMethod::kParsing;
+  } else if (method == "state") {
+    options.method = index::ExtractionMethod::kState;
+  } else {
+    return Status::InvalidArgument("unknown method: " + method);
+  }
+  options.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  return index::SequenceIndex::Open(db, options);
+}
+
+/// Opens the index trying each policy until the persisted one matches.
+/// Query commands shouldn't need --policy; the index knows what it is.
+Result<std::unique_ptr<index::SequenceIndex>> OpenIndexAnyPolicy(
+    storage::Database* db) {
+  // Refuse to conjure an index out of an empty directory: read-only
+  // commands on a mistyped --db path should fail loudly, not create a
+  // fresh STNM index there.
+  if (db->GetTable("meta") == nullptr) {
+    return Status::NotFound("no index found in " + db->dir() +
+                            " (run `seqdet index` first)");
+  }
+  for (auto policy :
+       {index::Policy::kSkipTillNextMatch, index::Policy::kStrictContiguity,
+        index::Policy::kSkipTillAnyMatch}) {
+    index::IndexOptions options;
+    options.policy = policy;
+    auto opened = index::SequenceIndex::Open(db, options);
+    if (opened.ok()) return opened;
+    if (!opened.status().IsInvalidArgument()) return opened.status();
+  }
+  return Status::InvalidArgument("cannot determine the index's policy");
+}
+
+Result<query::Pattern> PatternFromFlag(const Args& args,
+                                       const index::SequenceIndex& index) {
+  std::string spec = args.Get("pattern");
+  if (spec.empty()) {
+    return Status::InvalidArgument("--pattern=a,b,c is required");
+  }
+  std::vector<std::string> names = Split(spec, ',');
+  return query::Pattern::FromNames(index.dictionary(), names);
+}
+
+int CmdGenerate(const Args& args) {
+  std::string out = args.Get("out");
+  std::string dataset = args.Get("dataset", args.Get("profile"));
+  if (out.empty() || dataset.empty()) return Usage();
+  auto log = datagen::LoadDataset(dataset, args.GetDouble("scale", 1.0));
+  if (!log.ok()) return Fail(log.status());
+  Status write = EndsWith(out, ".csv")
+                     ? eventlog::WriteCsvLogFile(*log, out)
+                     : eventlog::WriteXesLogFile(*log, out);
+  if (!write.ok()) return Fail(write);
+  auto stats = eventlog::LogStatistics::Compute(*log);
+  std::printf("%s\n", stats.SummaryRow(dataset).c_str());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdIndex(const Args& args) {
+  std::string db_path = args.Get("db"), log_path = args.Get("log");
+  if (db_path.empty() || log_path.empty()) return Usage();
+  auto log = LoadLogFile(args, log_path);
+  if (!log.ok()) return Fail(log.status());
+  auto db = storage::Database::Open(db_path);
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndex(args, db->get());
+  if (!index.ok()) return Fail(index.status());
+
+  Stopwatch watch;
+  auto stats = (*index)->Update(*log);
+  if (!stats.ok()) return Fail(stats.status());
+  Status flush = (*index)->Flush();
+  if (!flush.ok()) return Fail(flush);
+  std::printf(
+      "indexed %zu traces / %zu events in %.2fs: %zu pair completions "
+      "(%zu extracted, %zu deduplicated)\n",
+      stats->traces_processed, (*log).num_events(), watch.ElapsedSeconds(),
+      stats->pairs_indexed, stats->pairs_extracted,
+      stats->pairs_extracted - stats->pairs_indexed);
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  std::string db_path = args.Get("db");
+  if (db_path.empty()) return Usage();
+  auto db = storage::Database::Open(db_path);
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  std::printf("policy:     %s\n", index::PolicyName((*index)->options().policy));
+  std::printf("periods:    %zu\n", (*index)->num_periods());
+  std::printf("activities: %zu\n", (*index)->dictionary().size());
+  std::printf("tables:\n");
+  for (const auto& name : (*db)->TableNames()) {
+    std::printf("  %-16s ~%zu entries\n", name.c_str(),
+                (*db)->GetTable(name)->ApproximateEntryCount());
+  }
+  for (const auto& name : (*db)->ShardedTableNames()) {
+    storage::ShardedTable* table = (*db)->GetShardedTable(name);
+    std::printf("  %-16s ~%zu entries (%zu shards)\n", name.c_str(),
+                table->ApproximateEntryCount(), table->num_shards());
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  auto pattern = PatternFromFlag(args, **index);
+  if (!pattern.ok()) return Fail(pattern.status());
+
+  query::QueryProcessor qp(index->get());
+  query::StatisticsOptions options;
+  options.include_last_completion = args.Has("last-completion");
+  auto stats = qp.Statistics(*pattern, options);
+  if (!stats.ok()) return Fail(stats.status());
+  const auto& dict = (*index)->dictionary();
+  for (const auto& row : stats->pairs) {
+    std::printf("(%s, %s): %llu completions, avg duration %.2f",
+                dict.Name(row.pair.first).c_str(),
+                dict.Name(row.pair.second).c_str(),
+                static_cast<unsigned long long>(row.total_completions),
+                row.average_duration);
+    if (row.last_completion.has_value()) {
+      std::printf(", last completion at %lld",
+                  static_cast<long long>(*row.last_completion));
+    }
+    std::printf("\n");
+  }
+  std::printf("whole-pattern completions upper bound: %llu\n",
+              static_cast<unsigned long long>(
+                  stats->completions_upper_bound));
+  std::printf("whole-pattern estimated duration: %.2f\n",
+              stats->estimated_duration);
+  return 0;
+}
+
+int CmdDetect(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  auto pattern = PatternFromFlag(args, **index);
+  if (!pattern.ok()) return Fail(pattern.status());
+
+  query::DetectionConstraints constraints;
+  if (args.Has("max-gap")) constraints.max_gap = args.GetInt("max-gap", 0);
+  if (args.Has("max-span")) constraints.max_span = args.GetInt("max-span", 0);
+
+  query::QueryProcessor qp(index->get());
+  Stopwatch watch;
+  auto matches = qp.Detect(*pattern, constraints);
+  if (!matches.ok()) return Fail(matches.status());
+  double ms = watch.ElapsedMillis();
+
+  size_t limit = static_cast<size_t>(args.GetInt("limit", 20));
+  for (size_t i = 0; i < matches->size() && i < limit; ++i) {
+    const auto& match = (*matches)[i];
+    std::printf("trace %llu:",
+                static_cast<unsigned long long>(match.trace));
+    for (auto ts : match.timestamps) {
+      std::printf(" %lld", static_cast<long long>(ts));
+    }
+    std::printf("\n");
+  }
+  if (matches->size() > limit) {
+    std::printf("... and %zu more\n", matches->size() - limit);
+  }
+  std::printf("%zu matches in %.3f ms (policy %s)\n", matches->size(), ms,
+              index::PolicyName((*index)->options().policy));
+  return 0;
+}
+
+int CmdContinue(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  auto pattern = PatternFromFlag(args, **index);
+  if (!pattern.ok()) return Fail(pattern.status());
+
+  query::QueryProcessor qp(index->get());
+  std::string mode = args.Get("mode", "accurate");
+  Stopwatch watch;
+  Result<std::vector<query::ContinuationProposal>> proposals =
+      Status::Internal("unset");
+  if (args.Has("insert-at")) {
+    size_t at = static_cast<size_t>(args.GetInt("insert-at", 0));
+    proposals = mode == "fast" ? qp.ContinueInsertFast(*pattern, at)
+                               : qp.ContinueInsertAccurate(*pattern, at);
+  } else if (mode == "accurate") {
+    proposals = qp.ContinueAccurate(*pattern);
+  } else if (mode == "fast") {
+    proposals = qp.ContinueFast(*pattern);
+  } else if (mode == "hybrid") {
+    proposals = qp.ContinueHybrid(
+        *pattern, static_cast<size_t>(args.GetInt("topk", 5)));
+  } else {
+    return Fail(Status::InvalidArgument("unknown mode: " + mode));
+  }
+  if (!proposals.ok()) return Fail(proposals.status());
+  double ms = watch.ElapsedMillis();
+
+  const auto& dict = (*index)->dictionary();
+  size_t limit = static_cast<size_t>(args.GetInt("limit", 10));
+  for (size_t i = 0; i < proposals->size() && i < limit; ++i) {
+    const auto& p = (*proposals)[i];
+    std::printf("%2zu. %-24s completions=%-8llu avg_gap=%-10.2f score=%.4f\n",
+                i + 1, dict.Name(p.activity).c_str(),
+                static_cast<unsigned long long>(p.total_completions),
+                p.average_duration, p.score);
+  }
+  std::printf("%zu proposals in %.3f ms (%s)\n", proposals->size(), ms,
+              mode.c_str());
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  std::string text = args.Get("q");
+  if (text.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--q=\"a -> b within N gap <= M\" is required"));
+  }
+  auto parsed = query::ParsePatternQuery(text, (*index)->dictionary());
+  if (!parsed.ok()) return Fail(parsed.status());
+
+  query::QueryProcessor qp(index->get());
+  Stopwatch watch;
+  auto matches = qp.Detect(parsed->pattern, parsed->constraints);
+  if (!matches.ok()) return Fail(matches.status());
+  double ms = watch.ElapsedMillis();
+  size_t limit = static_cast<size_t>(args.GetInt("limit", 20));
+  for (size_t i = 0; i < matches->size() && i < limit; ++i) {
+    const auto& match = (*matches)[i];
+    std::printf("trace %llu:",
+                static_cast<unsigned long long>(match.trace));
+    for (auto ts : match.timestamps) {
+      std::printf(" %lld", static_cast<long long>(ts));
+    }
+    std::printf("\n");
+  }
+  if (matches->size() > limit) {
+    std::printf("... and %zu more\n", matches->size() - limit);
+  }
+  std::printf("%zu matches in %.3f ms\n", matches->size(), ms);
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  server::QueryService service(index->get());
+  server::HttpServer http;
+  service.RegisterRoutes(&http);
+  uint16_t port = static_cast<uint16_t>(args.GetInt("port", 8391));
+  Status started = http.Start(port);
+  if (!started.ok()) return Fail(started);
+  std::printf("query service listening on http://127.0.0.1:%u\n"
+              "endpoints: /health /info /detect /stats /continue\n"
+              "example: curl 'http://127.0.0.1:%u/detect?q=act_0+-%%3E+act_1'\n"
+              "Ctrl-C to stop.\n",
+              http.port(), http.port());
+  // Serve until killed.
+  for (;;) pause();
+}
+
+int CmdCheck(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  Stopwatch watch;
+  auto report = (*index)->CheckConsistency();
+  if (!report.ok()) return Fail(report.status());
+  std::printf(
+      "checked %zu pairs / %zu postings / %zu traces in %.2fs\n",
+      report->pairs_checked, report->postings_checked,
+      report->traces_checked, watch.ElapsedSeconds());
+  for (const auto& violation : report->violations) {
+    std::printf("VIOLATION: %s\n", violation.c_str());
+  }
+  if (!report->ok()) {
+    std::printf("%zu invariant violations found\n",
+                report->violations.size());
+    return 1;
+  }
+  std::printf("index is consistent\n");
+  return 0;
+}
+
+int CmdPrune(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  if (!args.Has("trace")) return Usage();
+  auto trace = static_cast<eventlog::TraceId>(args.GetInt("trace", 0));
+  Status pruned = (*index)->PruneTrace(trace);
+  if (!pruned.ok()) return Fail(pruned);
+  Status flush = (*index)->Flush();
+  if (!flush.ok()) return Fail(flush);
+  std::printf("pruned trace %llu from Seq and LastChecked\n",
+              static_cast<unsigned long long>(trace));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "index") return CmdIndex(args);
+  if (args.command == "info") return CmdInfo(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "detect") return CmdDetect(args);
+  if (args.command == "query") return CmdQuery(args);
+  if (args.command == "serve") return CmdServe(args);
+  if (args.command == "continue") return CmdContinue(args);
+  if (args.command == "prune") return CmdPrune(args);
+  if (args.command == "check") return CmdCheck(args);
+  return Usage();
+}
