@@ -1,0 +1,231 @@
+// Measures what the versioned posting-list cache buys on the query read
+// path: cold (cache_bytes = 0, every query re-folds, re-decodes and
+// re-sorts the stored posting bytes) vs warm (decoded snapshots served from
+// the cache) for repeated Detect and ContinueHybrid over hot pair sets —
+// the workload DetectBatch and the continuation algorithms generate.
+//
+// Emits BENCH_read_path.json (override with --out=<path>) alongside the
+// human-readable table.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/dataset_catalog.h"
+#include "datagen/pattern_sampler.h"
+#include "query/query_processor.h"
+
+using namespace seqdet;
+
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  double cold_ms_per_query = 0;
+  double warm_ms_per_query = 0;
+  size_t queries = 0;
+  size_t repetitions = 0;
+
+  double Speedup() const {
+    return warm_ms_per_query > 0 ? cold_ms_per_query / warm_ms_per_query : 0;
+  }
+};
+
+// Runs `queries` against `qp` `reps` times; returns avg ms per query.
+double RunDetectSet(const query::QueryProcessor& qp,
+                    const std::vector<query::Pattern>& queries, size_t reps) {
+  double seconds = bench::TimeSeconds(reps, [&] {
+    for (const auto& p : queries) {
+      auto matches = qp.Detect(p);
+      if (!matches.ok()) std::abort();
+    }
+  });
+  return seconds * 1e3 / static_cast<double>(queries.size());
+}
+
+double RunContinueSet(const query::QueryProcessor& qp,
+                      const std::vector<query::Pattern>& queries, size_t topk,
+                      size_t reps) {
+  double seconds = bench::TimeSeconds(reps, [&] {
+    for (const auto& p : queries) {
+      auto proposals = qp.ContinueHybrid(p, topk);
+      if (!proposals.ok()) std::abort();
+    }
+  });
+  return seconds * 1e3 / static_cast<double>(queries.size());
+}
+
+// Patterns <x, y, z> where (y, z) is one of the hottest pairs and x is a
+// rare predecessor of y: the posting fetch of the hot pair dominates, which
+// is exactly the read-path cost the cache removes. This is the shape every
+// continuation query produces (small base match set joined against hot
+// candidate pairs).
+std::vector<query::Pattern> HotPairPatterns(const index::SequenceIndex& idx,
+                                            size_t count) {
+  struct HotPair {
+    index::EventTypePair pair;
+    uint64_t completions = 0;
+  };
+  std::vector<HotPair> hot;
+  for (eventlog::ActivityId a = 0; a < idx.dictionary().size(); ++a) {
+    auto followers = idx.GetFollowerStats(a);
+    if (!followers.ok()) continue;
+    for (const auto& f : *followers) {
+      hot.push_back(HotPair{{a, f.other}, f.total_completions});
+      break;  // stats are sorted, first is the hottest for this key
+    }
+  }
+  std::sort(hot.begin(), hot.end(), [](const HotPair& a, const HotPair& b) {
+    return a.completions > b.completions;
+  });
+
+  std::vector<query::Pattern> patterns;
+  for (const HotPair& h : hot) {
+    if (patterns.size() >= count) break;
+    auto predecessors = idx.GetPredecessorStats(h.pair.first);
+    if (!predecessors.ok() || predecessors->empty()) continue;
+    // Rarest predecessor that still completes at least once.
+    const index::PairCountStats& rare = predecessors->back();
+    if (rare.total_completions == 0 || rare.other == h.pair.first) continue;
+    query::Pattern p;
+    p.activities = {rare.other, h.pair.first, h.pair.second};
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  std::string out_path = "BENCH_read_path.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--out=")) out_path = arg.substr(6);
+  }
+  const char* kDataset = "max_10000";
+  const size_t kQueries = 50;
+  const size_t kTopK = 10;
+  const size_t kCacheBytes = 256u << 20;
+
+  auto log = datagen::LoadDataset(kDataset, options.scale);
+  if (!log.ok()) {
+    std::fprintf(stderr, "dataset load failed: %s\n",
+                 log.status().ToString().c_str());
+    return 1;
+  }
+
+  // Two identical indexes over the same log; only the cache budget differs.
+  auto build = [&](size_t cache_bytes,
+                   std::unique_ptr<storage::Database>* db) {
+    *db = bench::FreshDb();
+    index::IndexOptions idx_options;
+    idx_options.policy = index::Policy::kSkipTillNextMatch;
+    idx_options.num_threads = options.threads;
+    idx_options.cache_bytes = cache_bytes;
+    return bench::BuildIndexOrDie(db->get(), *log, idx_options);
+  };
+  std::unique_ptr<storage::Database> cold_db, warm_db;
+  auto cold_index = build(0, &cold_db);
+  auto warm_index = build(kCacheBytes, &warm_db);
+  query::QueryProcessor cold_qp(cold_index.get());
+  query::QueryProcessor warm_qp(warm_index.get());
+
+  datagen::PatternSampler sampler(&(*log), options.seed);
+  std::vector<query::Pattern> sampled;
+  for (auto& ids : sampler.SampleManySubsequences(kQueries, 4)) {
+    sampled.push_back(query::Pattern(ids));
+  }
+  std::vector<query::Pattern> hot = HotPairPatterns(*warm_index, kQueries);
+  std::vector<query::Pattern> bases;
+  for (auto& ids : sampler.SampleManySubsequences(kQueries / 2, 2)) {
+    bases.push_back(query::Pattern(ids));
+  }
+
+  std::printf(
+      "=== read-path cache: cold (cache off) vs warm on %s "
+      "(scale=%.2f, reps=%zu) ===\n",
+      kDataset, options.scale, options.repetitions);
+
+  std::vector<WorkloadResult> results;
+  auto run_detect = [&](const std::string& name,
+                        const std::vector<query::Pattern>& queries) {
+    if (queries.empty()) return;
+    WorkloadResult r;
+    r.name = name;
+    r.queries = queries.size();
+    r.repetitions = options.repetitions;
+    r.cold_ms_per_query = RunDetectSet(cold_qp, queries, options.repetitions);
+    RunDetectSet(warm_qp, queries, 1);  // warmup fill
+    r.warm_ms_per_query = RunDetectSet(warm_qp, queries, options.repetitions);
+    results.push_back(r);
+  };
+  run_detect("detect_hot_pairs", hot);
+  run_detect("detect_sampled", sampled);
+  if (!bases.empty()) {
+    WorkloadResult r;
+    r.name = "continue_hybrid";
+    r.queries = bases.size();
+    r.repetitions = options.repetitions;
+    r.cold_ms_per_query =
+        RunContinueSet(cold_qp, bases, kTopK, options.repetitions);
+    RunContinueSet(warm_qp, bases, kTopK, 1);  // warmup fill
+    r.warm_ms_per_query =
+        RunContinueSet(warm_qp, bases, kTopK, options.repetitions);
+    results.push_back(r);
+  }
+
+  bench::TablePrinter table(
+      {"workload", "cold ms/query", "warm ms/query", "speedup"});
+  for (const auto& r : results) {
+    table.AddRow({r.name, StringPrintf("%.4f", r.cold_ms_per_query),
+                  StringPrintf("%.4f", r.warm_ms_per_query),
+                  StringPrintf("%.1fx", r.Speedup())});
+  }
+  table.Print();
+
+  index::PostingCacheStats cache = warm_index->cache_stats();
+  std::printf(
+      "warm cache: %zu entries / %zu bytes (budget %zu), hits %llu, "
+      "misses %llu, evictions %llu, invalidations %llu\n",
+      cache.entries, cache.bytes, cache.capacity_bytes,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.invalidations));
+
+  FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"read_path_cache\",\n"
+               "  \"dataset\": \"%s\",\n  \"scale\": %.3f,\n"
+               "  \"repetitions\": %zu,\n  \"cache_bytes\": %zu,\n"
+               "  \"workloads\": [\n",
+               kDataset, options.scale, options.repetitions, kCacheBytes);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"queries\": %zu, "
+                 "\"cold_ms_per_query\": %.4f, \"warm_ms_per_query\": %.4f, "
+                 "\"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.queries, r.cold_ms_per_query,
+                 r.warm_ms_per_query, r.Speedup(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"warm_cache\": {\"entries\": %zu, \"bytes\": %zu, "
+               "\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
+               "\"invalidations\": %llu}\n}\n",
+               cache.entries, cache.bytes,
+               static_cast<unsigned long long>(cache.hits),
+               static_cast<unsigned long long>(cache.misses),
+               static_cast<unsigned long long>(cache.evictions),
+               static_cast<unsigned long long>(cache.invalidations));
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

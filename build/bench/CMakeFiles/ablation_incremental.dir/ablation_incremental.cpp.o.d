@@ -237,6 +237,8 @@ bench/CMakeFiles/ablation_incremental.dir/ablation_incremental.cpp.o: \
  /root/repo/src/storage/write_batch.h /root/repo/src/storage/record.h \
  /root/repo/src/index/pair_extraction.h /root/repo/src/log/event_log.h \
  /root/repo/src/log/activity_dictionary.h \
+ /root/repo/src/index/posting_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/storage/database.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

@@ -242,9 +242,11 @@ bench/CMakeFiles/table7_sc_queries.dir/table7_sc_queries.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/index/index_tables.h \
  /root/repo/src/index/pair.h /root/repo/src/storage/kv.h \
  /root/repo/src/storage/write_batch.h /root/repo/src/storage/record.h \
- /root/repo/src/index/pair_extraction.h /root/repo/src/storage/database.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/index/pair_extraction.h \
+ /root/repo/src/index/posting_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/storage/database.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/storage/sharded_table.h /root/repo/src/storage/table.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/memtable.h \

@@ -247,6 +247,8 @@ examples/CMakeFiles/incident_analysis.dir/incident_analysis.cpp.o: \
  /root/repo/src/index/index_tables.h /root/repo/src/index/pair.h \
  /root/repo/src/storage/kv.h /root/repo/src/storage/write_batch.h \
  /root/repo/src/storage/record.h /root/repo/src/index/pair_extraction.h \
+ /root/repo/src/index/posting_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/storage/database.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/index/index_tables.cc" "src/index/CMakeFiles/seqdet_index.dir/index_tables.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/index_tables.cc.o.d"
   "/root/repo/src/index/pair_extraction.cc" "src/index/CMakeFiles/seqdet_index.dir/pair_extraction.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/pair_extraction.cc.o.d"
+  "/root/repo/src/index/posting_cache.cc" "src/index/CMakeFiles/seqdet_index.dir/posting_cache.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/posting_cache.cc.o.d"
   "/root/repo/src/index/sequence_index.cc" "src/index/CMakeFiles/seqdet_index.dir/sequence_index.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/sequence_index.cc.o.d"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/seqdet_index.dir/index_tables.cc.o.d"
   "CMakeFiles/seqdet_index.dir/pair_extraction.cc.o"
   "CMakeFiles/seqdet_index.dir/pair_extraction.cc.o.d"
+  "CMakeFiles/seqdet_index.dir/posting_cache.cc.o"
+  "CMakeFiles/seqdet_index.dir/posting_cache.cc.o.d"
   "CMakeFiles/seqdet_index.dir/sequence_index.cc.o"
   "CMakeFiles/seqdet_index.dir/sequence_index.cc.o.d"
   "libseqdet_index.a"

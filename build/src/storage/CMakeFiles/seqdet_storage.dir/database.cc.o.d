@@ -221,11 +221,12 @@ src/storage/CMakeFiles/seqdet_storage.dir/database.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/storage/write_batch.h /root/repo/src/storage/record.h \
- /root/repo/src/storage/table.h /usr/include/c++/12/shared_mutex \
- /root/repo/src/storage/memtable.h /root/repo/src/storage/segment.h \
- /root/repo/src/storage/bloom_filter.h /root/repo/src/storage/wal.h \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
+ /root/repo/src/storage/table.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/shared_mutex /root/repo/src/storage/memtable.h \
+ /root/repo/src/storage/segment.h /root/repo/src/storage/bloom_filter.h \
+ /root/repo/src/storage/wal.h /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \

@@ -320,7 +320,9 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/thread /root/repo/src/index/index_tables.h \
  /root/repo/src/storage/kv.h /root/repo/src/storage/write_batch.h \
- /root/repo/src/storage/record.h /root/repo/src/storage/database.h \
+ /root/repo/src/storage/record.h /root/repo/src/index/posting_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/database.h \
  /root/repo/src/storage/sharded_table.h /root/repo/src/storage/table.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/memtable.h \
  /root/repo/src/storage/segment.h /root/repo/src/storage/bloom_filter.h \

@@ -325,6 +325,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/index/index_tables.h \
  /root/repo/src/storage/kv.h /root/repo/src/storage/write_batch.h \
  /root/repo/src/storage/record.h /root/repo/src/index/pair_extraction.h \
+ /root/repo/src/index/posting_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/storage/database.h /root/repo/src/storage/sharded_table.h \
  /root/repo/src/storage/table.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/storage/memtable.h /root/repo/src/storage/segment.h \

@@ -315,6 +315,8 @@ tests/CMakeFiles/query_test.dir/query_test.cc.o: \
  /root/repo/src/storage/kv.h /root/repo/src/storage/write_batch.h \
  /root/repo/src/storage/record.h /root/repo/src/index/pair_extraction.h \
  /root/repo/src/log/event_log.h /root/repo/src/log/activity_dictionary.h \
+ /root/repo/src/index/posting_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/storage/database.h /root/repo/src/storage/sharded_table.h \
  /root/repo/src/storage/table.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/storage/memtable.h /root/repo/src/storage/segment.h \

@@ -20,13 +20,15 @@ add_test(pair_extraction_test "/root/repo/build/tests/pair_extraction_test")
 set_tests_properties(pair_extraction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(index_test "/root/repo/build/tests/index_test")
 set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(posting_cache_test "/root/repo/build/tests/posting_cache_test")
+set_tests_properties(posting_cache_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(query_test "/root/repo/build/tests/query_test")
-set_tests_properties(query_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(query_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(baselines_test "/root/repo/build/tests/baselines_test")
-set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(extensions_test "/root/repo/build/tests/extensions_test")
-set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(server_test "/root/repo/build/tests/server_test")
-set_tests_properties(server_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(server_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(integration_test "/root/repo/build/tests/integration_test")
-set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")

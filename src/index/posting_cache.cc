@@ -1,0 +1,107 @@
+#include "index/posting_cache.h"
+
+#include <algorithm>
+
+namespace seqdet::index {
+
+PostingCache::PostingCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes),
+      shards_(std::max<size_t>(1, num_shards)) {
+  shard_capacity_bytes_ = capacity_bytes_ / shards_.size();
+  if (capacity_bytes_ > 0 && shard_capacity_bytes_ == 0) {
+    shard_capacity_bytes_ = 1;  // tiny budgets still admit nothing oversized
+  }
+}
+
+size_t PostingCache::ChargedBytes(const Snapshot& postings) {
+  // Payload plus a flat allowance for the vector/control-block/map/LRU
+  // bookkeeping; exactness doesn't matter, only that the budget is honored
+  // within a small constant factor.
+  constexpr size_t kEntryOverhead = 128;
+  return (postings ? postings->size() * sizeof(PairOccurrence) : 0) +
+         kEntryOverhead;
+}
+
+void PostingCache::EraseLocked(
+    Shard& shard,
+    std::unordered_map<Key, Entry, KeyHash>::iterator it) {
+  shard.bytes -= it->second.bytes;
+  shard.lru.erase(it->second.lru_it);
+  shard.map.erase(it);
+}
+
+PostingCache::Snapshot PostingCache::Get(uint32_t period,
+                                         const EventTypePair& pair,
+                                         uint64_t version) {
+  if (!enabled()) return nullptr;
+  Key key{period, pair};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (it->second.version != version) {
+    // The table moved on since this entry was filled; drop it lazily.
+    ++shard.invalidations;
+    ++shard.misses;
+    EraseLocked(shard, it);
+    return nullptr;
+  }
+  ++shard.hits;
+  // Move to the LRU front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.postings;
+}
+
+void PostingCache::Put(uint32_t period, const EventTypePair& pair,
+                       uint64_t version, Snapshot postings) {
+  if (!enabled() || postings == nullptr) return;
+  Key key{period, pair};
+  size_t bytes = ChargedBytes(postings);
+  Shard& shard = ShardFor(key);
+  if (bytes > shard_capacity_bytes_) return;  // would evict everything
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) EraseLocked(shard, it);
+  while (shard.bytes + bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
+    auto victim = shard.map.find(shard.lru.back());
+    ++shard.evictions;
+    EraseLocked(shard, victim);
+  }
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.version = version;
+  entry.bytes = bytes;
+  entry.postings = std::move(postings);
+  entry.lru_it = shard.lru.begin();
+  shard.map.emplace(key, std::move(entry));
+  shard.bytes += bytes;
+}
+
+void PostingCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+PostingCacheStats PostingCache::stats() const {
+  PostingCacheStats out;
+  out.capacity_bytes = capacity_bytes_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.invalidations += shard.invalidations;
+    out.entries += shard.map.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+}  // namespace seqdet::index

@@ -28,7 +28,7 @@ constexpr std::string_view kPolicyKey = "policy";
 
 SequenceIndex::SequenceIndex(storage::Database* db,
                              const IndexOptions& options)
-    : db_(db), options_(options) {
+    : db_(db), options_(options), cache_(options.cache_bytes) {
   size_t threads = options_.num_threads == 0
                        ? ThreadPool::HardwareConcurrency()
                        : options_.num_threads;
@@ -420,21 +420,65 @@ Status SequenceIndex::PruneTrace(TraceId trace) {
   return seq_->table()->Apply(seq_batch);
 }
 
-Result<std::vector<PairOccurrence>> SequenceIndex::GetPairPostings(
+Result<PostingCache::Snapshot> SequenceIndex::GetPairPostingsShared(
     const EventTypePair& pair) const {
-  std::vector<PairOccurrence> all;
-  for (const auto& table : index_tables_) {
-    SEQDET_ASSIGN_OR_RETURN(auto postings, table->Get(pair));
-    if (all.empty()) {
-      all = std::move(postings);
-    } else {
-      all.insert(all.end(), postings.begin(), postings.end());
+  // Versions are read BEFORE the posting bytes (see Kv::Version() for the
+  // tagging protocol); each period list is cached under its own period key,
+  // the cross-period merge under kMergedPeriod tagged with the version sum.
+  const size_t periods = index_tables_.size();
+  uint64_t merged_version = 0;
+  std::vector<uint64_t> period_versions(periods, 0);
+  for (size_t p = 0; p < periods; ++p) {
+    period_versions[p] = index_tables_[p]->table()->Version();
+    merged_version += period_versions[p];
+  }
+  if (periods > 1) {
+    if (auto hit = cache_.Get(PostingCache::kMergedPeriod, pair,
+                              merged_version)) {
+      return hit;
     }
   }
-  if (index_tables_.size() > 1) {
-    std::sort(all.begin(), all.end());
+
+  std::vector<PostingCache::Snapshot> per_period;
+  per_period.reserve(periods);
+  for (size_t p = 0; p < periods; ++p) {
+    auto snapshot =
+        cache_.Get(static_cast<uint32_t>(p), pair, period_versions[p]);
+    if (snapshot == nullptr) {
+      SEQDET_ASSIGN_OR_RETURN(auto postings, index_tables_[p]->Get(pair));
+      snapshot = std::make_shared<const std::vector<PairOccurrence>>(
+          std::move(postings));
+      cache_.Put(static_cast<uint32_t>(p), pair, period_versions[p],
+                 snapshot);
+    }
+    per_period.push_back(std::move(snapshot));
   }
-  return all;
+  if (periods == 1) return per_period[0];
+
+  // Per-period lists are already sorted, so merge instead of re-sorting the
+  // concatenation: append each period and inplace_merge at the boundary.
+  auto merged = std::make_shared<std::vector<PairOccurrence>>();
+  size_t total = 0;
+  for (const auto& snapshot : per_period) total += snapshot->size();
+  merged->reserve(total);
+  for (const auto& snapshot : per_period) {
+    const size_t boundary = merged->size();
+    merged->insert(merged->end(), snapshot->begin(), snapshot->end());
+    if (boundary > 0) {
+      std::inplace_merge(merged->begin(),
+                         merged->begin() + static_cast<ptrdiff_t>(boundary),
+                         merged->end());
+    }
+  }
+  PostingCache::Snapshot result = std::move(merged);
+  cache_.Put(PostingCache::kMergedPeriod, pair, merged_version, result);
+  return result;
+}
+
+Result<std::vector<PairOccurrence>> SequenceIndex::GetPairPostings(
+    const EventTypePair& pair) const {
+  SEQDET_ASSIGN_OR_RETURN(auto snapshot, GetPairPostingsShared(pair));
+  return *snapshot;
 }
 
 Result<std::vector<PairCountStats>> SequenceIndex::GetFollowerStats(

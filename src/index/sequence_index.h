@@ -12,6 +12,7 @@
 #include "index/index_tables.h"
 #include "index/pair.h"
 #include "index/pair_extraction.h"
+#include "index/posting_cache.h"
 #include "log/event_log.h"
 #include "storage/database.h"
 
@@ -39,6 +40,11 @@ struct IndexOptions {
   /// 0 picks a default from the thread count. The value is persisted in the
   /// meta table on first build and reused on reopen.
   size_t storage_shards = 0;
+  /// Byte budget of the decoded-postings read cache (the repo's analogue of
+  /// the Cassandra row cache, §3.1/§6): hot pair posting lists are decoded
+  /// and sorted once and served as shared immutable snapshots until an
+  /// Update/compaction bumps the backing table's version. 0 disables.
+  size_t cache_bytes = 64u << 20;
 };
 
 /// Result of a CheckConsistency() sweep.
@@ -103,8 +109,18 @@ class SequenceIndex {
 
   // --- read path used by the query processor -----------------------------
 
-  /// All completions of `pair` across every period, sorted by
-  /// (trace, ts_first).
+  /// An immutable shared snapshot of all completions of `pair` across every
+  /// period, sorted by (trace, ts_first). Never null on success. Served
+  /// from the posting cache when warm: concurrent queries (DetectBatch
+  /// workers, continuation verification) share one decoded copy instead of
+  /// each re-decoding and re-sorting the stored bytes. The snapshot stays
+  /// valid — frozen at its fill time — even if the index is updated while
+  /// the caller holds it.
+  Result<PostingCache::Snapshot> GetPairPostingsShared(
+      const EventTypePair& pair) const;
+
+  /// Copying convenience over GetPairPostingsShared for callers that want
+  /// to own (or mutate) the list.
   Result<std::vector<PairOccurrence>> GetPairPostings(
       const EventTypePair& pair) const;
 
@@ -169,6 +185,9 @@ class SequenceIndex {
   size_t num_periods() const { return index_tables_.size(); }
   storage::Database* database() const { return db_; }
 
+  /// Read-cache observability counters (all zero when cache_bytes == 0).
+  PostingCacheStats cache_stats() const { return cache_.stats(); }
+
  private:
   SequenceIndex(storage::Database* db, const IndexOptions& options);
 
@@ -189,6 +208,9 @@ class SequenceIndex {
   std::unique_ptr<LastCheckedTable> last_checked_;
   storage::Kv* meta_ = nullptr;
   size_t shards_ = 1;
+  /// Decoded-postings read cache; logically const (a memo over the tables),
+  /// hence usable from the const read path.
+  mutable PostingCache cache_;
 };
 
 }  // namespace seqdet::index

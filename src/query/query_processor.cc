@@ -1,6 +1,7 @@
 #include "query/query_processor.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 namespace seqdet::query {
@@ -67,14 +68,47 @@ Result<StatisticsResult> QueryProcessor::Statistics(
 }
 
 std::vector<PatternMatch> QueryProcessor::ExtendMatches(
-    const std::vector<PatternMatch>& matches,
+    std::vector<PatternMatch> matches,
     const std::vector<PairOccurrence>& postings) {
   // Algorithm 2 lines 5-13: keep matches whose last event coincides with
-  // the first event of a posting of the next pair — a hash join on
+  // the first event of a posting of the next pair — a join on
   // (trace, ts_first). Under SC/STNM a pair's completions never share
-  // their first event, so each key maps to one continuation; under
-  // skip-till-any-match several postings share a first event and every one
-  // extends the match (overlapping results are the point of that policy).
+  // their first event, so each key maps to one continuation and the match
+  // is *moved* into its extension; under skip-till-any-match several
+  // postings share a first event and every one extends the match
+  // (overlapping results are the point of that policy).
+  std::vector<PatternMatch> extended;
+  extended.reserve(matches.size());
+
+  // Posting lists arrive sorted by (trace, ts_first). When the surviving
+  // match set is much smaller than the posting list — the shape warm-cache
+  // repeated queries and selective patterns produce — probing the sorted
+  // snapshot per match beats building a hash of every posting, and touches
+  // none of the shared snapshot's cache lines beyond the probed ranges.
+  const bool probe_sorted =
+      matches.size() < postings.size() / 8 || postings.size() < 16;
+  if (probe_sorted) {
+    for (PatternMatch& match : matches) {
+      const PairOccurrence probe{match.trace, match.timestamps.back(),
+                                 std::numeric_limits<Timestamp>::min()};
+      auto it = std::lower_bound(postings.begin(), postings.end(), probe);
+      auto end = it;
+      while (end != postings.end() && end->trace == probe.trace &&
+             end->ts_first == probe.ts_first) {
+        ++end;
+      }
+      if (it == end) continue;
+      for (auto last = std::prev(end); it != last; ++it) {
+        PatternMatch copy = match;
+        copy.timestamps.push_back(it->ts_second);
+        extended.push_back(std::move(copy));
+      }
+      match.timestamps.push_back(it->ts_second);
+      extended.push_back(std::move(match));
+    }
+    return extended;
+  }
+
   std::unordered_map<TraceTsKey, std::vector<Timestamp>, TraceTsKeyHash>
       continuation;
   continuation.reserve(postings.size());
@@ -82,16 +116,18 @@ std::vector<PatternMatch> QueryProcessor::ExtendMatches(
     continuation[TraceTsKey{posting.trace, posting.ts_first}].push_back(
         posting.ts_second);
   }
-  std::vector<PatternMatch> extended;
-  for (const PatternMatch& match : matches) {
+  for (PatternMatch& match : matches) {
     auto it = continuation.find(
         TraceTsKey{match.trace, match.timestamps.back()});
     if (it == continuation.end()) continue;
-    for (Timestamp ts : it->second) {
-      PatternMatch next = match;
-      next.timestamps.push_back(ts);
-      extended.push_back(std::move(next));
+    const std::vector<Timestamp>& successors = it->second;
+    for (size_t s = 0; s + 1 < successors.size(); ++s) {
+      PatternMatch copy = match;
+      copy.timestamps.push_back(successors[s]);
+      extended.push_back(std::move(copy));
     }
+    match.timestamps.push_back(successors.back());
+    extended.push_back(std::move(match));
   }
   return extended;
 }
@@ -110,11 +146,11 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
 
   SEQDET_ASSIGN_OR_RETURN(
       auto first_postings,
-      index_->GetPairPostings(
+      index_->GetPairPostingsShared(
           EventTypePair{pattern.activities[0], pattern.activities[1]}));
   std::vector<PatternMatch> matches;
-  matches.reserve(first_postings.size());
-  for (const PairOccurrence& posting : first_postings) {
+  matches.reserve(first_postings->size());
+  for (const PairOccurrence& posting : *first_postings) {
     PatternMatch match{posting.trace,
                        {posting.ts_first, posting.ts_second}};
     if (gap_ok(match)) matches.push_back(std::move(match));
@@ -122,9 +158,9 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
   for (size_t i = 1; i + 1 < pattern.size() && !matches.empty(); ++i) {
     SEQDET_ASSIGN_OR_RETURN(
         auto postings,
-        index_->GetPairPostings(EventTypePair{pattern.activities[i],
-                                              pattern.activities[i + 1]}));
-    matches = ExtendMatches(matches, postings);
+        index_->GetPairPostingsShared(EventTypePair{
+            pattern.activities[i], pattern.activities[i + 1]}));
+    matches = ExtendMatches(std::move(matches), *postings);
     if (constraints.max_gap.has_value()) {
       std::erase_if(matches,
                     [&gap_ok](const PatternMatch& m) { return !gap_ok(m); });
@@ -227,10 +263,12 @@ Result<ContinuationProposal> QueryProcessor::VerifyCandidate(
     ActivityId candidate, const ContinuationConstraints& constraints) const {
   SEQDET_ASSIGN_OR_RETURN(
       auto postings,
-      index_->GetPairPostings(
+      index_->GetPairPostingsShared(
           EventTypePair{pattern.activities.back(), candidate}));
+  // base_matches is reused for every candidate, so it is copied (by the
+  // by-value parameter) rather than moved into the join.
   std::vector<PatternMatch> extended =
-      ExtendMatches(base_matches, postings);
+      ExtendMatches(base_matches, *postings);
 
   ContinuationProposal proposal;
   proposal.activity = candidate;
@@ -257,11 +295,11 @@ Result<ContinuationProposal> QueryProcessor::VerifySingleEventCandidate(
     const ContinuationConstraints& constraints) const {
   SEQDET_ASSIGN_OR_RETURN(
       auto postings,
-      index_->GetPairPostings(EventTypePair{base, candidate}));
+      index_->GetPairPostingsShared(EventTypePair{base, candidate}));
   ContinuationProposal proposal;
   proposal.activity = candidate;
   int64_t total_gap = 0;
-  for (const PairOccurrence& posting : postings) {
+  for (const PairOccurrence& posting : *postings) {
     Timestamp gap = posting.ts_second - posting.ts_first;
     if (constraints.max_gap.has_value() && gap > *constraints.max_gap) {
       continue;

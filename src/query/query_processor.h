@@ -158,8 +158,12 @@ class QueryProcessor {
   /// Joins `matches` with the postings of (last pattern event, next):
   /// keeps matches whose last event is the first component of a posting,
   /// extended by the posting's second timestamp (the Algorithm 2 step).
+  /// Takes `matches` by value so the common single-continuation case can
+  /// move each surviving match into its extension; pass std::move when the
+  /// input is no longer needed. `postings` must be sorted by
+  /// (trace, ts_first) — what GetPairPostingsShared returns.
   static std::vector<PatternMatch> ExtendMatches(
-      const std::vector<PatternMatch>& matches,
+      std::vector<PatternMatch> matches,
       const std::vector<index::PairOccurrence>& postings);
 
   /// Scores + sorts proposals by Equation 1 (descending).

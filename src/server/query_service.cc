@@ -37,6 +37,7 @@ HttpResponse QueryService::HandleHealth(const HttpRequest&) const {
 }
 
 HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
+  index::PostingCacheStats cache = index_->cache_stats();
   JsonWriter json;
   json.BeginObject()
       .Key("policy")
@@ -45,6 +46,23 @@ HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
       .Int(static_cast<int64_t>(index_->num_periods()))
       .Key("activities")
       .Int(static_cast<int64_t>(index_->dictionary().size()))
+      .Key("cache")
+      .BeginObject()
+      .Key("capacity_bytes")
+      .Int(static_cast<int64_t>(cache.capacity_bytes))
+      .Key("bytes")
+      .Int(static_cast<int64_t>(cache.bytes))
+      .Key("entries")
+      .Int(static_cast<int64_t>(cache.entries))
+      .Key("hits")
+      .Int(static_cast<int64_t>(cache.hits))
+      .Key("misses")
+      .Int(static_cast<int64_t>(cache.misses))
+      .Key("evictions")
+      .Int(static_cast<int64_t>(cache.evictions))
+      .Key("invalidations")
+      .Int(static_cast<int64_t>(cache.invalidations))
+      .EndObject()
       .EndObject();
   return HttpResponse::Json(json.str());
 }

@@ -14,7 +14,9 @@ namespace seqdet::server {
 /// Endpoints (all GET, pattern expressions use the textual language of
 /// query/pattern_parser.h, URL-encoded in `q`):
 ///   /health                               liveness probe
-///   /info                                 policy, periods, activity count
+///   /info                                 policy, periods, activity count,
+///                                         read-cache counters (hits,
+///                                         misses, bytes, evictions, ...)
 ///   /detect?q=A->B[&limit=N]              pattern detection
 ///   /stats?q=A->B[&last=1]                pairwise statistics
 ///   /continue?q=A->B&mode=accurate|fast|hybrid[&topk=K][&limit=N]

@@ -43,6 +43,19 @@ class Kv {
   virtual Status Compact() = 0;
   virtual size_t ApproximateEntryCount() const = 0;
   virtual const std::string& name() const = 0;
+
+  /// Monotonically increasing mutation counter: bumped by every
+  /// Put/Append/Delete/Apply/Compact (for a sharded table, the sum over its
+  /// shards). Lock-free, so caches layered above the store can validate
+  /// derived entries without touching the table locks on the write path.
+  ///
+  /// Snapshot-tagging protocol: read Version() BEFORE reading the data the
+  /// derived entry is built from and tag the entry with that value; a cached
+  /// entry is valid only while Version() still equals its tag. Mutators bump
+  /// the counter before applying the mutation (both under the table's write
+  /// lock), so any write that could be missing from a tagged snapshot is
+  /// guaranteed to advance the counter past the tag.
+  virtual uint64_t Version() const = 0;
 };
 
 /// Smallest key strictly greater than every key with `prefix`; empty means

@@ -122,6 +122,12 @@ Status ShardedTable::Compact() {
   return Status::OK();
 }
 
+uint64_t ShardedTable::Version() const {
+  uint64_t v = 0;
+  for (const auto& shard : shards_) v += shard->Version();
+  return v;
+}
+
 size_t ShardedTable::ApproximateEntryCount() const {
   size_t n = 0;
   for (const auto& shard : shards_) n += shard->ApproximateEntryCount();

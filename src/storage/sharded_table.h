@@ -52,6 +52,12 @@ class ShardedTable : public Kv {
   size_t ApproximateEntryCount() const override;
   const std::string& name() const override { return name_; }
 
+  /// Sum of the shard counters. Monotonic for any observer that reads it
+  /// with a happens-before edge to earlier reads (e.g. through a cache
+  /// shard's mutex), which is all the snapshot-tagging protocol of
+  /// Kv::Version() needs.
+  uint64_t Version() const override;
+
   size_t num_shards() const { return shards_.size(); }
 
   /// Deletes every shard's files.

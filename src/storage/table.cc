@@ -133,24 +133,30 @@ Status Table::MaybeFlushLocked() {
 
 Status Table::Put(std::string_view key, std::string_view value) {
   std::unique_lock lock(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   SEQDET_RETURN_IF_ERROR(WriteRecordLocked(RecordKind::kPut, key, value));
   return MaybeFlushLocked();
 }
 
 Status Table::Append(std::string_view key, std::string_view fragment) {
   std::unique_lock lock(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   SEQDET_RETURN_IF_ERROR(WriteRecordLocked(RecordKind::kAppend, key, fragment));
   return MaybeFlushLocked();
 }
 
 Status Table::Delete(std::string_view key) {
   std::unique_lock lock(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   SEQDET_RETURN_IF_ERROR(WriteRecordLocked(RecordKind::kDelete, key, {}));
   return MaybeFlushLocked();
 }
 
 Status Table::Apply(const WriteBatch& batch) {
   std::unique_lock lock(mu_);
+  // One bump per batch: the batch becomes visible atomically under the
+  // exclusive lock, so a single version step covers all of its records.
+  if (!batch.empty()) version_.fetch_add(1, std::memory_order_release);
   for (const Record& r : batch.records()) {
     SEQDET_RETURN_IF_ERROR(WriteRecordLocked(r.kind, r.key, r.value));
   }
@@ -391,6 +397,9 @@ Status Table::Flush() {
 
 Status Table::Compact() {
   std::unique_lock lock(mu_);
+  // Compaction preserves the folded contents, but bump anyway: derived
+  // caches must treat any physical rewrite as a new generation.
+  version_.fetch_add(1, std::memory_order_release);
   return CompactLocked();
 }
 
@@ -495,6 +504,7 @@ size_t Table::ApproximateEntryCount() const {
 
 Status Table::DestroyFiles() {
   std::unique_lock lock(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   if (options_.in_memory) {
     segments_.clear();
     segment_ids_.clear();

@@ -1,6 +1,7 @@
 #ifndef SEQDET_STORAGE_TABLE_H_
 #define SEQDET_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
@@ -91,6 +92,13 @@ class Table : public Kv {
   Status Compact() override;
 
   const std::string& name() const override { return name_; }
+
+  /// See Kv::Version(). Incremented before the mutation is applied, under
+  /// the exclusive lock; readable without any lock.
+  uint64_t Version() const override {
+    return version_.load(std::memory_order_acquire);
+  }
+
   size_t NumSegments() const;
   size_t MemTableBytes() const;
   size_t ApproximateEntryCount() const override;
@@ -125,6 +133,7 @@ class Table : public Kv {
   std::vector<uint64_t> segment_ids_;               // parallel to segments_
   WalWriter wal_;
   uint64_t next_segment_id_ = 0;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace seqdet::storage

@@ -1,0 +1,365 @@
+// Tests for the versioned posting-list read cache: the PostingCache data
+// structure itself, the equivalence of cached and uncached query results,
+// and the freshness guarantee under a concurrent Update.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/posting_cache.h"
+#include "index/sequence_index.h"
+#include "query/pattern.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+namespace seqdet::index {
+namespace {
+
+using eventlog::EventLog;
+using query::Pattern;
+using query::QueryProcessor;
+
+PostingCache::Snapshot MakeSnapshot(size_t n, eventlog::TraceId trace = 1) {
+  std::vector<PairOccurrence> postings(n);
+  for (size_t i = 0; i < n; ++i) {
+    postings[i] = {trace, static_cast<eventlog::Timestamp>(2 * i),
+                   static_cast<eventlog::Timestamp>(2 * i + 1)};
+  }
+  return std::make_shared<const std::vector<PairOccurrence>>(
+      std::move(postings));
+}
+
+// ---------------------------------------------------------------------------
+// PostingCache unit tests
+// ---------------------------------------------------------------------------
+
+TEST(PostingCacheTest, MissThenHit) {
+  PostingCache cache(1 << 20, /*num_shards=*/1);
+  EventTypePair pair{1, 2};
+  EXPECT_EQ(cache.Get(0, pair, 7), nullptr);
+
+  auto snapshot = MakeSnapshot(3);
+  cache.Put(0, pair, 7, snapshot);
+  auto hit = cache.Get(0, pair, 7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), snapshot.get());  // shared, not copied
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, PostingCache::ChargedBytes(snapshot));
+}
+
+TEST(PostingCacheTest, DistinctPeriodsAreDistinctKeys) {
+  PostingCache cache(1 << 20, 1);
+  EventTypePair pair{1, 2};
+  cache.Put(0, pair, 1, MakeSnapshot(1));
+  cache.Put(1, pair, 1, MakeSnapshot(2));
+  cache.Put(PostingCache::kMergedPeriod, pair, 2, MakeSnapshot(3));
+  EXPECT_EQ(cache.Get(0, pair, 1)->size(), 1u);
+  EXPECT_EQ(cache.Get(1, pair, 1)->size(), 2u);
+  EXPECT_EQ(cache.Get(PostingCache::kMergedPeriod, pair, 2)->size(), 3u);
+}
+
+TEST(PostingCacheTest, VersionMismatchInvalidates) {
+  PostingCache cache(1 << 20, 1);
+  EventTypePair pair{1, 2};
+  cache.Put(0, pair, 1, MakeSnapshot(3));
+
+  // A newer observed version means the entry may miss a write: it must be
+  // dropped, not served.
+  EXPECT_EQ(cache.Get(0, pair, 2), nullptr);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+
+  // The entry is gone for good — even re-presenting the old version misses.
+  EXPECT_EQ(cache.Get(0, pair, 1), nullptr);
+}
+
+TEST(PostingCacheTest, PutReplacesExistingEntry) {
+  PostingCache cache(1 << 20, 1);
+  EventTypePair pair{1, 2};
+  cache.Put(0, pair, 1, MakeSnapshot(3));
+  cache.Put(0, pair, 2, MakeSnapshot(5));
+  auto hit = cache.Get(0, pair, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 5u);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, PostingCache::ChargedBytes(hit));
+}
+
+TEST(PostingCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  auto one = MakeSnapshot(8);
+  const size_t entry_bytes = PostingCache::ChargedBytes(one);
+  // Room for exactly three entries in a single shard.
+  PostingCache cache(3 * entry_bytes, 1);
+  std::vector<EventTypePair> pairs = {{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  for (size_t i = 0; i < 3; ++i) cache.Put(0, pairs[i], 1, MakeSnapshot(8));
+
+  // Touch {1,1} so {2,2} becomes the LRU victim.
+  EXPECT_NE(cache.Get(0, pairs[0], 1), nullptr);
+  cache.Put(0, pairs[3], 1, MakeSnapshot(8));
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, cache.capacity_bytes());
+  EXPECT_EQ(cache.Get(0, pairs[1], 1), nullptr);  // evicted
+  EXPECT_NE(cache.Get(0, pairs[0], 1), nullptr);  // kept (recently used)
+  EXPECT_NE(cache.Get(0, pairs[2], 1), nullptr);
+  EXPECT_NE(cache.Get(0, pairs[3], 1), nullptr);
+}
+
+TEST(PostingCacheTest, OversizedSnapshotIsNotCached) {
+  auto small = MakeSnapshot(1);
+  PostingCache cache(PostingCache::ChargedBytes(small), 1);
+  EventTypePair pair{1, 2};
+  cache.Put(0, pair, 1, MakeSnapshot(100000));  // way over budget
+  EXPECT_EQ(cache.Get(0, pair, 1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PostingCacheTest, ZeroCapacityDisablesEverything) {
+  PostingCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  EventTypePair pair{1, 2};
+  cache.Put(0, pair, 1, MakeSnapshot(3));
+  EXPECT_EQ(cache.Get(0, pair, 1), nullptr);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.capacity_bytes, 0u);
+}
+
+TEST(PostingCacheTest, ClearDropsEntriesKeepsCounters) {
+  PostingCache cache(1 << 20, 4);
+  for (uint32_t a = 0; a < 8; ++a) {
+    cache.Put(0, EventTypePair{a, a + 1}, 1, MakeSnapshot(2));
+  }
+  EXPECT_EQ(cache.stats().entries, 8u);
+  EXPECT_NE(cache.Get(0, EventTypePair{0, 1}, 1), nullptr);
+  cache.Clear();
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // counters survive Clear
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: cached results must be bit-identical to uncached ones
+// ---------------------------------------------------------------------------
+
+constexpr const char* kNames[] = {"a", "b", "c", "d", "e", "f"};
+constexpr size_t kAlphabet = 6;
+
+// A deterministic synthetic log with enough pair repetition that triples
+// and continuations have non-trivial answers.
+EventLog SyntheticLog(size_t traces, size_t events_per_trace, uint64_t seed) {
+  Rng rng(seed);
+  EventLog log;
+  for (size_t t = 0; t < traces; ++t) {
+    eventlog::Timestamp ts = 1;
+    for (size_t i = 0; i < events_per_trace; ++i) {
+      log.Append(static_cast<eventlog::TraceId>(t),
+                 kNames[rng.NextBounded(kAlphabet)], ts);
+      ts += 1 + static_cast<eventlog::Timestamp>(rng.NextBounded(5));
+    }
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+struct Fixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<SequenceIndex> index;
+
+  Fixture(const EventLog& log, size_t cache_bytes) {
+    storage::DbOptions db_options;
+    db_options.table.in_memory = true;
+    db_options.table.use_wal = false;
+    db = std::move(storage::Database::Open("", db_options)).value();
+    IndexOptions options;
+    options.num_threads = 1;
+    options.cache_bytes = cache_bytes;
+    index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    auto stats = index->Update(log);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+  }
+};
+
+std::vector<Pattern> EquivalencePatterns(const SequenceIndex& index) {
+  std::vector<Pattern> patterns;
+  auto id = [&](const char* name) { return index.dictionary().Lookup(name); };
+  for (size_t i = 0; i < kAlphabet; ++i) {
+    for (size_t j = 0; j < kAlphabet; ++j) {
+      patterns.push_back(Pattern({id(kNames[i]), id(kNames[j])}));
+    }
+  }
+  patterns.push_back(Pattern({id("a"), id("b"), id("c")}));
+  patterns.push_back(Pattern({id("b"), id("a"), id("b"), id("a")}));
+  patterns.push_back(Pattern({id("c"), id("c"), id("d"), id("e"), id("f")}));
+  return patterns;
+}
+
+void ExpectSameProposals(
+    const std::vector<query::ContinuationProposal>& uncached,
+    const std::vector<query::ContinuationProposal>& cached) {
+  ASSERT_EQ(uncached.size(), cached.size());
+  for (size_t i = 0; i < uncached.size(); ++i) {
+    EXPECT_EQ(uncached[i].activity, cached[i].activity);
+    EXPECT_EQ(uncached[i].total_completions, cached[i].total_completions);
+    EXPECT_EQ(uncached[i].average_duration, cached[i].average_duration);
+    EXPECT_EQ(uncached[i].score, cached[i].score);
+  }
+}
+
+TEST(CacheEquivalenceTest, CachedResultsMatchUncached) {
+  EventLog log = SyntheticLog(120, 24, /*seed=*/7);
+  Fixture uncached(log, /*cache_bytes=*/0);
+  Fixture cached(log, /*cache_bytes=*/16u << 20);
+  QueryProcessor qp_uncached(uncached.index.get());
+  QueryProcessor qp_cached(cached.index.get());
+
+  std::vector<Pattern> patterns = EquivalencePatterns(*cached.index);
+  // Two passes over the cached index: the first fills the cache, the second
+  // is served from it. Both must equal the uncached answers bit for bit.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Pattern& p : patterns) {
+      auto expect = qp_uncached.Detect(p);
+      auto got = qp_cached.Detect(p);
+      ASSERT_TRUE(expect.ok()) << expect.status();
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*expect, *got) << "pass " << pass;
+
+      auto stats_expect = qp_uncached.Statistics(p);
+      auto stats_got = qp_cached.Statistics(p);
+      ASSERT_TRUE(stats_expect.ok() && stats_got.ok());
+      EXPECT_EQ(stats_expect->completions_upper_bound,
+                stats_got->completions_upper_bound);
+      EXPECT_EQ(stats_expect->estimated_duration,
+                stats_got->estimated_duration);
+      ASSERT_EQ(stats_expect->pairs.size(), stats_got->pairs.size());
+      for (size_t i = 0; i < stats_expect->pairs.size(); ++i) {
+        EXPECT_EQ(stats_expect->pairs[i].pair, stats_got->pairs[i].pair);
+        EXPECT_EQ(stats_expect->pairs[i].total_completions,
+                  stats_got->pairs[i].total_completions);
+        EXPECT_EQ(stats_expect->pairs[i].average_duration,
+                  stats_got->pairs[i].average_duration);
+      }
+
+      auto cont_expect = qp_uncached.ContinueHybrid(p, 5);
+      auto cont_got = qp_cached.ContinueHybrid(p, 5);
+      ASSERT_TRUE(cont_expect.ok() && cont_got.ok());
+      ExpectSameProposals(*cont_expect, *cont_got);
+    }
+  }
+  // Sanity: the uncached index never cached, the cached one actually did.
+  EXPECT_EQ(uncached.index->cache_stats().entries, 0u);
+  auto stats = cached.index->cache_stats();
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(CacheEquivalenceTest, UpdateInvalidatesWarmEntries) {
+  EventLog log = SyntheticLog(20, 10, /*seed=*/3);
+  Fixture f(log, 16u << 20);
+  QueryProcessor qp(f.index.get());
+  auto id = [&](const char* name) { return f.index->dictionary().Lookup(name); };
+  Pattern ab({id("a"), id("b")});
+
+  auto before = qp.Detect(ab);  // fills the cache
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(qp.Detect(ab).ok());  // served warm
+
+  // Append one fresh trace containing exactly one more (a, b) completion.
+  EventLog more;
+  more.Append(1000, "a", 1);
+  more.Append(1000, "b", 2);
+  more.SortAllTraces();
+  ASSERT_TRUE(f.index->Update(more).ok());
+
+  auto after = qp.Detect(ab);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), before->size() + 1);
+  EXPECT_GT(f.index->cache_stats().invalidations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: queries racing an Update must never see stale postings
+// ---------------------------------------------------------------------------
+
+TEST(CacheConcurrencyTest, UpdateVsDetectBatchServesFreshPostings) {
+  EventLog log = SyntheticLog(30, 12, /*seed=*/11);
+  Fixture f(log, 16u << 20);
+  QueryProcessor qp(f.index.get());
+  auto id = [&](const char* name) { return f.index->dictionary().Lookup(name); };
+  const Pattern ab({id("a"), id("b")});
+  const std::vector<Pattern> batch = {ab,
+                                      Pattern({id("b"), id("c")}),
+                                      Pattern({id("a"), id("b"), id("c")})};
+
+  auto initial = qp.Detect(ab);
+  ASSERT_TRUE(initial.ok());
+  const size_t initial_ab = initial->size();
+
+  constexpr size_t kRounds = 40;
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  // Readers hammer the (cached) read path. The index only ever grows, so
+  // per reader the match count of a->b must be monotonically non-decreasing
+  // — a cache serving a stale snapshot after a fresher one was observed
+  // would violate exactly this.
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      size_t last_seen = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto results = qp.DetectBatch(batch);
+        if (!results.ok()) {
+          failed.store(true);
+          return;
+        }
+        size_t now = (*results)[0].size();
+        if (now < last_seen || now < initial_ab ||
+            now > initial_ab + kRounds) {
+          failed.store(true);
+          return;
+        }
+        last_seen = now;
+      }
+    });
+  }
+
+  // Writer: each round appends one new trace with one (a, b) completion,
+  // then immediately queries. Update() happened-before the query, so the
+  // new posting MUST be visible — served stale cache entries would fail
+  // this equality.
+  for (size_t round = 1; round <= kRounds; ++round) {
+    EventLog more;
+    auto trace = static_cast<eventlog::TraceId>(10000 + round);
+    more.Append(trace, "a", 1);
+    more.Append(trace, "b", 2);
+    more.SortAllTraces();
+    ASSERT_TRUE(f.index->Update(more).ok());
+    auto after = qp.Detect(ab);
+    ASSERT_TRUE(after.ok());
+    ASSERT_EQ(after->size(), initial_ab + round) << "stale read after Update";
+  }
+
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace seqdet::index

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive test binaries under ThreadSanitizer and
+# runs them. Exercises the storage engine, the index (including the
+# versioned posting cache and its Update-vs-DetectBatch race test), and the
+# query processor.
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_DIR}/build-tsan}"
+TESTS=(storage_test storage_param_test index_test posting_cache_test query_test)
+
+cmake -B "${BUILD_DIR}" -S "${REPO_DIR}" -DSEQDET_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TESTS[@]}"
+
+# halt_on_error makes any report fail the run instead of just logging it.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+for t in "${TESTS[@]}"; do
+  echo "=== TSAN: ${t} ==="
+  "${BUILD_DIR}/tests/${t}"
+done
+echo "=== TSAN: all clean ==="

@@ -85,6 +85,7 @@ int Usage() {
       "           [--scale=0..1]   write a synthetic log (.xes or .csv)\n"
       "  index    --db=<dir> --log=<file> [--policy=SC|STNM|STAM]\n"
       "           [--method=indexing|parsing|state] [--threads=N]\n"
+      "           [--cache-bytes=N]  read-cache budget (0 disables)\n"
       "           [--lifecycle=complete]  keep only matching XES events\n"
       "  info     --db=<dir>\n"
       "  stats    --db=<dir> --pattern=a,b,c [--last-completion]\n"
@@ -139,6 +140,8 @@ Result<std::unique_ptr<index::SequenceIndex>> OpenIndex(
     return Status::InvalidArgument("unknown method: " + method);
   }
   options.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  options.cache_bytes = static_cast<size_t>(args.GetInt(
+      "cache-bytes", static_cast<int64_t>(options.cache_bytes)));
   return index::SequenceIndex::Open(db, options);
 }
 
@@ -225,6 +228,14 @@ int CmdInfo(const Args& args) {
   std::printf("policy:     %s\n", index::PolicyName((*index)->options().policy));
   std::printf("periods:    %zu\n", (*index)->num_periods());
   std::printf("activities: %zu\n", (*index)->dictionary().size());
+  index::PostingCacheStats cache = (*index)->cache_stats();
+  std::printf("read cache: %zu / %zu bytes in %zu entries "
+              "(hits %llu, misses %llu, evictions %llu, invalidations %llu)\n",
+              cache.bytes, cache.capacity_bytes, cache.entries,
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.invalidations));
   std::printf("tables:\n");
   for (const auto& name : (*db)->TableNames()) {
     std::printf("  %-16s ~%zu entries\n", name.c_str(),
