@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_read_cache.dir/bench_read_cache.cpp.o"
+  "CMakeFiles/bench_read_cache.dir/bench_read_cache.cpp.o.d"
+  "bench_read_cache"
+  "bench_read_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

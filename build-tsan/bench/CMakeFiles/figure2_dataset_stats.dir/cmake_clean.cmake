@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_dataset_stats.dir/figure2_dataset_stats.cpp.o"
+  "CMakeFiles/figure2_dataset_stats.dir/figure2_dataset_stats.cpp.o.d"
+  "figure2_dataset_stats"
+  "figure2_dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

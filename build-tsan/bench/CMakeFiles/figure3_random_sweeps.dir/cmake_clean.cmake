@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_random_sweeps.dir/figure3_random_sweeps.cpp.o"
+  "CMakeFiles/figure3_random_sweeps.dir/figure3_random_sweeps.cpp.o.d"
+  "figure3_random_sweeps"
+  "figure3_random_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_random_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_pattern_length.dir/figure4_pattern_length.cpp.o"
+  "CMakeFiles/figure4_pattern_length.dir/figure4_pattern_length.cpp.o.d"
+  "figure4_pattern_length"
+  "figure4_pattern_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_pattern_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

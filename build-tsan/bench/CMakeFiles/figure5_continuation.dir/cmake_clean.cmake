@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_continuation.dir/figure5_continuation.cpp.o"
+  "CMakeFiles/figure5_continuation.dir/figure5_continuation.cpp.o.d"
+  "figure5_continuation"
+  "figure5_continuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_continuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

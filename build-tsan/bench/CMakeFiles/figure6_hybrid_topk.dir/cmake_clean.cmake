@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_hybrid_topk.dir/figure6_hybrid_topk.cpp.o"
+  "CMakeFiles/figure6_hybrid_topk.dir/figure6_hybrid_topk.cpp.o.d"
+  "figure6_hybrid_topk"
+  "figure6_hybrid_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_hybrid_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

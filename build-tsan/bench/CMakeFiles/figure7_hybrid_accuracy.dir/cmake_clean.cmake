@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_hybrid_accuracy.dir/figure7_hybrid_accuracy.cpp.o"
+  "CMakeFiles/figure7_hybrid_accuracy.dir/figure7_hybrid_accuracy.cpp.o.d"
+  "figure7_hybrid_accuracy"
+  "figure7_hybrid_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_hybrid_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

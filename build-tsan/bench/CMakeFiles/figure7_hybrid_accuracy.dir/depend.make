@@ -1,0 +1,2 @@
+# Empty dependencies file for figure7_hybrid_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_stnm_flavors.dir/table5_stnm_flavors.cpp.o"
+  "CMakeFiles/table5_stnm_flavors.dir/table5_stnm_flavors.cpp.o.d"
+  "table5_stnm_flavors"
+  "table5_stnm_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stnm_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

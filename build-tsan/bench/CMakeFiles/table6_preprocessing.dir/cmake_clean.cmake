@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_preprocessing.dir/table6_preprocessing.cpp.o"
+  "CMakeFiles/table6_preprocessing.dir/table6_preprocessing.cpp.o.d"
+  "table6_preprocessing"
+  "table6_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

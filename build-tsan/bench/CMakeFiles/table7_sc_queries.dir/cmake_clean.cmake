@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_sc_queries.dir/table7_sc_queries.cpp.o"
+  "CMakeFiles/table7_sc_queries.dir/table7_sc_queries.cpp.o.d"
+  "table7_sc_queries"
+  "table7_sc_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_sc_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_stnm_queries.dir/table8_stnm_queries.cpp.o"
+  "CMakeFiles/table8_stnm_queries.dir/table8_stnm_queries.cpp.o.d"
+  "table8_stnm_queries"
+  "table8_stnm_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_stnm_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_funnel.dir/clickstream_funnel.cpp.o"
+  "CMakeFiles/clickstream_funnel.dir/clickstream_funnel.cpp.o.d"
+  "clickstream_funnel"
+  "clickstream_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

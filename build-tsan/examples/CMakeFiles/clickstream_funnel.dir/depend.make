@@ -1,0 +1,2 @@
+# Empty dependencies file for clickstream_funnel.
+# This may be replaced when dependencies are built.

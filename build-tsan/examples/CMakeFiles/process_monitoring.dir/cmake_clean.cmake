@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_monitoring.dir/process_monitoring.cpp.o"
+  "CMakeFiles/process_monitoring.dir/process_monitoring.cpp.o.d"
+  "process_monitoring"
+  "process_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

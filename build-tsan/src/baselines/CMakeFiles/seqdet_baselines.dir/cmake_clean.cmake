@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_baselines.dir/esearch/es_engine.cc.o"
+  "CMakeFiles/seqdet_baselines.dir/esearch/es_engine.cc.o.d"
+  "CMakeFiles/seqdet_baselines.dir/sase/sase_engine.cc.o"
+  "CMakeFiles/seqdet_baselines.dir/sase/sase_engine.cc.o.d"
+  "CMakeFiles/seqdet_baselines.dir/subtree/subtree_index.cc.o"
+  "CMakeFiles/seqdet_baselines.dir/subtree/subtree_index.cc.o.d"
+  "libseqdet_baselines.a"
+  "libseqdet_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

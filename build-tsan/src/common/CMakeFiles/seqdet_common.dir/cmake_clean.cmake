@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_common.dir/coding.cc.o"
+  "CMakeFiles/seqdet_common.dir/coding.cc.o.d"
+  "CMakeFiles/seqdet_common.dir/crc32.cc.o"
+  "CMakeFiles/seqdet_common.dir/crc32.cc.o.d"
+  "CMakeFiles/seqdet_common.dir/histogram.cc.o"
+  "CMakeFiles/seqdet_common.dir/histogram.cc.o.d"
+  "CMakeFiles/seqdet_common.dir/rng.cc.o"
+  "CMakeFiles/seqdet_common.dir/rng.cc.o.d"
+  "CMakeFiles/seqdet_common.dir/status.cc.o"
+  "CMakeFiles/seqdet_common.dir/status.cc.o.d"
+  "CMakeFiles/seqdet_common.dir/strings.cc.o"
+  "CMakeFiles/seqdet_common.dir/strings.cc.o.d"
+  "CMakeFiles/seqdet_common.dir/thread_pool.cc.o"
+  "CMakeFiles/seqdet_common.dir/thread_pool.cc.o.d"
+  "libseqdet_common.a"
+  "libseqdet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

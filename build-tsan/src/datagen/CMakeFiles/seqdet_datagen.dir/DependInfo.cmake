@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset_catalog.cc" "src/datagen/CMakeFiles/seqdet_datagen.dir/dataset_catalog.cc.o" "gcc" "src/datagen/CMakeFiles/seqdet_datagen.dir/dataset_catalog.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/datagen/CMakeFiles/seqdet_datagen.dir/generators.cc.o" "gcc" "src/datagen/CMakeFiles/seqdet_datagen.dir/generators.cc.o.d"
+  "/root/repo/src/datagen/pattern_sampler.cc" "src/datagen/CMakeFiles/seqdet_datagen.dir/pattern_sampler.cc.o" "gcc" "src/datagen/CMakeFiles/seqdet_datagen.dir/pattern_sampler.cc.o.d"
+  "/root/repo/src/datagen/process_tree.cc" "src/datagen/CMakeFiles/seqdet_datagen.dir/process_tree.cc.o" "gcc" "src/datagen/CMakeFiles/seqdet_datagen.dir/process_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/seqdet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/log/CMakeFiles/seqdet_log.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

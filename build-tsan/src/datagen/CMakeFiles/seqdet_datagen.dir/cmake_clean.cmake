@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_datagen.dir/dataset_catalog.cc.o"
+  "CMakeFiles/seqdet_datagen.dir/dataset_catalog.cc.o.d"
+  "CMakeFiles/seqdet_datagen.dir/generators.cc.o"
+  "CMakeFiles/seqdet_datagen.dir/generators.cc.o.d"
+  "CMakeFiles/seqdet_datagen.dir/pattern_sampler.cc.o"
+  "CMakeFiles/seqdet_datagen.dir/pattern_sampler.cc.o.d"
+  "CMakeFiles/seqdet_datagen.dir/process_tree.cc.o"
+  "CMakeFiles/seqdet_datagen.dir/process_tree.cc.o.d"
+  "libseqdet_datagen.a"
+  "libseqdet_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

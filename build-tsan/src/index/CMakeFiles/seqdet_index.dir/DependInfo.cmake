@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_tables.cc" "src/index/CMakeFiles/seqdet_index.dir/index_tables.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/index_tables.cc.o.d"
+  "/root/repo/src/index/pair_extraction.cc" "src/index/CMakeFiles/seqdet_index.dir/pair_extraction.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/pair_extraction.cc.o.d"
+  "/root/repo/src/index/posting_cache.cc" "src/index/CMakeFiles/seqdet_index.dir/posting_cache.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/posting_cache.cc.o.d"
+  "/root/repo/src/index/sequence_index.cc" "src/index/CMakeFiles/seqdet_index.dir/sequence_index.cc.o" "gcc" "src/index/CMakeFiles/seqdet_index.dir/sequence_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/seqdet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/log/CMakeFiles/seqdet_log.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/seqdet_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

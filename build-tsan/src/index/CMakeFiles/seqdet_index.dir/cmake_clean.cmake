@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_index.dir/index_tables.cc.o"
+  "CMakeFiles/seqdet_index.dir/index_tables.cc.o.d"
+  "CMakeFiles/seqdet_index.dir/pair_extraction.cc.o"
+  "CMakeFiles/seqdet_index.dir/pair_extraction.cc.o.d"
+  "CMakeFiles/seqdet_index.dir/posting_cache.cc.o"
+  "CMakeFiles/seqdet_index.dir/posting_cache.cc.o.d"
+  "CMakeFiles/seqdet_index.dir/sequence_index.cc.o"
+  "CMakeFiles/seqdet_index.dir/sequence_index.cc.o.d"
+  "libseqdet_index.a"
+  "libseqdet_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

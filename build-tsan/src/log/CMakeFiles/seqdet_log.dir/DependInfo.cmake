@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/activity_dictionary.cc" "src/log/CMakeFiles/seqdet_log.dir/activity_dictionary.cc.o" "gcc" "src/log/CMakeFiles/seqdet_log.dir/activity_dictionary.cc.o.d"
+  "/root/repo/src/log/csv_io.cc" "src/log/CMakeFiles/seqdet_log.dir/csv_io.cc.o" "gcc" "src/log/CMakeFiles/seqdet_log.dir/csv_io.cc.o.d"
+  "/root/repo/src/log/event_log.cc" "src/log/CMakeFiles/seqdet_log.dir/event_log.cc.o" "gcc" "src/log/CMakeFiles/seqdet_log.dir/event_log.cc.o.d"
+  "/root/repo/src/log/log_statistics.cc" "src/log/CMakeFiles/seqdet_log.dir/log_statistics.cc.o" "gcc" "src/log/CMakeFiles/seqdet_log.dir/log_statistics.cc.o.d"
+  "/root/repo/src/log/xes_io.cc" "src/log/CMakeFiles/seqdet_log.dir/xes_io.cc.o" "gcc" "src/log/CMakeFiles/seqdet_log.dir/xes_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/seqdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_log.dir/activity_dictionary.cc.o"
+  "CMakeFiles/seqdet_log.dir/activity_dictionary.cc.o.d"
+  "CMakeFiles/seqdet_log.dir/csv_io.cc.o"
+  "CMakeFiles/seqdet_log.dir/csv_io.cc.o.d"
+  "CMakeFiles/seqdet_log.dir/event_log.cc.o"
+  "CMakeFiles/seqdet_log.dir/event_log.cc.o.d"
+  "CMakeFiles/seqdet_log.dir/log_statistics.cc.o"
+  "CMakeFiles/seqdet_log.dir/log_statistics.cc.o.d"
+  "CMakeFiles/seqdet_log.dir/xes_io.cc.o"
+  "CMakeFiles/seqdet_log.dir/xes_io.cc.o.d"
+  "libseqdet_log.a"
+  "libseqdet_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_query.dir/pattern.cc.o"
+  "CMakeFiles/seqdet_query.dir/pattern.cc.o.d"
+  "CMakeFiles/seqdet_query.dir/pattern_parser.cc.o"
+  "CMakeFiles/seqdet_query.dir/pattern_parser.cc.o.d"
+  "CMakeFiles/seqdet_query.dir/query_processor.cc.o"
+  "CMakeFiles/seqdet_query.dir/query_processor.cc.o.d"
+  "libseqdet_query.a"
+  "libseqdet_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/http_server.cc" "src/server/CMakeFiles/seqdet_server.dir/http_server.cc.o" "gcc" "src/server/CMakeFiles/seqdet_server.dir/http_server.cc.o.d"
+  "/root/repo/src/server/query_service.cc" "src/server/CMakeFiles/seqdet_server.dir/query_service.cc.o" "gcc" "src/server/CMakeFiles/seqdet_server.dir/query_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/query/CMakeFiles/seqdet_query.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/seqdet_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/log/CMakeFiles/seqdet_log.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/seqdet_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/seqdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_server.dir/http_server.cc.o"
+  "CMakeFiles/seqdet_server.dir/http_server.cc.o.d"
+  "CMakeFiles/seqdet_server.dir/query_service.cc.o"
+  "CMakeFiles/seqdet_server.dir/query_service.cc.o.d"
+  "libseqdet_server.a"
+  "libseqdet_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

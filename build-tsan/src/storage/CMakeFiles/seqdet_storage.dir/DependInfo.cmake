@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bloom_filter.cc" "src/storage/CMakeFiles/seqdet_storage.dir/bloom_filter.cc.o" "gcc" "src/storage/CMakeFiles/seqdet_storage.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/seqdet_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/seqdet_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/storage/CMakeFiles/seqdet_storage.dir/memtable.cc.o" "gcc" "src/storage/CMakeFiles/seqdet_storage.dir/memtable.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/storage/CMakeFiles/seqdet_storage.dir/segment.cc.o" "gcc" "src/storage/CMakeFiles/seqdet_storage.dir/segment.cc.o.d"
+  "/root/repo/src/storage/sharded_table.cc" "src/storage/CMakeFiles/seqdet_storage.dir/sharded_table.cc.o" "gcc" "src/storage/CMakeFiles/seqdet_storage.dir/sharded_table.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/seqdet_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/seqdet_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/seqdet_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/seqdet_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/seqdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet_storage.dir/bloom_filter.cc.o"
+  "CMakeFiles/seqdet_storage.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/seqdet_storage.dir/database.cc.o"
+  "CMakeFiles/seqdet_storage.dir/database.cc.o.d"
+  "CMakeFiles/seqdet_storage.dir/memtable.cc.o"
+  "CMakeFiles/seqdet_storage.dir/memtable.cc.o.d"
+  "CMakeFiles/seqdet_storage.dir/segment.cc.o"
+  "CMakeFiles/seqdet_storage.dir/segment.cc.o.d"
+  "CMakeFiles/seqdet_storage.dir/sharded_table.cc.o"
+  "CMakeFiles/seqdet_storage.dir/sharded_table.cc.o.d"
+  "CMakeFiles/seqdet_storage.dir/table.cc.o"
+  "CMakeFiles/seqdet_storage.dir/table.cc.o.d"
+  "CMakeFiles/seqdet_storage.dir/wal.cc.o"
+  "CMakeFiles/seqdet_storage.dir/wal.cc.o.d"
+  "libseqdet_storage.a"
+  "libseqdet_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_extraction_test.dir/pair_extraction_test.cc.o"
+  "CMakeFiles/pair_extraction_test.dir/pair_extraction_test.cc.o.d"
+  "pair_extraction_test"
+  "pair_extraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posting_cache_test.dir/posting_cache_test.cc.o"
+  "CMakeFiles/posting_cache_test.dir/posting_cache_test.cc.o.d"
+  "posting_cache_test"
+  "posting_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posting_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

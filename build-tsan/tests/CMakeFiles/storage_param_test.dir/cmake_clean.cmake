@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_param_test.dir/storage_param_test.cc.o"
+  "CMakeFiles/storage_param_test.dir/storage_param_test.cc.o.d"
+  "storage_param_test"
+  "storage_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

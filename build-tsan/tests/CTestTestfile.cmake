@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build-tsan/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(log_test "/root/repo/build-tsan/tests/log_test")
+set_tests_properties(log_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build-tsan/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_param_test "/root/repo/build-tsan/tests/storage_param_test")
+set_tests_properties(storage_param_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(failure_injection_test "/root/repo/build-tsan/tests/failure_injection_test")
+set_tests_properties(failure_injection_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datagen_test "/root/repo/build-tsan/tests/datagen_test")
+set_tests_properties(datagen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pair_extraction_test "/root/repo/build-tsan/tests/pair_extraction_test")
+set_tests_properties(pair_extraction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build-tsan/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(posting_cache_test "/root/repo/build-tsan/tests/posting_cache_test")
+set_tests_properties(posting_cache_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(query_test "/root/repo/build-tsan/tests/query_test")
+set_tests_properties(query_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build-tsan/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build-tsan/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(server_test "/root/repo/build-tsan/tests/server_test")
+set_tests_properties(server_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build-tsan/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;seqdet_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqdet.dir/seqdet_cli.cc.o"
+  "CMakeFiles/seqdet.dir/seqdet_cli.cc.o.d"
+  "seqdet"
+  "seqdet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqdet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
