@@ -36,6 +36,7 @@ bool SeqTable::DecodeEvents(std::string_view data, std::vector<Event>* out) {
     int64_t ts;
     if (!GetVarint32(&data, &activity) ||
         !GetVarint64SignedZigZag(&data, &ts)) {
+      out->clear();  // never leave a partially decoded sequence behind
       return false;
     }
     out->push_back(Event{activity, ts});
@@ -96,6 +97,7 @@ bool PairIndexTable::DecodePostings(std::string_view data,
     if (!GetVarint64(&data, &trace) ||
         !GetVarint64SignedZigZag(&data, &ts_first) ||
         !GetVarint64(&data, &duration)) {
+      out->clear();  // never leave a partially decoded list behind
       return false;
     }
     out->push_back(PairOccurrence{trace, ts_first,
@@ -104,14 +106,36 @@ bool PairIndexTable::DecodePostings(std::string_view data,
   return true;
 }
 
+void PairIndexTable::EncodeValue(const std::vector<PairOccurrence>& postings,
+                                 std::string* out) const {
+  if (format_version_ == kPostingFormatFlat) {
+    for (const PairOccurrence& occurrence : postings) {
+      EncodePosting(occurrence, out);
+    }
+    return;
+  }
+  if (std::is_sorted(postings.begin(), postings.end())) {
+    EncodePostingBlocks(postings, kDefaultPostingBlockBytes, out);
+  } else {
+    std::vector<PairOccurrence> sorted = postings;
+    std::sort(sorted.begin(), sorted.end());
+    EncodePostingBlocks(sorted, kDefaultPostingBlockBytes, out);
+  }
+}
+
+bool PairIndexTable::DecodeValue(std::string_view data,
+                                 std::vector<PairOccurrence>* out) const {
+  return format_version_ == kPostingFormatFlat
+             ? DecodePostings(data, out)
+             : DecodeBlockedPostings(data, out);
+}
+
 void PairIndexTable::StageAppend(const EventTypePair& pair,
                                  const std::vector<PairOccurrence>& postings,
                                  storage::WriteBatch* batch) const {
   if (postings.empty()) return;
   std::string value;
-  for (const PairOccurrence& occurrence : postings) {
-    EncodePosting(occurrence, &value);
-  }
+  EncodeValue(postings, &value);
   batch->Append(EncodeKey(pair), value);
 }
 
@@ -122,13 +146,40 @@ Result<std::vector<PairOccurrence>> PairIndexTable::Get(
   if (s.IsNotFound()) return std::vector<PairOccurrence>{};
   SEQDET_RETURN_IF_ERROR(s);
   std::vector<PairOccurrence> postings;
-  if (!DecodePostings(value, &postings)) {
+  if (!DecodeValue(value, &postings)) {
     return Status::Corruption("bad Index posting list");
   }
   // Appends from successive update batches interleave traces; queries group
-  // by trace, so normalize here.
-  std::sort(postings.begin(), postings.end());
+  // by trace, so normalize here. Folded (or single-batch) values are
+  // already sorted — don't pay the sort for them.
+  if (!std::is_sorted(postings.begin(), postings.end())) {
+    std::sort(postings.begin(), postings.end());
+  }
   return postings;
+}
+
+Status PairIndexTable::FoldAll(size_t target_block_bytes) {
+  storage::WriteBatch batch;
+  Status decode_error;
+  SEQDET_RETURN_IF_ERROR(table_->Scan(
+      "", "", [&](std::string_view key, std::string_view value) {
+        std::vector<PairOccurrence> postings;
+        if (!DecodeValue(value, &postings)) {
+          decode_error = Status::Corruption("bad Index posting list");
+          return false;
+        }
+        if (!std::is_sorted(postings.begin(), postings.end())) {
+          std::sort(postings.begin(), postings.end());
+        }
+        std::string folded;
+        EncodePostingBlocks(postings, target_block_bytes, &folded);
+        batch.Put(key, folded);
+        return true;
+      }));
+  SEQDET_RETURN_IF_ERROR(decode_error);
+  SEQDET_RETURN_IF_ERROR(table_->Apply(batch));
+  format_version_ = kPostingFormatBlocked;
+  return table_->Compact();
 }
 
 // ---------------------------------------------------------------------------
@@ -161,6 +212,7 @@ Status CountTable::DecodeDeltas(std::string_view value,
     if (!GetVarint32(&value, &other) ||
         !GetVarint64SignedZigZag(&value, &sum_duration) ||
         !GetVarint64(&value, &completions)) {
+      out->clear();  // never leave partially aggregated stats behind
       return Status::Corruption("bad Count delta list");
     }
     PairCountStats& stats = totals[other];

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "index/pair.h"
+#include "index/posting_blocks.h"
 #include "log/event.h"
 #include "storage/kv.h"
 #include "storage/write_batch.h"
@@ -52,15 +53,40 @@ class SeqTable {
 // ---------------------------------------------------------------------------
 // Index: (ev_a, ev_b) -> [(trace, ts_a, ts_b), ...]  (appendable)
 // ---------------------------------------------------------------------------
+
+/// Posting-list value format versions (persisted in the meta table as
+/// `posting_format` and fixed per index, never mixed within one value).
+///  * v1: flat varint posting stream (the seed format);
+///  * v2: block-structured with skip headers (posting_blocks.h). Appends
+///    write mini-blocks; FoldPostings() rewrites fragment piles into
+///    globally sorted target-size blocks.
+inline constexpr uint32_t kPostingFormatFlat = 1;
+inline constexpr uint32_t kPostingFormatBlocked = 2;
+
 class PairIndexTable {
  public:
-  explicit PairIndexTable(storage::Kv* table) : table_(table) {}
+  explicit PairIndexTable(storage::Kv* table,
+                          uint32_t format_version = kPostingFormatBlocked)
+      : table_(table), format_version_(format_version) {}
 
   static std::string EncodeKey(const EventTypePair& pair);
   static void EncodePosting(const PairOccurrence& occurrence,
                             std::string* out);
+  /// v1 decoder. False (and `*out` cleared) on corruption, so callers
+  /// never observe a partially decoded list.
   static bool DecodePostings(std::string_view data,
                              std::vector<PairOccurrence>* out);
+
+  /// Encodes `postings` as one value fragment in this table's format
+  /// (flat stream for v1, block sequence for v2). v2 requires sorted
+  /// input; unsorted postings are sorted into a local copy first.
+  void EncodeValue(const std::vector<PairOccurrence>& postings,
+                   std::string* out) const;
+
+  /// Decodes a stored value in this table's format. False (and `*out`
+  /// cleared) on corruption.
+  bool DecodeValue(std::string_view data,
+                   std::vector<PairOccurrence>* out) const;
 
   void StageAppend(const EventTypePair& pair,
                    const std::vector<PairOccurrence>& postings,
@@ -70,10 +96,21 @@ class PairIndexTable {
   /// query processing can group by trace. Empty when the pair never occurs.
   Result<std::vector<PairOccurrence>> Get(const EventTypePair& pair) const;
 
+  /// Maintenance: rewrites every key's accumulated append fragments as one
+  /// globally sorted v2 block sequence (~target_block_bytes payload per
+  /// block) and compacts the table. Decodes with the current format and
+  /// switches the table to v2 afterwards — this is the v1 -> v2 upgrade
+  /// path. Must not run concurrently with writers.
+  Status FoldAll(size_t target_block_bytes = kDefaultPostingBlockBytes);
+
+  uint32_t format_version() const { return format_version_; }
+  void set_format_version(uint32_t version) { format_version_ = version; }
+
   storage::Kv* table() const { return table_; }
 
  private:
   storage::Kv* table_;
+  uint32_t format_version_;
 };
 
 // ---------------------------------------------------------------------------

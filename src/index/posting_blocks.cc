@@ -1,0 +1,172 @@
+#include "index/posting_blocks.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace seqdet::index {
+
+namespace {
+
+// Encodes postings[begin, end) as one block appended to *out. The slice
+// must be sorted by (trace, ts_first, ts_second).
+void EncodeOneBlock(const std::vector<PairOccurrence>& postings, size_t begin,
+                    size_t end, std::string* out) {
+  int64_t min_ts = postings[begin].ts_first;
+  int64_t max_ts = postings[begin].ts_second;
+  std::string payload;
+  uint64_t previous_trace = postings[begin].trace;
+  for (size_t i = begin; i < end; ++i) {
+    const PairOccurrence& p = postings[i];
+    min_ts = std::min(min_ts, p.ts_first);
+    max_ts = std::max(max_ts, p.ts_second);
+    PutVarint64(&payload, p.trace - previous_trace);
+    previous_trace = p.trace;
+    PutVarint64SignedZigZag(&payload, p.ts_first);
+    PutVarint64(&payload,
+                static_cast<uint64_t>(p.ts_second - p.ts_first));
+  }
+  PutVarint64(out, postings[begin].trace);
+  PutVarint64(out, postings[end - 1].trace);
+  PutVarint64SignedZigZag(out, min_ts);
+  PutVarint64SignedZigZag(out, max_ts);
+  PutVarint64(out, end - begin);
+  PutVarint64(out, payload.size());
+  out->append(payload);
+}
+
+}  // namespace
+
+void EncodePostingBlocks(const std::vector<PairOccurrence>& postings,
+                         size_t target_block_bytes, std::string* out) {
+  if (postings.empty()) return;
+  // A posting costs at most 3 * 10 varint bytes; size blocks by a cheap
+  // per-posting estimate instead of measuring mid-encode.
+  constexpr size_t kEstimatedPostingBytes = 12;
+  size_t per_block = std::max<size_t>(
+      1, std::max<size_t>(target_block_bytes, kEstimatedPostingBytes) /
+             kEstimatedPostingBytes);
+  for (size_t begin = 0; begin < postings.size(); begin += per_block) {
+    size_t end = std::min(postings.size(), begin + per_block);
+    EncodeOneBlock(postings, begin, end, out);
+  }
+}
+
+bool ParsePostingBlockRefs(std::string_view value,
+                           std::vector<PostingBlockRef>* out) {
+  out->clear();
+  const char* base = value.data();
+  while (!value.empty()) {
+    PostingBlockRef ref;
+    PostingBlockHeader& h = ref.header;
+    if (!GetVarint64(&value, &h.min_trace) ||
+        !GetVarint64(&value, &h.max_trace) ||
+        !GetVarint64SignedZigZag(&value, &h.min_ts) ||
+        !GetVarint64SignedZigZag(&value, &h.max_ts) ||
+        !GetVarint64(&value, &h.count) || !GetVarint64(&value, &h.byte_len) ||
+        h.count == 0 || h.min_trace > h.max_trace ||
+        h.byte_len > value.size()) {
+      out->clear();
+      return false;
+    }
+    ref.payload_offset = static_cast<size_t>(value.data() - base);
+    value.remove_prefix(static_cast<size_t>(h.byte_len));
+    out->push_back(ref);
+  }
+  return true;
+}
+
+bool DecodePostingBlockPayload(std::string_view payload,
+                               const PostingBlockHeader& header,
+                               std::vector<PairOccurrence>* out) {
+  uint64_t trace = header.min_trace;
+  for (uint64_t i = 0; i < header.count; ++i) {
+    uint64_t trace_delta, duration;
+    int64_t ts_first;
+    if (!GetVarint64(&payload, &trace_delta) ||
+        !GetVarint64SignedZigZag(&payload, &ts_first) ||
+        !GetVarint64(&payload, &duration)) {
+      return false;
+    }
+    trace += trace_delta;
+    out->push_back(PairOccurrence{
+        trace, ts_first, ts_first + static_cast<int64_t>(duration)});
+  }
+  return payload.empty();
+}
+
+bool DecodeBlockedPostings(std::string_view value,
+                           std::vector<PairOccurrence>* out) {
+  std::vector<PostingBlockRef> refs;
+  if (!ParsePostingBlockRefs(value, &refs)) {
+    out->clear();
+    return false;
+  }
+  for (const PostingBlockRef& ref : refs) {
+    if (!DecodePostingBlockPayload(
+            value.substr(ref.payload_offset,
+                         static_cast<size_t>(ref.header.byte_len)),
+            ref.header, out)) {
+      out->clear();
+      return false;
+    }
+  }
+  return true;
+}
+
+TraceIntervalSet TraceIntervalSet::FromIntervals(
+    std::vector<TraceInterval> intervals) {
+  TraceIntervalSet set;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const TraceInterval& a, const TraceInterval& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  for (const TraceInterval& interval : intervals) {
+    if (interval.lo > interval.hi) continue;
+    if (!set.intervals_.empty()) {
+      TraceInterval& last = set.intervals_.back();
+      // Merge overlapping or adjacent ranges (hi + 1 may not overflow:
+      // guard before adding).
+      if (interval.lo <= last.hi ||
+          (last.hi != std::numeric_limits<uint64_t>::max() &&
+           interval.lo == last.hi + 1)) {
+        last.hi = std::max(last.hi, interval.hi);
+        continue;
+      }
+    }
+    set.intervals_.push_back(interval);
+  }
+  return set;
+}
+
+bool TraceIntervalSet::Overlaps(uint64_t lo, uint64_t hi) const {
+  // First interval whose hi >= lo; overlaps iff it also starts <= hi.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const TraceInterval& interval, uint64_t key) {
+        return interval.hi < key;
+      });
+  return it != intervals_.end() && it->lo <= hi;
+}
+
+TraceIntervalSet TraceIntervalSet::Intersect(const TraceIntervalSet& a,
+                                             const TraceIntervalSet& b) {
+  TraceIntervalSet out;
+  size_t i = 0, j = 0;
+  while (i < a.intervals_.size() && j < b.intervals_.size()) {
+    const TraceInterval& x = a.intervals_[i];
+    const TraceInterval& y = b.intervals_[j];
+    uint64_t lo = std::max(x.lo, y.lo);
+    uint64_t hi = std::min(x.hi, y.hi);
+    if (lo <= hi) out.intervals_.push_back(TraceInterval{lo, hi});
+    if (x.hi < y.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace seqdet::index

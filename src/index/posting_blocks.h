@@ -1,0 +1,140 @@
+#ifndef SEQDET_INDEX_POSTING_BLOCKS_H_
+#define SEQDET_INDEX_POSTING_BLOCKS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/pair.h"
+
+namespace seqdet::index {
+
+/// v2 posting-list value format: a concatenation of self-describing blocks.
+///
+///   value  := block*
+///   block  := header payload
+///   header := varint  min_trace
+///             varint  max_trace        (>= min_trace)
+///             zigzag64 min_ts          (min ts_first in the block)
+///             zigzag64 max_ts          (max ts_second in the block)
+///             varint  count            (postings in the payload, > 0)
+///             varint  byte_len         (payload bytes)
+///   payload := count * (varint trace_delta, zigzag64 ts_first,
+///                       varint duration)
+///
+/// Within a block postings are sorted by (trace, ts_first, ts_second);
+/// trace_delta is the difference to the previous posting's trace (to
+/// min_trace for the first posting) and duration = ts_second - ts_first
+/// (non-negative by the index invariant). The header alone supports two
+/// skip decisions without touching the payload: trace-range pruning
+/// ([min_trace, max_trace] vs a candidate set) and time-range pruning
+/// ([min_ts, max_ts] vs a query window).
+///
+/// Append fragments written by Update() are themselves one (or more)
+/// blocks, so a stored value is *always* a valid block sequence; only the
+/// global sort across blocks is re-established by FoldPostings(), which
+/// rewrites a fragment pile into globally sorted blocks of
+/// ~target_block_bytes payload each.
+
+/// Default payload target of one folded block. ~170 postings at the
+/// typical 12-24 encoded bytes per posting: small enough that trace-range
+/// skips are selective, large enough that header overhead stays < 1%.
+inline constexpr size_t kDefaultPostingBlockBytes = 4096;
+
+/// Parsed block header.
+struct PostingBlockHeader {
+  uint64_t min_trace = 0;
+  uint64_t max_trace = 0;
+  int64_t min_ts = 0;
+  int64_t max_ts = 0;
+  uint64_t count = 0;
+  uint64_t byte_len = 0;
+};
+
+/// One block located inside a stored value: header plus payload position.
+struct PostingBlockRef {
+  PostingBlockHeader header;
+  size_t payload_offset = 0;  // byte offset of the payload in the value
+};
+
+/// Encodes `postings` (must be sorted by (trace, ts_first, ts_second)) as
+/// a sequence of blocks with ~target_block_bytes payload each, appended to
+/// `*out`. Empty input appends nothing.
+void EncodePostingBlocks(const std::vector<PairOccurrence>& postings,
+                         size_t target_block_bytes, std::string* out);
+
+/// Parses the headers of every block of `value` without decoding any
+/// payload. False (and `out` cleared) on malformed data.
+bool ParsePostingBlockRefs(std::string_view value,
+                           std::vector<PostingBlockRef>* out);
+
+/// Decodes the payload of one block, appending `header.count` postings to
+/// `*out`. False on malformed data (previously appended postings of other
+/// blocks are the caller's to discard).
+bool DecodePostingBlockPayload(std::string_view payload,
+                               const PostingBlockHeader& header,
+                               std::vector<PairOccurrence>* out);
+
+/// Decodes a whole blocked value. False (and `out` cleared) on corruption.
+bool DecodeBlockedPostings(std::string_view value,
+                           std::vector<PairOccurrence>* out);
+
+// ---------------------------------------------------------------------------
+// Trace interval sets — the candidate representation of the block-skip
+// read path. Coarse by design: a set of disjoint [lo, hi] trace-id ranges
+// built from block headers; intersecting the per-pair sets yields a
+// superset of the traces that can hold a full pattern match.
+// ---------------------------------------------------------------------------
+
+struct TraceInterval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;  // inclusive
+
+  friend bool operator==(const TraceInterval&, const TraceInterval&) = default;
+};
+
+class TraceIntervalSet {
+ public:
+  TraceIntervalSet() = default;
+
+  /// The set covering every trace id.
+  static TraceIntervalSet All() {
+    TraceIntervalSet set;
+    set.intervals_.push_back(
+        TraceInterval{0, std::numeric_limits<uint64_t>::max()});
+    return set;
+  }
+
+  /// Builds the normalized (sorted, disjoint) set from arbitrary
+  /// intervals; overlapping and adjacent ranges are merged.
+  static TraceIntervalSet FromIntervals(std::vector<TraceInterval> intervals);
+
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+
+  /// True when the set is the full id space (no pruning possible).
+  bool IsAll() const {
+    return intervals_.size() == 1 && intervals_[0].lo == 0 &&
+           intervals_[0].hi == std::numeric_limits<uint64_t>::max();
+  }
+
+  /// True when [lo, hi] intersects any interval of the set.
+  bool Overlaps(uint64_t lo, uint64_t hi) const;
+
+  /// True when `trace` lies in the set.
+  bool Contains(uint64_t trace) const { return Overlaps(trace, trace); }
+
+  /// Set intersection (two-pointer sweep over the sorted interval lists).
+  static TraceIntervalSet Intersect(const TraceIntervalSet& a,
+                                    const TraceIntervalSet& b);
+
+ private:
+  std::vector<TraceInterval> intervals_;  // sorted by lo, disjoint
+};
+
+}  // namespace seqdet::index
+
+#endif  // SEQDET_INDEX_POSTING_BLOCKS_H_

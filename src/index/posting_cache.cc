@@ -33,8 +33,20 @@ void PostingCache::EraseLocked(
 PostingCache::Snapshot PostingCache::Get(uint32_t period,
                                          const EventTypePair& pair,
                                          uint64_t version) {
+  return GetBlock(period, pair, kWholeList, version);
+}
+
+void PostingCache::Put(uint32_t period, const EventTypePair& pair,
+                       uint64_t version, Snapshot postings) {
+  PutBlock(period, pair, kWholeList, version, std::move(postings));
+}
+
+PostingCache::Snapshot PostingCache::GetBlock(uint32_t period,
+                                              const EventTypePair& pair,
+                                              uint32_t block,
+                                              uint64_t version) {
   if (!enabled()) return nullptr;
-  Key key{period, pair};
+  Key key{period, pair, block};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -55,10 +67,11 @@ PostingCache::Snapshot PostingCache::Get(uint32_t period,
   return it->second.postings;
 }
 
-void PostingCache::Put(uint32_t period, const EventTypePair& pair,
-                       uint64_t version, Snapshot postings) {
+void PostingCache::PutBlock(uint32_t period, const EventTypePair& pair,
+                            uint32_t block, uint64_t version,
+                            Snapshot postings) {
   if (!enabled() || postings == nullptr) return;
-  Key key{period, pair};
+  Key key{period, pair, block};
   size_t bytes = ChargedBytes(postings);
   Shard& shard = ShardFor(key);
   if (bytes > shard_capacity_bytes_) return;  // would evict everything

@@ -27,10 +27,17 @@ struct PostingCacheStats {
 /// repo's analogue of the Cassandra row cache the paper leans on for
 /// repeated pair reads (§3.1, §6).
 ///
-/// Keyed by (period, EventTypePair); values are immutable
-/// `shared_ptr<const vector<PairOccurrence>>` snapshots, so any number of
-/// concurrent queries share one decoded copy without copying or locking
-/// beyond the brief shard-mutex critical section of the lookup itself.
+/// Two entry granularities share the cache:
+///  * whole-list entries keyed by (period, EventTypePair) — decoded,
+///    sorted full posting lists (Get/Put);
+///  * block entries keyed by (period, EventTypePair, block ordinal) —
+///    one decoded v2 posting block each (GetBlock/PutBlock), filled by the
+///    trace-selective read path so hot blocks stay decoded while cold
+///    blocks stay compressed in the store.
+/// Values are immutable `shared_ptr<const vector<PairOccurrence>>`
+/// snapshots, so any number of concurrent queries share one decoded copy
+/// without copying or locking beyond the brief shard-mutex critical
+/// section of the lookup itself.
 ///
 /// Consistency is by version validation, never by key enumeration: every
 /// entry is tagged with the storage table's Kv::Version() read *before* the
@@ -51,6 +58,9 @@ class PostingCache {
   /// (tagged with the sum of all period-table versions).
   static constexpr uint32_t kMergedPeriod = 0xffffffffu;
 
+  /// The pseudo-block ordinal of whole-list entries.
+  static constexpr uint32_t kWholeList = 0xffffffffu;
+
   explicit PostingCache(size_t capacity_bytes, size_t num_shards = 16);
 
   PostingCache(const PostingCache&) = delete;
@@ -70,6 +80,16 @@ class PostingCache {
   void Put(uint32_t period, const EventTypePair& pair, uint64_t version,
            Snapshot postings);
 
+  /// Block-granularity variants: the snapshot holds the decoded postings
+  /// of one v2 block, keyed by its ordinal within the stored value. The
+  /// version tag covers the block layout too — any table mutation
+  /// (append, fold, compaction) bumps the version, so a stale ordinal can
+  /// never alias a reorganized value.
+  Snapshot GetBlock(uint32_t period, const EventTypePair& pair,
+                    uint32_t block, uint64_t version);
+  void PutBlock(uint32_t period, const EventTypePair& pair, uint32_t block,
+                uint64_t version, Snapshot postings);
+
   /// Drops every entry (counters are kept).
   void Clear();
 
@@ -82,6 +102,7 @@ class PostingCache {
   struct Key {
     uint32_t period = 0;
     EventTypePair pair;
+    uint32_t block = kWholeList;
 
     friend bool operator==(const Key&, const Key&) = default;
   };
@@ -90,6 +111,8 @@ class PostingCache {
     size_t operator()(const Key& k) const {
       uint64_t h = (static_cast<uint64_t>(k.pair.first) << 32) | k.pair.second;
       h ^= (static_cast<uint64_t>(k.period) + 0x9e3779b97f4a7c15ULL) +
+           (h << 6) + (h >> 2);
+      h ^= (static_cast<uint64_t>(k.block) + 0x9e3779b97f4a7c15ULL) +
            (h << 6) + (h >> 2);
       h *= 0xff51afd7ed558ccdULL;
       h ^= h >> 33;

@@ -24,6 +24,7 @@ constexpr std::string_view kPeriodCountKey = "period_count";
 constexpr std::string_view kActivitiesKey = "activities";
 constexpr std::string_view kShardCountKey = "shard_count";
 constexpr std::string_view kPolicyKey = "policy";
+constexpr std::string_view kPostingFormatKey = "posting_format";
 }  // namespace
 
 SequenceIndex::SequenceIndex(storage::Database* db,
@@ -49,7 +50,9 @@ Status SequenceIndex::OpenTables() {
   meta_ = meta;
 
   // The shard count of the physical tables is persisted so reopening with
-  // different options cannot mis-route keys.
+  // different options cannot mis-route keys. Its absence also identifies a
+  // freshly created index (the key is written on first open).
+  bool fresh_index = false;
   uint64_t shards = 0;
   {
     std::string value;
@@ -60,6 +63,7 @@ Status SequenceIndex::OpenTables() {
         return Status::Corruption("bad meta shard_count");
       }
     } else if (s.IsNotFound()) {
+      fresh_index = true;
       shards = options_.storage_shards != 0
                    ? options_.storage_shards
                    : std::min<size_t>(16, 2 * pool_->num_threads());
@@ -71,6 +75,38 @@ Status SequenceIndex::OpenTables() {
     }
   }
   shards_ = static_cast<size_t>(shards);
+
+  // Posting-list value format. Persisted because stored bytes are only
+  // decodable with the format that wrote them; an index predating the
+  // field (no key, but not fresh) is v1 flat. FoldPostings() upgrades.
+  {
+    std::string value;
+    Status s = meta_->Get(kPostingFormatKey, &value);
+    if (s.ok()) {
+      std::string_view cursor(value);
+      uint64_t format = 0;
+      if (!GetVarint64(&cursor, &format) ||
+          (format != kPostingFormatFlat && format != kPostingFormatBlocked)) {
+        return Status::Corruption("bad meta posting_format");
+      }
+      posting_format_ = static_cast<uint32_t>(format);
+    } else if (s.IsNotFound()) {
+      if (fresh_index) {
+        posting_format_ = options_.posting_format != 0
+                              ? options_.posting_format
+                              : kPostingFormatBlocked;
+        if (posting_format_ != kPostingFormatFlat &&
+            posting_format_ != kPostingFormatBlocked) {
+          return Status::InvalidArgument("bad IndexOptions::posting_format");
+        }
+      } else {
+        posting_format_ = kPostingFormatFlat;
+      }
+      SEQDET_RETURN_IF_ERROR(PersistPostingFormat());
+    } else {
+      return s;
+    }
+  }
 
   // The detection policy is baked into the stored pair semantics; reopening
   // an SC index with STNM options (or vice versa) would silently return
@@ -128,10 +164,17 @@ Status SequenceIndex::OpenTables() {
         storage::Kv * t,
         open(StringPrintf("index_p%llu",
                           static_cast<unsigned long long>(p))));
-    index_tables_.push_back(std::make_unique<PairIndexTable>(t));
+    index_tables_.push_back(
+        std::make_unique<PairIndexTable>(t, posting_format_));
   }
   SEQDET_RETURN_IF_ERROR(LoadDictionary());
   return PersistPeriodCount();
+}
+
+Status SequenceIndex::PersistPostingFormat() {
+  std::string value;
+  PutVarint64(&value, posting_format_);
+  return meta_->Put(kPostingFormatKey, value);
 }
 
 Status SequenceIndex::LoadDictionary() {
@@ -171,7 +214,8 @@ Status SequenceIndex::StartNewPeriod() {
           StringPrintf("index_p%llu",
                        static_cast<unsigned long long>(index_tables_.size())),
           shards_));
-  index_tables_.push_back(std::make_unique<PairIndexTable>(t));
+  index_tables_.push_back(
+      std::make_unique<PairIndexTable>(t, posting_format_));
   return PersistPeriodCount();
 }
 
@@ -420,6 +464,27 @@ Status SequenceIndex::PruneTrace(TraceId trace) {
   return seq_->table()->Apply(seq_batch);
 }
 
+Result<std::vector<PairOccurrence>> SequenceIndex::ReadPeriodPostings(
+    size_t period, const EventTypePair& pair) const {
+  std::string value;
+  Status s = index_tables_[period]->table()->Get(
+      PairIndexTable::EncodeKey(pair), &value);
+  if (s.IsNotFound()) return std::vector<PairOccurrence>{};
+  SEQDET_RETURN_IF_ERROR(s);
+  std::vector<PairOccurrence> postings;
+  if (!index_tables_[period]->DecodeValue(value, &postings)) {
+    return Status::Corruption("bad Index posting list");
+  }
+  read_counters_.bytes_decoded.fetch_add(value.size(),
+                                         std::memory_order_relaxed);
+  read_counters_.postings_decoded.fetch_add(postings.size(),
+                                            std::memory_order_relaxed);
+  if (!std::is_sorted(postings.begin(), postings.end())) {
+    std::sort(postings.begin(), postings.end());
+  }
+  return postings;
+}
+
 Result<PostingCache::Snapshot> SequenceIndex::GetPairPostingsShared(
     const EventTypePair& pair) const {
   // Versions are read BEFORE the posting bytes (see Kv::Version() for the
@@ -445,7 +510,7 @@ Result<PostingCache::Snapshot> SequenceIndex::GetPairPostingsShared(
     auto snapshot =
         cache_.Get(static_cast<uint32_t>(p), pair, period_versions[p]);
     if (snapshot == nullptr) {
-      SEQDET_ASSIGN_OR_RETURN(auto postings, index_tables_[p]->Get(pair));
+      SEQDET_ASSIGN_OR_RETURN(auto postings, ReadPeriodPostings(p, pair));
       snapshot = std::make_shared<const std::vector<PairOccurrence>>(
           std::move(postings));
       cache_.Put(static_cast<uint32_t>(p), pair, period_versions[p],
@@ -479,6 +544,129 @@ Result<std::vector<PairOccurrence>> SequenceIndex::GetPairPostings(
     const EventTypePair& pair) const {
   SEQDET_ASSIGN_OR_RETURN(auto snapshot, GetPairPostingsShared(pair));
   return *snapshot;
+}
+
+Result<PairPostingSummary> SequenceIndex::GetPairSummary(
+    const EventTypePair& pair) const {
+  PairPostingSummary summary;
+  std::vector<TraceInterval> intervals;
+  const std::string key = PairIndexTable::EncodeKey(pair);
+  for (size_t p = 0; p < index_tables_.size(); ++p) {
+    std::string value;
+    Status s = index_tables_[p]->table()->Get(key, &value);
+    if (s.IsNotFound()) continue;
+    SEQDET_RETURN_IF_ERROR(s);
+    if (index_tables_[p]->format_version() == kPostingFormatBlocked) {
+      std::vector<PostingBlockRef> refs;
+      if (!ParsePostingBlockRefs(value, &refs)) {
+        return Status::Corruption("bad Index posting list");
+      }
+      for (const PostingBlockRef& ref : refs) {
+        intervals.push_back(
+            TraceInterval{ref.header.min_trace, ref.header.max_trace});
+        summary.postings += ref.header.count;
+      }
+    } else {
+      // Flat values carry no skip metadata: count is a byte estimate and
+      // the trace range is unbounded.
+      summary.exact = false;
+      intervals.push_back(
+          TraceInterval{0, std::numeric_limits<uint64_t>::max()});
+      summary.postings += value.size() / 12 + 1;
+    }
+  }
+  summary.traces = TraceIntervalSet::FromIntervals(std::move(intervals));
+  return summary;
+}
+
+Result<PostingCache::Snapshot> SequenceIndex::GetPairPostingsFiltered(
+    const EventTypePair& pair, const TraceIntervalSet& candidates) const {
+  const std::string key = PairIndexTable::EncodeKey(pair);
+  auto merged = std::make_shared<std::vector<PairOccurrence>>();
+  for (size_t p = 0; p < index_tables_.size(); ++p) {
+    // Version before bytes — same tagging protocol as the shared path.
+    const uint64_t version = index_tables_[p]->table()->Version();
+    if (auto whole = cache_.Get(static_cast<uint32_t>(p), pair, version)) {
+      // An already decoded full list is cheaper than any selective decode;
+      // the extra postings are a harmless superset.
+      merged->insert(merged->end(), whole->begin(), whole->end());
+      continue;
+    }
+    std::string value;
+    Status s = index_tables_[p]->table()->Get(key, &value);
+    if (s.IsNotFound()) continue;
+    SEQDET_RETURN_IF_ERROR(s);
+    if (index_tables_[p]->format_version() != kPostingFormatBlocked) {
+      std::vector<PairOccurrence> postings;
+      if (!PairIndexTable::DecodePostings(value, &postings)) {
+        return Status::Corruption("bad Index posting list");
+      }
+      read_counters_.bytes_decoded.fetch_add(value.size(),
+                                             std::memory_order_relaxed);
+      read_counters_.postings_decoded.fetch_add(postings.size(),
+                                                std::memory_order_relaxed);
+      for (const PairOccurrence& posting : postings) {
+        if (candidates.Contains(posting.trace)) merged->push_back(posting);
+      }
+      continue;
+    }
+    std::vector<PostingBlockRef> refs;
+    if (!ParsePostingBlockRefs(value, &refs)) {
+      return Status::Corruption("bad Index posting list");
+    }
+    for (size_t b = 0; b < refs.size(); ++b) {
+      const PostingBlockRef& ref = refs[b];
+      if (!candidates.Overlaps(ref.header.min_trace, ref.header.max_trace)) {
+        read_counters_.blocks_skipped.fetch_add(1, std::memory_order_relaxed);
+        read_counters_.bytes_skipped.fetch_add(ref.header.byte_len,
+                                               std::memory_order_relaxed);
+        continue;
+      }
+      auto block = cache_.GetBlock(static_cast<uint32_t>(p), pair,
+                                   static_cast<uint32_t>(b), version);
+      if (block == nullptr) {
+        auto decoded = std::make_shared<std::vector<PairOccurrence>>();
+        decoded->reserve(ref.header.count);
+        if (!DecodePostingBlockPayload(
+                std::string_view(value).substr(
+                    ref.payload_offset,
+                    static_cast<size_t>(ref.header.byte_len)),
+                ref.header, decoded.get())) {
+          return Status::Corruption("bad Index posting block");
+        }
+        read_counters_.blocks_decoded.fetch_add(1, std::memory_order_relaxed);
+        read_counters_.bytes_decoded.fetch_add(ref.header.byte_len,
+                                               std::memory_order_relaxed);
+        read_counters_.postings_decoded.fetch_add(ref.header.count,
+                                                  std::memory_order_relaxed);
+        block = decoded;
+        cache_.PutBlock(static_cast<uint32_t>(p), pair,
+                        static_cast<uint32_t>(b), version, block);
+      }
+      merged->insert(merged->end(), block->begin(), block->end());
+    }
+  }
+  // Folded blocks are globally sorted but append fragments (and period
+  // boundaries) interleave traces; normalize like every other read path.
+  if (!std::is_sorted(merged->begin(), merged->end())) {
+    std::sort(merged->begin(), merged->end());
+  }
+  return PostingCache::Snapshot(std::move(merged));
+}
+
+IndexReadStats SequenceIndex::read_stats() const {
+  IndexReadStats stats;
+  stats.postings_decoded =
+      read_counters_.postings_decoded.load(std::memory_order_relaxed);
+  stats.bytes_decoded =
+      read_counters_.bytes_decoded.load(std::memory_order_relaxed);
+  stats.blocks_decoded =
+      read_counters_.blocks_decoded.load(std::memory_order_relaxed);
+  stats.blocks_skipped =
+      read_counters_.blocks_skipped.load(std::memory_order_relaxed);
+  stats.bytes_skipped =
+      read_counters_.bytes_skipped.load(std::memory_order_relaxed);
+  return stats;
 }
 
 Result<std::vector<PairCountStats>> SequenceIndex::GetFollowerStats(
@@ -577,7 +765,7 @@ Result<ConsistencyReport> SequenceIndex::CheckConsistency() const {
           }
           EventTypePair pair{first, second};
           std::vector<PairOccurrence> postings;
-          if (!PairIndexTable::DecodePostings(value, &postings)) {
+          if (!index_tables_[period]->DecodeValue(value, &postings)) {
             violate(StringPrintf("pair (%u,%u): undecodable posting list",
                                  first, second));
             return true;
@@ -714,6 +902,17 @@ Status SequenceIndex::CompactStatistics() {
   }
   SEQDET_RETURN_IF_ERROR(count_->FoldAll());
   return reverse_count_->FoldAll();
+}
+
+Status SequenceIndex::FoldPostings() {
+  for (const auto& table : index_tables_) {
+    SEQDET_RETURN_IF_ERROR(table->FoldAll(options_.posting_block_bytes));
+  }
+  if (posting_format_ != kPostingFormatBlocked) {
+    posting_format_ = kPostingFormatBlocked;
+    SEQDET_RETURN_IF_ERROR(PersistPostingFormat());
+  }
+  return Status::OK();
 }
 
 Status SequenceIndex::Flush() {

@@ -1,6 +1,7 @@
 #ifndef SEQDET_INDEX_SEQUENCE_INDEX_H_
 #define SEQDET_INDEX_SEQUENCE_INDEX_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -45,6 +46,36 @@ struct IndexOptions {
   /// and sorted once and served as shared immutable snapshots until an
   /// Update/compaction bumps the backing table's version. 0 disables.
   size_t cache_bytes = 64u << 20;
+  /// Posting-list value format for *newly created* indexes: 0 = default
+  /// (the blocked v2 format), or an explicit kPostingFormatFlat /
+  /// kPostingFormatBlocked. Existing indexes always use their persisted
+  /// format (meta `posting_format`; absent = v1) — FoldPostings() is the
+  /// upgrade path.
+  uint32_t posting_format = 0;
+  /// Target payload bytes of one folded v2 posting block.
+  size_t posting_block_bytes = kDefaultPostingBlockBytes;
+};
+
+/// Decode-side counters of the posting read path (monotonic; snapshot via
+/// SequenceIndex::read_stats()). The blocked format's skip metadata shows
+/// up here: bytes_skipped counts payload bytes the trace-selective path
+/// never decoded.
+struct IndexReadStats {
+  uint64_t postings_decoded = 0;
+  uint64_t bytes_decoded = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t bytes_skipped = 0;
+};
+
+/// Header-level description of one pair's posting list across all periods:
+/// the exact posting count (v2) or an estimate (v1, `exact == false`), and
+/// the union of the blocks' trace-id ranges. For v1 values the trace set
+/// degenerates to "all traces" — flat values carry no skip metadata.
+struct PairPostingSummary {
+  uint64_t postings = 0;
+  bool exact = true;
+  TraceIntervalSet traces;
 };
 
 /// Result of a CheckConsistency() sweep.
@@ -124,6 +155,21 @@ class SequenceIndex {
   Result<std::vector<PairOccurrence>> GetPairPostings(
       const EventTypePair& pair) const;
 
+  /// Header-level summary of `pair`'s posting list (across all periods)
+  /// without decoding any posting payload: block skip metadata only. The
+  /// cheap first phase of the selectivity-ordered Detect join.
+  Result<PairPostingSummary> GetPairSummary(const EventTypePair& pair) const;
+
+  /// Like GetPairPostingsShared restricted to `candidates`: only blocks
+  /// whose [min_trace, max_trace] range intersects the candidate set are
+  /// decoded (block-granular cache entries keep hot blocks decoded). The
+  /// result is a sorted *superset* of the candidate traces' postings —
+  /// a whole-list cache hit is returned as-is, and block ranges are
+  /// coarse — so callers must treat extra postings as harmless (the
+  /// Algorithm-2 join does). Never null on success.
+  Result<PostingCache::Snapshot> GetPairPostingsFiltered(
+      const EventTypePair& pair, const TraceIntervalSet& candidates) const;
+
   /// Count table: stats of pairs (activity, *), most frequent first.
   Result<std::vector<PairCountStats>> GetFollowerStats(
       eventlog::ActivityId activity) const;
@@ -181,20 +227,41 @@ class SequenceIndex {
   /// Must not run concurrently with Update().
   Status CompactStatistics();
 
+  /// Maintenance sibling of CompactStatistics for the posting lists:
+  /// rewrites every period's append fragments as globally sorted v2 blocks
+  /// (skip headers, delta-encoded traces) and compacts the tables. On a v1
+  /// index this is the format upgrade — the persisted `posting_format`
+  /// advances to v2 and all subsequent reads/appends use the blocked
+  /// format. Must not run concurrently with Update().
+  Status FoldPostings();
+
   const IndexOptions& options() const { return options_; }
   size_t num_periods() const { return index_tables_.size(); }
   storage::Database* database() const { return db_; }
 
+  /// The posting-list value format this index reads and writes
+  /// (kPostingFormatFlat or kPostingFormatBlocked).
+  uint32_t posting_format() const { return posting_format_; }
+
   /// Read-cache observability counters (all zero when cache_bytes == 0).
   PostingCacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Posting decode counters (see IndexReadStats).
+  IndexReadStats read_stats() const;
 
  private:
   SequenceIndex(storage::Database* db, const IndexOptions& options);
 
   Status OpenTables();
   Status PersistPeriodCount();
+  Status PersistPostingFormat();
   Status LoadDictionary();
   Status PersistDictionary();
+
+  /// Uncached decode of one period's full posting list (sorted), with
+  /// read-stats accounting.
+  Result<std::vector<PairOccurrence>> ReadPeriodPostings(
+      size_t period, const EventTypePair& pair) const;
 
   storage::Database* db_;
   IndexOptions options_;
@@ -208,9 +275,19 @@ class SequenceIndex {
   std::unique_ptr<LastCheckedTable> last_checked_;
   storage::Kv* meta_ = nullptr;
   size_t shards_ = 1;
+  uint32_t posting_format_ = kPostingFormatBlocked;
   /// Decoded-postings read cache; logically const (a memo over the tables),
   /// hence usable from the const read path.
   mutable PostingCache cache_;
+  /// Monotonic decode counters behind read_stats(); logically const.
+  struct ReadCounters {
+    std::atomic<uint64_t> postings_decoded{0};
+    std::atomic<uint64_t> bytes_decoded{0};
+    std::atomic<uint64_t> blocks_decoded{0};
+    std::atomic<uint64_t> blocks_skipped{0};
+    std::atomic<uint64_t> bytes_skipped{0};
+  };
+  mutable ReadCounters read_counters_;
 };
 
 }  // namespace seqdet::index

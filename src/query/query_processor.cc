@@ -143,23 +143,57 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
     size_t n = m.timestamps.size();
     return m.timestamps[n - 1] - m.timestamps[n - 2] <= *constraints.max_gap;
   };
+  const size_t num_pairs = pattern.size() - 1;
+  auto pair_at = [&pattern](size_t i) {
+    return EventTypePair{pattern.activities[i], pattern.activities[i + 1]};
+  };
 
-  SEQDET_ASSIGN_OR_RETURN(
-      auto first_postings,
-      index_->GetPairPostingsShared(
-          EventTypePair{pattern.activities[0], pattern.activities[1]}));
+  // Selectivity-ordered pruning (>= 2 pairs; one pair has nothing to
+  // intersect with). Every full match needs a completion of *every*
+  // adjacent pair in its trace, so the block-header trace ranges of each
+  // pair's posting list bound the candidate traces: intersect them —
+  // starting from the smallest list, the cheapest place to run dry — and
+  // the join then decodes only blocks overlapping the survivors.
+  index::TraceIntervalSet candidates;
+  bool prune = false;
+  if (num_pairs >= 2) {
+    std::vector<index::PairPostingSummary> summaries(num_pairs);
+    for (size_t i = 0; i < num_pairs; ++i) {
+      SEQDET_ASSIGN_OR_RETURN(summaries[i],
+                              index_->GetPairSummary(pair_at(i)));
+      if (summaries[i].postings == 0) return std::vector<PatternMatch>{};
+    }
+    std::vector<size_t> order(num_pairs);
+    for (size_t i = 0; i < num_pairs; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&summaries](size_t a, size_t b) {
+      return summaries[a].postings < summaries[b].postings;
+    });
+    candidates = summaries[order[0]].traces;
+    for (size_t k = 1; k < num_pairs && !candidates.empty(); ++k) {
+      candidates = index::TraceIntervalSet::Intersect(
+          candidates, summaries[order[k]].traces);
+    }
+    if (candidates.empty()) return std::vector<PatternMatch>{};
+    // An unbounded candidate set (v1 lists, or blocks spanning every
+    // trace) prunes nothing; prefer the whole-list cache then.
+    prune = !candidates.IsAll();
+  }
+  auto fetch = [&](size_t i) {
+    return prune ? index_->GetPairPostingsFiltered(pair_at(i), candidates)
+                 : index_->GetPairPostingsShared(pair_at(i));
+  };
+
+  SEQDET_ASSIGN_OR_RETURN(auto first_postings, fetch(0));
   std::vector<PatternMatch> matches;
   matches.reserve(first_postings->size());
   for (const PairOccurrence& posting : *first_postings) {
+    if (prune && !candidates.Contains(posting.trace)) continue;
     PatternMatch match{posting.trace,
                        {posting.ts_first, posting.ts_second}};
     if (gap_ok(match)) matches.push_back(std::move(match));
   }
   for (size_t i = 1; i + 1 < pattern.size() && !matches.empty(); ++i) {
-    SEQDET_ASSIGN_OR_RETURN(
-        auto postings,
-        index_->GetPairPostingsShared(EventTypePair{
-            pattern.activities[i], pattern.activities[i + 1]}));
+    SEQDET_ASSIGN_OR_RETURN(auto postings, fetch(i));
     matches = ExtendMatches(std::move(matches), *postings);
     if (constraints.max_gap.has_value()) {
       std::erase_if(matches,

@@ -1,0 +1,424 @@
+// Tests of the v2 block-structured posting-list format: encode/decode
+// round trips, header parsing, trace-interval pruning machinery,
+// corruption behavior of every value decoder, the v1 -> v2 fold/upgrade
+// path, and the selectivity-filtered read path.
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/index_tables.h"
+#include "index/posting_blocks.h"
+#include "index/sequence_index.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+namespace seqdet::index {
+namespace {
+
+using eventlog::EventLog;
+
+std::unique_ptr<storage::Database> InMemoryDb() {
+  storage::DbOptions options;
+  options.table.in_memory = true;
+  options.table.use_wal = false;
+  auto db = storage::Database::Open("", options);
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+IndexOptions SingleThreaded() {
+  IndexOptions options;
+  options.num_threads = 1;
+  return options;
+}
+
+std::vector<PairOccurrence> RoundTrip(
+    const std::vector<PairOccurrence>& postings, size_t target_bytes) {
+  std::string encoded;
+  EncodePostingBlocks(postings, target_bytes, &encoded);
+  std::vector<PairOccurrence> decoded;
+  EXPECT_TRUE(DecodeBlockedPostings(encoded, &decoded));
+  return decoded;
+}
+
+// ---------------------------------------------------------------------------
+// Block encode/decode round trips
+// ---------------------------------------------------------------------------
+
+TEST(PostingBlocksTest, EmptyListEncodesToNothing) {
+  std::string encoded;
+  EncodePostingBlocks({}, kDefaultPostingBlockBytes, &encoded);
+  EXPECT_TRUE(encoded.empty());
+  std::vector<PairOccurrence> decoded;
+  EXPECT_TRUE(DecodeBlockedPostings(encoded, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(PostingBlocksTest, SinglePostingRoundTrip) {
+  std::vector<PairOccurrence> postings{{42, -100, 250}};
+  EXPECT_EQ(RoundTrip(postings, kDefaultPostingBlockBytes), postings);
+}
+
+TEST(PostingBlocksTest, MultiBlockRoundTrip) {
+  // A tiny target forces many blocks; the round trip must be exact and
+  // block-order-preserving.
+  std::vector<PairOccurrence> postings;
+  Rng rng(7);
+  int64_t ts = -5000;
+  for (uint64_t trace = 0; trace < 100; ++trace) {
+    for (int k = 0; k < 5; ++k) {
+      ts += static_cast<int64_t>(rng.NextBounded(50));
+      postings.push_back(
+          PairOccurrence{trace, ts, ts + 1 + static_cast<int64_t>(
+                                             rng.NextBounded(100))});
+    }
+  }
+  std::string encoded;
+  EncodePostingBlocks(postings, 64, &encoded);
+  std::vector<PostingBlockRef> refs;
+  ASSERT_TRUE(ParsePostingBlockRefs(encoded, &refs));
+  EXPECT_GT(refs.size(), 10u);
+  std::vector<PairOccurrence> decoded;
+  ASSERT_TRUE(DecodeBlockedPostings(encoded, &decoded));
+  EXPECT_EQ(decoded, postings);
+}
+
+TEST(PostingBlocksTest, MaxDeltaTracesRoundTrip) {
+  // Extreme trace-id spread within one block: deltas up to 2^64 - 1.
+  std::vector<PairOccurrence> postings{
+      {0, 1, 2},
+      {1, 5, 9},
+      {std::numeric_limits<uint64_t>::max() - 1, -10, 10},
+      {std::numeric_limits<uint64_t>::max(), 100, 200},
+  };
+  EXPECT_EQ(RoundTrip(postings, kDefaultPostingBlockBytes), postings);
+}
+
+TEST(PostingBlocksTest, HeadersDescribeBlocks) {
+  std::vector<PairOccurrence> postings{
+      {10, -7, 3}, {10, 5, 8}, {20, 1, 90}, {30, 2, 4}};
+  std::string encoded;
+  EncodePostingBlocks(postings, kDefaultPostingBlockBytes, &encoded);
+  std::vector<PostingBlockRef> refs;
+  ASSERT_TRUE(ParsePostingBlockRefs(encoded, &refs));
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].header.min_trace, 10u);
+  EXPECT_EQ(refs[0].header.max_trace, 30u);
+  EXPECT_EQ(refs[0].header.min_ts, -7);
+  EXPECT_EQ(refs[0].header.max_ts, 90);
+  EXPECT_EQ(refs[0].header.count, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: every decoder must leave its output empty on failure
+// ---------------------------------------------------------------------------
+
+TEST(PostingBlocksTest, CorruptedBlockedValueClearsOutput) {
+  std::vector<PairOccurrence> postings{{1, 2, 3}, {4, 5, 6}};
+  std::string encoded;
+  EncodePostingBlocks(postings, kDefaultPostingBlockBytes, &encoded);
+  encoded.resize(encoded.size() - 1);  // truncate inside the payload
+  std::vector<PairOccurrence> decoded;
+  EXPECT_FALSE(DecodeBlockedPostings(encoded, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(PairIndexTableTest, CorruptedFlatValueClearsOutput) {
+  // A valid posting followed by a truncated one: the decoder used to leave
+  // the first posting in *out on failure; callers must never observe a
+  // partially decoded list.
+  std::string value;
+  PairIndexTable::EncodePosting(PairOccurrence{1, 2, 3}, &value);
+  std::string second;
+  PairIndexTable::EncodePosting(PairOccurrence{4, 5, 6}, &second);
+  value.append(second.substr(0, second.size() - 1));
+  std::vector<PairOccurrence> decoded;
+  EXPECT_FALSE(PairIndexTable::DecodePostings(value, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(SeqTableTest, CorruptedEventsClearOutput) {
+  std::string value;
+  SeqTable::EncodeEvents({{1, 10}, {2, 20}}, &value);
+  value.resize(value.size() - 1);
+  std::vector<eventlog::Event> decoded;
+  EXPECT_FALSE(SeqTable::DecodeEvents(value, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(PairIndexTableTest, CorruptedStoredValueSurfacesAsCorruption) {
+  auto db = InMemoryDb();
+  PairIndexTable index(*db->GetOrCreateTable("index"),
+                       kPostingFormatBlocked);
+  EventTypePair pair{1, 2};
+  ASSERT_TRUE(index.table()
+                  ->Put(PairIndexTable::EncodeKey(pair), "\x07garbage")
+                  .ok());
+  auto postings = index.Get(pair);
+  EXPECT_FALSE(postings.ok());
+}
+
+// ---------------------------------------------------------------------------
+// TraceIntervalSet
+// ---------------------------------------------------------------------------
+
+TEST(TraceIntervalSetTest, MergesOverlappingAndAdjacent) {
+  auto set = TraceIntervalSet::FromIntervals(
+      {{5, 9}, {1, 3}, {4, 6}, {20, 30}, {31, 35}});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (TraceInterval{1, 9}));
+  EXPECT_EQ(set.intervals()[1], (TraceInterval{20, 35}));
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(9));
+  EXPECT_FALSE(set.Contains(10));
+  EXPECT_TRUE(set.Overlaps(10, 25));
+  EXPECT_FALSE(set.Overlaps(10, 19));
+}
+
+TEST(TraceIntervalSetTest, IntersectIsSetIntersection) {
+  auto a = TraceIntervalSet::FromIntervals({{0, 10}, {20, 30}});
+  auto b = TraceIntervalSet::FromIntervals({{5, 25}});
+  auto both = TraceIntervalSet::Intersect(a, b);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both.intervals()[0], (TraceInterval{5, 10}));
+  EXPECT_EQ(both.intervals()[1], (TraceInterval{20, 25}));
+
+  auto empty = TraceIntervalSet::Intersect(
+      TraceIntervalSet::FromIntervals({{0, 4}}),
+      TraceIntervalSet::FromIntervals({{5, 9}}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(TraceIntervalSetTest, AllIsUnbounded) {
+  auto all = TraceIntervalSet::All();
+  EXPECT_TRUE(all.IsAll());
+  EXPECT_TRUE(all.Contains(std::numeric_limits<uint64_t>::max()));
+  auto narrowed = TraceIntervalSet::Intersect(
+      all, TraceIntervalSet::FromIntervals({{3, 7}}));
+  EXPECT_FALSE(narrowed.IsAll());
+  EXPECT_TRUE(narrowed.Contains(5));
+}
+
+// ---------------------------------------------------------------------------
+// Index-level: fold, upgrade, filtered reads
+// ---------------------------------------------------------------------------
+
+EventLog SkewedLog(size_t traces) {
+  // Every trace completes (A, B); only every 16th trace contains the rare
+  // R before them — the trace-selective shape the block skip serves.
+  EventLog log;
+  for (size_t t = 0; t < traces; ++t) {
+    int64_t ts = static_cast<int64_t>(t) * 100;
+    if (t % 16 == 0) log.Append(t, "R", ts);
+    log.Append(t, "A", ts + 1);
+    log.Append(t, "B", ts + 2);
+    log.Append(t, "A", ts + 3);
+    log.Append(t, "B", ts + 4);
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+TEST(PostingFormatTest, FreshIndexDefaultsToBlocked) {
+  auto db = InMemoryDb();
+  auto index = SequenceIndex::Open(db.get(), SingleThreaded());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->posting_format(), kPostingFormatBlocked);
+}
+
+TEST(PostingFormatTest, FoldedIndexStaysConsistent) {
+  auto db = InMemoryDb();
+  IndexOptions options = SingleThreaded();
+  options.posting_block_bytes = 128;  // force multi-block values
+  auto index = SequenceIndex::Open(db.get(), options);
+  ASSERT_TRUE(index.ok());
+  EventLog log = SkewedLog(200);
+  ASSERT_TRUE((*index)->Update(log).ok());
+
+  query::QueryProcessor qp(index->get());
+  query::Pattern ab({(*index)->dictionary().Lookup("A"),
+                     (*index)->dictionary().Lookup("B")});
+  auto before = qp.Detect(ab);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE((*index)->FoldPostings().ok());
+  auto report = (*index)->CheckConsistency();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->violations.front();
+
+  auto after = qp.Detect(ab);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+}
+
+TEST(PostingFormatTest, FilteredReadEquivalence) {
+  auto db = InMemoryDb();
+  IndexOptions options = SingleThreaded();
+  options.posting_block_bytes = 64;
+  // No read cache: a cached whole list is served as a (valid) superset,
+  // which would hide the block-skip path this test is about.
+  options.cache_bytes = 0;
+  auto index = SequenceIndex::Open(db.get(), options);
+  ASSERT_TRUE(index.ok());
+  EventLog log = SkewedLog(300);
+  ASSERT_TRUE((*index)->Update(log).ok());
+  ASSERT_TRUE((*index)->FoldPostings().ok());
+
+  eventlog::ActivityId a = (*index)->dictionary().Lookup("A");
+  eventlog::ActivityId b = (*index)->dictionary().Lookup("B");
+  EventTypePair pair{a, b};
+  auto full = (*index)->GetPairPostings(pair);
+  ASSERT_TRUE(full.ok());
+
+  // Unbounded candidates reproduce the full list.
+  auto all = (*index)->GetPairPostingsFiltered(pair, TraceIntervalSet::All());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(**all, *full);
+
+  // A narrow candidate set returns a sorted superset of its traces'
+  // postings and skips blocks.
+  auto candidates = TraceIntervalSet::FromIntervals({{32, 32}, {160, 160}});
+  auto filtered = (*index)->GetPairPostingsFiltered(pair, candidates);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT((*filtered)->size(), full->size());
+  EXPECT_TRUE(std::is_sorted((*filtered)->begin(), (*filtered)->end()));
+  std::vector<PairOccurrence> expected, got;
+  for (const PairOccurrence& p : *full) {
+    if (candidates.Contains(p.trace)) expected.push_back(p);
+  }
+  for (const PairOccurrence& p : **filtered) {
+    if (candidates.Contains(p.trace)) got.push_back(p);
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_GT((*index)->read_stats().blocks_skipped, 0u);
+}
+
+TEST(PostingFormatTest, SelectiveDetectMatchesUnprunedResults) {
+  // The same skewed log under both formats: the pruned v2 join must return
+  // exactly what the v1 full-scan join returns.
+  EventLog log = SkewedLog(256);
+  auto build = [&log](uint32_t format, std::unique_ptr<storage::Database>* db)
+      -> std::unique_ptr<SequenceIndex> {
+    *db = InMemoryDb();
+    IndexOptions options;
+    options.num_threads = 1;
+    options.posting_format = format;
+    options.posting_block_bytes = 64;
+    auto index = SequenceIndex::Open(db->get(), options);
+    EXPECT_TRUE(index.ok());
+    EXPECT_TRUE((*index)->Update(log).ok());
+    return std::move(index).value();
+  };
+  std::unique_ptr<storage::Database> db1, db2;
+  auto v1 = build(kPostingFormatFlat, &db1);
+  auto v2 = build(kPostingFormatBlocked, &db2);
+  ASSERT_TRUE(v2->FoldPostings().ok());
+
+  query::QueryProcessor qp1(v1.get());
+  query::QueryProcessor qp2(v2.get());
+  eventlog::ActivityId r = v1->dictionary().Lookup("R");
+  eventlog::ActivityId a = v1->dictionary().Lookup("A");
+  eventlog::ActivityId b = v1->dictionary().Lookup("B");
+  for (const query::Pattern& pattern :
+       {query::Pattern({r, a, b}), query::Pattern({a, b, a}),
+        query::Pattern({a, b, a, b})}) {
+    auto lhs = qp1.Detect(pattern);
+    auto rhs = qp2.Detect(pattern);
+    ASSERT_TRUE(lhs.ok());
+    ASSERT_TRUE(rhs.ok());
+    auto sort_matches = [](std::vector<query::PatternMatch>* m) {
+      std::sort(m->begin(), m->end(),
+                [](const query::PatternMatch& x,
+                   const query::PatternMatch& y) {
+                  return std::tie(x.trace, x.timestamps) <
+                         std::tie(y.trace, y.timestamps);
+                });
+    };
+    sort_matches(&*lhs);
+    sort_matches(&*rhs);
+    EXPECT_EQ(*lhs, *rhs);
+  }
+  // The rare-anchored pattern must actually have skipped blocks of the
+  // hot (A,B) list.
+  EXPECT_GT(v2->read_stats().blocks_skipped, 0u);
+}
+
+TEST(PostingFormatTest, V1IndexUpgradesAcrossReopen) {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() /
+             ("seqdet_posting_fmt_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  EventLog log = SkewedLog(64);
+  std::vector<PairOccurrence> before;
+  EventTypePair pair;
+
+  {
+    // Write with the legacy flat format.
+    auto db = storage::Database::Open(dir.string());
+    ASSERT_TRUE(db.ok());
+    IndexOptions options = SingleThreaded();
+    options.posting_format = kPostingFormatFlat;
+    auto index = SequenceIndex::Open(db->get(), options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->Update(log).ok());
+    EXPECT_EQ((*index)->posting_format(), kPostingFormatFlat);
+    pair = EventTypePair{(*index)->dictionary().Lookup("A"),
+                         (*index)->dictionary().Lookup("B")};
+    auto postings = (*index)->GetPairPostings(pair);
+    ASSERT_TRUE(postings.ok());
+    before = *postings;
+    ASSERT_FALSE(before.empty());
+    ASSERT_TRUE((*index)->Flush().ok());
+  }
+  {
+    // Reopen with default options: persisted format wins, reads stay v1.
+    auto db = storage::Database::Open(dir.string());
+    ASSERT_TRUE(db.ok());
+    auto index = SequenceIndex::Open(db->get(), SingleThreaded());
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ((*index)->posting_format(), kPostingFormatFlat);
+    auto postings = (*index)->GetPairPostings(pair);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(*postings, before);
+
+    // Upgrade in place.
+    ASSERT_TRUE((*index)->FoldPostings().ok());
+    EXPECT_EQ((*index)->posting_format(), kPostingFormatBlocked);
+    postings = (*index)->GetPairPostings(pair);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(*postings, before);
+    auto report = (*index)->CheckConsistency();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->ok()) << report->violations.front();
+    ASSERT_TRUE((*index)->Flush().ok());
+  }
+  {
+    // Post-upgrade reopen reads blocked values and appends mini-blocks.
+    auto db = storage::Database::Open(dir.string());
+    ASSERT_TRUE(db.ok());
+    auto index = SequenceIndex::Open(db->get(), SingleThreaded());
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ((*index)->posting_format(), kPostingFormatBlocked);
+    auto postings = (*index)->GetPairPostings(pair);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(*postings, before);
+
+    EventLog more;
+    more.Append(9001, "A", 1);
+    more.Append(9001, "B", 2);
+    ASSERT_TRUE((*index)->Update(more).ok());
+    postings = (*index)->GetPairPostings(pair);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(postings->size(), before.size() + 1);
+    auto report = (*index)->CheckConsistency();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->ok()) << report->violations.front();
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace seqdet::index

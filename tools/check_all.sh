@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full sanitizer sweep: builds the whole test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer and runs ctest, then
+# delegates to check_tsan.sh for the ThreadSanitizer pass over the
+# concurrency-sensitive binaries.
+#
+# Usage: tools/check_all.sh [asan-build-dir [tsan-build-dir]]
+#   (defaults: build-asan, build-tsan)
+# Set SEQDET_SKIP_TSAN=1 to run only the ASan/UBSan pass.
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+ASAN_DIR="${1:-${REPO_DIR}/build-asan}"
+TSAN_DIR="${2:-${REPO_DIR}/build-tsan}"
+
+echo "=== ASAN/UBSAN: configure + build (${ASAN_DIR}) ==="
+cmake -B "${ASAN_DIR}" -S "${REPO_DIR}" -DSEQDET_SANITIZE=address,undefined
+cmake --build "${ASAN_DIR}" -j"$(nproc)"
+
+# Fail on any UBSan report (by default UBSan only logs and continues);
+# ASan aborts on error already.
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+echo "=== ASAN/UBSAN: ctest ==="
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j"$(nproc)"
+
+if [[ "${SEQDET_SKIP_TSAN:-0}" != "1" ]]; then
+  "${REPO_DIR}/tools/check_tsan.sh" "${TSAN_DIR}"
+fi
+echo "=== all sanitizer checks clean ==="

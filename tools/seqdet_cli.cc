@@ -96,6 +96,8 @@ int Usage() {
       "  continue --db=<dir> --pattern=a,b [--mode=accurate|fast|hybrid]\n"
       "           [--topk=K] [--limit=N] [--insert-at=I]\n"
       "  prune    --db=<dir> --trace=<id>\n"
+      "  fold     --db=<dir>   maintenance: fold statistics deltas and\n"
+      "           rewrite posting lists as sorted v2 blocks (v1 upgrade)\n"
       "  check    --db=<dir>   fsck: verify cross-table invariants\n"
       "datasets: ");
   for (const auto& name : datagen::DatasetNames()) {
@@ -228,6 +230,7 @@ int CmdInfo(const Args& args) {
   std::printf("policy:     %s\n", index::PolicyName((*index)->options().policy));
   std::printf("periods:    %zu\n", (*index)->num_periods());
   std::printf("activities: %zu\n", (*index)->dictionary().size());
+  std::printf("postings:   format v%u\n", (*index)->posting_format());
   index::PostingCacheStats cache = (*index)->cache_stats();
   std::printf("read cache: %zu / %zu bytes in %zu entries "
               "(hits %llu, misses %llu, evictions %llu, invalidations %llu)\n",
@@ -442,6 +445,24 @@ int CmdCheck(const Args& args) {
   return 0;
 }
 
+int CmdFold(const Args& args) {
+  auto db = storage::Database::Open(args.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto index = OpenIndexAnyPolicy(db->get());
+  if (!index.ok()) return Fail(index.status());
+  Stopwatch watch;
+  Status stats = (*index)->CompactStatistics();
+  if (!stats.ok()) return Fail(stats);
+  Status postings = (*index)->FoldPostings();
+  if (!postings.ok()) return Fail(postings);
+  Status flush = (*index)->Flush();
+  if (!flush.ok()) return Fail(flush);
+  std::printf(
+      "folded statistics deltas and posting lists (format v%u) in %.2fs\n",
+      (*index)->posting_format(), watch.ElapsedSeconds());
+  return 0;
+}
+
 int CmdPrune(const Args& args) {
   auto db = storage::Database::Open(args.Get("db"));
   if (!db.ok()) return Fail(db.status());
@@ -471,6 +492,7 @@ int main(int argc, char** argv) {
   if (args.command == "serve") return CmdServe(args);
   if (args.command == "continue") return CmdContinue(args);
   if (args.command == "prune") return CmdPrune(args);
+  if (args.command == "fold") return CmdFold(args);
   if (args.command == "check") return CmdCheck(args);
   return Usage();
 }
