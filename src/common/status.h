@@ -20,6 +20,7 @@ enum class StatusCode {
   kOutOfRange = 6,
   kInternal = 7,
   kUnsupported = 8,
+  kAborted = 9,
 };
 
 /// Returns a human-readable name for a status code ("Ok", "NotFound", ...).
@@ -68,6 +69,11 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  /// A long-running pass was deliberately stopped before finishing (e.g.
+  /// maintenance shutdown mid-fold) — the work done so far is valid.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -80,6 +86,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -158,28 +158,163 @@ Result<std::vector<PairOccurrence>> PairIndexTable::Get(
   return postings;
 }
 
-Status PairIndexTable::FoldAll(size_t target_block_bytes) {
-  storage::WriteBatch batch;
-  Status decode_error;
+namespace {
+
+// Non-final folded blocks carry exactly the encoder's per-block posting
+// count; mirror EncodePostingBlocks' sizing here so the needs-fold test is
+// stable (a freshly folded value never re-triggers).
+size_t PostingsPerFoldedBlock(size_t target_block_bytes) {
+  constexpr size_t kEstimatedPostingBytes = 12;
+  return std::max<size_t>(
+      1, std::max<size_t>(target_block_bytes, kEstimatedPostingBytes) /
+             kEstimatedPostingBytes);
+}
+
+// True when the block sequence is not what a fold would produce: blocks
+// whose trace ranges overlap a predecessor (append fragments interleave
+// traces) or non-final blocks below the fold's per-block posting count.
+bool BlocksNeedFold(const std::vector<PostingBlockRef>& refs,
+                    size_t target_block_bytes) {
+  if (refs.size() <= 1) return false;
+  const size_t per_block = PostingsPerFoldedBlock(target_block_bytes);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (i > 0 && refs[i].header.min_trace < refs[i - 1].header.max_trace) {
+      return true;
+    }
+    if (i + 1 < refs.size() && refs[i].header.count < per_block) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PairIndexTable::NeedsFold(std::string_view value,
+                               size_t target_block_bytes) const {
+  if (format_version_ == kPostingFormatBlocked) {
+    std::vector<PostingBlockRef> refs;
+    // Undecodable values are "fold-worthy" so the pass surfaces the
+    // corruption instead of silently skipping it.
+    if (!ParsePostingBlockRefs(value, &refs)) return true;
+    return BlocksNeedFold(refs, target_block_bytes);
+  }
+  std::vector<PairOccurrence> postings;
+  if (!DecodePostings(value, &postings)) return true;
+  return !std::is_sorted(postings.begin(), postings.end());
+}
+
+Result<PostingFragmentation> PairIndexTable::Fragmentation(
+    size_t target_block_bytes) const {
+  PostingFragmentation out;
   SEQDET_RETURN_IF_ERROR(table_->Scan(
-      "", "", [&](std::string_view key, std::string_view value) {
-        std::vector<PairOccurrence> postings;
-        if (!DecodeValue(value, &postings)) {
-          decode_error = Status::Corruption("bad Index posting list");
-          return false;
+      "", "", [&](std::string_view, std::string_view value) {
+        ++out.keys;
+        out.value_bytes += value.size();
+        if (format_version_ == kPostingFormatBlocked) {
+          std::vector<PostingBlockRef> refs;
+          if (ParsePostingBlockRefs(value, &refs)) {
+            out.blocks += refs.size();
+            if (BlocksNeedFold(refs, target_block_bytes)) {
+              ++out.fragmented_keys;
+              out.fragment_bytes += value.size();
+            }
+            return true;
+          }
         }
-        if (!std::is_sorted(postings.begin(), postings.end())) {
-          std::sort(postings.begin(), postings.end());
+        if (NeedsFold(value, target_block_bytes)) {
+          ++out.fragmented_keys;
+          out.fragment_bytes += value.size();
         }
-        std::string folded;
-        EncodePostingBlocks(postings, target_block_bytes, &folded);
-        batch.Put(key, folded);
         return true;
       }));
-  SEQDET_RETURN_IF_ERROR(decode_error);
-  SEQDET_RETURN_IF_ERROR(table_->Apply(batch));
+  return out;
+}
+
+Status PairIndexTable::FoldAll(size_t target_block_bytes, FoldStats* stats,
+                               const FoldPace& pace) {
+  FoldStats local;
+  FoldStats* fs = stats != nullptr ? stats : &local;
+  // Collect candidates first — the scan holds the table's read lock, so
+  // the per-key commits (which take the write lock) cannot run inside it.
+  std::vector<std::string> keys;
+  SEQDET_RETURN_IF_ERROR(table_->Scan(
+      "", "", [&](std::string_view key, std::string_view value) {
+        ++fs->keys_scanned;
+        if (NeedsFold(value, target_block_bytes)) keys.emplace_back(key);
+        return true;
+      }));
+  for (const std::string& key : keys) {
+    Status s = table_->RewriteValue(
+        key, [&](std::string_view current, std::string* rewritten) {
+          std::vector<PairOccurrence> postings;
+          if (!DecodeValue(current, &postings)) {
+            return Status::Corruption("bad Index posting list");
+          }
+          if (!std::is_sorted(postings.begin(), postings.end())) {
+            std::sort(postings.begin(), postings.end());
+          }
+          if (format_version_ == kPostingFormatBlocked) {
+            EncodePostingBlocks(postings, target_block_bytes, rewritten);
+          } else {
+            for (const PairOccurrence& occurrence : postings) {
+              EncodePosting(occurrence, rewritten);
+            }
+          }
+          fs->bytes_read += current.size();
+          fs->bytes_written += rewritten->size();
+          return Status::OK();
+        });
+    if (s.IsNotFound()) continue;  // key deleted since the scan
+    SEQDET_RETURN_IF_ERROR(s);
+    ++fs->keys_folded;
+    if (pace) SEQDET_RETURN_IF_ERROR(pace(*fs));
+  }
+  return Status::OK();
+}
+
+Status PairIndexTable::UpgradeToBlocked(size_t target_block_bytes,
+                                        FoldStats* stats,
+                                        const FoldPace& pace) {
+  FoldStats local;
+  FoldStats* fs = stats != nullptr ? stats : &local;
+  std::vector<std::string> keys;
+  SEQDET_RETURN_IF_ERROR(table_->Scan(
+      "", "", [&](std::string_view key, std::string_view) {
+        ++fs->keys_scanned;
+        keys.emplace_back(key);
+        return true;
+      }));
+  for (const std::string& key : keys) {
+    Status s = table_->RewriteValue(
+        key, [&](std::string_view current, std::string* rewritten) {
+          // Roll-forward tolerance: a value this pass (or an interrupted
+          // predecessor) already rewrote parses as valid v2 blocks — keep
+          // its v2 decoding. Everything else is v1. A flat stream that
+          // accidentally forms a valid block chain is astronomically
+          // unlikely (header counts must match payload byte lengths
+          // exactly across every block); DESIGN.md §9 documents the
+          // heuristic.
+          std::vector<PairOccurrence> postings;
+          if (!DecodeBlockedPostings(current, &postings) &&
+              !DecodePostings(current, &postings)) {
+            return Status::Corruption("bad Index posting list");
+          }
+          if (!std::is_sorted(postings.begin(), postings.end())) {
+            std::sort(postings.begin(), postings.end());
+          }
+          EncodePostingBlocks(postings, target_block_bytes, rewritten);
+          fs->bytes_read += current.size();
+          fs->bytes_written += rewritten->size();
+          return Status::OK();
+        });
+    if (s.IsNotFound()) continue;
+    SEQDET_RETURN_IF_ERROR(s);
+    ++fs->keys_folded;
+    if (pace) SEQDET_RETURN_IF_ERROR(pace(*fs));
+  }
   format_version_ = kPostingFormatBlocked;
-  return table_->Compact();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -243,29 +378,59 @@ Result<std::vector<PairCountStats>> CountTable::Get(
   return out;
 }
 
-Status CountTable::FoldAll() {
-  storage::WriteBatch batch;
-  Status decode_error;
+namespace {
+
+// A folded Count value has exactly one delta per follower. Count raw
+// records vs distinct `other` ids without materializing the aggregation.
+bool CountValueNeedsFold(std::string_view value) {
+  std::vector<uint32_t> others;
+  while (!value.empty()) {
+    uint32_t other;
+    int64_t sum_duration;
+    uint64_t completions;
+    if (!GetVarint32(&value, &other) ||
+        !GetVarint64SignedZigZag(&value, &sum_duration) ||
+        !GetVarint64(&value, &completions)) {
+      return true;  // corrupt: let the fold surface the error
+    }
+    others.push_back(other);
+  }
+  std::sort(others.begin(), others.end());
+  return std::adjacent_find(others.begin(), others.end()) != others.end();
+}
+
+}  // namespace
+
+Status CountTable::FoldAll(FoldStats* stats, const FoldPace& pace) {
+  FoldStats local;
+  FoldStats* fs = stats != nullptr ? stats : &local;
+  std::vector<std::string> keys;
   SEQDET_RETURN_IF_ERROR(table_->Scan(
       "", "", [&](std::string_view key, std::string_view value) {
-        std::vector<PairCountStats> folded;
-        Status s = DecodeDeltas(value, &folded);
-        if (!s.ok()) {
-          decode_error = s;
-          return false;
-        }
-        std::string encoded;
-        for (const PairCountStats& stats : folded) {
-          PutVarint32(&encoded, stats.other);
-          PutVarint64SignedZigZag(&encoded, stats.sum_duration);
-          PutVarint64(&encoded, stats.total_completions);
-        }
-        batch.Put(key, encoded);
+        ++fs->keys_scanned;
+        if (CountValueNeedsFold(value)) keys.emplace_back(key);
         return true;
       }));
-  SEQDET_RETURN_IF_ERROR(decode_error);
-  SEQDET_RETURN_IF_ERROR(table_->Apply(batch));
-  return table_->Compact();
+  for (const std::string& key : keys) {
+    Status s = table_->RewriteValue(
+        key, [&](std::string_view current, std::string* rewritten) {
+          std::vector<PairCountStats> folded;
+          SEQDET_RETURN_IF_ERROR(DecodeDeltas(current, &folded));
+          for (const PairCountStats& delta : folded) {
+            PutVarint32(rewritten, delta.other);
+            PutVarint64SignedZigZag(rewritten, delta.sum_duration);
+            PutVarint64(rewritten, delta.total_completions);
+          }
+          fs->bytes_read += current.size();
+          fs->bytes_written += rewritten->size();
+          return Status::OK();
+        });
+    if (s.IsNotFound()) continue;  // key deleted since the scan
+    SEQDET_RETURN_IF_ERROR(s);
+    ++fs->keys_folded;
+    if (pace) SEQDET_RETURN_IF_ERROR(pace(*fs));
+  }
+  return Status::OK();
 }
 
 Result<PairCountStats> CountTable::GetPair(ActivityId key_activity,

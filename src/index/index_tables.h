@@ -1,6 +1,7 @@
 #ifndef SEQDET_INDEX_INDEX_TABLES_H_
 #define SEQDET_INDEX_INDEX_TABLES_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -63,6 +64,41 @@ class SeqTable {
 inline constexpr uint32_t kPostingFormatFlat = 1;
 inline constexpr uint32_t kPostingFormatBlocked = 2;
 
+/// Progress counters of one fold pass (PairIndexTable::FoldAll /
+/// UpgradeToBlocked, CountTable::FoldAll).
+struct FoldStats {
+  size_t keys_scanned = 0;  // every live key visited by the candidate scan
+  size_t keys_folded = 0;   // keys actually rewritten
+  uint64_t bytes_read = 0;      // pre-fold value bytes of rewritten keys
+  uint64_t bytes_written = 0;   // post-fold value bytes of rewritten keys
+};
+
+/// Called by a fold pass after each per-key commit (folds rewrite one key
+/// at a time). Returning a non-OK status stops the pass early with that
+/// status — the keys already folded stay folded; every commit is atomic and
+/// self-contained. Lets the maintenance service rate-limit and abort folds.
+using FoldPace = std::function<Status(const FoldStats&)>;
+
+/// Block-level shape of a table's stored posting lists, the signal the
+/// maintenance service (and `seqdet info`) read to decide whether a fold
+/// pass would pay off. `fragment_bytes` counts bytes in values a fold would
+/// rewrite; for v1 tables no block metadata exists, so every unsorted
+/// value's bytes count and `blocks` stays 0.
+struct PostingFragmentation {
+  size_t keys = 0;
+  size_t blocks = 0;
+  size_t fragmented_keys = 0;    // keys NeedsFold() would rewrite
+  uint64_t value_bytes = 0;      // total stored posting bytes
+  uint64_t fragment_bytes = 0;   // bytes in fold-worthy values
+
+  double FragmentRatio() const {
+    return value_bytes == 0
+               ? 0.0
+               : static_cast<double>(fragment_bytes) /
+                     static_cast<double>(value_bytes);
+  }
+};
+
 class PairIndexTable {
  public:
   explicit PairIndexTable(storage::Kv* table,
@@ -96,12 +132,42 @@ class PairIndexTable {
   /// query processing can group by trace. Empty when the pair never occurs.
   Result<std::vector<PairOccurrence>> Get(const EventTypePair& pair) const;
 
-  /// Maintenance: rewrites every key's accumulated append fragments as one
-  /// globally sorted v2 block sequence (~target_block_bytes payload per
-  /// block) and compacts the table. Decodes with the current format and
-  /// switches the table to v2 afterwards — this is the v1 -> v2 upgrade
-  /// path. Must not run concurrently with writers.
-  Status FoldAll(size_t target_block_bytes = kDefaultPostingBlockBytes);
+  /// Incremental maintenance fold: rewrites each key whose value has
+  /// accumulated append fragments into one globally sorted value in the
+  /// table's *current* format (sorted flat stream for v1, sorted
+  /// ~target_block_bytes blocks for v2). Each key commits atomically
+  /// through Kv::RewriteValue(), so the pass is safe to run concurrently
+  /// with writers and readers: a concurrent Detect sees either the old
+  /// fragments or the folded value, and appends landing mid-pass are
+  /// either folded in (the rewrite re-reads under the write lock) or land
+  /// on top of the folded base. Keys already in folded shape are skipped.
+  /// `pace` (optional) runs between key commits — see FoldPace.
+  Status FoldAll(size_t target_block_bytes = kDefaultPostingBlockBytes,
+                 FoldStats* stats = nullptr, const FoldPace& pace = {});
+
+  /// v1 -> v2 upgrade: rewrites every key as globally sorted v2 blocks and
+  /// switches this table object to the blocked format. Each key commits
+  /// atomically, but the pass as a whole is not format-atomic — the caller
+  /// must bracket it with a durable upgrade marker (SequenceIndex does)
+  /// so an interrupted upgrade is rolled forward on reopen, and must not
+  /// serve reads mid-pass (values are temporarily mixed v1/v2). Values
+  /// that already parse as valid v2 blocks are re-encoded from their v2
+  /// decoding, which makes the pass idempotent for roll-forward.
+  Status UpgradeToBlocked(size_t target_block_bytes =
+                              kDefaultPostingBlockBytes,
+                          FoldStats* stats = nullptr,
+                          const FoldPace& pace = {});
+
+  /// True when a fold pass would rewrite `value`: v2 values whose blocks
+  /// overlap in trace range (append fragments) or run undersized, v1
+  /// values whose posting stream is not sorted. Fold output is stable —
+  /// a freshly folded value never needs folding again.
+  bool NeedsFold(std::string_view value, size_t target_block_bytes) const;
+
+  /// Scans block headers (v2) or value shapes (v1) to report how
+  /// fragmented the stored posting lists currently are. Read-only.
+  Result<PostingFragmentation> Fragmentation(
+      size_t target_block_bytes = kDefaultPostingBlockBytes) const;
 
   uint32_t format_version() const { return format_version_; }
   void set_format_version(uint32_t version) { format_version_ = version; }
@@ -151,12 +217,14 @@ class CountTable {
   Result<PairCountStats> GetPair(eventlog::ActivityId key_activity,
                                  eventlog::ActivityId other) const;
 
-  /// Rewrites every key's accumulated delta list as a single folded value
-  /// and compacts the table. Each Update() appends one delta per pair per
-  /// chunk, so long-running deployments should fold periodically to keep
-  /// reads O(#followers). Must not run concurrently with Update() — a
-  /// delta landing between the scan and the rewrite would be lost.
-  Status FoldAll();
+  /// Rewrites every key's accumulated delta list as a single folded value.
+  /// Each Update() appends one delta per pair per chunk, so long-running
+  /// deployments should fold periodically to keep reads O(#followers).
+  /// Keys commit one at a time through Kv::RewriteValue(), so the pass is
+  /// safe to run concurrently with Update(): a delta landing mid-pass is
+  /// either folded in or appended onto the folded base — never lost.
+  /// Already-folded keys (no duplicate `other` entries) are skipped.
+  Status FoldAll(FoldStats* stats = nullptr, const FoldPace& pace = {});
 
   storage::Kv* table() const { return table_; }
 

@@ -1,0 +1,170 @@
+#include "index/maintenance.h"
+
+#include <chrono>
+#include <thread>
+
+#include "index/sequence_index.h"
+
+namespace seqdet::index {
+
+using std::chrono::duration_cast;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+MaintenanceService::MaintenanceService(SequenceIndex* index,
+                                       const MaintenanceOptions& options)
+    : index_(index), options_(options) {}
+
+MaintenanceService::~MaintenanceService() { Stop(); }
+
+void MaintenanceService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  loop_exited_ = false;
+  kicked_ = false;
+  stop_requested_.store(false, std::memory_order_release);
+  loop_ = pool_.Submit([this] { RunLoop(); });
+}
+
+void MaintenanceService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  loop_.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  idle_cv_.notify_all();
+}
+
+void MaintenanceService::Kick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    kicked_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MaintenanceService::ShouldFold() const {
+  const PendingFoldLoad pending = index_->pending_fold_load();
+  return pending.bytes >= options_.min_pending_bytes ||
+         pending.ops >= options_.min_pending_ops;
+}
+
+bool MaintenanceService::WaitIdle(int64_t timeout_ms) {
+  Kick();
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, milliseconds(timeout_ms), [this] {
+    if (!running_ || loop_exited_) return true;
+    return !cycle_active_ && !ShouldFold();
+  }) && running_ && !loop_exited_;
+}
+
+void MaintenanceService::RunLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    cv_.wait_for(lock, milliseconds(options_.check_interval_ms), [this] {
+      return kicked_ || stop_requested_.load(std::memory_order_acquire);
+    });
+    kicked_ = false;
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (!ShouldFold()) {
+      idle_cv_.notify_all();
+      continue;
+    }
+    cycle_active_ = true;
+    lock.unlock();
+    Status s = RunCycle();
+    lock.lock();
+    cycle_active_ = false;
+    if (!s.ok() && !s.IsAborted()) {
+      // Aborted is the pace callback's clean-shutdown signal, not a fault.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      last_error_ = s.ToString();
+    }
+    idle_cv_.notify_all();
+  }
+  loop_exited_ = true;
+  idle_cv_.notify_all();
+}
+
+Status MaintenanceService::RunCycle() {
+  const auto cycle_start = steady_clock::now();
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+  fold_in_progress_.store(true, std::memory_order_release);
+
+  FoldStats fold_stats;
+  const uint64_t rate = options_.rate_limit_bytes_per_sec;
+  auto pace = [&](const FoldStats& fs) -> Status {
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      return Status::Aborted("maintenance service stopping");
+    }
+    if (rate > 0 && fs.bytes_read > 0) {
+      // Sleep until wall time catches up with bytes_read / rate, in small
+      // interruptible slices so Stop() stays prompt.
+      const auto budget = milliseconds(fs.bytes_read * 1000 / rate);
+      while (steady_clock::now() - cycle_start < budget) {
+        if (stop_requested_.load(std::memory_order_acquire)) {
+          return Status::Aborted("maintenance service stopping");
+        }
+        std::this_thread::sleep_for(milliseconds(5));
+      }
+    }
+    return Status::OK();
+  };
+
+  Status s = index_->FoldPostingsIncremental(&fold_stats, pace);
+  keys_folded_.fetch_add(fold_stats.keys_folded, std::memory_order_relaxed);
+  bytes_rewritten_.fetch_add(fold_stats.bytes_written,
+                             std::memory_order_relaxed);
+  if (s.ok()) {
+    folds_run_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.compact_statistics &&
+        index_->options().maintain_counts) {
+      FoldStats count_stats;
+      Status cs = index_->CompactStatistics(&count_stats, pace);
+      keys_folded_.fetch_add(count_stats.keys_folded,
+                             std::memory_order_relaxed);
+      bytes_rewritten_.fetch_add(count_stats.bytes_written,
+                                 std::memory_order_relaxed);
+      if (cs.ok()) {
+        compactions_run_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        s = cs;
+      }
+    }
+  }
+
+  fold_in_progress_.store(false, std::memory_order_release);
+  last_cycle_ms_.store(
+      duration_cast<milliseconds>(steady_clock::now() - cycle_start).count(),
+      std::memory_order_relaxed);
+  return s;
+}
+
+MaintenanceStats MaintenanceService::stats() const {
+  MaintenanceStats out;
+  out.enabled = true;
+  out.fold_in_progress = fold_in_progress_.load(std::memory_order_acquire);
+  out.cycles = cycles_.load(std::memory_order_relaxed);
+  out.folds_run = folds_run_.load(std::memory_order_relaxed);
+  out.keys_folded = keys_folded_.load(std::memory_order_relaxed);
+  out.bytes_rewritten = bytes_rewritten_.load(std::memory_order_relaxed);
+  out.compactions_run = compactions_run_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.last_cycle_ms = last_cycle_ms_.load(std::memory_order_relaxed);
+  const PendingFoldLoad pending = index_->pending_fold_load();
+  out.queue_depth = pending.ops;
+  out.pending_bytes = pending.bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.running = running_ && !loop_exited_;
+    out.last_error = last_error_;
+  }
+  return out;
+}
+
+}  // namespace seqdet::index

@@ -25,6 +25,22 @@ constexpr std::string_view kActivitiesKey = "activities";
 constexpr std::string_view kShardCountKey = "shard_count";
 constexpr std::string_view kPolicyKey = "policy";
 constexpr std::string_view kPostingFormatKey = "posting_format";
+// Present (any value) while a v1 -> v2 posting upgrade is in flight. Written
+// durably before the first value rewrite and cleared after the format flip,
+// so a crash mid-upgrade is detected and rolled forward on reopen instead
+// of serving mixed-format values with a v1 decoder.
+constexpr std::string_view kPostingUpgradeKey = "posting_upgrade";
+
+// Saturating subtract: concurrent fold passes (service + a manual
+// FoldPostings) may both observe and consume overlapping pending load;
+// clamping at zero keeps the counters meaningful instead of wrapping.
+void ConsumePending(std::atomic<uint64_t>& counter, uint64_t amount) {
+  uint64_t current = counter.load(std::memory_order_relaxed);
+  while (!counter.compare_exchange_weak(
+      current, current >= amount ? current - amount : 0,
+      std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
 
 SequenceIndex::SequenceIndex(storage::Database* db,
@@ -41,7 +57,27 @@ Result<std::unique_ptr<SequenceIndex>> SequenceIndex::Open(
   auto index =
       std::unique_ptr<SequenceIndex>(new SequenceIndex(db, options));
   SEQDET_RETURN_IF_ERROR(index->OpenTables());
+  if (options.maintenance.auto_fold) {
+    // The pending counters only see appends made through this process, so
+    // seed them from the on-disk fragmentation: a service opening an
+    // already-fragmented index (e.g. built without --auto-fold) should fold
+    // it instead of waiting for fresh appends.
+    auto frag = index->PostingFragmentationStats();
+    if (frag.ok() && frag->fragmented_keys > 0) {
+      index->pending_fold_bytes_.fetch_add(frag->fragment_bytes,
+                                           std::memory_order_relaxed);
+      index->pending_fold_ops_.fetch_add(frag->fragmented_keys,
+                                         std::memory_order_relaxed);
+    }
+    index->maintenance_ = std::make_unique<MaintenanceService>(
+        index.get(), options.maintenance);
+    index->maintenance_->Start();
+  }
   return index;
+}
+
+SequenceIndex::~SequenceIndex() {
+  if (maintenance_ != nullptr) maintenance_->Stop();
 }
 
 Status SequenceIndex::OpenTables() {
@@ -168,7 +204,22 @@ Status SequenceIndex::OpenTables() {
         std::make_unique<PairIndexTable>(t, posting_format_));
   }
   SEQDET_RETURN_IF_ERROR(LoadDictionary());
-  return PersistPeriodCount();
+  SEQDET_RETURN_IF_ERROR(PersistPeriodCount());
+
+  // Roll forward an interrupted v1 -> v2 posting upgrade before serving
+  // any reads: with the marker set, values may be mixed v1/v2 and neither
+  // decoder alone is safe. UpgradePostingFormat is idempotent (values
+  // already rewritten re-encode from their v2 decoding).
+  {
+    std::string value;
+    Status s = meta_->Get(kPostingUpgradeKey, &value);
+    if (s.ok()) {
+      SEQDET_RETURN_IF_ERROR(UpgradePostingFormat(nullptr, {}));
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  return Status::OK();
 }
 
 Status SequenceIndex::PersistPostingFormat() {
@@ -397,6 +448,17 @@ Result<UpdateStats> SequenceIndex::Update(const EventLog& new_events) {
       Status s = table->Apply(b);
       if (!s.ok()) fail(s);
     };
+    // Feed the maintenance thresholds: posting bytes/records staged by this
+    // chunk count as pending fold load until a fold pass consumes them.
+    if (!index_batch.empty()) {
+      uint64_t staged_bytes = 0;
+      for (const storage::Record& r : index_batch.records()) {
+        staged_bytes += r.value.size();
+      }
+      pending_fold_bytes_.fetch_add(staged_bytes, std::memory_order_relaxed);
+      pending_fold_ops_.fetch_add(index_batch.records().size(),
+                                  std::memory_order_relaxed);
+    }
     commit(active_index->table(), index_batch);
     if (options_.maintain_seq) commit(seq_->table(), seq_batch);
     if (options_.maintain_counts) {
@@ -896,23 +958,101 @@ Result<ConsistencyReport> SequenceIndex::CheckConsistency() const {
   return report;
 }
 
-Status SequenceIndex::CompactStatistics() {
+Status SequenceIndex::CompactStatistics(FoldStats* stats,
+                                        const FoldPace& pace) {
   if (!options_.maintain_counts) {
     return Status::Unsupported("Count table disabled");
   }
-  SEQDET_RETURN_IF_ERROR(count_->FoldAll());
-  return reverse_count_->FoldAll();
+  SEQDET_RETURN_IF_ERROR(count_->FoldAll(stats, pace));
+  SEQDET_RETURN_IF_ERROR(reverse_count_->FoldAll(stats, pace));
+  SEQDET_RETURN_IF_ERROR(count_->table()->Compact());
+  return reverse_count_->table()->Compact();
 }
 
-Status SequenceIndex::FoldPostings() {
-  for (const auto& table : index_tables_) {
-    SEQDET_RETURN_IF_ERROR(table->FoldAll(options_.posting_block_bytes));
-  }
+Status SequenceIndex::FoldPostings(FoldStats* stats, const FoldPace& pace) {
   if (posting_format_ != kPostingFormatBlocked) {
-    posting_format_ = kPostingFormatBlocked;
-    SEQDET_RETURN_IF_ERROR(PersistPostingFormat());
+    return UpgradePostingFormat(stats, pace);
   }
+  return FoldPostingsIncremental(stats, pace);
+}
+
+Status SequenceIndex::FoldPostingsIncremental(FoldStats* stats,
+                                              const FoldPace& pace) {
+  // Snapshot the pending load first: anything staged before this point is
+  // covered by the pass (per-key rewrites re-read under the write lock);
+  // appends racing in later stay pending for the next cycle.
+  const PendingFoldLoad observed = pending_fold_load();
+  for (const auto& table : index_tables_) {
+    SEQDET_RETURN_IF_ERROR(
+        table->FoldAll(options_.posting_block_bytes, stats, pace));
+  }
+  for (const auto& table : index_tables_) {
+    SEQDET_RETURN_IF_ERROR(table->table()->Compact());
+  }
+  ConsumePending(pending_fold_bytes_, observed.bytes);
+  ConsumePending(pending_fold_ops_, observed.ops);
   return Status::OK();
+}
+
+Status SequenceIndex::UpgradePostingFormat(FoldStats* stats,
+                                           const FoldPace& pace) {
+  // Durable marker first (Flush makes it segment-backed, not just WAL'd):
+  // from here until the marker clears, a crash leaves mixed v1/v2 values
+  // and reopen must finish the rewrite before serving reads.
+  SEQDET_RETURN_IF_ERROR(meta_->Put(kPostingUpgradeKey, "1"));
+  SEQDET_RETURN_IF_ERROR(meta_->Flush());
+  const PendingFoldLoad observed = pending_fold_load();
+  for (const auto& table : index_tables_) {
+    SEQDET_RETURN_IF_ERROR(
+        table->UpgradeToBlocked(options_.posting_block_bytes, stats, pace));
+  }
+  for (const auto& table : index_tables_) {
+    SEQDET_RETURN_IF_ERROR(table->table()->Compact());
+  }
+  posting_format_ = kPostingFormatBlocked;
+  for (const auto& table : index_tables_) {
+    table->set_format_version(kPostingFormatBlocked);
+  }
+  SEQDET_RETURN_IF_ERROR(PersistPostingFormat());
+  SEQDET_RETURN_IF_ERROR(meta_->Delete(kPostingUpgradeKey));
+  SEQDET_RETURN_IF_ERROR(meta_->Flush());
+  ConsumePending(pending_fold_bytes_, observed.bytes);
+  ConsumePending(pending_fold_ops_, observed.ops);
+  return Status::OK();
+}
+
+PendingFoldLoad SequenceIndex::pending_fold_load() const {
+  PendingFoldLoad load;
+  load.bytes = pending_fold_bytes_.load(std::memory_order_relaxed);
+  load.ops = pending_fold_ops_.load(std::memory_order_relaxed);
+  return load;
+}
+
+Result<PostingFragmentation> SequenceIndex::PostingFragmentationStats()
+    const {
+  PostingFragmentation total;
+  for (const auto& table : index_tables_) {
+    SEQDET_ASSIGN_OR_RETURN(
+        PostingFragmentation f,
+        table->Fragmentation(options_.posting_block_bytes));
+    total.keys += f.keys;
+    total.blocks += f.blocks;
+    total.fragmented_keys += f.fragmented_keys;
+    total.value_bytes += f.value_bytes;
+    total.fragment_bytes += f.fragment_bytes;
+  }
+  return total;
+}
+
+MaintenanceStats SequenceIndex::maintenance_stats() const {
+  if (maintenance_ == nullptr) {
+    MaintenanceStats stats;
+    const PendingFoldLoad pending = pending_fold_load();
+    stats.queue_depth = pending.ops;
+    stats.pending_bytes = pending.bytes;
+    return stats;
+  }
+  return maintenance_->stats();
 }
 
 Status SequenceIndex::Flush() {

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "index/index_tables.h"
+#include "index/maintenance.h"
 #include "index/pair.h"
 #include "index/pair_extraction.h"
 #include "index/posting_cache.h"
@@ -54,6 +55,11 @@ struct IndexOptions {
   uint32_t posting_format = 0;
   /// Target payload bytes of one folded v2 posting block.
   size_t posting_block_bytes = kDefaultPostingBlockBytes;
+  /// Background auto-fold + compaction service. With
+  /// `maintenance.auto_fold` set, Open() starts a MaintenanceService that
+  /// folds posting fragments and statistics deltas whenever the pending
+  /// append load crosses the configured thresholds.
+  MaintenanceOptions maintenance;
 };
 
 /// Decode-side counters of the posting read path (monotonic; snapshot via
@@ -113,6 +119,10 @@ class SequenceIndex {
 
   SequenceIndex(const SequenceIndex&) = delete;
   SequenceIndex& operator=(const SequenceIndex&) = delete;
+
+  /// Stops the maintenance service (if one is running) before any table
+  /// state is torn down.
+  ~SequenceIndex();
 
   /// Algorithm 1: indexes a batch of new events. Traces already indexed are
   /// extended; previously indexed completions are skipped via LastChecked.
@@ -224,16 +234,51 @@ class SequenceIndex {
   /// Maintenance: folds the Count/ReverseCount delta lists into single
   /// values and compacts those tables. Every Update() appends one delta
   /// per pair, so periodic folding keeps statistics reads O(#followers).
-  /// Must not run concurrently with Update().
-  Status CompactStatistics();
+  /// Per-key commits are atomic (Kv::RewriteValue), so this is safe to run
+  /// concurrently with Update() and reads.
+  Status CompactStatistics(FoldStats* stats = nullptr,
+                           const FoldPace& pace = {});
 
   /// Maintenance sibling of CompactStatistics for the posting lists:
-  /// rewrites every period's append fragments as globally sorted v2 blocks
-  /// (skip headers, delta-encoded traces) and compacts the tables. On a v1
-  /// index this is the format upgrade — the persisted `posting_format`
-  /// advances to v2 and all subsequent reads/appends use the blocked
-  /// format. Must not run concurrently with Update().
-  Status FoldPostings();
+  /// rewrites every period's append fragments as globally sorted values
+  /// and compacts the tables. On a v2 index this delegates to
+  /// FoldPostingsIncremental() (concurrent-safe). On a v1 index it is the
+  /// v1 -> v2 format upgrade: a durable `posting_upgrade` meta marker is
+  /// written first, every value is rewritten as v2 blocks, then the
+  /// persisted `posting_format` advances and the marker is cleared — a
+  /// crash anywhere in between is rolled forward on the next Open(). The
+  /// upgrade path must not run concurrently with reads or writes (the
+  /// incremental path has no such caveat).
+  Status FoldPostings(FoldStats* stats = nullptr, const FoldPace& pace = {});
+
+  /// Format-preserving incremental fold of every period's posting lists
+  /// (sorted flat values on v1, sorted blocks on v2) followed by table
+  /// compaction. Safe to run concurrently with Update() and the query read
+  /// path: each key commits atomically through the WAL/version protocol,
+  /// so a concurrent Detect sees either the old fragments or the folded
+  /// value, and PostingCache entries self-invalidate via Kv::Version().
+  /// This is what the MaintenanceService runs. On success the pending
+  /// append load observed at entry is consumed from pending_fold_load().
+  Status FoldPostingsIncremental(FoldStats* stats = nullptr,
+                                 const FoldPace& pace = {});
+
+  /// Posting bytes / append records staged by Update() since the last
+  /// completed fold — the fragmentation signal the MaintenanceService
+  /// thresholds test. Process-local (reopening an index resets it).
+  PendingFoldLoad pending_fold_load() const;
+
+  /// Block-level fragmentation of every period's posting lists (disk
+  /// truth, via a header scan). Read-only; used by `seqdet info` and
+  /// tests.
+  Result<PostingFragmentation> PostingFragmentationStats() const;
+
+  /// The background maintenance service, or nullptr when
+  /// options().maintenance.auto_fold was not set.
+  MaintenanceService* maintenance() const { return maintenance_.get(); }
+
+  /// Maintenance observability counters; `enabled == false` zeros when no
+  /// service is attached.
+  MaintenanceStats maintenance_stats() const;
 
   const IndexOptions& options() const { return options_; }
   size_t num_periods() const { return index_tables_.size(); }
@@ -255,6 +300,9 @@ class SequenceIndex {
   Status OpenTables();
   Status PersistPeriodCount();
   Status PersistPostingFormat();
+  /// The marker-bracketed v1 -> v2 rewrite behind FoldPostings(); also the
+  /// roll-forward OpenTables() runs when it finds the marker set.
+  Status UpgradePostingFormat(FoldStats* stats, const FoldPace& pace);
   Status LoadDictionary();
   Status PersistDictionary();
 
@@ -288,6 +336,13 @@ class SequenceIndex {
     std::atomic<uint64_t> bytes_skipped{0};
   };
   mutable ReadCounters read_counters_;
+  /// Append load staged since the last completed fold (pending_fold_load).
+  std::atomic<uint64_t> pending_fold_bytes_{0};
+  std::atomic<uint64_t> pending_fold_ops_{0};
+  /// Keep last: destroyed first, so the service thread is joined before
+  /// any state it touches goes away (the explicit destructor also stops it
+  /// up front).
+  std::unique_ptr<MaintenanceService> maintenance_;
 };
 
 }  // namespace seqdet::index

@@ -38,6 +38,8 @@ HttpResponse QueryService::HandleHealth(const HttpRequest&) const {
 
 HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
   index::PostingCacheStats cache = index_->cache_stats();
+  index::IndexReadStats reads = index_->read_stats();
+  index::MaintenanceStats maint = index_->maintenance_stats();
   JsonWriter json;
   json.BeginObject()
       .Key("policy")
@@ -46,6 +48,8 @@ HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
       .Int(static_cast<int64_t>(index_->num_periods()))
       .Key("activities")
       .Int(static_cast<int64_t>(index_->dictionary().size()))
+      .Key("posting_format")
+      .Int(static_cast<int64_t>(index_->posting_format()))
       .Key("cache")
       .BeginObject()
       .Key("capacity_bytes")
@@ -62,6 +66,48 @@ HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
       .Int(static_cast<int64_t>(cache.evictions))
       .Key("invalidations")
       .Int(static_cast<int64_t>(cache.invalidations))
+      .EndObject()
+      .Key("read_stats")
+      .BeginObject()
+      .Key("postings_decoded")
+      .Int(static_cast<int64_t>(reads.postings_decoded))
+      .Key("bytes_decoded")
+      .Int(static_cast<int64_t>(reads.bytes_decoded))
+      .Key("blocks_decoded")
+      .Int(static_cast<int64_t>(reads.blocks_decoded))
+      .Key("blocks_skipped")
+      .Int(static_cast<int64_t>(reads.blocks_skipped))
+      .Key("bytes_skipped")
+      .Int(static_cast<int64_t>(reads.bytes_skipped))
+      .EndObject()
+      .Key("maintenance")
+      .BeginObject()
+      .Key("enabled")
+      .Bool(maint.enabled)
+      .Key("running")
+      .Bool(maint.running)
+      .Key("fold_in_progress")
+      .Bool(maint.fold_in_progress)
+      .Key("cycles")
+      .Int(static_cast<int64_t>(maint.cycles))
+      .Key("folds_run")
+      .Int(static_cast<int64_t>(maint.folds_run))
+      .Key("keys_folded")
+      .Int(static_cast<int64_t>(maint.keys_folded))
+      .Key("bytes_rewritten")
+      .Int(static_cast<int64_t>(maint.bytes_rewritten))
+      .Key("compactions_run")
+      .Int(static_cast<int64_t>(maint.compactions_run))
+      .Key("queue_depth")
+      .Int(static_cast<int64_t>(maint.queue_depth))
+      .Key("pending_bytes")
+      .Int(static_cast<int64_t>(maint.pending_bytes))
+      .Key("errors")
+      .Int(static_cast<int64_t>(maint.errors))
+      .Key("last_error")
+      .String(maint.last_error)
+      .Key("last_cycle_ms")
+      .Int(maint.last_cycle_ms)
       .EndObject()
       .EndObject();
   return HttpResponse::Json(json.str());

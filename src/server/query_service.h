@@ -15,8 +15,11 @@ namespace seqdet::server {
 /// query/pattern_parser.h, URL-encoded in `q`):
 ///   /health                               liveness probe
 ///   /info                                 policy, periods, activity count,
-///                                         read-cache counters (hits,
-///                                         misses, bytes, evictions, ...)
+///                                         posting format, read-cache
+///                                         counters, decode counters
+///                                         (read_stats) and maintenance
+///                                         service stats (folds run, bytes
+///                                         rewritten, queue depth, errors)
 ///   /detect?q=A->B[&limit=N]              pattern detection
 ///   /stats?q=A->B[&last=1]                pairwise statistics
 ///   /continue?q=A->B&mode=accurate|fast|hybrid[&topk=K][&limit=N]

@@ -27,6 +27,20 @@ class Kv {
   /// Applies all records of `batch` (atomic per shard).
   virtual Status Apply(const WriteBatch& batch) = 0;
 
+  /// Atomically replaces the folded value of `key`: reads it, calls
+  /// `fn(current, &rewritten)` and commits the result as a single Put —
+  /// all under the table's exclusive lock, so no concurrent Append can
+  /// land between the read and the write (the lost-update hazard of a
+  /// read-then-Put fold) and no concurrent reader ever observes a partial
+  /// state. Participates in the Version() protocol like any other
+  /// mutation, which is what invalidates caches layered above.
+  /// NotFound when the key has no live value; a non-OK status from `fn`
+  /// aborts without writing anything.
+  virtual Status RewriteValue(
+      std::string_view key,
+      const std::function<Status(std::string_view current,
+                                 std::string* rewritten)>& fn) = 0;
+
   /// Reads the folded value of `key`; NotFound when absent.
   virtual Status Get(std::string_view key, std::string* value) const = 0;
 

@@ -66,6 +66,12 @@ Status ShardedTable::Delete(std::string_view key) {
   return ShardFor(key)->Delete(key);
 }
 
+Status ShardedTable::RewriteValue(
+    std::string_view key,
+    const std::function<Status(std::string_view, std::string*)>& fn) {
+  return ShardFor(key)->RewriteValue(key, fn);
+}
+
 Status ShardedTable::Apply(const WriteBatch& batch) {
   if (shards_.size() == 1) return shards_[0]->Apply(batch);
   // Split into per-shard sub-batches so each shard's lock is taken once.

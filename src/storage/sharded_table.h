@@ -41,6 +41,10 @@ class ShardedTable : public Kv {
   Status Append(std::string_view key, std::string_view fragment) override;
   Status Delete(std::string_view key) override;
   Status Apply(const WriteBatch& batch) override;
+  Status RewriteValue(
+      std::string_view key,
+      const std::function<Status(std::string_view, std::string*)>& fn)
+      override;
   Status Get(std::string_view key, std::string* value) const override;
   bool Contains(std::string_view key) const override;
   Status Scan(

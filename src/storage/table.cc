@@ -166,6 +166,27 @@ Status Table::Apply(const WriteBatch& batch) {
   return MaybeFlushLocked();
 }
 
+Status Table::RewriteValue(
+    std::string_view key,
+    const std::function<Status(std::string_view, std::string*)>& fn) {
+  std::unique_lock lock(mu_);
+  std::string current;
+  if (!FoldGetLocked(key, &current)) {
+    return Status::NotFound("key not found");
+  }
+  std::string rewritten;
+  SEQDET_RETURN_IF_ERROR(fn(current, &rewritten));
+  version_.fetch_add(1, std::memory_order_release);
+  SEQDET_RETURN_IF_ERROR(WriteRecordLocked(RecordKind::kPut, key, rewritten));
+  // The rewrite replaces (not extends) prior state; make sure the WAL
+  // record reaches the OS like Apply() does, so a crash either keeps the
+  // old fragments or the whole folded value, never a torn middle.
+  if (options_.use_wal && !options_.in_memory) {
+    SEQDET_RETURN_IF_ERROR(wal_.Flush());
+  }
+  return MaybeFlushLocked();
+}
+
 bool Table::FoldGetLocked(std::string_view key, std::string* value) const {
   // Fragments discovered newest-to-oldest; final value is
   // base + fragments oldest-to-newest.

@@ -64,6 +64,14 @@ class Table : public Kv {
   /// Applies all records of `batch` atomically (one lock acquisition).
   Status Apply(const WriteBatch& batch) override;
 
+  /// See Kv::RewriteValue(). The whole read-transform-write runs under the
+  /// exclusive lock and commits as one WAL'd kPut record, so the rewrite is
+  /// atomic against concurrent writers, readers and crashes.
+  Status RewriteValue(
+      std::string_view key,
+      const std::function<Status(std::string_view, std::string*)>& fn)
+      override;
+
   /// Reads the folded value of `key`. Returns NotFound when the key has no
   /// live value.
   Status Get(std::string_view key, std::string* value) const override;

@@ -1,0 +1,370 @@
+// Randomized differential-correctness harness: the index's Detect() versus
+// an independent oracle computed from the raw log.
+//
+// The oracle never touches the index, the storage engine, or the posting
+// codec: per consecutive pattern pair it asks the SASE NFA baseline (a raw
+// log scan) for that pair's match set under the index's policy, then joins
+// the pair sets exactly as Algorithm 2 does — a match whose last timestamp
+// equals a posting's first timestamp extends by the posting's second. Any
+// disagreement therefore implicates the index pipeline (extraction ->
+// storage -> fold/upgrade -> decode -> join), not the oracle.
+//
+// Every configuration runs >= 1000 seeded random patterns (override with
+// SEQDET_DIFF_PATTERNS) over a seeded random log. On failure the assert
+// message carries the seed and the pattern; replay a failing seed with
+//   SEQDET_DIFF_SEED=<seed> ./differential_test
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "baselines/sase/sase_engine.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "datagen/generators.h"
+#include "gtest/gtest.h"
+#include "index/index_tables.h"
+#include "index/sequence_index.h"
+#include "query/pattern.h"
+#include "query/query_processor.h"
+#include "storage/database.h"
+
+namespace seqdet {
+namespace {
+
+using baseline::SaseMatch;
+using eventlog::ActivityId;
+using eventlog::EventLog;
+using eventlog::Timestamp;
+using eventlog::TraceId;
+using index::FoldStats;
+using index::IndexOptions;
+using index::Policy;
+using index::SequenceIndex;
+using query::DetectionConstraints;
+using query::Pattern;
+using query::PatternMatch;
+using query::QueryProcessor;
+
+uint64_t DiffSeed() {
+  if (const char* env = std::getenv("SEQDET_DIFF_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20210323;
+}
+
+size_t PatternsPerConfig() {
+  if (const char* env = std::getenv("SEQDET_DIFF_PATTERNS")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1000;
+}
+
+EventLog DiffLog(uint64_t seed) {
+  datagen::RandomLogConfig config;
+  config.num_traces = 150;
+  config.max_events_per_trace = 40;
+  config.num_activities = 10;
+  config.seed = seed;
+  config.mean_gap = 5;
+  config.activity_skew = 0.3;
+  return datagen::GenerateRandomLog(config);
+}
+
+struct Fixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<SequenceIndex> index;
+
+  Fixture(const EventLog& log, Policy policy, uint32_t posting_format,
+          size_t cache_bytes = 8u << 20) {
+    storage::DbOptions db_options;
+    db_options.table.in_memory = true;
+    db_options.table.use_wal = false;
+    db = std::move(storage::Database::Open("", db_options)).value();
+    IndexOptions options;
+    options.policy = policy;
+    options.num_threads = 1;
+    options.posting_format = posting_format;
+    options.cache_bytes = cache_bytes;
+    // Small blocks so folded lists span many blocks and the trace-selective
+    // skip path actually skips.
+    options.posting_block_bytes = 96;
+    index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    auto stats = index->Update(log);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+  }
+};
+
+/// Oracle side: SASE pair match sets, memoized per (first, second) pair and
+/// indexed by (trace, first timestamp) for the Algorithm-2-style join.
+class Oracle {
+ public:
+  Oracle(const EventLog* log, Policy policy)
+      : engine_(log), policy_(policy) {}
+
+  std::vector<PatternMatch> Detect(
+      const std::vector<ActivityId>& pattern,
+      const DetectionConstraints& constraints = {}) const {
+    std::vector<PatternMatch> matches;
+    const PairSet& first = PairMatches(pattern[0], pattern[1]);
+    for (const SaseMatch& m : first.matches) {
+      matches.push_back(PatternMatch{m.trace, m.timestamps});
+    }
+    for (size_t i = 1; i + 1 < pattern.size(); ++i) {
+      const PairSet& next = PairMatches(pattern[i], pattern[i + 1]);
+      std::vector<PatternMatch> extended;
+      for (const PatternMatch& m : matches) {
+        auto it = next.by_start.find({m.trace, m.timestamps.back()});
+        if (it == next.by_start.end()) continue;
+        for (Timestamp ts : it->second) {
+          PatternMatch e = m;
+          e.timestamps.push_back(ts);
+          extended.push_back(std::move(e));
+        }
+      }
+      matches = std::move(extended);
+    }
+    // The index applies the constraints during the join, but they are
+    // monotone (a violated gap or span never un-violates as timestamps are
+    // appended), so post-filtering is equivalent.
+    std::erase_if(matches, [&constraints](const PatternMatch& m) {
+      if (constraints.max_gap.has_value()) {
+        for (size_t i = 1; i < m.timestamps.size(); ++i) {
+          if (m.timestamps[i] - m.timestamps[i - 1] > *constraints.max_gap) {
+            return true;
+          }
+        }
+      }
+      return constraints.max_span.has_value() &&
+             m.timestamps.back() - m.timestamps.front() >
+                 *constraints.max_span;
+    });
+    return matches;
+  }
+
+ private:
+  struct PairSet {
+    std::vector<SaseMatch> matches;
+    std::map<std::pair<TraceId, Timestamp>, std::vector<Timestamp>> by_start;
+  };
+
+  const PairSet& PairMatches(ActivityId a, ActivityId b) const {
+    auto [it, inserted] = pairs_.try_emplace({a, b});
+    if (inserted) {
+      it->second.matches = engine_.Detect({a, b}, policy_);
+      for (const SaseMatch& m : it->second.matches) {
+        it->second.by_start[{m.trace, m.timestamps[0]}].push_back(
+            m.timestamps[1]);
+      }
+    }
+    return it->second;
+  }
+
+  baseline::SaseEngine engine_;
+  Policy policy_;
+  mutable std::map<std::pair<ActivityId, ActivityId>, PairSet> pairs_;
+};
+
+std::vector<std::vector<ActivityId>> RandomPatterns(size_t count,
+                                                    size_t num_activities,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<ActivityId>> patterns;
+  patterns.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t len = static_cast<size_t>(rng.NextInRange(2, 4));
+    std::vector<ActivityId> p(len);
+    for (auto& a : p) {
+      a = static_cast<ActivityId>(rng.NextBounded(num_activities));
+    }
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+std::vector<PatternMatch> Normalized(std::vector<PatternMatch> matches) {
+  std::sort(matches.begin(), matches.end(),
+            [](const PatternMatch& a, const PatternMatch& b) {
+              return std::tie(a.trace, a.timestamps) <
+                     std::tie(b.trace, b.timestamps);
+            });
+  return matches;
+}
+
+std::string Describe(const std::vector<ActivityId>& pattern, uint64_t seed,
+                     const char* stage) {
+  std::string out = "seed=" + std::to_string(seed) + " stage=" + stage +
+                    " pattern=<";
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(pattern[i]);
+  }
+  out += "> (replay: SEQDET_DIFF_SEED=" + std::to_string(seed) + ")";
+  return out;
+}
+
+/// Runs every pattern through the index and the oracle, requiring identical
+/// match multisets. `stage` labels the index state in failure messages.
+void ExpectAgreement(const Fixture& f, const Oracle& oracle,
+                     const std::vector<std::vector<ActivityId>>& patterns,
+                     uint64_t seed, const char* stage,
+                     const DetectionConstraints& constraints = {}) {
+  QueryProcessor qp(f.index.get());
+  for (const auto& p : patterns) {
+    auto got = qp.Detect(Pattern(p), constraints);
+    ASSERT_TRUE(got.ok()) << got.status() << " " << Describe(p, seed, stage);
+    ASSERT_EQ(Normalized(*got), Normalized(oracle.Detect(p, constraints)))
+        << Describe(p, seed, stage);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v2 (blocked) format: pre-fold, post-fold, warm cache
+// ---------------------------------------------------------------------------
+
+class DifferentialTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(DifferentialTest, BlockedFormatPreAndPostFold) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, GetParam(), index::kPostingFormatBlocked);
+  Oracle oracle(&log, GetParam());
+  auto patterns =
+      RandomPatterns(PatternsPerConfig(), f.index->dictionary().size(), seed);
+
+  ExpectAgreement(f, oracle, patterns, seed, "pre-fold");
+  ASSERT_TRUE(f.index->FoldPostings().ok());
+  ExpectAgreement(f, oracle, patterns, seed, "post-fold");
+  // Third pass hits the now-populated read cache.
+  ExpectAgreement(f, oracle, patterns, seed, "warm-cache");
+}
+
+TEST_P(DifferentialTest, FlatFormatFoldAndUpgrade) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, GetParam(), index::kPostingFormatFlat);
+  Oracle oracle(&log, GetParam());
+  auto patterns =
+      RandomPatterns(PatternsPerConfig(), f.index->dictionary().size(), seed);
+
+  ASSERT_EQ(f.index->posting_format(), index::kPostingFormatFlat);
+  ExpectAgreement(f, oracle, patterns, seed, "v1-pre-fold");
+  // Incremental fold is format-preserving: still v1, values now sorted.
+  ASSERT_TRUE(f.index->FoldPostingsIncremental().ok());
+  ASSERT_EQ(f.index->posting_format(), index::kPostingFormatFlat);
+  ExpectAgreement(f, oracle, patterns, seed, "v1-post-fold");
+  // FoldPostings on a v1 index is the upgrade to v2 blocks.
+  ASSERT_TRUE(f.index->FoldPostings().ok());
+  ASSERT_EQ(f.index->posting_format(), index::kPostingFormatBlocked);
+  ExpectAgreement(f, oracle, patterns, seed, "post-upgrade");
+}
+
+TEST_P(DifferentialTest, MidFoldStateAgrees) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, GetParam(), index::kPostingFormatBlocked);
+  Oracle oracle(&log, GetParam());
+  auto patterns =
+      RandomPatterns(PatternsPerConfig(), f.index->dictionary().size(), seed);
+
+  // Abort the fold partway: some keys folded, the rest still fragmented —
+  // the state a query sees while the maintenance service is mid-cycle (or
+  // after its shutdown aborted a pass).
+  FoldStats stats;
+  Status aborted = f.index->FoldPostingsIncremental(
+      &stats, [](const FoldStats& fs) {
+        return fs.keys_folded >= 40 ? Status::Aborted("mid-fold stop")
+                                    : Status::OK();
+      });
+  ASSERT_TRUE(aborted.IsAborted()) << aborted;
+  ASSERT_GE(stats.keys_folded, 40u);
+  ExpectAgreement(f, oracle, patterns, seed, "mid-fold");
+
+  ASSERT_TRUE(f.index->FoldPostingsIncremental().ok());
+  ExpectAgreement(f, oracle, patterns, seed, "resumed-fold");
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DifferentialTest,
+                         ::testing::Values(Policy::kSkipTillNextMatch,
+                                           Policy::kStrictContiguity),
+                         [](const auto& info) {
+                           return info.param == Policy::kSkipTillNextMatch
+                                      ? "Stnm"
+                                      : "Sc";
+                         });
+
+// ---------------------------------------------------------------------------
+// Cache-disabled vs cache-enabled
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialCacheTest, ColdWarmAndUncachedAgree) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture cached(log, Policy::kSkipTillNextMatch,
+                 index::kPostingFormatBlocked);
+  Fixture uncached(log, Policy::kSkipTillNextMatch,
+                   index::kPostingFormatBlocked, /*cache_bytes=*/0);
+  Oracle oracle(&log, Policy::kSkipTillNextMatch);
+  auto patterns = RandomPatterns(PatternsPerConfig(),
+                                 cached.index->dictionary().size(), seed);
+
+  ExpectAgreement(cached, oracle, patterns, seed, "cache-cold");
+  ExpectAgreement(cached, oracle, patterns, seed, "cache-warm");
+  EXPECT_GT(cached.index->cache_stats().hits, 0u);
+  ExpectAgreement(uncached, oracle, patterns, seed, "cache-off");
+  EXPECT_EQ(uncached.index->cache_stats().hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Constraints and the batch API
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialConstraintTest, GapAndSpanConstraintsAgree) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, Policy::kSkipTillNextMatch, index::kPostingFormatBlocked);
+  Oracle oracle(&log, Policy::kSkipTillNextMatch);
+  auto patterns = RandomPatterns(PatternsPerConfig(),
+                                 f.index->dictionary().size(), seed);
+
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  QueryProcessor qp(f.index.get());
+  for (const auto& p : patterns) {
+    DetectionConstraints constraints;
+    if (rng.NextBool()) constraints.max_gap = rng.NextInRange(1, 20);
+    if (rng.NextBool()) constraints.max_span = rng.NextInRange(1, 60);
+    auto got = qp.Detect(Pattern(p), constraints);
+    ASSERT_TRUE(got.ok())
+        << got.status() << " " << Describe(p, seed, "constraints");
+    ASSERT_EQ(Normalized(*got),
+              Normalized(oracle.Detect(p, constraints)))
+        << Describe(p, seed, "constraints");
+  }
+}
+
+TEST(DifferentialBatchTest, DetectBatchAgreesWithOracle) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, Policy::kSkipTillNextMatch, index::kPostingFormatBlocked);
+  Oracle oracle(&log, Policy::kSkipTillNextMatch);
+  auto raw = RandomPatterns(PatternsPerConfig(),
+                            f.index->dictionary().size(), seed);
+  std::vector<Pattern> patterns;
+  patterns.reserve(raw.size());
+  for (const auto& p : raw) patterns.emplace_back(p);
+
+  ThreadPool pool(4);
+  auto results = QueryProcessor(f.index.get()).DetectBatch(patterns, &pool);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    ASSERT_EQ(Normalized((*results)[i]), Normalized(oracle.Detect(raw[i])))
+        << Describe(raw[i], seed, "batch");
+  }
+}
+
+}  // namespace
+}  // namespace seqdet

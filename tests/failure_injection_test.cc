@@ -2,12 +2,19 @@
 // clean Status errors (or be recovered up to the damage), never as crashes
 // or silent wrong answers.
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "datagen/generators.h"
 #include "gtest/gtest.h"
+#include "index/index_tables.h"
 #include "index/sequence_index.h"
 #include "log/event_log.h"
 #include "storage/database.h"
@@ -269,6 +276,192 @@ TEST(FailureInjectionTest, EmptyDirectoryOpensCleanly) {
 TEST(FailureInjectionTest, UnwritableDirectoryReported) {
   auto db = Database::Open("/proc/definitely/not/writable");
   EXPECT_FALSE(db.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fold crash safety: a fold/upgrade interrupted at any per-key commit
+// boundary (clean abort via the pace callback, or a hard SIGKILL) must
+// leave an index that reopens, passes CheckConsistency, and answers
+// queries identically to a pristine index built from the same log.
+// ---------------------------------------------------------------------------
+
+eventlog::EventLog FoldCrashLog() {
+  datagen::RandomLogConfig config;
+  config.num_traces = 20;
+  config.max_events_per_trace = 20;
+  config.num_activities = 6;
+  config.seed = 99;
+  config.mean_gap = 3;
+  return datagen::GenerateRandomLog(config);
+}
+
+/// Per-pair postings of `index` for every activity pair, sorted — the
+/// comparison key for "two indexes answer identically".
+std::vector<std::vector<index::PairOccurrence>> AllPairPostings(
+    index::SequenceIndex* index) {
+  std::vector<std::vector<index::PairOccurrence>> all;
+  size_t n = index->dictionary().size();
+  for (eventlog::ActivityId a = 0; a < n; ++a) {
+    for (eventlog::ActivityId b = 0; b < n; ++b) {
+      auto postings = index->GetPairPostings({a, b});
+      EXPECT_TRUE(postings.ok()) << postings.status();
+      std::sort(postings->begin(), postings->end());
+      all.push_back(std::move(*postings));
+    }
+  }
+  return all;
+}
+
+/// Pristine reference: the same log indexed into a fresh in-memory index.
+std::vector<std::vector<index::PairOccurrence>> ReferencePostings(
+    const eventlog::EventLog& log, uint32_t posting_format) {
+  storage::DbOptions db_options;
+  db_options.table.in_memory = true;
+  db_options.table.use_wal = false;
+  auto db = std::move(Database::Open("", db_options)).value();
+  index::IndexOptions options;
+  options.num_threads = 1;
+  options.posting_format = posting_format;
+  auto index = std::move(index::SequenceIndex::Open(db.get(), options))
+                   .value();
+  EXPECT_TRUE(index->Update(log).ok());
+  return AllPairPostings(index.get());
+}
+
+TEST(FoldCrashTest, AbortedIncrementalFoldReopensConsistent) {
+  TempDir dir;
+  eventlog::EventLog log = FoldCrashLog();
+  auto reference = ReferencePostings(log, index::kPostingFormatBlocked);
+  {
+    auto db = Database::Open(dir.str());
+    ASSERT_TRUE(db.ok());
+    index::IndexOptions options;
+    options.num_threads = 1;
+    auto index = index::SequenceIndex::Open(db->get(), options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->Update(log).ok());
+    ASSERT_TRUE((*index)->Flush().ok());
+    // Abort partway: some keys committed folded (each commit WAL-durable),
+    // the rest keep their fragment piles — the on-disk state after a crash
+    // at that commit boundary.
+    index::FoldStats stats;
+    Status aborted = (*index)->FoldPostingsIncremental(
+        &stats, [](const index::FoldStats& fs) {
+          return fs.keys_folded >= 5 ? Status::Aborted("injected crash")
+                                     : Status::OK();
+        });
+    ASSERT_TRUE(aborted.IsAborted()) << aborted;
+    ASSERT_GE(stats.keys_folded, 5u);
+    // No Flush: durability must come from the per-key WAL writes alone.
+  }
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  index::IndexOptions options;
+  options.num_threads = 1;
+  auto index = index::SequenceIndex::Open(db->get(), options);
+  ASSERT_TRUE(index.ok());
+  auto report = (*index)->CheckConsistency();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->violations.front();
+  EXPECT_EQ(AllPairPostings(index->get()), reference);
+  // Finishing the fold later yields the same answers again.
+  ASSERT_TRUE((*index)->FoldPostingsIncremental().ok());
+  EXPECT_EQ(AllPairPostings(index->get()), reference);
+}
+
+TEST(FoldCrashTest, AbortedUpgradeRollsForwardOnReopen) {
+  TempDir dir;
+  eventlog::EventLog log = FoldCrashLog();
+  auto reference = ReferencePostings(log, index::kPostingFormatFlat);
+  {
+    auto db = Database::Open(dir.str());
+    ASSERT_TRUE(db.ok());
+    index::IndexOptions options;
+    options.num_threads = 1;
+    options.posting_format = index::kPostingFormatFlat;
+    auto index = index::SequenceIndex::Open(db->get(), options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->Update(log).ok());
+    ASSERT_TRUE((*index)->Flush().ok());
+    // Abort the v1 -> v2 upgrade mid-pass: the durable posting_upgrade
+    // marker is down, some values are v2, the persisted format still v1.
+    index::FoldStats stats;
+    Status aborted = (*index)->FoldPostings(
+        &stats, [](const index::FoldStats& fs) {
+          return fs.keys_folded >= 5 ? Status::Aborted("injected crash")
+                                     : Status::OK();
+        });
+    ASSERT_TRUE(aborted.IsAborted()) << aborted;
+    EXPECT_EQ((*index)->posting_format(), index::kPostingFormatFlat);
+  }
+  // Reopen: OpenTables sees the marker and rolls the upgrade forward.
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  index::IndexOptions options;
+  options.num_threads = 1;
+  auto index = index::SequenceIndex::Open(db->get(), options);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ((*index)->posting_format(), index::kPostingFormatBlocked);
+  auto report = (*index)->CheckConsistency();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->violations.front();
+  EXPECT_EQ(AllPairPostings(index->get()), reference);
+  // The marker must be cleared — a second reopen runs no upgrade pass.
+  std::string marker;
+  EXPECT_TRUE((*db)->GetTable("meta")
+                  ->Get("posting_upgrade", &marker)
+                  .IsNotFound());
+}
+
+TEST(FoldCrashTest, SigkillMidFoldReopensConsistent) {
+  TempDir dir;
+  eventlog::EventLog log = FoldCrashLog();
+  auto reference = ReferencePostings(log, index::kPostingFormatBlocked);
+  // Build the fragmented on-disk index in the parent (deterministic), then
+  // let a child process die by SIGKILL in the middle of a fold pass — no
+  // destructors, no flush, exactly a power-cut at a commit boundary.
+  {
+    auto db = Database::Open(dir.str());
+    ASSERT_TRUE(db.ok());
+    index::IndexOptions options;
+    options.num_threads = 1;
+    auto index = index::SequenceIndex::Open(db->get(), options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->Update(log).ok());
+    ASSERT_TRUE((*index)->Flush().ok());
+  }
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: fold until the 5th key commit, then vanish.
+    auto db = Database::Open(dir.str());
+    if (!db.ok()) _exit(3);
+    index::IndexOptions options;
+    options.num_threads = 1;
+    auto index = index::SequenceIndex::Open(db->get(), options);
+    if (!index.ok()) _exit(4);
+    (void)(*index)->FoldPostingsIncremental(
+        nullptr, [](const index::FoldStats& fs) {
+          if (fs.keys_folded >= 5) kill(getpid(), SIGKILL);
+          return Status::OK();
+        });
+    _exit(5);  // not reached if the kill landed
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus)) << "child exited " << wstatus;
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  auto db = Database::Open(dir.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  index::IndexOptions options;
+  options.num_threads = 1;
+  auto index = index::SequenceIndex::Open(db->get(), options);
+  ASSERT_TRUE(index.ok()) << index.status();
+  auto report = (*index)->CheckConsistency();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->violations.front();
+  EXPECT_EQ(AllPairPostings(index->get()), reference);
 }
 
 }  // namespace

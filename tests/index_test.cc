@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <set>
+#include <thread>
 
 #include "common/rng.h"
 #include "gtest/gtest.h"
@@ -616,6 +618,209 @@ TEST(SequenceIndexTest, CountsMatchPostings) {
     }
     EXPECT_GT(total_from_counts, 0u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance service (auto-fold + compaction scheduler)
+// ---------------------------------------------------------------------------
+
+EventLog SmallRandomLog(uint64_t seed, size_t traces = 30) {
+  EventLog log;
+  Rng rng(seed);
+  for (size_t t = 0; t < traces; ++t) {
+    Timestamp ts = 0;
+    size_t len = static_cast<size_t>(rng.NextInRange(5, 25));
+    for (size_t i = 0; i < len; ++i) {
+      ts += rng.NextInRange(1, 5);
+      log.Append(t, "m" + std::to_string(rng.NextBounded(5)), ts);
+    }
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+TEST(MaintenanceServiceTest, AutoFoldTriggersAndQuiesces) {
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.num_threads = 1;
+  options.maintenance.auto_fold = true;
+  options.maintenance.check_interval_ms = 5;
+  options.maintenance.min_pending_bytes = 1;
+  options.maintenance.min_pending_ops = 1;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  ASSERT_NE(index->maintenance(), nullptr);
+  EXPECT_TRUE(index->maintenance_stats().enabled);
+  EXPECT_TRUE(index->maintenance_stats().running);
+
+  ASSERT_TRUE(index->Update(SmallRandomLog(1)).ok());
+  ASSERT_TRUE(index->maintenance()->WaitIdle(/*timeout_ms=*/10000));
+
+  MaintenanceStats stats = index->maintenance_stats();
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_GT(stats.folds_run, 0u);
+  EXPECT_EQ(stats.errors, 0u) << stats.last_error;
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.pending_bytes, 0u);
+  // Everything the service folded is really folded on disk.
+  auto frag = index->PostingFragmentationStats();
+  ASSERT_TRUE(frag.ok());
+  EXPECT_EQ(frag->fragmented_keys, 0u);
+
+  index->maintenance()->Stop();
+  EXPECT_FALSE(index->maintenance_stats().running);
+  index->maintenance()->Stop();  // idempotent
+}
+
+TEST(MaintenanceServiceTest, BelowThresholdsServiceStaysIdle) {
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.num_threads = 1;
+  options.maintenance.auto_fold = true;
+  options.maintenance.check_interval_ms = 5;
+  // Thresholds far above what the tiny log stages.
+  options.maintenance.min_pending_bytes = 1u << 30;
+  options.maintenance.min_pending_ops = 1u << 30;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  ASSERT_TRUE(index->Update(SmallRandomLog(2)).ok());
+  index->maintenance()->Kick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  MaintenanceStats stats = index->maintenance_stats();
+  EXPECT_EQ(stats.folds_run, 0u);
+  EXPECT_GT(stats.pending_bytes, 0u);  // load is tracked, just under limit
+}
+
+TEST(MaintenanceServiceTest, SeedsPendingLoadFromDiskFragmentation) {
+  // An index built *without* the service, then reopened with auto_fold,
+  // must fold its pre-existing fragments (the pending counters are
+  // process-local, so Open seeds them from the header scan).
+  fs::path dir = fs::temp_directory_path() /
+                 ("seqdet_maint_seed_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    auto db = std::move(storage::Database::Open(dir.string())).value();
+    IndexOptions options;
+    options.num_threads = 1;
+    auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    ASSERT_TRUE(index->Update(SmallRandomLog(3)).ok());
+    ASSERT_TRUE(index->Flush().ok());
+    auto frag = index->PostingFragmentationStats();
+    ASSERT_TRUE(frag.ok());
+    ASSERT_GT(frag->fragmented_keys, 0u);
+  }
+  {
+    auto db = std::move(storage::Database::Open(dir.string())).value();
+    IndexOptions options;
+    options.num_threads = 1;
+    options.maintenance.auto_fold = true;
+    options.maintenance.check_interval_ms = 5;
+    options.maintenance.min_pending_bytes = 1;
+    options.maintenance.min_pending_ops = 1;
+    auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    ASSERT_TRUE(index->maintenance()->WaitIdle(/*timeout_ms=*/10000));
+    auto frag = index->PostingFragmentationStats();
+    ASSERT_TRUE(frag.ok());
+    EXPECT_EQ(frag->fragmented_keys, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(MaintenanceServiceTest, RateLimitedFoldStillCompletes) {
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.num_threads = 1;
+  options.maintenance.auto_fold = true;
+  options.maintenance.check_interval_ms = 5;
+  options.maintenance.min_pending_bytes = 1;
+  options.maintenance.min_pending_ops = 1;
+  // Generous enough to finish fast, small enough that the pace path runs.
+  options.maintenance.rate_limit_bytes_per_sec = 4u << 20;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  ASSERT_TRUE(index->Update(SmallRandomLog(4)).ok());
+  ASSERT_TRUE(index->maintenance()->WaitIdle(/*timeout_ms=*/30000));
+  MaintenanceStats stats = index->maintenance_stats();
+  EXPECT_GT(stats.folds_run, 0u);
+  EXPECT_EQ(stats.errors, 0u) << stats.last_error;
+}
+
+TEST(MaintenanceServiceTest, StopMidFoldAbortsCleanly) {
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.num_threads = 1;
+  options.maintenance.auto_fold = true;
+  options.maintenance.check_interval_ms = 1;
+  options.maintenance.min_pending_bytes = 1;
+  options.maintenance.min_pending_ops = 1;
+  // Throttle hard so Stop() lands while a fold pass is still pacing.
+  options.maintenance.rate_limit_bytes_per_sec = 1024;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  ASSERT_TRUE(index->Update(SmallRandomLog(5)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  index->maintenance()->Stop();  // must not hang on the rate limiter
+  MaintenanceStats stats = index->maintenance_stats();
+  EXPECT_FALSE(stats.running);
+  EXPECT_EQ(stats.errors, 0u) << stats.last_error;  // Aborted != error
+  // The index remains consistent whatever the service got through.
+  auto report = index->CheckConsistency();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+}
+
+TEST(MaintenanceServiceTest, NoServiceStatsAreZeroButPendingTracked) {
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.num_threads = 1;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  EXPECT_EQ(index->maintenance(), nullptr);
+  ASSERT_TRUE(index->Update(SmallRandomLog(6)).ok());
+  MaintenanceStats stats = index->maintenance_stats();
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_FALSE(stats.running);
+  EXPECT_EQ(stats.folds_run, 0u);
+  EXPECT_GT(stats.pending_bytes, 0u);
+  EXPECT_GT(stats.queue_depth, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent observability: every stats surface must be safely readable
+// while queries decode postings on other threads (the counters are
+// atomics; this test is the TSan witness).
+// ---------------------------------------------------------------------------
+
+TEST(ReadStatsConcurrencyTest, StatsReadableWhileQueriesRun) {
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 0;  // every read decodes, maximizing counter traffic
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  ASSERT_TRUE(index->Update(SmallRandomLog(7, /*traces=*/50)).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (eventlog::ActivityId a = 0; a < 5; ++a) {
+        for (eventlog::ActivityId b = 0; b < 5; ++b) {
+          auto postings = index->GetPairPostings({a, b});
+          ASSERT_TRUE(postings.ok());
+        }
+      }
+    }
+  });
+  std::thread poller([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      IndexReadStats stats = index->read_stats();
+      EXPECT_GE(stats.postings_decoded, last);  // monotone
+      last = stats.postings_decoded;
+      (void)index->cache_stats();
+      (void)index->maintenance_stats();
+      (void)index->pending_fold_load();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  poller.join();
+  EXPECT_GT(index->read_stats().postings_decoded, 0u);
 }
 
 }  // namespace

@@ -420,5 +420,153 @@ TEST(PostingFormatTest, V1IndexUpgradesAcrossReopen) {
   fs::remove_all(dir);
 }
 
+// ---------------------------------------------------------------------------
+// Randomized codec properties (satellite of the differential-test PR):
+// encode -> append fragments -> fold -> decode round trips, and clean
+// failure on truncated / corrupted values. Seeds are fixed so failures
+// reproduce; bump kRounds locally for a longer fuzz session.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<PairOccurrence> RandomPostings(Rng* rng, size_t count) {
+  std::vector<PairOccurrence> postings(count);
+  for (auto& p : postings) {
+    p.trace = rng->NextBounded(200);
+    p.ts_first = rng->NextInRange(0, 100000);
+    p.ts_second = p.ts_first + rng->NextInRange(0, 5000);
+  }
+  std::sort(postings.begin(), postings.end());
+  return postings;
+}
+
+}  // namespace
+
+TEST(PostingBlocksPropertyTest, RandomRoundTripAnyBlockSize) {
+  constexpr int kRounds = 200;
+  Rng rng(20210323);
+  for (int round = 0; round < kRounds; ++round) {
+    size_t count = static_cast<size_t>(rng.NextInRange(0, 400));
+    auto postings = RandomPostings(&rng, count);
+    // Target sizes below one posting exercise the clamp to 1/block.
+    size_t target = static_cast<size_t>(rng.NextInRange(1, 512));
+    std::string encoded;
+    EncodePostingBlocks(postings, target, &encoded);
+    std::vector<PairOccurrence> decoded;
+    ASSERT_TRUE(DecodeBlockedPostings(encoded, &decoded)) << "round " << round;
+    ASSERT_EQ(decoded, postings) << "round " << round << " target " << target;
+  }
+}
+
+TEST(PostingBlocksPropertyTest, FragmentPileThenFoldRoundTrip) {
+  constexpr int kRounds = 100;
+  Rng rng(987654321);
+  for (int round = 0; round < kRounds; ++round) {
+    // Simulate the write path: several independently sorted fragments
+    // appended to one value (what Update() produces across batches)...
+    std::string value;
+    std::vector<PairOccurrence> all;
+    size_t fragments = static_cast<size_t>(rng.NextInRange(1, 8));
+    for (size_t f = 0; f < fragments; ++f) {
+      auto fragment =
+          RandomPostings(&rng, static_cast<size_t>(rng.NextInRange(1, 60)));
+      EncodePostingBlocks(fragment, 64, &value);
+      all.insert(all.end(), fragment.begin(), fragment.end());
+    }
+    // ...the pile must decode to the concatenation (per-fragment order)...
+    std::vector<PairOccurrence> decoded;
+    ASSERT_TRUE(DecodeBlockedPostings(value, &decoded));
+    ASSERT_EQ(decoded.size(), all.size());
+    // ...and folding (sort + re-encode, what FoldAll commits) must round
+    // trip to the globally sorted multiset.
+    std::sort(all.begin(), all.end());
+    std::string folded;
+    EncodePostingBlocks(all, 128, &folded);
+    decoded.clear();
+    ASSERT_TRUE(DecodeBlockedPostings(folded, &decoded));
+    ASSERT_EQ(decoded, all) << "round " << round;
+  }
+}
+
+TEST(PostingBlocksPropertyTest, TruncationFailsCleanlyOrYieldsPrefix) {
+  Rng rng(5551212);
+  auto postings = RandomPostings(&rng, 120);
+  std::string encoded;
+  EncodePostingBlocks(postings, 96, &encoded);
+  std::vector<PostingBlockRef> refs;
+  ASSERT_TRUE(ParsePostingBlockRefs(encoded, &refs));
+  ASSERT_GT(refs.size(), 1u);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    std::string_view prefix(encoded.data(), cut);
+    // Pre-filled with a sentinel: a failed decode must clear it; a
+    // successful decode appends after it (the decoder's append contract).
+    std::vector<PairOccurrence> decoded{{1, 2, 3}};
+    bool ok = DecodeBlockedPostings(prefix, &decoded);
+    bool at_block_boundary = cut == 0;
+    for (const PostingBlockRef& ref : refs) {
+      if (cut == ref.payload_offset + ref.header.byte_len) {
+        at_block_boundary = true;
+      }
+    }
+    if (at_block_boundary) {
+      // A prefix ending exactly between blocks is itself a valid value (a
+      // shorter fragment pile) and decodes to a posting prefix.
+      EXPECT_TRUE(ok) << "cut " << cut;
+      ASSERT_GE(decoded.size(), 1u);
+      EXPECT_EQ(decoded.front(), (PairOccurrence{1, 2, 3}));
+      EXPECT_TRUE(std::equal(decoded.begin() + 1, decoded.end(),
+                             postings.begin()))
+          << "cut " << cut;
+    } else {
+      EXPECT_FALSE(ok) << "cut " << cut;
+      EXPECT_TRUE(decoded.empty()) << "failed decode must clear output";
+      std::vector<PostingBlockRef> truncated_refs{{}};
+      EXPECT_FALSE(ParsePostingBlockRefs(prefix, &truncated_refs));
+      EXPECT_TRUE(truncated_refs.empty());
+    }
+  }
+}
+
+TEST(PostingBlocksPropertyTest, RandomCorruptionNeverCrashes) {
+  constexpr int kRounds = 300;
+  Rng rng(424242);
+  auto postings = RandomPostings(&rng, 150);
+  std::string pristine;
+  EncodePostingBlocks(postings, 128, &pristine);
+  for (int round = 0; round < kRounds; ++round) {
+    std::string mutated = pristine;
+    size_t flips = static_cast<size_t>(rng.NextInRange(1, 8));
+    for (size_t i = 0; i < flips; ++i) {
+      size_t pos = static_cast<size_t>(rng.NextBounded(mutated.size()));
+      mutated[pos] = static_cast<char>(mutated[pos] ^
+                                       (1u << rng.NextBounded(8)));
+    }
+    // Decoding must either reject (clearing the output) or produce a
+    // structurally valid result; it must never crash or read out of
+    // bounds (ASan/UBSan cover the latter in check_all.sh).
+    std::vector<PairOccurrence> decoded{{7, 8, 9}};
+    if (!DecodeBlockedPostings(mutated, &decoded)) {
+      EXPECT_TRUE(decoded.empty()) << "round " << round;
+    }
+    std::vector<PostingBlockRef> refs{{}};
+    if (!ParsePostingBlockRefs(mutated, &refs)) {
+      EXPECT_TRUE(refs.empty()) << "round " << round;
+    }
+  }
+}
+
+TEST(PostingBlocksPropertyTest, RandomGarbageNeverCrashes) {
+  constexpr int kRounds = 500;
+  Rng rng(31337);
+  for (int round = 0; round < kRounds; ++round) {
+    std::string garbage(static_cast<size_t>(rng.NextInRange(1, 300)), 0);
+    for (auto& c : garbage) c = static_cast<char>(rng.NextBounded(256));
+    std::vector<PairOccurrence> decoded{{1, 1, 1}};
+    if (!DecodeBlockedPostings(garbage, &decoded)) {
+      EXPECT_TRUE(decoded.empty());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace seqdet::index

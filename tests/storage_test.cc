@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -609,6 +610,154 @@ TEST(TableTest, AutoCompactionBoundsSegmentCount) {
   // Data survives the background merges.
   std::string value;
   ASSERT_TRUE(t.Get("key7", &value).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RewriteValue
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, RewriteValueFoldsAndCommitsAtomically) {
+  auto table = Table::Open("", "t", InMemoryOptions());
+  Table& t = **table;
+  ASSERT_TRUE(t.Append("k", "ca").ok());
+  ASSERT_TRUE(t.Flush().ok());
+  ASSERT_TRUE(t.Append("k", "b").ok());
+  Status s = t.RewriteValue("k", [](std::string_view current,
+                                    std::string* rewritten) {
+    // The callback sees the fully folded value (base + fragments).
+    EXPECT_EQ(current, "cab");
+    rewritten->assign(current);
+    std::sort(rewritten->begin(), rewritten->end());
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  std::string value;
+  ASSERT_TRUE(t.Get("k", &value).ok());
+  EXPECT_EQ(value, "abc");
+  // The rewrite is a Put base: later appends extend it.
+  ASSERT_TRUE(t.Append("k", "z").ok());
+  ASSERT_TRUE(t.Get("k", &value).ok());
+  EXPECT_EQ(value, "abcz");
+}
+
+TEST(TableTest, RewriteValueMissingKeyAndCallbackError) {
+  auto table = Table::Open("", "t", InMemoryOptions());
+  Table& t = **table;
+  auto no_op = [](std::string_view, std::string*) { return Status::OK(); };
+  EXPECT_TRUE(t.RewriteValue("ghost", no_op).IsNotFound());
+  ASSERT_TRUE(t.Put("k", "v").ok());
+  const uint64_t version = t.Version();
+  Status s = t.RewriteValue("k", [](std::string_view, std::string*) {
+    return Status::Corruption("refused");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  // A failed rewrite writes nothing and does not bump the version.
+  EXPECT_EQ(t.Version(), version);
+  std::string value;
+  ASSERT_TRUE(t.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST(TableTest, RewriteValueBumpsVersion) {
+  auto table = Table::Open("", "t", InMemoryOptions());
+  Table& t = **table;
+  ASSERT_TRUE(t.Append("k", "x").ok());
+  const uint64_t before = t.Version();
+  ASSERT_TRUE(t.RewriteValue("k", [](std::string_view current,
+                                     std::string* rewritten) {
+                 rewritten->assign(current);
+                 return Status::OK();
+               }).ok());
+  EXPECT_GT(t.Version(), before);
+}
+
+TEST(TableTest, RewriteValueSurvivesReopen) {
+  TempDir dir;
+  TableOptions options;  // WAL on, disk mode
+  {
+    auto table = Table::Open(dir.str(), "t", options);
+    Table& t = **table;
+    ASSERT_TRUE(t.Append("k", "3").ok());
+    ASSERT_TRUE(t.Append("k", "1").ok());
+    ASSERT_TRUE(t.Append("k", "2").ok());
+    ASSERT_TRUE(t.RewriteValue("k", [](std::string_view current,
+                                       std::string* rewritten) {
+                   rewritten->assign(current);
+                   std::sort(rewritten->begin(), rewritten->end());
+                   return Status::OK();
+                 }).ok());
+    // No Flush: the fold must be recoverable from the WAL alone.
+  }
+  auto reopened = Table::Open(dir.str(), "t", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  std::string value;
+  ASSERT_TRUE((*reopened)->Get("k", &value).ok());
+  EXPECT_EQ(value, "123");
+}
+
+TEST(TableTest, RewriteValueNeverLosesConcurrentAppends) {
+  // The lost-update hazard RewriteValue exists to close: appends landing
+  // while folds run must all survive into the final folded value.
+  auto table = Table::Open("", "t", InMemoryOptions());
+  Table& t = **table;
+  ASSERT_TRUE(t.Append("k", "s").ok());
+  constexpr int kWriters = 4;
+  constexpr int kAppendsPerWriter = 500;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&t] {
+      for (int i = 0; i < kAppendsPerWriter; ++i) {
+        ASSERT_TRUE(t.Append("k", "x").ok());
+      }
+    });
+  }
+  std::thread folder([&t] {
+    for (int i = 0; i < 200; ++i) {
+      Status s = t.RewriteValue("k", [](std::string_view current,
+                                        std::string* rewritten) {
+        rewritten->assign(current);
+        std::sort(rewritten->begin(), rewritten->end());
+        return Status::OK();
+      });
+      ASSERT_TRUE(s.ok()) << s;
+    }
+  });
+  for (auto& w : writers) w.join();
+  folder.join();
+  std::string value;
+  ASSERT_TRUE(t.Get("k", &value).ok());
+  EXPECT_EQ(value.size(), 1u + kWriters * kAppendsPerWriter);
+  EXPECT_EQ(std::count(value.begin(), value.end(), 'x'),
+            kWriters * kAppendsPerWriter);
+}
+
+TEST(ShardedTableTest, RewriteValueRoutesToOwningShard) {
+  auto table = ShardedTable::Open("", "t", 4, InMemoryOptions());
+  ShardedTable& t = **table;
+  for (int i = 0; i < 32; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(t.Append(key, "b").ok());
+    ASSERT_TRUE(t.Append(key, "a").ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(t.RewriteValue("k" + std::to_string(i),
+                               [](std::string_view current,
+                                  std::string* rewritten) {
+                                 rewritten->assign(current);
+                                 std::sort(rewritten->begin(),
+                                           rewritten->end());
+                                 return Status::OK();
+                               })
+                    .ok());
+  }
+  std::string value;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(t.Get("k" + std::to_string(i), &value).ok());
+    EXPECT_EQ(value, "ab");
+  }
+  EXPECT_TRUE(t.RewriteValue("ghost", [](std::string_view, std::string*) {
+                 return Status::OK();
+               }).IsNotFound());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Builds the concurrency-sensitive test binaries under ThreadSanitizer and
 # runs them. Exercises the storage engine, the index (including the
-# versioned posting cache and its Update-vs-DetectBatch race test), and the
-# query processor.
+# versioned posting cache, its Update-vs-DetectBatch race test, and the
+# background maintenance service), the query processor, and the
+# writer/reader/fold stress test (SEQDET_STRESS_SECONDS scales its length).
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_DIR}/build-tsan}"
-TESTS=(storage_test storage_param_test index_test posting_cache_test query_test)
+TESTS=(storage_test storage_param_test index_test posting_cache_test
+       query_test maintenance_stress_test)
 
 cmake -B "${BUILD_DIR}" -S "${REPO_DIR}" -DSEQDET_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TESTS[@]}"

@@ -16,6 +16,7 @@
 
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -93,6 +94,10 @@ int Usage() {
       "           [--max-span=N]\n"
       "  query    --db=<dir> --q=\"a -> b within N gap <= M\" [--limit=N]\n"
       "  serve    --db=<dir> [--port=8391]   JSON-over-HTTP query service\n"
+      "           [--auto-fold]  background maintenance: fold fragmented\n"
+      "           posting lists + compact statistics automatically\n"
+      "           [--fold-interval-ms=500] [--fold-min-bytes=4194304]\n"
+      "           [--fold-min-ops=16384] [--fold-rate-limit=BYTES/S]\n"
       "  continue --db=<dir> --pattern=a,b [--mode=accurate|fast|hybrid]\n"
       "           [--topk=K] [--limit=N] [--insert-at=I]\n"
       "  prune    --db=<dir> --trace=<id>\n"
@@ -149,8 +154,10 @@ Result<std::unique_ptr<index::SequenceIndex>> OpenIndex(
 
 /// Opens the index trying each policy until the persisted one matches.
 /// Query commands shouldn't need --policy; the index knows what it is.
+/// `maintenance` (optional) configures the background auto-fold service.
 Result<std::unique_ptr<index::SequenceIndex>> OpenIndexAnyPolicy(
-    storage::Database* db) {
+    storage::Database* db,
+    const index::MaintenanceOptions* maintenance = nullptr) {
   // Refuse to conjure an index out of an empty directory: read-only
   // commands on a mistyped --db path should fail loudly, not create a
   // fresh STNM index there.
@@ -163,6 +170,7 @@ Result<std::unique_ptr<index::SequenceIndex>> OpenIndexAnyPolicy(
         index::Policy::kSkipTillAnyMatch}) {
     index::IndexOptions options;
     options.policy = policy;
+    if (maintenance != nullptr) options.maintenance = *maintenance;
     auto opened = index::SequenceIndex::Open(db, options);
     if (opened.ok()) return opened;
     if (!opened.status().IsInvalidArgument()) return opened.status();
@@ -239,6 +247,20 @@ int CmdInfo(const Args& args) {
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.evictions),
               static_cast<unsigned long long>(cache.invalidations));
+  auto frag = (*index)->PostingFragmentationStats();
+  if (frag.ok()) {
+    std::printf("fragmentation: %zu keys (%zu fragmented), %zu blocks, "
+                "%llu value bytes (%llu in fragments, ratio %.3f)\n",
+                frag->keys, frag->fragmented_keys, frag->blocks,
+                static_cast<unsigned long long>(frag->value_bytes),
+                static_cast<unsigned long long>(frag->fragment_bytes),
+                frag->FragmentRatio());
+  }
+  index::PendingFoldLoad pending = (*index)->pending_fold_load();
+  std::printf("pending fold load: %llu bytes / %llu append records "
+              "(since open)\n",
+              static_cast<unsigned long long>(pending.bytes),
+              static_cast<unsigned long long>(pending.ops));
   std::printf("tables:\n");
   for (const auto& name : (*db)->TableNames()) {
     std::printf("  %-16s ~%zu entries\n", name.c_str(),
@@ -401,10 +423,25 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void ServeSignalHandler(int) { g_serve_stop = 1; }
+
 int CmdServe(const Args& args) {
   auto db = storage::Database::Open(args.Get("db"));
   if (!db.ok()) return Fail(db.status());
-  auto index = OpenIndexAnyPolicy(db->get());
+  index::MaintenanceOptions maint;
+  maint.auto_fold = args.Has("auto-fold");
+  maint.check_interval_ms = static_cast<uint64_t>(args.GetInt(
+      "fold-interval-ms", static_cast<int64_t>(maint.check_interval_ms)));
+  maint.min_pending_bytes = static_cast<uint64_t>(args.GetInt(
+      "fold-min-bytes", static_cast<int64_t>(maint.min_pending_bytes)));
+  maint.min_pending_ops = static_cast<uint64_t>(args.GetInt(
+      "fold-min-ops", static_cast<int64_t>(maint.min_pending_ops)));
+  maint.rate_limit_bytes_per_sec = static_cast<uint64_t>(args.GetInt(
+      "fold-rate-limit",
+      static_cast<int64_t>(maint.rate_limit_bytes_per_sec)));
+  auto index = OpenIndexAnyPolicy(db->get(), &maint);
   if (!index.ok()) return Fail(index.status());
   server::QueryService service(index->get());
   server::HttpServer http;
@@ -415,10 +452,30 @@ int CmdServe(const Args& args) {
   std::printf("query service listening on http://127.0.0.1:%u\n"
               "endpoints: /health /info /detect /stats /continue\n"
               "example: curl 'http://127.0.0.1:%u/detect?q=act_0+-%%3E+act_1'\n"
+              "auto-fold: %s\n"
               "Ctrl-C to stop.\n",
-              http.port(), http.port());
-  // Serve until killed.
-  for (;;) pause();
+              http.port(), http.port(), maint.auto_fold ? "on" : "off");
+  // Serve until SIGINT/SIGTERM, then shut down cleanly: stop accepting,
+  // quiesce the maintenance service (finishes the in-flight fold commit,
+  // aborts the rest), and flush through the index destructor.
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (!g_serve_stop) pause();
+  std::printf("\nshutting down...\n");
+  http.Stop();
+  if ((*index)->maintenance() != nullptr) {
+    (*index)->maintenance()->Stop();
+    index::MaintenanceStats stats = (*index)->maintenance_stats();
+    std::printf("maintenance: %llu cycles, %llu folds, %llu keys folded, "
+                "%llu bytes rewritten\n",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<unsigned long long>(stats.folds_run),
+                static_cast<unsigned long long>(stats.keys_folded),
+                static_cast<unsigned long long>(stats.bytes_rewritten));
+  }
+  Status flush = (*index)->Flush();
+  if (!flush.ok()) return Fail(flush);
+  return 0;
 }
 
 int CmdCheck(const Args& args) {
