@@ -1,0 +1,358 @@
+// Serving-layer benchmark: what the worker-pool HTTP server buys over the
+// pre-pool design, and that overload and runaway queries degrade the way
+// the admission/deadline front end promises. Three sections:
+//
+//   throughput  8 concurrent clients against (a) a faithful emulation of
+//               the old serving loop — one worker, one request per
+//               connection, fully inline handling — and (b) the pooled
+//               keep-alive server. Two mixes: 8 uniform fast clients
+//               (isolates the keep-alive + dispatch savings), and 7 fast
+//               clients + 1 slow client that pauses mid-request — the
+//               head-of-line blocking case a single-threaded
+//               connection-per-request server cannot survive and the
+//               worker pool exists to fix. The headline speedup (PR
+//               acceptance bar: >= 4x) is the mixed workload; the uniform
+//               number is reported alongside.
+//   overload    8 clients flood a max_inflight=2 service with slot-holding
+//               requests; sheds must be immediate 503s (never a hang), so
+//               the flood completes in bounded time with every response
+//               either 200 or 503 + Retry-After.
+//   deadline    a skip-till-any-match index with one repeated activity
+//               makes a 4-step pattern combinatorially explosive; with a
+//               deadline budget every request must come back (504) within
+//               2x the budget, against a baseline run that shows what the
+//               uncapped query costs.
+//
+// Emits BENCH_serving.json.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "query/query_processor.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/query_service.h"
+
+using namespace seqdet;
+
+namespace {
+
+constexpr size_t kClients = 8;
+
+/// A small multi-activity log: detection queries against it are cheap, so
+/// the throughput section measures serving overhead, not join cost.
+eventlog::EventLog ServingLog(size_t traces, uint64_t seed) {
+  eventlog::EventLog log;
+  Rng rng(seed);
+  for (size_t t = 0; t < traces; ++t) {
+    int64_t ts = 0;
+    for (int i = 0; i < 8; ++i) {
+      ts += 1 + static_cast<int64_t>(rng.NextBounded(5));
+      log.Append(t, std::string(1, static_cast<char>('a' + i % 4)), ts);
+    }
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+/// One repeated activity under STAM: C(k,2) postings per trace and a
+/// combinatorial number of 4-step matches — the runaway query.
+eventlog::EventLog ExplosiveLog(size_t traces, size_t events_per_trace) {
+  eventlog::EventLog log;
+  for (size_t t = 0; t < traces; ++t) {
+    for (size_t i = 0; i < events_per_trace; ++i) {
+      log.Append(t, "tick", static_cast<int64_t>(i));
+    }
+  }
+  log.SortAllTraces();
+  return log;
+}
+
+struct LoadResult {
+  uint64_t ok = 0;
+  uint64_t shed = 0;      // 503
+  uint64_t deadline = 0;  // 504
+  uint64_t errors = 0;    // transport failures or unexpected statuses
+  double seconds = 0;
+
+  double Rps() const {
+    return seconds > 0 ? static_cast<double>(ok + shed + deadline) / seconds
+                       : 0;
+  }
+};
+
+/// A client that pauses mid-request — the "slow network" peer. Against the
+/// single-threaded connection-per-request server the pause stalls every
+/// other client (head-of-line blocking); against the pool it parks one
+/// worker. Uses Connection: close so both servers treat it identically.
+void SlowClientLoop(uint16_t port, int64_t pause_ms,
+                    const std::atomic<bool>& stop,
+                    std::atomic<uint64_t>* served) {
+  const std::string request =
+      "GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  const size_t split = request.size() / 2;
+  while (!stop.load(std::memory_order_relaxed)) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return;
+    }
+    (void)::send(fd, request.data(), split, MSG_NOSIGNAL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+    (void)::send(fd, request.data() + split, request.size() - split,
+                 MSG_NOSIGNAL);
+    char buffer[4096];
+    while (::recv(fd, buffer, sizeof(buffer), 0) > 0) {
+    }
+    ::close(fd);
+    served->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Hammers `target` from `clients` keep-alive connections for `seconds` of
+/// wall clock and tallies the response statuses. When `slow_clients` > 0,
+/// that many of the clients are mid-request pausers instead.
+LoadResult RunLoad(uint16_t port, size_t clients, double seconds,
+                   const std::string& target, size_t slow_clients = 0,
+                   int64_t pause_ms = 3) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok{0}, shed{0}, deadline{0}, errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch watch;
+  for (size_t c = 0; c < slow_clients; ++c) {
+    threads.emplace_back(
+        [&] { SlowClientLoop(port, pause_ms, stop, &ok); });
+  }
+  for (size_t c = slow_clients; c < clients; ++c) {
+    threads.emplace_back([&] {
+      server::HttpClient client(port);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto response = client.Get(target);
+        if (!response.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        switch (response->status) {
+          case 200:
+            ok.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case 503:
+            shed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case 504:
+            deadline.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000)));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  LoadResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.deadline = deadline.load();
+  result.errors = errors.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  const double window_seconds = options.scale >= 1.0 ? 10.0 : 2.0;
+
+  // --- throughput: serial-emulation vs worker pool --------------------
+  auto db = bench::FreshDb();
+  index::IndexOptions idx_options;
+  idx_options.num_threads = 1;
+  auto index =
+      bench::BuildIndexOrDie(db.get(), ServingLog(64, options.seed),
+                             idx_options);
+  const std::string detect_target =
+      "/detect?q=" + server::HttpClient::UrlEncode("a -> b") + "&limit=5";
+
+  // Serial = the pre-pool serving loop: one worker, one request per
+  // connection (the old server handled connections inline in the accept
+  // loop with no keep-alive), so every request pays accept + connect +
+  // teardown and any stalled connection stalls the whole server. Pooled =
+  // this PR's server. Uniform mix isolates keep-alive savings; the mixed
+  // run adds one mid-request pauser (head-of-line blocking).
+  auto run_mode = [&](bool serial, size_t slow_clients) {
+    server::QueryService service(index.get());
+    server::HttpServerOptions http_options;
+    http_options.num_threads = serial ? 1 : kClients;
+    http_options.max_keepalive_requests = serial ? 1 : 1u << 20;
+    server::HttpServer http(http_options);
+    service.RegisterRoutes(&http);
+    if (!http.Start(0).ok()) std::abort();
+    LoadResult r = RunLoad(http.port(), kClients, window_seconds,
+                           detect_target, slow_clients);
+    http.Stop();
+    std::printf("  %-7s %-22s %8.0f req/s (%llu ok, %llu errors)\n",
+                serial ? "serial" : "pooled",
+                slow_clients > 0 ? "7 fast + 1 slow client"
+                                 : "8 fast clients",
+                r.Rps(), static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.errors));
+    return r.Rps();
+  };
+  std::printf("throughput (detect queries):\n");
+  const double serial_uniform_rps = run_mode(/*serial=*/true, 0);
+  const double pooled_uniform_rps = run_mode(/*serial=*/false, 0);
+  const double serial_mixed_rps = run_mode(/*serial=*/true, 1);
+  const double pooled_mixed_rps = run_mode(/*serial=*/false, 1);
+  const double uniform_speedup =
+      serial_uniform_rps > 0 ? pooled_uniform_rps / serial_uniform_rps : 0;
+  const double speedup =
+      serial_mixed_rps > 0 ? pooled_mixed_rps / serial_mixed_rps : 0;
+  std::printf("speedup: %.2fx uniform, %.2fx with one slow client "
+              "(acceptance bar >= 4x)\n\n",
+              uniform_speedup, speedup);
+
+  // --- overload: shed, never hang -------------------------------------
+  LoadResult overload;
+  double overload_seconds = 0;
+  uint64_t overload_max_inflight = 2;
+  {
+    server::ServingOptions serving;
+    serving.max_inflight = overload_max_inflight;
+    serving.debug_routes = true;
+    server::QueryService service(index.get(), serving);
+    server::HttpServerOptions pooled;
+    pooled.num_threads = kClients;
+    server::HttpServer http(pooled);
+    service.RegisterRoutes(&http);
+    if (!http.Start(0).ok()) return 1;
+    Stopwatch watch;
+    overload = RunLoad(http.port(), kClients, window_seconds,
+                       "/debug/sleep?ms=10");
+    overload_seconds = watch.ElapsedSeconds();
+    http.Stop();
+    std::printf("overload (max_inflight=%llu): %llu served, %llu shed "
+                "(503), %llu errors in %.2fs — shed fraction %.2f\n\n",
+                static_cast<unsigned long long>(overload_max_inflight),
+                static_cast<unsigned long long>(overload.ok),
+                static_cast<unsigned long long>(overload.shed),
+                static_cast<unsigned long long>(overload.errors),
+                overload_seconds,
+                static_cast<double>(overload.shed) /
+                    static_cast<double>(overload.ok + overload.shed + 1));
+  }
+
+  // --- deadline: runaway queries return within 2x budget --------------
+  const int64_t budget_ms = 25;
+  double baseline_ms = 0;
+  double max_elapsed_ms = 0;
+  size_t deadline_runs = 0;
+  {
+    auto stam_db = bench::FreshDb();
+    index::IndexOptions stam_options;
+    stam_options.policy = index::Policy::kSkipTillAnyMatch;
+    stam_options.num_threads = 1;
+    auto stam = bench::BuildIndexOrDie(stam_db.get(), ExplosiveLog(36, 36),
+                                       stam_options);
+    server::QueryService service(stam.get());
+    server::HttpServer http;
+    service.RegisterRoutes(&http);
+    if (!http.Start(0).ok()) return 1;
+    server::HttpClient client(http.port());
+    const std::string q = server::HttpClient::UrlEncode(
+        "tick -> tick -> tick -> tick");
+
+    // Baseline: the uncapped runaway query, once.
+    {
+      Stopwatch watch;
+      auto response = client.Get("/detect?q=" + q + "&limit=1");
+      baseline_ms = watch.ElapsedMillis();
+      if (!response.ok() || response->status != 200) {
+        std::fprintf(stderr, "baseline query failed\n");
+        return 1;
+      }
+    }
+    // Capped: every run must come back 504 within 2x the budget.
+    for (size_t r = 0; r < options.repetitions * 3; ++r) {
+      Stopwatch watch;
+      auto response = client.Get("/detect?q=" + q + "&deadline_ms=" +
+                                 std::to_string(budget_ms));
+      double elapsed = watch.ElapsedMillis();
+      if (!response.ok() || response->status != 504) {
+        std::fprintf(stderr, "deadline run %zu: expected 504\n", r);
+        return 1;
+      }
+      max_elapsed_ms = std::max(max_elapsed_ms, elapsed);
+      ++deadline_runs;
+    }
+    http.Stop();
+    std::printf("deadline: uncapped %0.1f ms; %zu capped runs at "
+                "budget %lld ms, max observed %.1f ms (%.2fx budget, "
+                "bar <= 2x)\n",
+                baseline_ms, deadline_runs,
+                static_cast<long long>(budget_ms), max_elapsed_ms,
+                max_elapsed_ms / static_cast<double>(budget_ms));
+  }
+
+  // --- JSON ------------------------------------------------------------
+  FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"serving\",\n"
+               "  \"clients\": %zu,\n"
+               "  \"window_seconds\": %.1f,\n"
+               "  \"uniform\": {\"serial_rps\": %.1f, \"pooled_rps\": %.1f, "
+               "\"speedup\": %.2f},\n"
+               "  \"one_slow_client\": {\"serial_rps\": %.1f, "
+               "\"pooled_rps\": %.1f, \"speedup\": %.2f},\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"speedup_target\": 4.0,\n"
+               "  \"speedup_target_met\": %s,\n"
+               "  \"overload\": {\"max_inflight\": %llu, \"served\": %llu, "
+               "\"shed_503\": %llu, \"errors\": %llu, "
+               "\"wall_seconds\": %.2f, \"hung\": false},\n"
+               "  \"deadline\": {\"budget_ms\": %lld, "
+               "\"uncapped_baseline_ms\": %.1f, \"runs\": %zu, "
+               "\"max_elapsed_ms\": %.1f, \"within_2x_budget\": %s}\n"
+               "}\n",
+               kClients, window_seconds, serial_uniform_rps,
+               pooled_uniform_rps, uniform_speedup, serial_mixed_rps,
+               pooled_mixed_rps, speedup, speedup,
+               speedup >= 4.0 ? "true" : "false",
+               static_cast<unsigned long long>(overload_max_inflight),
+               static_cast<unsigned long long>(overload.ok),
+               static_cast<unsigned long long>(overload.shed),
+               static_cast<unsigned long long>(overload.errors),
+               overload_seconds, static_cast<long long>(budget_ms),
+               baseline_ms, deadline_runs, max_elapsed_ms,
+               max_elapsed_ms <= 2.0 * static_cast<double>(budget_ms)
+                   ? "true"
+                   : "false");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_serving.json\n");
+  return 0;
+}

@@ -51,6 +51,13 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker — the pool's wait
+  /// queue. The HTTP server exports it as its connection-queue depth.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
   /// Number of hardware threads, never 0.
   static size_t HardwareConcurrency();
 
@@ -59,7 +66,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -3,6 +3,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
+#include <optional>
 
 namespace seqdet {
 
@@ -29,6 +31,40 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A monotonic point in time a request must finish by. Default-constructed
+/// deadlines never expire, so call sites can thread one unconditionally.
+/// Long-running query loops poll Expired() at chunk boundaries and abort
+/// with Status::Aborted — cancellation is cooperative, not preemptive.
+class Deadline {
+ public:
+  /// No deadline: Expired() is always false.
+  Deadline() = default;
+
+  /// A deadline `ms` milliseconds from now (ms <= 0 is already expired).
+  static Deadline After(int64_t ms) {
+    Deadline d;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  static Deadline Never() { return Deadline(); }
+
+  bool has_deadline() const { return at_.has_value(); }
+
+  bool Expired() const { return at_.has_value() && Clock::now() >= *at_; }
+
+  /// Milliseconds until expiry: +infinity when unset, <= 0 when expired.
+  double RemainingMillis() const {
+    if (!at_.has_value()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(*at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> at_;
 };
 
 }  // namespace seqdet

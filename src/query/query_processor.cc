@@ -38,6 +38,15 @@ struct TraceTsKeyHash {
   }
 };
 
+/// How many loop iterations pass between Deadline polls. steady_clock reads
+/// cost tens of nanoseconds, so at this stride the checks are free while
+/// still bounding deadline overshoot to a few thousand joined matches.
+constexpr size_t kDeadlineStride = 4096;
+
+Status DeadlineExceeded() {
+  return Status::Aborted("query deadline exceeded");
+}
+
 }  // namespace
 
 Result<StatisticsResult> QueryProcessor::Statistics(
@@ -67,9 +76,9 @@ Result<StatisticsResult> QueryProcessor::Statistics(
   return result;
 }
 
-std::vector<PatternMatch> QueryProcessor::ExtendMatches(
+Result<std::vector<PatternMatch>> QueryProcessor::ExtendMatches(
     std::vector<PatternMatch> matches,
-    const std::vector<PairOccurrence>& postings) {
+    const std::vector<PairOccurrence>& postings, const Deadline& deadline) {
   // Algorithm 2 lines 5-13: keep matches whose last event coincides with
   // the first event of a posting of the next pair — a join on
   // (trace, ts_first). Under SC/STNM a pair's completions never share
@@ -85,10 +94,14 @@ std::vector<PatternMatch> QueryProcessor::ExtendMatches(
   // repeated queries and selective patterns produce — probing the sorted
   // snapshot per match beats building a hash of every posting, and touches
   // none of the shared snapshot's cache lines beyond the probed ranges.
+  size_t ticks = 0;
   const bool probe_sorted =
       matches.size() < postings.size() / 8 || postings.size() < 16;
   if (probe_sorted) {
     for (PatternMatch& match : matches) {
+      if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
+        return DeadlineExceeded();
+      }
       const PairOccurrence probe{match.trace, match.timestamps.back(),
                                  std::numeric_limits<Timestamp>::min()};
       auto it = std::lower_bound(postings.begin(), postings.end(), probe);
@@ -113,10 +126,16 @@ std::vector<PatternMatch> QueryProcessor::ExtendMatches(
       continuation;
   continuation.reserve(postings.size());
   for (const PairOccurrence& posting : postings) {
+    if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
+      return DeadlineExceeded();
+    }
     continuation[TraceTsKey{posting.trace, posting.ts_first}].push_back(
         posting.ts_second);
   }
   for (PatternMatch& match : matches) {
+    if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
+      return DeadlineExceeded();
+    }
     auto it = continuation.find(
         TraceTsKey{match.trace, match.timestamps.back()});
     if (it == continuation.end()) continue;
@@ -138,6 +157,7 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
     return Status::InvalidArgument(
         "detection needs a pattern of >= 2 events (the index is pair-based)");
   }
+  if (constraints.deadline.Expired()) return DeadlineExceeded();
   auto gap_ok = [&constraints](const PatternMatch& m) {
     if (!constraints.max_gap.has_value()) return true;
     size_t n = m.timestamps.size();
@@ -183,18 +203,26 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
                  : index_->GetPairPostingsShared(pair_at(i));
   };
 
+  if (constraints.deadline.Expired()) return DeadlineExceeded();
   SEQDET_ASSIGN_OR_RETURN(auto first_postings, fetch(0));
   std::vector<PatternMatch> matches;
   matches.reserve(first_postings->size());
+  size_t ticks = 0;
   for (const PairOccurrence& posting : *first_postings) {
+    if (++ticks % kDeadlineStride == 0 && constraints.deadline.Expired()) {
+      return DeadlineExceeded();
+    }
     if (prune && !candidates.Contains(posting.trace)) continue;
     PatternMatch match{posting.trace,
                        {posting.ts_first, posting.ts_second}};
     if (gap_ok(match)) matches.push_back(std::move(match));
   }
   for (size_t i = 1; i + 1 < pattern.size() && !matches.empty(); ++i) {
+    if (constraints.deadline.Expired()) return DeadlineExceeded();
     SEQDET_ASSIGN_OR_RETURN(auto postings, fetch(i));
-    matches = ExtendMatches(std::move(matches), *postings);
+    SEQDET_ASSIGN_OR_RETURN(
+        matches, ExtendMatches(std::move(matches), *postings,
+                               constraints.deadline));
     if (constraints.max_gap.has_value()) {
       std::erase_if(matches,
                     [&gap_ok](const PatternMatch& m) { return !gap_ok(m); });
@@ -301,8 +329,8 @@ Result<ContinuationProposal> QueryProcessor::VerifyCandidate(
           EventTypePair{pattern.activities.back(), candidate}));
   // base_matches is reused for every candidate, so it is copied (by the
   // by-value parameter) rather than moved into the join.
-  std::vector<PatternMatch> extended =
-      ExtendMatches(base_matches, *postings);
+  SEQDET_ASSIGN_OR_RETURN(std::vector<PatternMatch> extended,
+                          ExtendMatches(base_matches, *postings));
 
   ContinuationProposal proposal;
   proposal.activity = candidate;

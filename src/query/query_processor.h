@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "index/sequence_index.h"
 #include "query/pattern.h"
 
@@ -45,6 +46,11 @@ struct DetectionConstraints {
   std::optional<eventlog::Timestamp> max_gap;
   /// Max time between the first and the last matched event.
   std::optional<eventlog::Timestamp> max_span;
+  /// Cooperative cancellation budget: Detect/DetectBatch poll it between
+  /// posting scans and inside long pair joins, returning Status::Aborted
+  /// once expired. Default: never expires. Serving deadlines come from
+  /// here (QueryService turns the per-request budget into this field).
+  Deadline deadline;
 };
 
 /// Output of the Statistics query: pairwise rows plus the derived
@@ -161,10 +167,14 @@ class QueryProcessor {
   /// Takes `matches` by value so the common single-continuation case can
   /// move each surviving match into its extension; pass std::move when the
   /// input is no longer needed. `postings` must be sorted by
-  /// (trace, ts_first) — what GetPairPostingsShared returns.
-  static std::vector<PatternMatch> ExtendMatches(
+  /// (trace, ts_first) — what GetPairPostingsShared returns. Polls
+  /// `deadline` every few thousand joined matches and aborts the join —
+  /// the cancellation point that keeps one huge pair join from blowing a
+  /// serving deadline.
+  static Result<std::vector<PatternMatch>> ExtendMatches(
       std::vector<PatternMatch> matches,
-      const std::vector<index::PairOccurrence>& postings);
+      const std::vector<index::PairOccurrence>& postings,
+      const Deadline& deadline = Deadline::Never());
 
   /// Scores + sorts proposals by Equation 1 (descending).
   static void RankProposals(std::vector<ContinuationProposal>* proposals);

@@ -1,0 +1,157 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace seqdet::server {
+
+std::string HttpClient::UrlEncode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    bool unreserved = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                      c == '-' || c == '_' || c == '.' || c == '~';
+    if (unreserved) {
+      out.push_back(c);
+    } else {
+      out += StringPrintf("%%%02X", static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status HttpClient::Connect() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    return Status::IOError(StringPrintf("connect(127.0.0.1:%u) failed",
+                                        port_));
+  }
+  return Status::OK();
+}
+
+Status HttpClient::SendRequest(const std::string& target) {
+  std::string raw =
+      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    ssize_t n =
+        ::send(fd_, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return Status::IOError("send() failed");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClient::Response> HttpClient::ReadResponse() {
+  char chunk[4096];
+  size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return Status::IOError("connection closed mid-response");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+
+  Response response;
+  size_t line_end = buffer_.find("\r\n");
+  {
+    // Status line: HTTP/1.1 SP CODE SP REASON.
+    std::string_view line(buffer_.data(), line_end);
+    size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos) {
+      return Status::IOError("malformed status line");
+    }
+    int64_t code;
+    if (!ParseInt64(Trim(line.substr(sp1 + 1, 4)), &code)) {
+      return Status::IOError("malformed status code");
+    }
+    response.status = static_cast<int>(code);
+  }
+  for (std::string_view rest =
+           std::string_view(buffer_).substr(line_end + 2,
+                                            header_end - line_end);
+       !rest.empty();) {
+    size_t eol = rest.find("\r\n");
+    if (eol == std::string_view::npos) break;
+    std::string_view field = rest.substr(0, eol);
+    rest = rest.substr(eol + 2);
+    size_t colon = field.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string key(Trim(field.substr(0, colon)));
+    for (auto& c : key) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    response.headers[std::move(key)] =
+        std::string(Trim(field.substr(colon + 1)));
+  }
+
+  size_t content_length = 0;
+  if (auto it = response.headers.find("content-length");
+      it != response.headers.end()) {
+    int64_t v;
+    if (!ParseInt64(it->second, &v) || v < 0) {
+      return Status::IOError("bad Content-Length in response");
+    }
+    content_length = static_cast<size_t>(v);
+  }
+  size_t body_start = header_end + 4;
+  while (buffer_.size() < body_start + content_length) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return Status::IOError("connection closed mid-body");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+
+  if (auto it = response.headers.find("connection");
+      it != response.headers.end() && it->second == "close") {
+    Close();
+  }
+  return response;
+}
+
+Result<HttpClient::Response> HttpClient::Get(const std::string& target) {
+  // One transparent retry: a keep-alive connection the server closed
+  // (request limit, drain, idle timeout) fails on send or on the response
+  // read; a fresh connection distinguishes that from a dead server.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool fresh = fd_ < 0;
+    if (fresh) SEQDET_RETURN_IF_ERROR(Connect());
+    Status sent = SendRequest(target);
+    if (sent.ok()) {
+      auto response = ReadResponse();
+      if (response.ok()) return response;
+      if (fresh) return response.status();
+    } else if (fresh) {
+      return sent;
+    }
+    Close();
+  }
+  return Status::IOError("request failed after reconnect");
+}
+
+}  // namespace seqdet::server

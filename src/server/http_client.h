@@ -1,0 +1,57 @@
+#ifndef SEQDET_SERVER_HTTP_CLIENT_H_
+#define SEQDET_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace seqdet::server {
+
+/// Minimal blocking HTTP/1.1 keep-alive client for 127.0.0.1 — the load
+/// generator of bench_serving, the transport of the server tests and the
+/// HTTP differential mode, and `seqdet info --port`'s way of asking a live
+/// server for its stats. One in-flight request at a time per client; the
+/// connection persists across Get() calls and transparently reconnects when
+/// the server closed it (keep-alive limit, drain, restart).
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::map<std::string, std::string> headers;  // keys lowercased
+    std::string body;
+  };
+
+  explicit HttpClient(uint16_t port) : port_(port) {}
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// GETs `target` (path + query string, already percent-encoded).
+  Result<Response> Get(const std::string& target);
+
+  /// Drops the persistent connection (the next Get reconnects).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Percent-encodes one URL query-string value.
+  static std::string UrlEncode(std::string_view s);
+
+ private:
+  Status Connect();
+  Status SendRequest(const std::string& target);
+  Result<Response> ReadResponse();
+
+  uint16_t port_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the previous response
+};
+
+}  // namespace seqdet::server
+
+#endif  // SEQDET_SERVER_HTTP_CLIENT_H_

@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstring>
 
 #include "common/strings.h"
@@ -13,8 +16,6 @@
 namespace seqdet::server {
 
 namespace {
-
-constexpr size_t kMaxRequestBytes = 1u << 20;  // 1 MiB
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -26,8 +27,16 @@ const char* ReasonPhrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }
@@ -36,19 +45,35 @@ const char* ReasonPhrase(int status) {
 bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
   return true;
 }
 
+/// Closes the fd on every exit path of HandleConnection — the pre-pool
+/// server leaked the descriptor on early returns.
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+
+ private:
+  int fd_;
+};
+
 }  // namespace
 
 HttpResponse HttpResponse::Error(int status, const std::string& message) {
   JsonWriter json;
   json.BeginObject().Key("error").String(message).EndObject();
-  return HttpResponse{status, "application/json", json.str()};
+  return HttpResponse{status, "application/json", json.str(), {}};
 }
 
 std::string HttpServer::UrlDecode(std::string_view s) {
@@ -99,6 +124,106 @@ std::map<std::string, std::string> HttpServer::ParseQueryString(
   return out;
 }
 
+HttpServer::ParseOutcome HttpServer::ParseRequest(std::string_view in,
+                                                  size_t max_bytes,
+                                                  HttpRequest* out,
+                                                  size_t* consumed,
+                                                  std::string* error) {
+  *consumed = 0;
+  size_t header_end = in.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (in.size() >= max_bytes) {
+      if (error != nullptr) *error = "request headers exceed limit";
+      return ParseOutcome::kTooLarge;
+    }
+    return ParseOutcome::kIncomplete;
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t line_end = in.find("\r\n");
+  std::string_view line = in.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1) {
+    if (error != nullptr) *error = "malformed request line";
+    return ParseOutcome::kBad;
+  }
+  std::string_view version = line.substr(sp2 + 1);
+  if (!StartsWith(version, "HTTP/1.") ||
+      version.find(' ') != std::string_view::npos) {
+    if (error != nullptr) *error = "unsupported protocol version";
+    return ParseOutcome::kBad;
+  }
+
+  HttpRequest request;
+  request.method = std::string(line.substr(0, sp1));
+  std::string target(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request.path = UrlDecode(target);
+  } else {
+    request.path = UrlDecode(target.substr(0, question));
+    request.query =
+        ParseQueryString(std::string_view(target).substr(question + 1));
+  }
+
+  // Header fields; keys are lowercased so lookups are case-insensitive.
+  for (std::string_view rest = in.substr(line_end + 2, header_end - line_end);
+       !rest.empty();) {
+    size_t eol = rest.find("\r\n");
+    if (eol == std::string_view::npos) break;
+    std::string_view field = rest.substr(0, eol);
+    rest = rest.substr(eol + 2);
+    size_t colon = field.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string key(Trim(field.substr(0, colon)));
+    for (auto& c : key) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    request.headers[std::move(key)] = std::string(Trim(field.substr(colon + 1)));
+  }
+
+  size_t content_length = 0;
+  if (auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    int64_t v;
+    if (!ParseInt64(it->second, &v) || v < 0) {
+      if (error != nullptr) *error = "bad Content-Length";
+      return ParseOutcome::kBad;
+    }
+    content_length = static_cast<size_t>(v);
+  }
+  size_t body_start = header_end + 4;
+  if (body_start + content_length > max_bytes) {
+    if (error != nullptr) *error = "request body exceeds limit";
+    return ParseOutcome::kTooLarge;
+  }
+  if (in.size() < body_start + content_length) {
+    return ParseOutcome::kIncomplete;
+  }
+  request.body = std::string(in.substr(body_start, content_length));
+
+  // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; "Connection:"
+  // overrides either way.
+  request.keep_alive = version != "HTTP/1.0";
+  if (auto it = request.headers.find("connection");
+      it != request.headers.end()) {
+    std::string value = it->second;
+    for (auto& c : value) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (value == "close") request.keep_alive = false;
+    if (value == "keep-alive") request.keep_alive = true;
+  }
+
+  *out = std::move(request);
+  *consumed = body_start + content_length;
+  return ParseOutcome::kOk;
+}
+
 void HttpServer::Route(const std::string& path, Handler handler) {
   routes_[path] = std::move(handler);
 }
@@ -120,7 +245,8 @@ Status HttpServer::Start(uint16_t port) {
     listen_fd_ = -1;
     return Status::IOError(StringPrintf("bind(127.0.0.1:%u) failed", port));
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  int backlog = options_.backlog > 0 ? options_.backlog : SOMAXCONN;
+  if (::listen(listen_fd_, backlog) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IOError("listen() failed");
@@ -129,6 +255,15 @@ Status HttpServer::Start(uint16_t port) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  // Resolve the 0 = hardware-concurrency default in place so options()
+  // (and the /info "workers" field) reports the actual pool size.
+  if (options_.num_threads == 0) {
+    options_.num_threads = ThreadPool::HardwareConcurrency();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -136,11 +271,44 @@ Status HttpServer::Start(uint16_t port) {
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Closing the listening socket unblocks accept().
+  // 1. Stop accepting: closing the listening socket unblocks accept().
+  //    The fd field itself is only cleared after the accept thread is
+  //    joined — AcceptLoop reads it, and the join is the sync point.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  // 2. Drain: shut down the *read* side of every live connection, so
+  //    workers stop waiting for further requests but can still flush the
+  //    response of the request they are serving.
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    for (int fd : conns_) ::shutdown(fd, SHUT_RD);
+    conns_empty_cv_.wait(lock, [this] { return conns_.empty(); });
+  }
+  // 3. Join the (now idle) workers. The pointer handoff is under stats_mu_
+  //    (stats() reads pool_ for the queue gauge) but the join itself is
+  //    not, so a worker logging stats cannot deadlock against it.
+  std::unique_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    pool = std::move(pool_);
+  }
+  pool.reset();
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+    out.queued_connections = pool_ != nullptr ? pool_->queue_depth() : 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    out.active_connections = conns_.size();
+  }
+  return out;
 }
 
 void HttpServer::AcceptLoop() {
@@ -150,102 +318,122 @@ void HttpServer::AcceptLoop() {
       if (!running_.load()) return;
       continue;
     }
-    HandleConnection(fd);
-    ::close(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // A connection racing Stop() would miss the drain shutdown; refuse
+      // it here instead of handing it to a pool that is about to join.
+      if (!running_.load()) {
+        ::close(fd);
+        return;
+      }
+      conns_.insert(fd);
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    pool_->Submit([this, fd] { HandleConnection(fd); });
   }
 }
 
+bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
+                               bool keep_alive) {
+  std::string raw = StringPrintf(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
+  for (const auto& [key, value] : response.headers) {
+    raw += key;
+    raw += ": ";
+    raw += value;
+    raw += "\r\n";
+  }
+  raw += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
+  raw += response.body;
+  return SendAll(fd, raw);
+}
+
 void HttpServer::HandleConnection(int fd) {
+  FdCloser closer(fd);
+  struct Unregister {
+    HttpServer* server;
+    int fd;
+    ~Unregister() {
+      std::lock_guard<std::mutex> lock(server->conns_mu_);
+      server->conns_.erase(fd);
+      if (server->conns_.empty()) server->conns_empty_cv_.notify_all();
+    }
+  } unregister{this, fd};
+
+  if (options_.idle_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.idle_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options_.idle_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
   std::string buffer;
   buffer.reserve(4096);
   char chunk[4096];
-  size_t header_end = std::string::npos;
-  while (buffer.size() < kMaxRequestBytes) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
-    header_end = buffer.find("\r\n\r\n");
-    if (header_end != std::string::npos) break;
-  }
-  if (header_end == std::string::npos) {
-    HttpResponse bad = HttpResponse::Error(400, "malformed request");
-    std::string raw = StringPrintf(
-        "HTTP/1.1 400 Bad Request\r\nContent-Length: %zu\r\nConnection: "
-        "close\r\n\r\n",
-        bad.body.size());
-    SendAll(fd, raw + bad.body);
-    return;
-  }
-
-  // Request line: METHOD SP TARGET SP VERSION.
-  HttpRequest request;
-  {
-    size_t line_end = buffer.find("\r\n");
-    std::string_view line(buffer.data(), line_end);
-    size_t sp1 = line.find(' ');
-    size_t sp2 = sp1 == std::string_view::npos
-                     ? std::string_view::npos
-                     : line.find(' ', sp1 + 1);
-    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
-      SendAll(fd,
-              "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n");
+  size_t served = 0;
+  while (true) {
+    HttpRequest request;
+    size_t consumed = 0;
+    std::string error;
+    ParseOutcome outcome = ParseRequest(buffer, options_.max_request_bytes,
+                                        &request, &consumed, &error);
+    if (outcome == ParseOutcome::kIncomplete) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+          !buffer.empty()) {
+        // Half a request then silence: tell the client before closing.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.timeouts;
+        }
+        WriteResponse(fd, HttpResponse::Error(408, "request timed out"),
+                      false);
+      }
+      return;  // EOF, timeout on an idle connection, or error.
+    }
+    if (outcome != ParseOutcome::kOk) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_requests;
+      }
+      int status = outcome == ParseOutcome::kTooLarge ? 413 : 400;
+      WriteResponse(fd, HttpResponse::Error(status, error), false);
       return;
     }
-    request.method = std::string(line.substr(0, sp1));
-    std::string target(line.substr(sp1 + 1, sp2 - sp1 - 1));
-    size_t question = target.find('?');
-    if (question == std::string::npos) {
-      request.path = UrlDecode(target);
+
+    buffer.erase(0, consumed);
+    ++served;
+
+    HttpResponse response;
+    auto it = routes_.find(request.path);
+    if (it == routes_.end()) {
+      response = HttpResponse::Error(404, "no such endpoint: " + request.path);
     } else {
-      request.path = UrlDecode(target.substr(0, question));
-      request.query = ParseQueryString(
-          std::string_view(target).substr(question + 1));
+      response = it->second(request);
     }
-  }
-
-  // Content-Length body (POST).
-  size_t content_length = 0;
-  {
-    std::string_view headers(buffer.data() + buffer.find("\r\n") + 2,
-                             header_end - buffer.find("\r\n") - 2);
-    for (auto& header : Split(headers, '\n')) {
-      auto colon = header.find(':');
-      if (colon == std::string::npos) continue;
-      std::string key(Trim(header.substr(0, colon)));
-      for (auto& c : key) c = static_cast<char>(std::tolower(
-          static_cast<unsigned char>(c)));
-      if (key == "content-length") {
-        int64_t v;
-        if (ParseInt64(Trim(header.substr(colon + 1)), &v) && v >= 0 &&
-            static_cast<size_t>(v) < kMaxRequestBytes) {
-          content_length = static_cast<size_t>(v);
-        }
-      }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_served;
     }
-  }
-  size_t body_start = header_end + 4;
-  while (buffer.size() < body_start + content_length &&
-         buffer.size() < kMaxRequestBytes) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
-  }
-  request.body = buffer.substr(body_start, content_length);
 
-  HttpResponse response;
-  auto it = routes_.find(request.path);
-  if (it == routes_.end()) {
-    response = HttpResponse::Error(404, "no such endpoint: " + request.path);
-  } else {
-    response = it->second(request);
+    bool keep_alive = request.keep_alive &&
+                      served < options_.max_keepalive_requests &&
+                      running_.load();
+    if (!WriteResponse(fd, response, keep_alive) || !keep_alive) return;
   }
-
-  std::string raw = StringPrintf(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      response.status, ReasonPhrase(response.status),
-      response.content_type.c_str(), response.body.size());
-  SendAll(fd, raw + response.body);
 }
 
 // ---------------------------------------------------------------------------

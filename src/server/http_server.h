@@ -2,14 +2,21 @@
 #define SEQDET_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace seqdet::server {
 
@@ -17,8 +24,12 @@ namespace seqdet::server {
 struct HttpRequest {
   std::string method;  // "GET" / "POST"
   std::string path;    // without the query string
-  std::map<std::string, std::string> query;  // decoded query parameters
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // keys lowercased, trimmed
   std::string body;
+  /// Whether the connection may serve another request after this one
+  /// (HTTP/1.1 default yes, HTTP/1.0 default no, "Connection:" overrides).
+  bool keep_alive = true;
 };
 
 /// A response to serialize.
@@ -26,44 +37,104 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra headers appended verbatim (e.g. {"Retry-After", "1"}).
+  std::vector<std::pair<std::string, std::string>> headers;
 
   static HttpResponse Json(std::string body) {
-    return HttpResponse{200, "application/json", std::move(body)};
+    return HttpResponse{200, "application/json", std::move(body), {}};
   }
   static HttpResponse Error(int status, const std::string& message);
 };
 
-/// Minimal blocking HTTP/1.1 server over POSIX sockets — the substitute
-/// for the paper's Java Spring query processor (Figure 1's second
-/// component runs as a service). One accept loop on a background thread;
-/// handlers run inline per connection ("Connection: close" semantics),
-/// which is plenty for a query API whose work is index lookups.
+/// Tuning knobs for the server (all have serving-grade defaults).
+struct HttpServerOptions {
+  /// Worker threads handling connections (the accept thread only
+  /// dispatches). 0 = hardware concurrency.
+  size_t num_threads = 4;
+  /// listen(2) backlog; 0 = SOMAXCONN.
+  int backlog = 0;
+  /// Requests served per connection before the server closes it
+  /// (bounds how long one client can monopolize a worker).
+  size_t max_keepalive_requests = 100;
+  /// recv(2) timeout: an idle keep-alive connection is closed after this
+  /// long; a half-sent request gets 408. 0 = no timeout.
+  int64_t idle_timeout_ms = 5000;
+  /// Hard cap on one request (start line + headers + body).
+  size_t max_request_bytes = 1u << 20;
+};
+
+/// Monotonic serving counters (gauges are instantaneous).
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_served = 0;   // responses from a routed handler or 404
+  uint64_t bad_requests = 0;      // malformed (400) / oversized (413)
+  uint64_t timeouts = 0;          // read timeouts on a half-sent request
+  uint64_t active_connections = 0;  // gauge: accepted, not yet closed
+  uint64_t queued_connections = 0;  // gauge: waiting for a free worker
+};
+
+/// Concurrent blocking HTTP/1.1 server over POSIX sockets — the substitute
+/// for the paper's Java Spring query processor (Figure 1's second component
+/// runs as a service). One accept thread dispatches each connection to a
+/// fixed worker pool (common/thread_pool); workers speak persistent
+/// HTTP/1.1 with keep-alive, per-connection request limits, and read
+/// timeouts, so one slow client can no longer stall every other one.
+///
+/// Stop() drains: it stops accepting, shuts down the read side of every
+/// live connection, lets in-flight handlers finish and flush their
+/// responses, and only then joins the workers.
 ///
 /// Not exposed to untrusted networks: it binds 127.0.0.1 only and parses
-/// defensively (bounded header/body sizes, malformed requests get 400).
+/// defensively (bounded request sizes, malformed requests get 400).
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   HttpServer() = default;
+  explicit HttpServer(HttpServerOptions options)
+      : options_(std::move(options)) {}
   ~HttpServer() { Stop(); }
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers a handler for exact path `path`.
+  /// Registers a handler for exact path `path`. Not safe to call after
+  /// Start() (routes are read lock-free by the workers).
   void Route(const std::string& path, Handler handler);
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), spawns the worker pool, and
+  /// starts the accept loop.
   Status Start(uint16_t port);
 
   /// The bound port (valid after Start).
   uint16_t port() const { return port_; }
 
-  /// Stops accepting and joins the loop. Idempotent.
+  /// Stops accepting, drains in-flight connections (handlers finish and
+  /// their responses are flushed), and joins all threads. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(); }
+
+  const HttpServerOptions& options() const { return options_; }
+
+  /// Snapshot of the serving counters.
+  HttpServerStats stats() const;
+
+  /// Result of ParseRequest on a byte prefix.
+  enum class ParseOutcome {
+    kOk,          // one full request parsed; *consumed bytes eaten
+    kIncomplete,  // need more bytes
+    kBad,         // malformed; respond 400 and close
+    kTooLarge,    // exceeds max_bytes; respond 413 and close
+  };
+
+  /// Incremental HTTP/1.x request parser: examines the front of `in` and
+  /// either produces one full request (setting *consumed so callers can
+  /// handle pipelined requests) or reports why it cannot. Exposed for
+  /// tests; HandleConnection is a read-parse-dispatch loop over it.
+  static ParseOutcome ParseRequest(std::string_view in, size_t max_bytes,
+                                   HttpRequest* out, size_t* consumed,
+                                   std::string* error);
 
   /// Percent-decodes a URL component ("%20" -> ' ', '+' -> ' ').
   static std::string UrlDecode(std::string_view s);
@@ -75,12 +146,26 @@ class HttpServer {
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  /// Serializes and sends `response`; returns false when the peer is gone.
+  static bool WriteResponse(int fd, const HttpResponse& response,
+                            bool keep_alive);
 
+  HttpServerOptions options_;
   std::map<std::string, Handler> routes_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> running_{false};
+
+  /// Live connection fds, so Stop() can shut down their read sides and
+  /// wait for the workers to finish flushing responses.
+  mutable std::mutex conns_mu_;
+  std::condition_variable conns_empty_cv_;
+  std::unordered_set<int> conns_;
+
+  mutable std::mutex stats_mu_;
+  HttpServerStats stats_;
 };
 
 /// Tiny JSON writer for the handlers (strings, numbers, arrays, objects —

@@ -1,5 +1,10 @@
 #include "server/query_service.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/histogram.h"
 #include "common/strings.h"
 #include "query/pattern_parser.h"
 
@@ -15,19 +20,186 @@ size_t LimitParam(const HttpRequest& request, size_t fallback) {
                                               : fallback;
 }
 
+/// 504 for a query the deadline budget cancelled, 400 otherwise: a status
+/// that is Aborted means QueryProcessor hit a cooperative deadline check,
+/// every other failure is a bad request (unknown activity, bad syntax...).
+HttpResponse QueryError(const Status& status) {
+  if (status.IsAborted()) {
+    return HttpResponse::Error(504, status.ToString());
+  }
+  return HttpResponse::Error(400, status.ToString());
+}
+
 }  // namespace
 
+std::string DetectResponseJson(const std::vector<query::PatternMatch>& matches,
+                               size_t limit) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("total")
+      .Int(static_cast<int64_t>(matches.size()))
+      .Key("matches")
+      .BeginArray();
+  for (size_t i = 0; i < matches.size() && i < limit; ++i) {
+    const auto& match = matches[i];
+    json.BeginObject()
+        .Key("trace")
+        .Int(static_cast<int64_t>(match.trace))
+        .Key("timestamps")
+        .BeginArray();
+    for (auto ts : match.timestamps) json.Int(ts);
+    json.EndArray().EndObject();
+  }
+  json.EndArray().EndObject();
+  return json.str();
+}
+
+// ---------------------------------------------------------------------------
+// RouteStats
+// ---------------------------------------------------------------------------
+
+void QueryService::RouteStats::RecordLatency(double ms) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (latency_window.size() < kLatencyWindow) {
+    latency_window.push_back(ms);
+  } else {
+    latency_window[window_next] = ms;
+    window_next = (window_next + 1) % kLatencyWindow;
+  }
+}
+
+RouteStatsSnapshot QueryService::RouteStats::Snapshot() const {
+  RouteStatsSnapshot out;
+  out.route = route;
+  out.requests = requests.load();
+  out.shed = shed.load();
+  out.deadline_exceeded = deadline_exceeded.load();
+  out.errors = errors.load();
+  out.inflight = inflight.load();
+  Histogram latency;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (double ms : latency_window) latency.Add(ms);
+  }
+  out.latency_samples = latency.count();
+  if (latency.count() > 0) {
+    out.p50_ms = latency.Percentile(50);
+    out.p99_ms = latency.Percentile(99);
+    out.max_ms = latency.max();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+QueryService::QueryService(const index::SequenceIndex* index,
+                           ServingOptions options)
+    : index_(index), qp_(index), options_(options) {}
+
 void QueryService::RegisterRoutes(HttpServer* server) {
-  server->Route("/health",
-                [this](const HttpRequest& r) { return HandleHealth(r); });
-  server->Route("/info",
-                [this](const HttpRequest& r) { return HandleInfo(r); });
-  server->Route("/detect",
-                [this](const HttpRequest& r) { return HandleDetect(r); });
-  server->Route("/stats",
-                [this](const HttpRequest& r) { return HandleStats(r); });
-  server->Route("/continue",
-                [this](const HttpRequest& r) { return HandleContinue(r); });
+  server_ = server;
+  server->Route("/health", [this](const HttpRequest& r) {
+    return Dispatch(&health_stats_, /*gated=*/false, r,
+                    [this](const HttpRequest& rq, const Deadline&) {
+                      return HandleHealth(rq);
+                    });
+  });
+  server->Route("/info", [this](const HttpRequest& r) {
+    return Dispatch(&info_stats_, /*gated=*/false, r,
+                    [this](const HttpRequest& rq, const Deadline&) {
+                      return HandleInfo(rq);
+                    });
+  });
+  server->Route("/detect", [this](const HttpRequest& r) {
+    return Dispatch(&detect_stats_, /*gated=*/true, r,
+                    [this](const HttpRequest& rq, const Deadline& deadline) {
+                      return HandleDetect(rq, deadline);
+                    });
+  });
+  server->Route("/stats", [this](const HttpRequest& r) {
+    return Dispatch(&pair_stats_stats_, /*gated=*/true, r,
+                    [this](const HttpRequest& rq, const Deadline&) {
+                      return HandleStats(rq);
+                    });
+  });
+  server->Route("/continue", [this](const HttpRequest& r) {
+    return Dispatch(&continue_stats_, /*gated=*/true, r,
+                    [this](const HttpRequest& rq, const Deadline&) {
+                      return HandleContinue(rq);
+                    });
+  });
+  if (options_.debug_routes) {
+    server->Route("/debug/sleep", [this](const HttpRequest& r) {
+      return Dispatch(&sleep_stats_, /*gated=*/true, r,
+                      [this](const HttpRequest& rq, const Deadline& deadline) {
+                        return HandleDebugSleep(rq, deadline);
+                      });
+    });
+  }
+}
+
+Deadline QueryService::RequestDeadline(const HttpRequest& request) const {
+  int64_t budget_ms = options_.default_deadline_ms;
+  if (auto it = request.query.find("deadline_ms");
+      it != request.query.end()) {
+    int64_t v;
+    if (ParseInt64(it->second, &v) && v > 0) {
+      budget_ms = std::min(v, options_.max_deadline_ms);
+    }
+  }
+  return budget_ms > 0 ? Deadline::After(budget_ms) : Deadline::Never();
+}
+
+HttpResponse QueryService::Dispatch(RouteStats* stats, bool gated,
+                                    const HttpRequest& r,
+                                    const DeadlineHandler& handler) {
+  stats->requests.fetch_add(1);
+  if (gated && options_.max_inflight > 0) {
+    int64_t admitted = inflight_.fetch_add(1) + 1;
+    if (admitted > static_cast<int64_t>(options_.max_inflight)) {
+      inflight_.fetch_sub(1);
+      stats->shed.fetch_add(1);
+      HttpResponse response = HttpResponse::Error(
+          503, "server at capacity, retry later");
+      response.headers.emplace_back(
+          "Retry-After", std::to_string(options_.retry_after_seconds));
+      return response;
+    }
+  } else if (gated) {
+    inflight_.fetch_add(1);
+  }
+
+  stats->inflight.fetch_add(1);
+  Stopwatch watch;
+  HttpResponse response = handler(r, RequestDeadline(r));
+  stats->RecordLatency(watch.ElapsedMillis());
+  stats->inflight.fetch_sub(1);
+  if (gated) inflight_.fetch_sub(1);
+
+  if (response.status == 504) {
+    stats->deadline_exceeded.fetch_add(1);
+  } else if (response.status >= 500) {
+    stats->errors.fetch_add(1);
+  }
+  return response;
+}
+
+ServingStatsSnapshot QueryService::serving_stats() const {
+  ServingStatsSnapshot out;
+  out.max_inflight = options_.max_inflight;
+  out.default_deadline_ms = options_.default_deadline_ms;
+  out.inflight = inflight_.load();
+  const RouteStats* all[] = {&health_stats_,    &info_stats_,
+                             &detect_stats_,    &pair_stats_stats_,
+                             &continue_stats_,  &sleep_stats_};
+  for (const RouteStats* stats : all) {
+    if (stats == &sleep_stats_ && !options_.debug_routes) continue;
+    out.routes.push_back(stats->Snapshot());
+    out.shed_total += out.routes.back().shed;
+  }
+  return out;
 }
 
 HttpResponse QueryService::HandleHealth(const HttpRequest&) const {
@@ -40,6 +212,7 @@ HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
   index::PostingCacheStats cache = index_->cache_stats();
   index::IndexReadStats reads = index_->read_stats();
   index::MaintenanceStats maint = index_->maintenance_stats();
+  ServingStatsSnapshot serving = serving_stats();
   JsonWriter json;
   json.BeginObject()
       .Key("policy")
@@ -108,12 +281,69 @@ HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
       .String(maint.last_error)
       .Key("last_cycle_ms")
       .Int(maint.last_cycle_ms)
-      .EndObject()
       .EndObject();
+
+  json.Key("serving")
+      .BeginObject()
+      .Key("max_inflight")
+      .Int(static_cast<int64_t>(serving.max_inflight))
+      .Key("default_deadline_ms")
+      .Int(serving.default_deadline_ms)
+      .Key("inflight")
+      .Int(serving.inflight)
+      .Key("shed_total")
+      .Int(static_cast<int64_t>(serving.shed_total));
+  if (server_ != nullptr) {
+    HttpServerStats http = server_->stats();
+    json.Key("http")
+        .BeginObject()
+        .Key("workers")
+        .Int(static_cast<int64_t>(server_->options().num_threads))
+        .Key("connections_accepted")
+        .Int(static_cast<int64_t>(http.connections_accepted))
+        .Key("requests_served")
+        .Int(static_cast<int64_t>(http.requests_served))
+        .Key("bad_requests")
+        .Int(static_cast<int64_t>(http.bad_requests))
+        .Key("timeouts")
+        .Int(static_cast<int64_t>(http.timeouts))
+        .Key("active_connections")
+        .Int(static_cast<int64_t>(http.active_connections))
+        .Key("queued_connections")
+        .Int(static_cast<int64_t>(http.queued_connections))
+        .EndObject();
+  }
+  json.Key("routes").BeginArray();
+  for (const RouteStatsSnapshot& route : serving.routes) {
+    json.BeginObject()
+        .Key("route")
+        .String(route.route)
+        .Key("requests")
+        .Int(static_cast<int64_t>(route.requests))
+        .Key("shed")
+        .Int(static_cast<int64_t>(route.shed))
+        .Key("deadline_exceeded")
+        .Int(static_cast<int64_t>(route.deadline_exceeded))
+        .Key("errors")
+        .Int(static_cast<int64_t>(route.errors))
+        .Key("inflight")
+        .Int(route.inflight)
+        .Key("latency_samples")
+        .Int(static_cast<int64_t>(route.latency_samples))
+        .Key("p50_ms")
+        .Double(route.p50_ms)
+        .Key("p99_ms")
+        .Double(route.p99_ms)
+        .Key("max_ms")
+        .Double(route.max_ms)
+        .EndObject();
+  }
+  json.EndArray().EndObject().EndObject();
   return HttpResponse::Json(json.str());
 }
 
-HttpResponse QueryService::HandleDetect(const HttpRequest& request) const {
+HttpResponse QueryService::HandleDetect(const HttpRequest& request,
+                                        const Deadline& deadline) const {
   auto q = request.query.find("q");
   if (q == request.query.end()) {
     return HttpResponse::Error(400, "missing q parameter");
@@ -122,29 +352,13 @@ HttpResponse QueryService::HandleDetect(const HttpRequest& request) const {
   if (!parsed.ok()) {
     return HttpResponse::Error(400, parsed.status().ToString());
   }
+  parsed->constraints.deadline = deadline;
   auto matches = qp_.Detect(parsed->pattern, parsed->constraints);
   if (!matches.ok()) {
-    return HttpResponse::Error(400, matches.status().ToString());
+    return QueryError(matches.status());
   }
-  size_t limit = LimitParam(request, 100);
-  JsonWriter json;
-  json.BeginObject()
-      .Key("total")
-      .Int(static_cast<int64_t>(matches->size()))
-      .Key("matches")
-      .BeginArray();
-  for (size_t i = 0; i < matches->size() && i < limit; ++i) {
-    const auto& match = (*matches)[i];
-    json.BeginObject()
-        .Key("trace")
-        .Int(static_cast<int64_t>(match.trace))
-        .Key("timestamps")
-        .BeginArray();
-    for (auto ts : match.timestamps) json.Int(ts);
-    json.EndArray().EndObject();
-  }
-  json.EndArray().EndObject();
-  return HttpResponse::Json(json.str());
+  return HttpResponse::Json(
+      DetectResponseJson(*matches, LimitParam(request, 100)));
 }
 
 HttpResponse QueryService::HandleStats(const HttpRequest& request) const {
@@ -160,7 +374,7 @@ HttpResponse QueryService::HandleStats(const HttpRequest& request) const {
   options.include_last_completion = request.query.count("last") > 0;
   auto stats = qp_.Statistics(parsed->pattern, options);
   if (!stats.ok()) {
-    return HttpResponse::Error(400, stats.status().ToString());
+    return QueryError(stats.status());
   }
   const auto& dict = index_->dictionary();
   JsonWriter json;
@@ -221,7 +435,7 @@ HttpResponse QueryService::HandleContinue(const HttpRequest& request) const {
     return HttpResponse::Error(400, "unknown mode: " + mode);
   }
   if (!proposals.ok()) {
-    return HttpResponse::Error(400, proposals.status().ToString());
+    return QueryError(proposals.status());
   }
   const auto& dict = index_->dictionary();
   size_t limit = LimitParam(request, 20);
@@ -241,6 +455,25 @@ HttpResponse QueryService::HandleContinue(const HttpRequest& request) const {
         .EndObject();
   }
   json.EndArray().EndObject();
+  return HttpResponse::Json(json.str());
+}
+
+HttpResponse QueryService::HandleDebugSleep(const HttpRequest& request,
+                                            const Deadline& deadline) const {
+  int64_t ms = 100;
+  if (auto it = request.query.find("ms"); it != request.query.end()) {
+    int64_t v;
+    if (ParseInt64(it->second, &v) && v >= 0) ms = std::min(v, int64_t{10000});
+  }
+  Stopwatch watch;
+  while (watch.ElapsedMillis() < static_cast<double>(ms)) {
+    if (deadline.Expired()) {
+      return HttpResponse::Error(504, "query deadline exceeded");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  JsonWriter json;
+  json.BeginObject().Key("slept_ms").Int(ms).EndObject();
   return HttpResponse::Json(json.str());
 }
 

@@ -27,9 +27,13 @@
 #include "datagen/generators.h"
 #include "gtest/gtest.h"
 #include "index/index_tables.h"
+#include "index/maintenance.h"
 #include "index/sequence_index.h"
 #include "query/pattern.h"
 #include "query/query_processor.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/query_service.h"
 #include "storage/database.h"
 
 namespace seqdet {
@@ -364,6 +368,123 @@ TEST(DifferentialBatchTest, DetectBatchAgreesWithOracle) {
     ASSERT_EQ(Normalized((*results)[i]), Normalized(oracle.Detect(raw[i])))
         << Describe(raw[i], seed, "batch");
   }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP mode: the serving layer versus in-process Detect
+// ---------------------------------------------------------------------------
+
+/// The textual query for a pattern, as a /detect target. The response is
+/// compared byte-for-byte against DetectResponseJson over the in-process
+/// Detect result — the serializer is shared, so any difference implicates
+/// the HTTP layer (parsing, encoding, concurrency), not formatting drift.
+std::string DetectTarget(const SequenceIndex& index,
+                         const std::vector<ActivityId>& pattern) {
+  std::string q;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i > 0) q += " -> ";
+    q += index.dictionary().Name(pattern[i]);
+  }
+  return "/detect?q=" + server::HttpClient::UrlEncode(q) + "&limit=1000000";
+}
+
+TEST(DifferentialHttpTest, HttpDetectMatchesInProcessByteForByte) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, Policy::kSkipTillNextMatch, index::kPostingFormatBlocked);
+
+  server::QueryService service(f.index.get());
+  server::HttpServer http;
+  service.RegisterRoutes(&http);
+  ASSERT_TRUE(http.Start(0).ok());
+  server::HttpClient client(http.port());
+  QueryProcessor qp(f.index.get());
+
+  auto patterns =
+      RandomPatterns(PatternsPerConfig(), f.index->dictionary().size(), seed);
+  for (const auto& p : patterns) {
+    auto response = client.Get(DetectTarget(*f.index, p));
+    ASSERT_TRUE(response.ok())
+        << response.status() << " " << Describe(p, seed, "http");
+    ASSERT_EQ(response->status, 200)
+        << response->body << " " << Describe(p, seed, "http");
+    auto matches = qp.Detect(Pattern(p));
+    ASSERT_TRUE(matches.ok())
+        << matches.status() << " " << Describe(p, seed, "http");
+    ASSERT_EQ(response->body,
+              server::DetectResponseJson(*matches, 1000000))
+        << Describe(p, seed, "http");
+  }
+  http.Stop();
+}
+
+TEST(DifferentialHttpTest, HttpDetectAgreesUnderConcurrentAutoFold) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+
+  // The log is frozen (no writer), so fold invariance is exactly what this
+  // certifies: a fold pass stretched across the whole query phase by an
+  // aggressive-threshold + rate-limited maintenance service must never
+  // change what /detect returns. Small blocks maximize the per-key folds
+  // the queries overlap with.
+  storage::DbOptions db_options;
+  db_options.table.in_memory = true;
+  db_options.table.use_wal = false;
+  auto db = std::move(storage::Database::Open("", db_options)).value();
+  IndexOptions options;
+  options.policy = Policy::kSkipTillNextMatch;
+  options.num_threads = 1;
+  options.posting_format = index::kPostingFormatBlocked;
+  options.cache_bytes = 1u << 20;
+  options.posting_block_bytes = 96;
+  options.maintenance.auto_fold = true;
+  options.maintenance.check_interval_ms = 5;
+  options.maintenance.min_pending_bytes = 1;
+  options.maintenance.min_pending_ops = 1;
+  options.maintenance.rate_limit_bytes_per_sec = 256u << 10;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  ASSERT_NE(index->maintenance(), nullptr);
+  ASSERT_TRUE(index->Update(log).ok());
+
+  server::QueryService service(index.get());
+  server::HttpServer http;
+  service.RegisterRoutes(&http);
+  ASSERT_TRUE(http.Start(0).ok());
+  server::HttpClient client(http.port());
+  QueryProcessor qp(index.get());
+
+  auto patterns =
+      RandomPatterns(PatternsPerConfig(), index->dictionary().size(), seed);
+  bool fold_observed = false;
+  for (const auto& p : patterns) {
+    fold_observed |= index->maintenance_stats().fold_in_progress;
+    std::string target = DetectTarget(*index, p);
+    // A fold committing between the HTTP call and the in-process call may
+    // permute equal-result orderings; one retry re-reads both sides within
+    // a (much shorter) window. A real disagreement fails both attempts.
+    std::string got, want;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      auto response = client.Get(target);
+      ASSERT_TRUE(response.ok())
+          << response.status() << " " << Describe(p, seed, "http-fold");
+      ASSERT_EQ(response->status, 200)
+          << response->body << " " << Describe(p, seed, "http-fold");
+      auto matches = qp.Detect(Pattern(p));
+      ASSERT_TRUE(matches.ok())
+          << matches.status() << " " << Describe(p, seed, "http-fold");
+      got = response->body;
+      want = server::DetectResponseJson(*matches, 1000000);
+      if (got == want) break;
+    }
+    ASSERT_EQ(got, want) << Describe(p, seed, "http-fold");
+  }
+  http.Stop();
+
+  index::MaintenanceStats m = index->maintenance_stats();
+  EXPECT_TRUE(fold_observed || m.folds_run > 0)
+      << "maintenance never overlapped the query phase — thresholds or "
+         "rate limit broken?";
+  EXPECT_EQ(m.errors, 0u) << m.last_error;
 }
 
 }  // namespace

@@ -32,6 +32,7 @@
 #include "log/xes_io.h"
 #include "query/pattern_parser.h"
 #include "query/query_processor.h"
+#include "server/http_client.h"
 #include "server/http_server.h"
 #include "server/query_service.h"
 #include "storage/database.h"
@@ -88,12 +89,19 @@ int Usage() {
       "           [--method=indexing|parsing|state] [--threads=N]\n"
       "           [--cache-bytes=N]  read-cache budget (0 disables)\n"
       "           [--lifecycle=complete]  keep only matching XES events\n"
-      "  info     --db=<dir>\n"
+      "  info     --db=<dir> | --port=<n>  (--port asks a live server)\n"
       "  stats    --db=<dir> --pattern=a,b,c [--last-completion]\n"
       "  detect   --db=<dir> --pattern=a,b,c [--limit=N] [--max-gap=N]\n"
       "           [--max-span=N]\n"
       "  query    --db=<dir> --q=\"a -> b within N gap <= M\" [--limit=N]\n"
       "  serve    --db=<dir> [--port=8391]   JSON-over-HTTP query service\n"
+      "           [--http-threads=N]  worker pool size (default: cores)\n"
+      "           [--max-inflight=64]  admission limit; excess queries\n"
+      "           are shed with 503 + Retry-After (0 disables)\n"
+      "           [--request-deadline-ms=N]  default per-query budget;\n"
+      "           long joins are cancelled with 504 (0 disables)\n"
+      "           [--backlog=N] [--keepalive-max=100]\n"
+      "           [--idle-timeout-ms=5000]\n"
       "           [--auto-fold]  background maintenance: fold fragmented\n"
       "           posting lists + compact statistics automatically\n"
       "           [--fold-interval-ms=500] [--fold-min-bytes=4194304]\n"
@@ -229,6 +237,21 @@ int CmdIndex(const Args& args) {
 }
 
 int CmdInfo(const Args& args) {
+  if (args.Has("port")) {
+    // Live mode: ask a running `seqdet serve` for its /info — the only way
+    // to see serving stats (per-route latency, sheds, in-flight) and the
+    // cache/maintenance counters of the process actually serving traffic.
+    server::HttpClient client(static_cast<uint16_t>(args.GetInt("port", 0)));
+    auto response = client.Get("/info");
+    if (!response.ok()) return Fail(response.status());
+    if (response->status != 200) {
+      return Fail(Status::IOError(StringPrintf(
+          "/info returned HTTP %d: %s", response->status,
+          response->body.c_str())));
+    }
+    std::printf("%s\n", response->body.c_str());
+    return 0;
+  }
   std::string db_path = args.Get("db");
   if (db_path.empty()) return Usage();
   auto db = storage::Database::Open(db_path);
@@ -443,18 +466,36 @@ int CmdServe(const Args& args) {
       static_cast<int64_t>(maint.rate_limit_bytes_per_sec)));
   auto index = OpenIndexAnyPolicy(db->get(), &maint);
   if (!index.ok()) return Fail(index.status());
-  server::QueryService service(index->get());
-  server::HttpServer http;
+  server::ServingOptions serving;
+  serving.max_inflight =
+      static_cast<size_t>(args.GetInt("max-inflight",
+                                      static_cast<int64_t>(serving.max_inflight)));
+  serving.default_deadline_ms =
+      args.GetInt("request-deadline-ms", serving.default_deadline_ms);
+  server::QueryService service(index->get(), serving);
+  server::HttpServerOptions http_options;
+  http_options.num_threads =
+      static_cast<size_t>(args.GetInt("http-threads", 0));
+  http_options.backlog = static_cast<int>(args.GetInt("backlog", 0));
+  http_options.max_keepalive_requests = static_cast<size_t>(args.GetInt(
+      "keepalive-max",
+      static_cast<int64_t>(http_options.max_keepalive_requests)));
+  http_options.idle_timeout_ms =
+      args.GetInt("idle-timeout-ms", http_options.idle_timeout_ms);
+  server::HttpServer http(http_options);
   service.RegisterRoutes(&http);
   uint16_t port = static_cast<uint16_t>(args.GetInt("port", 8391));
   Status started = http.Start(port);
   if (!started.ok()) return Fail(started);
-  std::printf("query service listening on http://127.0.0.1:%u\n"
+  std::printf("query service listening on http://127.0.0.1:%u "
+              "(%zu workers, max in-flight %zu, default deadline %lld ms)\n"
               "endpoints: /health /info /detect /stats /continue\n"
               "example: curl 'http://127.0.0.1:%u/detect?q=act_0+-%%3E+act_1'\n"
               "auto-fold: %s\n"
               "Ctrl-C to stop.\n",
-              http.port(), http.port(), maint.auto_fold ? "on" : "off");
+              http.port(), http.options().num_threads, serving.max_inflight,
+              static_cast<long long>(serving.default_deadline_ms),
+              http.port(), maint.auto_fold ? "on" : "off");
   // Serve until SIGINT/SIGTERM, then shut down cleanly: stop accepting,
   // quiesce the maintenance service (finishes the in-flight fold commit,
   // aborts the rest), and flush through the index destructor.
@@ -463,6 +504,25 @@ int CmdServe(const Args& args) {
   while (!g_serve_stop) pause();
   std::printf("\nshutting down...\n");
   http.Stop();
+  server::HttpServerStats http_stats = http.stats();
+  server::ServingStatsSnapshot stats = service.serving_stats();
+  std::printf("served %llu requests over %llu connections "
+              "(%llu bad, %llu read timeouts, %llu shed)\n",
+              static_cast<unsigned long long>(http_stats.requests_served),
+              static_cast<unsigned long long>(http_stats.connections_accepted),
+              static_cast<unsigned long long>(http_stats.bad_requests),
+              static_cast<unsigned long long>(http_stats.timeouts),
+              static_cast<unsigned long long>(stats.shed_total));
+  for (const auto& route : stats.routes) {
+    if (route.requests == 0) continue;
+    std::printf("  %-10s %llu requests, %llu shed, %llu deadline-exceeded, "
+                "p50 %.2f ms, p99 %.2f ms\n",
+                route.route.c_str(),
+                static_cast<unsigned long long>(route.requests),
+                static_cast<unsigned long long>(route.shed),
+                static_cast<unsigned long long>(route.deadline_exceeded),
+                route.p50_ms, route.p99_ms);
+  }
   if ((*index)->maintenance() != nullptr) {
     (*index)->maintenance()->Stop();
     index::MaintenanceStats stats = (*index)->maintenance_stats();
