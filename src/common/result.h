@@ -15,7 +15,7 @@ namespace seqdet {
 /// an OK status is a programming error (asserted in debug builds, converted
 /// to an Internal error otherwise).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit, so functions can
   /// `return value;`).
@@ -82,6 +82,10 @@ class Result {
   auto tmp = (rexpr);                                  \
   if (!tmp.ok()) return tmp.status();                  \
   lhs = std::move(tmp).value()
+
+/// Explicitly discards a Result on a best-effort path (see IgnoreStatus).
+template <typename T>
+inline void IgnoreStatus(const Result<T>&) {}
 
 }  // namespace seqdet
 

@@ -31,7 +31,12 @@ const char* StatusCodeName(StatusCode code);
 /// The OK status carries no allocation; error statuses carry a code and a
 /// message. Functions that can fail return `Status` (or `Result<T>`), and
 /// callers are expected to check `ok()` before using any outputs.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a returned Status hides failures, so
+/// every drop is a compile error (-Werror=unused-result). Intentional
+/// drops — best-effort cleanup paths — go through IgnoreStatus() so the
+/// intent is visible at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -102,6 +107,11 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// Explicitly discards a Status on a best-effort path (cleanup, background
+/// retry, "failure here only degrades, never corrupts"). Grep-able proof
+/// that the drop was a decision, not an oversight.
+inline void IgnoreStatus(const Status&) {}
 
 /// Propagates a non-OK status to the caller.
 #define SEQDET_RETURN_IF_ERROR(expr)             \

@@ -2,14 +2,14 @@
 #define SEQDET_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace seqdet {
 
@@ -38,10 +38,10 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       tasks_.emplace([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return fut;
   }
 
@@ -54,7 +54,7 @@ class ThreadPool {
   /// Tasks submitted but not yet picked up by a worker — the pool's wait
   /// queue. The HTTP server exports it as its connection-queue depth.
   size_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return tasks_.size();
   }
 
@@ -65,10 +65,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace seqdet

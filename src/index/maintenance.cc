@@ -18,7 +18,7 @@ MaintenanceService::MaintenanceService(SequenceIndex* index,
 MaintenanceService::~MaintenanceService() { Stop(); }
 
 void MaintenanceService::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   running_ = true;
   loop_exited_ = false;
@@ -29,23 +29,23 @@ void MaintenanceService::Start() {
 
 void MaintenanceService::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   loop_.get();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 void MaintenanceService::Kick() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     kicked_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool MaintenanceService::ShouldFold() const {
@@ -54,41 +54,49 @@ bool MaintenanceService::ShouldFold() const {
          pending.ops >= options_.min_pending_ops;
 }
 
+bool MaintenanceService::IdleLocked() const {
+  if (!running_ || loop_exited_) return true;
+  return !cycle_active_ && !ShouldFold();
+}
+
 bool MaintenanceService::WaitIdle(int64_t timeout_ms) {
   Kick();
-  std::unique_lock<std::mutex> lock(mu_);
-  return idle_cv_.wait_for(lock, milliseconds(timeout_ms), [this] {
-    if (!running_ || loop_exited_) return true;
-    return !cycle_active_ && !ShouldFold();
-  }) && running_ && !loop_exited_;
+  const auto deadline = steady_clock::now() + milliseconds(timeout_ms);
+  MutexLock lock(mu_);
+  while (!IdleLocked()) {
+    if (!idle_cv_.WaitUntil(mu_, deadline)) break;  // timed out
+  }
+  return IdleLocked() && running_ && !loop_exited_;
 }
 
 void MaintenanceService::RunLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    cv_.wait_for(lock, milliseconds(options_.check_interval_ms), [this] {
-      return kicked_ || stop_requested_.load(std::memory_order_acquire);
-    });
+    const auto deadline =
+        steady_clock::now() + milliseconds(options_.check_interval_ms);
+    while (!kicked_ && !stop_requested_.load(std::memory_order_acquire)) {
+      if (!cv_.WaitUntil(mu_, deadline)) break;  // interval elapsed
+    }
     kicked_ = false;
     if (stop_requested_.load(std::memory_order_acquire)) break;
     if (!ShouldFold()) {
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
       continue;
     }
     cycle_active_ = true;
-    lock.unlock();
+    lock.Unlock();
     Status s = RunCycle();
-    lock.lock();
+    lock.Lock();
     cycle_active_ = false;
     if (!s.ok() && !s.IsAborted()) {
       // Aborted is the pace callback's clean-shutdown signal, not a fault.
       errors_.fetch_add(1, std::memory_order_relaxed);
       last_error_ = s.ToString();
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
   loop_exited_ = true;
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 Status MaintenanceService::RunCycle() {
@@ -160,7 +168,7 @@ MaintenanceStats MaintenanceService::stats() const {
   out.queue_depth = pending.ops;
   out.pending_bytes = pending.bytes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.running = running_ && !loop_exited_;
     out.last_error = last_error_;
   }

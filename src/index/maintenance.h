@@ -2,14 +2,13 @@
 #define SEQDET_INDEX_MAINTENANCE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "index/index_tables.h"
 
@@ -120,6 +119,9 @@ class MaintenanceService {
   void RunLoop();
   Status RunCycle();
   bool ShouldFold() const;
+  /// The WaitIdle() wake-up condition (no cycle in flight, thresholds not
+  /// exceeded, loop alive). Evaluated inside wait loops holding mu_.
+  bool IdleLocked() const REQUIRES(mu_);
 
   SequenceIndex* index_;
   MaintenanceOptions options_;
@@ -127,14 +129,14 @@ class MaintenanceService {
   /// lifetime, which would starve a shared pool.
   ThreadPool pool_{1};
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;       // wakes the loop (kick / stop)
-  std::condition_variable idle_cv_;  // wakes WaitIdle waiters
-  bool running_ = false;             // guarded by mu_
-  bool loop_exited_ = false;         // guarded by mu_
-  bool kicked_ = false;              // guarded by mu_
-  bool cycle_active_ = false;        // guarded by mu_
-  std::string last_error_;           // guarded by mu_
+  mutable Mutex mu_;
+  CondVar cv_;       // wakes the loop (kick / stop)
+  CondVar idle_cv_;  // wakes WaitIdle waiters
+  bool running_ GUARDED_BY(mu_) = false;
+  bool loop_exited_ GUARDED_BY(mu_) = false;
+  bool kicked_ GUARDED_BY(mu_) = false;
+  bool cycle_active_ GUARDED_BY(mu_) = false;
+  std::string last_error_ GUARDED_BY(mu_);
   std::future<void> loop_;
 
   std::atomic<bool> stop_requested_{false};

@@ -48,7 +48,7 @@ PostingCache::Snapshot PostingCache::GetBlock(uint32_t period,
   if (!enabled()) return nullptr;
   Key key{period, pair, block};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -75,7 +75,7 @@ void PostingCache::PutBlock(uint32_t period, const EventTypePair& pair,
   size_t bytes = ChargedBytes(postings);
   Shard& shard = ShardFor(key);
   if (bytes > shard_capacity_bytes_) return;  // would evict everything
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) EraseLocked(shard, it);
   while (shard.bytes + bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
@@ -95,7 +95,7 @@ void PostingCache::PutBlock(uint32_t period, const EventTypePair& pair,
 
 void PostingCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.clear();
     shard.lru.clear();
     shard.bytes = 0;
@@ -106,7 +106,7 @@ PostingCacheStats PostingCache::stats() const {
   PostingCacheStats out;
   out.capacity_bytes = capacity_bytes_;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.evictions += shard.evictions;

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "index/pair.h"
 
 namespace seqdet::index {
@@ -128,24 +128,25 @@ class PostingCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Key> lru;  // front = most recently used
-    std::unordered_map<Key, Entry, KeyHash> map;
-    size_t bytes = 0;
+    mutable Mutex mu;
+    std::list<Key> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Key, Entry, KeyHash> map GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
     // Counters live under mu; Get/Put take it anyway.
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t invalidations = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
+    uint64_t invalidations GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key) {
     return shards_[KeyHash{}(key) % shards_.size()];
   }
 
-  // Removes `it` from `shard` (caller holds shard.mu).
+  // Removes `it` from `shard`.
   void EraseLocked(Shard& shard,
-                   std::unordered_map<Key, Entry, KeyHash>::iterator it);
+                   std::unordered_map<Key, Entry, KeyHash>::iterator it)
+      REQUIRES(shard.mu);
 
   size_t capacity_bytes_;
   size_t shard_capacity_bytes_;

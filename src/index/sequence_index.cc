@@ -4,12 +4,12 @@
 #include <atomic>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/coding.h"
 #include "common/strings.h"
+#include "common/sync.h"
 
 namespace seqdet::index {
 
@@ -299,7 +299,7 @@ Result<UpdateStats> SequenceIndex::Update(const EventLog& new_events) {
   std::atomic<size_t> pairs_extracted{0};
   std::atomic<size_t> pairs_indexed{0};
   std::atomic<size_t> events_appended{0};
-  std::mutex error_mu;
+  Mutex error_mu;
   Status first_error;
 
   auto process_chunk = [&](size_t begin, size_t end) {
@@ -313,7 +313,7 @@ Result<UpdateStats> SequenceIndex::Update(const EventLog& new_events) {
         count_deltas;
 
     auto fail = [&](const Status& s) {
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(error_mu);
       if (first_error.ok()) first_error = s;
     };
 

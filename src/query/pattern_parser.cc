@@ -100,7 +100,7 @@ Result<ParsedQuery> ParsePatternQuery(
     auto peeked = tokens.Peek();
     if (!peeked.ok()) return peeked.status();
     if (peeked->quoted || peeked->text != "->") break;
-    (void)tokens.Next();  // consume the arrow (cannot fail; just peeked)
+    IgnoreStatus(tokens.Next());  // consume the arrow (cannot fail; peeked)
   }
 
   // Constraints.

@@ -261,7 +261,7 @@ Status HttpServer::Start(uint16_t port) {
     options_.num_threads = ThreadPool::HardwareConcurrency();
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
   running_.store(true);
@@ -282,16 +282,16 @@ void HttpServer::Stop() {
   //    workers stop waiting for further requests but can still flush the
   //    response of the request they are serving.
   {
-    std::unique_lock<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (int fd : conns_) ::shutdown(fd, SHUT_RD);
-    conns_empty_cv_.wait(lock, [this] { return conns_.empty(); });
+    while (!conns_.empty()) conns_empty_cv_.Wait(conns_mu_);
   }
   // 3. Join the (now idle) workers. The pointer handoff is under stats_mu_
   //    (stats() reads pool_ for the queue gauge) but the join itself is
   //    not, so a worker logging stats cannot deadlock against it.
   std::unique_ptr<ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     pool = std::move(pool_);
   }
   pool.reset();
@@ -300,18 +300,26 @@ void HttpServer::Stop() {
 HttpServerStats HttpServer::stats() const {
   HttpServerStats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     out = stats_;
     out.queued_connections = pool_ != nullptr ? pool_->queue_depth() : 0;
   }
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     out.active_connections = conns_.size();
   }
   return out;
 }
 
 void HttpServer::AcceptLoop() {
+  // Read the pool pointer once under stats_mu_ (the handoff lock). The
+  // pointee is stable for the whole loop: Stop() joins this thread before
+  // moving pool_ out.
+  ThreadPool* pool;
+  {
+    MutexLock lock(stats_mu_);
+    pool = pool_.get();
+  }
   while (running_.load()) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -319,7 +327,7 @@ void HttpServer::AcceptLoop() {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       // A connection racing Stop() would miss the drain shutdown; refuse
       // it here instead of handing it to a pool that is about to join.
       if (!running_.load()) {
@@ -329,10 +337,10 @@ void HttpServer::AcceptLoop() {
       conns_.insert(fd);
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.connections_accepted;
     }
-    pool_->Submit([this, fd] { HandleConnection(fd); });
+    pool->Submit([this, fd] { HandleConnection(fd); });
   }
 }
 
@@ -360,9 +368,9 @@ void HttpServer::HandleConnection(int fd) {
     HttpServer* server;
     int fd;
     ~Unregister() {
-      std::lock_guard<std::mutex> lock(server->conns_mu_);
+      MutexLock lock(server->conns_mu_);
       server->conns_.erase(fd);
-      if (server->conns_.empty()) server->conns_empty_cv_.notify_all();
+      if (server->conns_.empty()) server->conns_empty_cv_.NotifyAll();
     }
   } unregister{this, fd};
 
@@ -396,7 +404,7 @@ void HttpServer::HandleConnection(int fd) {
           !buffer.empty()) {
         // Half a request then silence: tell the client before closing.
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(stats_mu_);
           ++stats_.timeouts;
         }
         WriteResponse(fd, HttpResponse::Error(408, "request timed out"),
@@ -406,7 +414,7 @@ void HttpServer::HandleConnection(int fd) {
     }
     if (outcome != ParseOutcome::kOk) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.bad_requests;
       }
       int status = outcome == ParseOutcome::kTooLarge ? 413 : 400;
@@ -425,7 +433,7 @@ void HttpServer::HandleConnection(int fd) {
       response = it->second(request);
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_served;
     }
 

@@ -2,12 +2,10 @@
 #define SEQDET_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -16,6 +14,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 
 namespace seqdet::server {
@@ -155,17 +154,20 @@ class HttpServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
-  std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> running_{false};
 
   /// Live connection fds, so Stop() can shut down their read sides and
   /// wait for the workers to finish flushing responses.
-  mutable std::mutex conns_mu_;
-  std::condition_variable conns_empty_cv_;
-  std::unordered_set<int> conns_;
+  mutable Mutex conns_mu_;
+  CondVar conns_empty_cv_;
+  std::unordered_set<int> conns_ GUARDED_BY(conns_mu_);
 
-  mutable std::mutex stats_mu_;
-  HttpServerStats stats_;
+  mutable Mutex stats_mu_;
+  HttpServerStats stats_ GUARDED_BY(stats_mu_);
+  /// The pointer handoff (Start/Stop) is under stats_mu_ because stats()
+  /// reads pool_ for the queue gauge; the pointee outlives every reader
+  /// (Stop joins the accept thread before resetting it).
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(stats_mu_);
 };
 
 /// Tiny JSON writer for the handlers (strings, numbers, arrays, objects —

@@ -59,7 +59,7 @@ std::string DetectResponseJson(const std::vector<query::PatternMatch>& matches,
 // ---------------------------------------------------------------------------
 
 void QueryService::RouteStats::RecordLatency(double ms) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   if (latency_window.size() < kLatencyWindow) {
     latency_window.push_back(ms);
   } else {
@@ -78,7 +78,7 @@ RouteStatsSnapshot QueryService::RouteStats::Snapshot() const {
   out.inflight = inflight.load();
   Histogram latency;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (double ms : latency_window) latency.Add(ms);
   }
   out.latency_samples = latency.count();

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/timer.h"
 #include "index/sequence_index.h"
 #include "query/query_processor.h"
@@ -112,9 +112,9 @@ class QueryService {
     std::atomic<uint64_t> errors{0};
     std::atomic<int64_t> inflight{0};
 
-    mutable std::mutex mu;
-    std::vector<double> latency_window;  // ring buffer, newest overwrite
-    size_t window_next = 0;
+    mutable Mutex mu;
+    std::vector<double> latency_window GUARDED_BY(mu);  // newest overwrite
+    size_t window_next GUARDED_BY(mu) = 0;
   };
   static constexpr size_t kLatencyWindow = 8192;
 

@@ -31,6 +31,9 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
 }
 
 Status Database::DiscoverExistingTables() {
+  // Runs inside Open() before the database is published; the lock only
+  // satisfies the GUARDED_BY discipline on tables_.
+  MutexLock lock(mu_);
   std::set<std::string> names;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
@@ -52,7 +55,7 @@ Status Database::DiscoverExistingTables() {
 }
 
 Result<Table*> Database::GetOrCreateTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it != tables_.end()) return it->second.get();
   auto opened = Table::Open(dir_, name, options_.table);
@@ -64,7 +67,7 @@ Result<Table*> Database::GetOrCreateTable(const std::string& name) {
 
 Result<ShardedTable*> Database::GetOrCreateShardedTable(
     const std::string& name, size_t num_shards) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sharded_.find(name);
   if (it != sharded_.end()) {
     if (it->second->num_shards() != num_shards) {
@@ -97,13 +100,13 @@ Result<ShardedTable*> Database::GetOrCreateShardedTable(
 }
 
 Table* Database::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 Status Database::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table " + name);
   SEQDET_RETURN_IF_ERROR(it->second->DestroyFiles());
@@ -112,7 +115,7 @@ Status Database::DropTable(const std::string& name) {
 }
 
 Status Database::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, table] : tables_) {
     SEQDET_RETURN_IF_ERROR(table->Flush());
   }
@@ -123,7 +126,7 @@ Status Database::FlushAll() {
 }
 
 Status Database::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, table] : tables_) {
     SEQDET_RETURN_IF_ERROR(table->Compact());
   }
@@ -134,7 +137,7 @@ Status Database::CompactAll() {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -142,7 +145,7 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 std::vector<std::string> Database::ShardedTableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(sharded_.size());
   for (const auto& [name, table] : sharded_) names.push_back(name);
@@ -150,7 +153,7 @@ std::vector<std::string> Database::ShardedTableNames() const {
 }
 
 ShardedTable* Database::GetShardedTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sharded_.find(name);
   return it == sharded_.end() ? nullptr : it->second.get();
 }

@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/sharded_table.h"
 #include "storage/table.h"
 
@@ -77,9 +77,10 @@ class Database {
 
   std::string dir_;
   DbOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  std::map<std::string, std::unique_ptr<ShardedTable>> sharded_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ShardedTable>> sharded_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace seqdet::storage

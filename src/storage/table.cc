@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
-#include <mutex>
 
 #include "common/strings.h"
 
@@ -41,6 +40,10 @@ std::string Table::WalPath(uint64_t id) const {
 }
 
 Status Table::Recover() {
+  // Recovery runs inside Open() before the table is published, so there is
+  // no contention — the lock is taken only to satisfy the static analysis's
+  // GUARDED_BY discipline on the fields it initializes.
+  WriterLock lock(mu_);
   if (options_.in_memory) return Status::OK();
 
   // The directory listing is the manifest: segment files are
@@ -132,28 +135,28 @@ Status Table::MaybeFlushLocked() {
 }
 
 Status Table::Put(std::string_view key, std::string_view value) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   version_.fetch_add(1, std::memory_order_release);
   SEQDET_RETURN_IF_ERROR(WriteRecordLocked(RecordKind::kPut, key, value));
   return MaybeFlushLocked();
 }
 
 Status Table::Append(std::string_view key, std::string_view fragment) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   version_.fetch_add(1, std::memory_order_release);
   SEQDET_RETURN_IF_ERROR(WriteRecordLocked(RecordKind::kAppend, key, fragment));
   return MaybeFlushLocked();
 }
 
 Status Table::Delete(std::string_view key) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   version_.fetch_add(1, std::memory_order_release);
   SEQDET_RETURN_IF_ERROR(WriteRecordLocked(RecordKind::kDelete, key, {}));
   return MaybeFlushLocked();
 }
 
 Status Table::Apply(const WriteBatch& batch) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   // One bump per batch: the batch becomes visible atomically under the
   // exclusive lock, so a single version step covers all of its records.
   if (!batch.empty()) version_.fetch_add(1, std::memory_order_release);
@@ -169,7 +172,7 @@ Status Table::Apply(const WriteBatch& batch) {
 Status Table::RewriteValue(
     std::string_view key,
     const std::function<Status(std::string_view, std::string*)>& fn) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   std::string current;
   if (!FoldGetLocked(key, &current)) {
     return Status::NotFound("key not found");
@@ -239,7 +242,7 @@ bool Table::FoldGetLocked(std::string_view key, std::string* value) const {
 }
 
 Status Table::Get(std::string_view key, std::string* value) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   if (!FoldGetLocked(key, value)) {
     return Status::NotFound("key not found");
   }
@@ -254,7 +257,7 @@ bool Table::Contains(std::string_view key) const {
 Status Table::Scan(
     std::string_view start_key, std::string_view end_key,
     const std::function<bool(std::string_view, std::string_view)>& fn) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
 
   // Cursors over every source, merged by key. Rank 0 is the memtable
   // (newest); segment ranks grow with age.
@@ -412,12 +415,12 @@ Status Table::RotateWalLocked(uint64_t flushed_id) {
 }
 
 Status Table::Flush() {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   return FlushLocked();
 }
 
 Status Table::Compact() {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   // Compaction preserves the folded contents, but bump anyway: derived
   // caches must treat any physical rewrite as a new generation.
   version_.fetch_add(1, std::memory_order_release);
@@ -507,24 +510,24 @@ Status Table::CompactLocked() {
 }
 
 size_t Table::NumSegments() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return segments_.size();
 }
 
 size_t Table::MemTableBytes() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return mem_.ApproximateBytes();
 }
 
 size_t Table::ApproximateEntryCount() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   size_t n = mem_.size();
   for (const auto& s : segments_) n += s->size();
   return n;
 }
 
 Status Table::DestroyFiles() {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   version_.fetch_add(1, std::memory_order_release);
   if (options_.in_memory) {
     segments_.clear();

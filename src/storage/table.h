@@ -4,13 +4,13 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/kv.h"
 #include "storage/memtable.h"
 #include "storage/segment.h"
@@ -119,28 +119,31 @@ class Table : public Kv {
 
   Status Recover();
   Status WriteRecordLocked(RecordKind kind, std::string_view key,
-                           std::string_view value);
-  Status MaybeFlushLocked();
-  Status FlushLocked();
-  Status CompactLocked();
+                           std::string_view value) REQUIRES(mu_);
+  Status MaybeFlushLocked() REQUIRES(mu_);
+  Status FlushLocked() REQUIRES(mu_);
+  Status CompactLocked() REQUIRES(mu_);
   std::string SegmentPath(uint64_t id) const;
   std::string WalPath(uint64_t id) const;
-  Status RotateWalLocked(uint64_t flushed_id);
+  Status RotateWalLocked(uint64_t flushed_id) REQUIRES(mu_);
 
   // Folds the value of `key` across memtable + segments. Returns true when
-  // a live value exists.
-  bool FoldGetLocked(std::string_view key, std::string* value) const;
+  // a live value exists. Readers call it under the shared lock,
+  // RewriteValue under the exclusive one.
+  bool FoldGetLocked(std::string_view key, std::string* value) const
+      REQUIRES_SHARED(mu_);
 
   std::string dir_;
   std::string name_;
   TableOptions options_;
 
-  mutable std::shared_mutex mu_;
-  MemTable mem_;
-  std::vector<std::shared_ptr<Segment>> segments_;  // oldest first
-  std::vector<uint64_t> segment_ids_;               // parallel to segments_
-  WalWriter wal_;
-  uint64_t next_segment_id_ = 0;
+  mutable SharedMutex mu_;
+  MemTable mem_ GUARDED_BY(mu_);
+  // Oldest first; segment_ids_ is parallel to segments_.
+  std::vector<std::shared_ptr<Segment>> segments_ GUARDED_BY(mu_);
+  std::vector<uint64_t> segment_ids_ GUARDED_BY(mu_);
+  WalWriter wal_ GUARDED_BY(mu_);
+  uint64_t next_segment_id_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> version_{0};
 };
 

@@ -4,14 +4,24 @@
 # delegates to check_tsan.sh for the ThreadSanitizer pass over the
 # concurrency-sensitive binaries.
 #
+# The static gate (tools/check_static.sh: Clang thread-safety build,
+# clang-tidy, negative-compile probes, raw-primitive grep) runs first; its
+# Clang-only steps self-skip with a loud warning when the tools are absent.
+#
 # Usage: tools/check_all.sh [asan-build-dir [tsan-build-dir]]
 #   (defaults: build-asan, build-tsan)
 # Set SEQDET_SKIP_TSAN=1 to run only the ASan/UBSan pass.
+# Set SEQDET_SKIP_STATIC=1 to skip the static gate.
 set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 ASAN_DIR="${1:-${REPO_DIR}/build-asan}"
 TSAN_DIR="${2:-${REPO_DIR}/build-tsan}"
+
+if [[ "${SEQDET_SKIP_STATIC:-0}" != "1" ]]; then
+  echo "=== STATIC: check_static.sh ==="
+  "${REPO_DIR}/tools/check_static.sh"
+fi
 
 echo "=== ASAN/UBSAN: configure + build (${ASAN_DIR}) ==="
 cmake -B "${ASAN_DIR}" -S "${REPO_DIR}" -DSEQDET_SANITIZE=address,undefined

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# Static-analysis gate, the compile-time sibling of check_all.sh /
+# check_tsan.sh. One command runs:
+#
+#   1. The Clang Thread Safety build: SEQDET_THREAD_SAFETY=ON compiles
+#      everything with -Wthread-safety -Werror=thread-safety, so any access
+#      to a GUARDED_BY field without its lock is a compile error.
+#   2. Negative-compile probes (tools/static_probes/): a deliberate lock
+#      violation and a deliberate dropped Status must FAIL to compile —
+#      proof the gates are live, not decorative.
+#   3. clang-tidy over src/ tests/ bench/ tools/ with the curated
+#      .clang-tidy (WarningsAsErrors, so any unsuppressed finding fails).
+#   4. A grep gate: no raw std::mutex / std::shared_mutex /
+#      std::condition_variable / lock_guard / unique_lock / shared_lock /
+#      scoped_lock may appear in src/ outside common/sync.h.
+#
+# Clang-only steps are skipped WITH A LOUD WARNING when clang/clang-tidy is
+# not installed; the compiler-agnostic steps (nodiscard probe, grep gate)
+# always run, so the script is useful on any machine and strict where the
+# tools exist.
+#
+# Usage: tools/check_static.sh [--negative] [build-dir]
+#   --negative   run only the negative-compile probes (step 2)
+#   build-dir    defaults to build-static
+set -uo pipefail
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+NEGATIVE_ONLY=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --negative) NEGATIVE_ONLY=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-${REPO_DIR}/build-static}"
+
+find_tool() {
+  local c
+  for c in "$@"; do
+    if command -v "$c" >/dev/null 2>&1; then
+      command -v "$c"
+      return 0
+    fi
+  done
+  return 1
+}
+
+CLANGXX="$(find_tool clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+  clang++-17 clang++-16 clang++-15 clang++-14 clang++-13 || true)"
+CLANG_TIDY="$(find_tool clang-tidy clang-tidy-21 clang-tidy-20 \
+  clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 \
+  clang-tidy-14 clang-tidy-13 || true)"
+HOST_CXX="${CXX:-c++}"
+
+warn_skip() {
+  echo "!!!" >&2
+  echo "!!! WARNING: $1" >&2
+  echo "!!! This gate is NOT being enforced on this machine." >&2
+  echo "!!!" >&2
+}
+
+failed=0
+fail() {
+  echo "FAIL: $1" >&2
+  failed=1
+}
+
+# --- Step 2: negative-compile probes (runs in both modes) -----------------
+run_negative_probes() {
+  echo "=== negative probe: dropped Status must not compile ==="
+  if "${HOST_CXX}" -std=c++20 -I "${REPO_DIR}/src" -Werror=unused-result \
+      -fsyntax-only "${REPO_DIR}/tools/static_probes/nodiscard_negative.cc" \
+      2>/dev/null; then
+    fail "nodiscard_negative.cc compiled — the [[nodiscard]] gate is dead"
+  else
+    echo "ok: rejected as expected (${HOST_CXX})"
+  fi
+
+  echo "=== negative probe: unlocked GUARDED_BY access must not compile ==="
+  if [[ -n "${CLANGXX}" ]]; then
+    if "${CLANGXX}" -std=c++20 -I "${REPO_DIR}/src" -Wthread-safety \
+        -Werror=thread-safety -fsyntax-only \
+        "${REPO_DIR}/tools/static_probes/thread_safety_negative.cc" \
+        2>/dev/null; then
+      fail "thread_safety_negative.cc compiled — the thread-safety gate is dead"
+    else
+      echo "ok: rejected as expected (${CLANGXX})"
+    fi
+    # The probe must fail for the RIGHT reason: it must be valid C++ once
+    # the analysis is off (otherwise any syntax error would "pass").
+    if ! "${CLANGXX}" -std=c++20 -I "${REPO_DIR}/src" -fsyntax-only \
+        "${REPO_DIR}/tools/static_probes/thread_safety_negative.cc" \
+        2>/dev/null; then
+      fail "thread_safety_negative.cc is not valid C++ without the analysis"
+    fi
+  else
+    warn_skip "clang++ not found; cannot prove the -Werror=thread-safety gate"
+  fi
+}
+
+run_negative_probes
+if [[ "${NEGATIVE_ONLY}" == "1" ]]; then
+  [[ "${failed}" == "0" ]] && echo "=== negative probes clean ==="
+  exit "${failed}"
+fi
+
+# --- Step 4: grep gate (cheap; run before the builds) ---------------------
+echo "=== grep gate: raw std sync primitives outside common/sync.h ==="
+raw_sync=$(grep -rnE \
+  'std::(mutex|shared_mutex|recursive_mutex|condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)' \
+  "${REPO_DIR}/src/" | grep -v 'common/sync\.h' || true)
+if [[ -n "${raw_sync}" ]]; then
+  echo "${raw_sync}" >&2
+  fail "raw std synchronization primitives in src/ — use common/sync.h"
+else
+  echo "ok: none"
+fi
+
+# --- Step 1: thread-safety build ------------------------------------------
+if [[ -n "${CLANGXX}" ]]; then
+  echo "=== SEQDET_THREAD_SAFETY build (${CLANGXX}) ==="
+  if ! cmake -B "${BUILD_DIR}" -S "${REPO_DIR}" \
+      -DCMAKE_CXX_COMPILER="${CLANGXX}" -DSEQDET_THREAD_SAFETY=ON; then
+    fail "cmake configure failed for the thread-safety build"
+  elif ! cmake --build "${BUILD_DIR}" -j"$(nproc)"; then
+    fail "-Werror=thread-safety build failed (see diagnostics above)"
+  else
+    echo "ok: clean -Werror=thread-safety build"
+  fi
+else
+  warn_skip "clang++ not found; skipping the -Werror=thread-safety build"
+fi
+
+# --- Step 3: clang-tidy ----------------------------------------------------
+if [[ -n "${CLANG_TIDY}" ]]; then
+  # Prefer the clang build's compile commands (exact flags); fall back to
+  # any configured build dir (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+  TIDY_DB=""
+  for d in "${BUILD_DIR}" "${REPO_DIR}/build"; do
+    if [[ -f "${d}/compile_commands.json" ]]; then
+      TIDY_DB="${d}"
+      break
+    fi
+  done
+  if [[ -z "${TIDY_DB}" ]]; then
+    cmake -B "${BUILD_DIR}" -S "${REPO_DIR}" >/dev/null && \
+      TIDY_DB="${BUILD_DIR}"
+  fi
+  echo "=== clang-tidy (${CLANG_TIDY}, -p ${TIDY_DB}) ==="
+  mapfile -t tidy_files < <(cd "${REPO_DIR}" && \
+    find src tests bench tools -name '*.cc' -o -name '*.cpp' | sort)
+  if ! (cd "${REPO_DIR}" && "${CLANG_TIDY}" -p "${TIDY_DB}" --quiet \
+      "${tidy_files[@]}"); then
+    fail "clang-tidy reported findings (every finding is an error)"
+  else
+    echo "ok: clang-tidy clean"
+  fi
+else
+  warn_skip "clang-tidy not found; skipping the lint pass"
+fi
+
+if [[ "${failed}" == "0" ]]; then
+  echo "=== static gate clean ==="
+fi
+exit "${failed}"

@@ -11,8 +11,9 @@ set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_DIR}/build-tsan}"
-TESTS=(storage_test storage_param_test index_test posting_cache_test
-       query_test maintenance_stress_test server_test server_stress_test)
+TESTS=(sync_test storage_test storage_param_test index_test
+       posting_cache_test query_test maintenance_stress_test server_test
+       server_stress_test)
 
 cmake -B "${BUILD_DIR}" -S "${REPO_DIR}" -DSEQDET_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TESTS[@]}"

@@ -1,0 +1,23 @@
+// Negative-compile probe for the [[nodiscard]] Status/Result gate.
+//
+// This file DELIBERATELY drops a returned Status and a returned Result.
+// tools/check_static.sh compiles it with -Werror=unused-result (works on
+// GCC and Clang alike) and asserts the compile FAILS — proving dropped
+// statuses cannot slip through the build. Never linked into any target.
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+seqdet::Status MightFail() { return seqdet::Status::OK(); }
+
+seqdet::Result<int> MightFailWithValue() { return 42; }
+
+}  // namespace
+
+int main() {
+  MightFail();           // BUG (intentional): Status silently dropped.
+  MightFailWithValue();  // BUG (intentional): Result silently dropped.
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Negative-compile probe for the Clang Thread Safety gate.
+//
+// This file DELIBERATELY violates the lock discipline: value_ is
+// GUARDED_BY(mu_) but Increment() touches it without holding the lock.
+// tools/check_static.sh --negative compiles it with -Wthread-safety
+// -Werror=thread-safety and asserts the compile FAILS — proving the gate
+// rejects real violations instead of being decorative. Never linked into
+// any target.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG (intentional): mu_ not held.
+  }
+
+  int Read() {
+    seqdet::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  seqdet::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}
