@@ -96,6 +96,12 @@ PassResult RunDetectSet(const index::SequenceIndex& index,
                         const std::vector<query::Pattern>& queries,
                         size_t reps) {
   PassResult result;
+  // One untimed pass first: the posting cache is off, so every timed query
+  // still decodes from storage — this only warms CPU caches and the
+  // allocator, which otherwise dominate the first repetition's time.
+  for (const auto& p : queries) {
+    if (!qp.Detect(p).ok()) std::abort();
+  }
   index::IndexReadStats before = index.read_stats();
   double seconds = bench::TimeSeconds(reps, [&] {
     result.matches = 0;

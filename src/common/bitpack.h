@@ -1,0 +1,100 @@
+#ifndef SEQDET_COMMON_BITPACK_H_
+#define SEQDET_COMMON_BITPACK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seqdet {
+
+/// Frame-of-reference bit packing: fixed-width little-endian bit fields
+/// appended to a byte string. The writer chooses `bits` as
+/// `BitsNeeded(max - min)` over a group of values and stores each value's
+/// offset from the group minimum; the reader unpacks with the same width.
+/// Widths 0..64 are supported; width 0 appends/reads no bytes (all values
+/// equal the frame minimum).
+
+/// Number of bits needed to represent `v` (0 for v == 0).
+inline uint32_t BitsNeeded(uint64_t v) {
+  uint32_t bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+class BitPacker {
+ public:
+  explicit BitPacker(std::string* dst) : dst_(dst) {}
+
+  void Put(uint64_t v, uint32_t bits) {
+    // Fields wider than 32 bits are split so the 64-bit accumulator can
+    // never overflow (bit_count_ < 8 between calls, so chunk + carry ≤ 39).
+    if (bits == 0) return;
+    if (bits > 32) {
+      Put(v & 0xffffffffu, 32);
+      Put(v >> 32, bits - 32);
+      return;
+    }
+    acc_ |= (v & ((uint64_t{1} << bits) - 1)) << bit_count_;
+    bit_count_ += bits;
+    while (bit_count_ >= 8) {
+      dst_->push_back(static_cast<char>(acc_ & 0xff));
+      acc_ >>= 8;
+      bit_count_ -= 8;
+    }
+  }
+
+  /// Flushes any partial trailing byte (zero-padded high bits).
+  void Finish() {
+    if (bit_count_ > 0) {
+      dst_->push_back(static_cast<char>(acc_ & 0xff));
+      acc_ = 0;
+      bit_count_ = 0;
+    }
+  }
+
+ private:
+  std::string* dst_;
+  uint64_t acc_ = 0;
+  uint32_t bit_count_ = 0;
+};
+
+class BitUnpacker {
+ public:
+  explicit BitUnpacker(std::string_view src) : src_(src) {}
+
+  /// Reads one `bits`-wide field; false on underrun.
+  bool Get(uint32_t bits, uint64_t* out) {
+    if (bits > 32) {
+      uint64_t lo, hi;
+      if (!Get(32, &lo) || !Get(bits - 32, &hi)) return false;
+      *out = lo | (hi << 32);
+      return true;
+    }
+    while (bit_count_ < bits) {
+      if (src_.empty()) return false;
+      acc_ |= static_cast<uint64_t>(static_cast<unsigned char>(src_.front()))
+              << bit_count_;
+      src_.remove_prefix(1);
+      bit_count_ += 8;
+    }
+    *out = bits == 0 ? 0 : (acc_ & ((uint64_t{1} << bits) - 1));
+    acc_ >>= bits;
+    bit_count_ -= bits;
+    return true;
+  }
+
+  /// Bytes not yet consumed (a partial accumulator byte counts as consumed).
+  std::string_view remaining() const { return src_; }
+
+ private:
+  std::string_view src_;
+  uint64_t acc_ = 0;
+  uint32_t bit_count_ = 0;
+};
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_BITPACK_H_

@@ -1,0 +1,159 @@
+#ifndef SEQDET_COMMON_INLINE_VECTOR_H_
+#define SEQDET_COMMON_INLINE_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace seqdet {
+
+/// A vector of trivially-copyable elements with inline storage for the
+/// first N. Sized for values that are almost always small — a detection
+/// match holds one timestamp per pattern event, and patterns rarely exceed
+/// a handful of events — so the common case does no heap allocation at
+/// all, which matters when a hot-pair join materializes tens of thousands
+/// of matches per query. Spills to the heap transparently beyond N.
+///
+/// Deliberately minimal: only the std::vector surface the codebase uses
+/// (push_back/assign/reserve/iteration/indexing/comparisons). Restricted
+/// to trivially copyable T so growth and copies are memcpy and element
+/// destructors never run.
+template <typename T, size_t N>
+class InlineVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVector only supports trivially copyable types");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVector() = default;
+  InlineVector(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+  }
+  /// Implicit from std::vector: callers hand over timestamp lists built
+  /// with standard containers (baseline engines, tests).
+  InlineVector(const std::vector<T>& v) { assign(v.begin(), v.end()); }
+  InlineVector(const InlineVector& other) { assign_raw(other); }
+  InlineVector(InlineVector&& other) noexcept { steal(other); }
+  InlineVector& operator=(const InlineVector& other) {
+    if (this != &other) assign_raw(other);
+    return *this;
+  }
+  InlineVector& operator=(InlineVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ~InlineVector() { release(); }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    size_ = 0;
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  friend bool operator==(const InlineVector& a, const InlineVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator<(const InlineVector& a, const InlineVector& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+  /// Tests compare against std::vector literals; keep those expressions
+  /// working in both operand orders.
+  friend bool operator==(const InlineVector& a, const std::vector<T>& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<T>& a, const InlineVector& b) {
+    return b == a;
+  }
+
+ private:
+  void grow(size_t at_least) {
+    size_t next = std::max(at_least, capacity_ * 2);
+    T* heap = static_cast<T*>(::operator new(next * sizeof(T)));
+    std::memcpy(static_cast<void*>(heap), data_, size_ * sizeof(T));
+    release();
+    data_ = heap;
+    capacity_ = next;
+  }
+
+  void release() {
+    if (data_ != inline_storage()) ::operator delete(data_);
+  }
+
+  /// Copy assignment that reuses the current buffer when it fits.
+  void assign_raw(const InlineVector& other) {
+    if (other.size_ > capacity_) grow(other.size_);
+    std::memcpy(static_cast<void*>(data_), other.data_,
+                other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  /// Move: adopt the heap buffer, or memcpy the inline one.
+  void steal(InlineVector& other) {
+    if (other.data_ != other.inline_storage()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_storage();
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    data_ = inline_storage();
+    capacity_ = N;
+    size_ = other.size_;
+    std::memcpy(static_cast<void*>(data_), other.data_, size_ * sizeof(T));
+    other.size_ = 0;
+  }
+
+  T* inline_storage() {
+    return reinterpret_cast<T*>(inline_buf_);
+  }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  T* data_ = inline_storage();
+  size_t capacity_ = N;
+  size_t size_ = 0;
+};
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_INLINE_VECTOR_H_

@@ -65,7 +65,11 @@ bool ParsePostingBlockRefs(std::string_view value,
         !GetVarint64SignedZigZag(&value, &h.max_ts) ||
         !GetVarint64(&value, &h.count) || !GetVarint64(&value, &h.byte_len) ||
         h.count == 0 || h.min_trace > h.max_trace ||
-        h.byte_len > value.size()) {
+        h.byte_len > value.size() ||
+        // A posting is at least 3 varint bytes; a count that exceeds this
+        // bound is corruption, and rejecting it here keeps downstream
+        // count-sized allocations safe.
+        h.count > h.byte_len / 3) {
       out->clear();
       return false;
     }
@@ -79,20 +83,39 @@ bool ParsePostingBlockRefs(std::string_view value,
 bool DecodePostingBlockPayload(std::string_view payload,
                                const PostingBlockHeader& header,
                                std::vector<PairOccurrence>* out) {
+  // A posting is three consecutive varints (trace_delta, zigzag ts_first,
+  // duration); batch-decoding whole chunks through the tight
+  // DecodeVarint64Array loop beats three cursor calls per posting on the
+  // hot Detect path.
+  constexpr size_t kChunkPostings = 256;
+  uint64_t scratch[kChunkPostings * 3];
   uint64_t trace = header.min_trace;
-  for (uint64_t i = 0; i < header.count; ++i) {
-    uint64_t trace_delta, duration;
-    int64_t ts_first;
-    if (!GetVarint64(&payload, &trace_delta) ||
-        !GetVarint64SignedZigZag(&payload, &ts_first) ||
-        !GetVarint64(&payload, &duration)) {
+  const size_t base = out->size();
+  out->resize(base + header.count);
+  PairOccurrence* dst = out->data() + base;
+  uint64_t remaining = header.count;
+  while (remaining > 0) {
+    size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kChunkPostings, remaining));
+    if (!GetVarint64Batch(&payload, n * 3, scratch)) {
+      out->resize(base);
       return false;
     }
-    trace += trace_delta;
-    out->push_back(PairOccurrence{
-        trace, ts_first, ts_first + static_cast<int64_t>(duration)});
+    for (size_t i = 0; i < n; ++i) {
+      trace += scratch[3 * i];
+      int64_t ts_first = ZigZagDecode64(scratch[3 * i + 1]);
+      dst->trace = trace;
+      dst->ts_first = ts_first;
+      dst->ts_second = ts_first + static_cast<int64_t>(scratch[3 * i + 2]);
+      ++dst;
+    }
+    remaining -= n;
   }
-  return payload.empty();
+  if (!payload.empty()) {
+    out->resize(base);
+    return false;
+  }
+  return true;
 }
 
 bool DecodeBlockedPostings(std::string_view value,
@@ -102,6 +125,11 @@ bool DecodeBlockedPostings(std::string_view value,
     out->clear();
     return false;
   }
+  uint64_t total = 0;
+  for (const PostingBlockRef& ref : refs) total += ref.header.count;
+  // Grow once: per-block resizes would re-copy the accumulated prefix on
+  // every reallocation.
+  out->reserve(out->size() + total);
   for (const PostingBlockRef& ref : refs) {
     if (!DecodePostingBlockPayload(
             value.substr(ref.payload_offset,
@@ -138,6 +166,19 @@ TraceIntervalSet TraceIntervalSet::FromIntervals(
     set.intervals_.push_back(interval);
   }
   return set;
+}
+
+uint64_t TraceIntervalSet::Span() const {
+  uint64_t total = 0;
+  for (const TraceInterval& interval : intervals_) {
+    uint64_t len = interval.hi - interval.lo;  // inclusive: count is len + 1
+    if (len == std::numeric_limits<uint64_t>::max() ||
+        total + len + 1 < total) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    total += len + 1;
+  }
+  return total;
 }
 
 bool TraceIntervalSet::Overlaps(uint64_t lo, uint64_t hi) const {

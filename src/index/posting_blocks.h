@@ -121,6 +121,11 @@ class TraceIntervalSet {
            intervals_[0].hi == std::numeric_limits<uint64_t>::max();
   }
 
+  /// Number of trace ids the set covers, saturating at uint64 max. The
+  /// selectivity signal pruning decisions compare against a posting list's
+  /// own span.
+  uint64_t Span() const;
+
   /// True when [lo, hi] intersects any interval of the set.
   bool Overlaps(uint64_t lo, uint64_t hi) const;
 

@@ -14,11 +14,14 @@ PostingCache::PostingCache(size_t capacity_bytes, size_t num_shards)
 }
 
 size_t PostingCache::ChargedBytes(const Snapshot& postings) {
-  // Payload plus a flat allowance for the vector/control-block/map/LRU
-  // bookkeeping; exactness doesn't matter, only that the budget is honored
-  // within a small constant factor.
+  // Charge the decoded resident size — the vector's *capacity*, not its
+  // element count and never the (compressed) on-disk size of the bytes it
+  // was decoded from — plus a flat allowance for the
+  // control-block/map/LRU bookkeeping. With block-compressed segments the
+  // decoded postings are several times larger than their stored form, and
+  // `cache_bytes` must keep meaning actual memory held.
   constexpr size_t kEntryOverhead = 128;
-  return (postings ? postings->size() * sizeof(PairOccurrence) : 0) +
+  return (postings ? postings->capacity() * sizeof(PairOccurrence) : 0) +
          kEntryOverhead;
 }
 

@@ -30,6 +30,12 @@ constexpr std::string_view kPostingFormatKey = "posting_format";
 // so a crash mid-upgrade is detected and rolled forward on reopen instead
 // of serving mixed-format values with a v1 decoder.
 constexpr std::string_view kPostingUpgradeKey = "posting_upgrade";
+// Highest segment file format ever written by this index. Roll-forward
+// only: once a fold has emitted an SDSEG2 segment the index keeps writing
+// v2 even when reopened with a v1-configured Database, so segment files
+// never oscillate between formats across restarts. v1 segments remain
+// readable either way.
+constexpr std::string_view kSegmentFormatKey = "segment_format";
 
 // Saturating subtract: concurrent fold passes (service + a manual
 // FoldPostings) may both observe and consume overlapping pending load;
@@ -142,6 +148,36 @@ Status SequenceIndex::OpenTables() {
     } else {
       return s;
     }
+  }
+
+  // Segment file format marker. The effective format is the max of the
+  // stored marker and the configured format: a database that ever wrote
+  // SDSEG2 keeps writing it (roll-forward, mirroring posting_upgrade), and
+  // an old index opened by a new binary upgrades durably on first open.
+  {
+    uint64_t configured = db_->segment_format();
+    uint64_t stored = 0;
+    std::string value;
+    Status s = meta_->Get(kSegmentFormatKey, &value);
+    if (s.ok()) {
+      std::string_view cursor(value);
+      if (!GetVarint64(&cursor, &stored) || stored < 1 || stored > 2) {
+        return Status::Corruption("bad meta segment_format");
+      }
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+    uint64_t effective = std::max<uint64_t>(configured, stored);
+    if (effective < 1 || effective > 2) {
+      return Status::InvalidArgument("bad segment format_version");
+    }
+    if (effective != stored) {
+      std::string encoded;
+      PutVarint64(&encoded, effective);
+      SEQDET_RETURN_IF_ERROR(meta_->Put(kSegmentFormatKey, encoded));
+    }
+    // Apply to the already-open meta table and to every table opened below.
+    db_->SetSegmentFormat(static_cast<uint32_t>(effective));
   }
 
   // The detection policy is baked into the stored pair semantics; reopening

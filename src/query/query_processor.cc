@@ -47,6 +47,176 @@ Status DeadlineExceeded() {
   return Status::Aborted("query deadline exceeded");
 }
 
+/// The join's working representation of a match set. Every match at a given
+/// join depth has the same number of timestamps, so the set is stored as a
+/// flat structure-of-arrays — a trace column plus a row-major timestamp
+/// matrix — instead of one heap-allocated vector per match. A detection
+/// over a hot pair joins tens of thousands of matches per stage; keeping
+/// them in two contiguous buffers turns the join into sequential scans and
+/// removes every per-match allocation (PatternMatch objects are
+/// materialized once, on return).
+struct MatchSet {
+  size_t width = 0;  // timestamps per match
+  std::vector<TraceId> traces;
+  std::vector<Timestamp> ts;  // traces.size() * width, row-major
+  /// Whether rows are sorted by (trace, last timestamp) — the join key of
+  /// the next stage. Holds under SC/STNM (pair completions never cross, so
+  /// extending in row order keeps the order); STAM extensions can break it.
+  bool sorted_by_key = true;
+
+  size_t size() const { return traces.size(); }
+  const Timestamp* row(size_t r) const { return ts.data() + r * width; }
+  Timestamp last(size_t r) const { return ts[r * width + width - 1]; }
+};
+
+/// Drops every row for which keep(row_timestamps) is false, preserving
+/// order (and therefore sortedness).
+template <typename Keep>
+void FilterRows(MatchSet* set, Keep keep) {
+  size_t out_row = 0;
+  for (size_t r = 0; r < set->size(); ++r) {
+    const Timestamp* src = set->row(r);
+    if (!keep(src)) continue;
+    if (out_row != r) {
+      set->traces[out_row] = set->traces[r];
+      std::copy(src, src + set->width, set->ts.data() + out_row * set->width);
+    }
+    ++out_row;
+  }
+  set->traces.resize(out_row);
+  set->ts.resize(out_row * set->width);
+}
+
+std::vector<PatternMatch> ToPatternMatches(const MatchSet& set) {
+  std::vector<PatternMatch> out;
+  out.reserve(set.size());
+  for (size_t r = 0; r < set.size(); ++r) {
+    PatternMatch m;
+    m.trace = set.traces[r];
+    const Timestamp* src = set.row(r);
+    m.timestamps.assign(src, src + set.width);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+/// Algorithm 2 lines 5-13: keep matches whose last event coincides with
+/// the first event of a posting of the next pair — a join on
+/// (trace, ts_first). Under SC/STNM a pair's completions never share their
+/// first event, so each key has one continuation; under skip-till-any-match
+/// several postings share a first event and every one extends the match
+/// (overlapping results are the point of that policy). `postings` must be
+/// sorted by (trace, ts_first) — what GetPairPostingsShared returns.
+Result<MatchSet> ExtendMatchSet(const MatchSet& matches,
+                                const std::vector<PairOccurrence>& postings,
+                                const Deadline& deadline) {
+  MatchSet out;
+  out.width = matches.width + 1;
+  out.traces.reserve(matches.size());
+  out.ts.reserve(matches.size() * out.width);
+  size_t ticks = 0;
+
+  TraceId prev_trace = 0;
+  Timestamp prev_last = 0;
+  auto append = [&](size_t r, Timestamp next) {
+    TraceId trace = matches.traces[r];
+    if (!out.traces.empty() &&
+        (trace < prev_trace || (trace == prev_trace && next < prev_last))) {
+      out.sorted_by_key = false;
+    }
+    prev_trace = trace;
+    prev_last = next;
+    out.traces.push_back(trace);
+    const Timestamp* src = matches.row(r);
+    out.ts.insert(out.ts.end(), src, src + matches.width);
+    out.ts.push_back(next);
+  };
+
+  // When the surviving match set is much smaller than the posting list —
+  // the shape selective patterns produce — binary-probing the sorted
+  // snapshot per match beats scanning it, and touches none of the shared
+  // snapshot's cache lines beyond the probed ranges.
+  const bool probe_sorted =
+      matches.size() < postings.size() / 8 || postings.size() < 16;
+  if (probe_sorted) {
+    for (size_t r = 0; r < matches.size(); ++r) {
+      if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
+        return DeadlineExceeded();
+      }
+      const PairOccurrence probe{matches.traces[r], matches.last(r),
+                                 std::numeric_limits<Timestamp>::min()};
+      auto it = std::lower_bound(postings.begin(), postings.end(), probe);
+      while (it != postings.end() && it->trace == probe.trace &&
+             it->ts_first == probe.ts_first) {
+        append(r, it->ts_second);
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  // Comparable sizes and both sides sorted by the join key: a linear merge
+  // join — no hash table, no allocations, two sequential scans.
+  if (matches.sorted_by_key) {
+    size_t p = 0;
+    for (size_t r = 0; r < matches.size(); ++r) {
+      if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
+        return DeadlineExceeded();
+      }
+      const TraceId trace = matches.traces[r];
+      const Timestamp key = matches.last(r);
+      while (p < postings.size() &&
+             (postings[p].trace < trace ||
+              (postings[p].trace == trace && postings[p].ts_first < key))) {
+        ++p;
+      }
+      // Consume the matching run without advancing p: a later row may
+      // share the key (STAM inputs), and keys only grow.
+      for (size_t q = p; q < postings.size() && postings[q].trace == trace &&
+                         postings[q].ts_first == key;
+           ++q) {
+        append(r, postings[q].ts_second);
+      }
+    }
+    return out;
+  }
+
+  // Unsorted matches (STAM after a key-order-breaking extension): hash the
+  // posting runs. Postings with the same (trace, ts_first) are contiguous,
+  // so the map needs one entry per run pointing back into the snapshot.
+  struct Run {
+    size_t start;
+    size_t len;
+  };
+  std::unordered_map<TraceTsKey, Run, TraceTsKeyHash> continuation;
+  continuation.reserve(postings.size());
+  for (size_t p = 0; p < postings.size();) {
+    if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
+      return DeadlineExceeded();
+    }
+    const size_t start = p;
+    const PairOccurrence& head = postings[p];
+    do {
+      ++p;
+    } while (p < postings.size() && postings[p].trace == head.trace &&
+             postings[p].ts_first == head.ts_first);
+    continuation.emplace(TraceTsKey{head.trace, head.ts_first},
+                         Run{start, p - start});
+  }
+  for (size_t r = 0; r < matches.size(); ++r) {
+    if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
+      return DeadlineExceeded();
+    }
+    auto it = continuation.find(TraceTsKey{matches.traces[r], matches.last(r)});
+    if (it == continuation.end()) continue;
+    const Run run = it->second;
+    for (size_t s = 0; s < run.len; ++s) {
+      append(r, postings[run.start + s].ts_second);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<StatisticsResult> QueryProcessor::Statistics(
@@ -79,76 +249,26 @@ Result<StatisticsResult> QueryProcessor::Statistics(
 Result<std::vector<PatternMatch>> QueryProcessor::ExtendMatches(
     std::vector<PatternMatch> matches,
     const std::vector<PairOccurrence>& postings, const Deadline& deadline) {
-  // Algorithm 2 lines 5-13: keep matches whose last event coincides with
-  // the first event of a posting of the next pair — a join on
-  // (trace, ts_first). Under SC/STNM a pair's completions never share
-  // their first event, so each key maps to one continuation and the match
-  // is *moved* into its extension; under skip-till-any-match several
-  // postings share a first event and every one extends the match
-  // (overlapping results are the point of that policy).
-  std::vector<PatternMatch> extended;
-  extended.reserve(matches.size());
-
-  // Posting lists arrive sorted by (trace, ts_first). When the surviving
-  // match set is much smaller than the posting list — the shape warm-cache
-  // repeated queries and selective patterns produce — probing the sorted
-  // snapshot per match beats building a hash of every posting, and touches
-  // none of the shared snapshot's cache lines beyond the probed ranges.
-  size_t ticks = 0;
-  const bool probe_sorted =
-      matches.size() < postings.size() / 8 || postings.size() < 16;
-  if (probe_sorted) {
-    for (PatternMatch& match : matches) {
-      if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
-        return DeadlineExceeded();
-      }
-      const PairOccurrence probe{match.trace, match.timestamps.back(),
-                                 std::numeric_limits<Timestamp>::min()};
-      auto it = std::lower_bound(postings.begin(), postings.end(), probe);
-      auto end = it;
-      while (end != postings.end() && end->trace == probe.trace &&
-             end->ts_first == probe.ts_first) {
-        ++end;
-      }
-      if (it == end) continue;
-      for (auto last = std::prev(end); it != last; ++it) {
-        PatternMatch copy = match;
-        copy.timestamps.push_back(it->ts_second);
-        extended.push_back(std::move(copy));
-      }
-      match.timestamps.push_back(it->ts_second);
-      extended.push_back(std::move(match));
+  if (matches.empty()) return std::vector<PatternMatch>{};
+  // Pack into the flat working representation (all inputs come from a
+  // prior Detect, so every match has the same width), join, unpack.
+  MatchSet set;
+  set.width = matches[0].timestamps.size();
+  set.traces.reserve(matches.size());
+  set.ts.reserve(matches.size() * set.width);
+  for (const PatternMatch& m : matches) {
+    if (!set.traces.empty() &&
+        (m.trace < set.traces.back() ||
+         (m.trace == set.traces.back() &&
+          m.timestamps.back() < set.last(set.size() - 1)))) {
+      set.sorted_by_key = false;
     }
-    return extended;
+    set.traces.push_back(m.trace);
+    set.ts.insert(set.ts.end(), m.timestamps.begin(), m.timestamps.end());
   }
-
-  std::unordered_map<TraceTsKey, std::vector<Timestamp>, TraceTsKeyHash>
-      continuation;
-  continuation.reserve(postings.size());
-  for (const PairOccurrence& posting : postings) {
-    if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
-      return DeadlineExceeded();
-    }
-    continuation[TraceTsKey{posting.trace, posting.ts_first}].push_back(
-        posting.ts_second);
-  }
-  for (PatternMatch& match : matches) {
-    if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
-      return DeadlineExceeded();
-    }
-    auto it = continuation.find(
-        TraceTsKey{match.trace, match.timestamps.back()});
-    if (it == continuation.end()) continue;
-    const std::vector<Timestamp>& successors = it->second;
-    for (size_t s = 0; s + 1 < successors.size(); ++s) {
-      PatternMatch copy = match;
-      copy.timestamps.push_back(successors[s]);
-      extended.push_back(std::move(copy));
-    }
-    match.timestamps.push_back(successors.back());
-    extended.push_back(std::move(match));
-  }
-  return extended;
+  SEQDET_ASSIGN_OR_RETURN(MatchSet extended,
+                          ExtendMatchSet(set, postings, deadline));
+  return ToPatternMatches(extended);
 }
 
 Result<std::vector<PatternMatch>> QueryProcessor::Detect(
@@ -158,11 +278,6 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
         "detection needs a pattern of >= 2 events (the index is pair-based)");
   }
   if (constraints.deadline.Expired()) return DeadlineExceeded();
-  auto gap_ok = [&constraints](const PatternMatch& m) {
-    if (!constraints.max_gap.has_value()) return true;
-    size_t n = m.timestamps.size();
-    return m.timestamps[n - 1] - m.timestamps[n - 2] <= *constraints.max_gap;
-  };
   const size_t num_pairs = pattern.size() - 1;
   auto pair_at = [&pattern](size_t i) {
     return EventTypePair{pattern.activities[i], pattern.activities[i + 1]};
@@ -175,9 +290,10 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
   // starting from the smallest list, the cheapest place to run dry — and
   // the join then decodes only blocks overlapping the survivors.
   index::TraceIntervalSet candidates;
-  bool prune = false;
+  uint64_t candidate_span = 0;
+  std::vector<index::PairPostingSummary> summaries;
   if (num_pairs >= 2) {
-    std::vector<index::PairPostingSummary> summaries(num_pairs);
+    summaries.resize(num_pairs);
     for (size_t i = 0; i < num_pairs; ++i) {
       SEQDET_ASSIGN_OR_RETURN(summaries[i],
                               index_->GetPairSummary(pair_at(i)));
@@ -194,47 +310,75 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
           candidates, summaries[order[k]].traces);
     }
     if (candidates.empty()) return std::vector<PatternMatch>{};
-    // An unbounded candidate set (v1 lists, or blocks spanning every
-    // trace) prunes nothing; prefer the whole-list cache then.
-    prune = !candidates.IsAll();
+    candidate_span = candidates.Span();
   }
+  // Filtering a pair's list pays only when the candidate set is narrower
+  // than the list's own trace span — when the spans are equal (a pattern
+  // of uniformly hot pairs) no block can be skipped and the selective
+  // decode path is pure per-query overhead (an unbounded v1 set trivially
+  // fails the test). Decided per pair: a rare anchor narrows the hot pairs
+  // it is joined with but not itself.
+  auto want_filter = [&](size_t i) {
+    return !summaries.empty() &&
+           candidate_span < summaries[i].traces.Span();
+  };
   auto fetch = [&](size_t i) {
-    return prune ? index_->GetPairPostingsFiltered(pair_at(i), candidates)
-                 : index_->GetPairPostingsShared(pair_at(i));
+    return want_filter(i)
+               ? index_->GetPairPostingsFiltered(pair_at(i), candidates)
+               : index_->GetPairPostingsShared(pair_at(i));
   };
 
   if (constraints.deadline.Expired()) return DeadlineExceeded();
   SEQDET_ASSIGN_OR_RETURN(auto first_postings, fetch(0));
-  std::vector<PatternMatch> matches;
-  matches.reserve(first_postings->size());
+  // Trace-level refinement of the first matches is worthwhile under the
+  // same selectivity condition as block filtering (Contains is a binary
+  // search per posting — pure overhead when nothing gets dropped).
+  const bool prune_first = want_filter(0);
+  MatchSet matches;
+  matches.width = 2;
+  matches.traces.reserve(first_postings->size());
+  matches.ts.reserve(first_postings->size() * 2);
   size_t ticks = 0;
   for (const PairOccurrence& posting : *first_postings) {
     if (++ticks % kDeadlineStride == 0 && constraints.deadline.Expired()) {
       return DeadlineExceeded();
     }
-    if (prune && !candidates.Contains(posting.trace)) continue;
-    PatternMatch match{posting.trace,
-                       {posting.ts_first, posting.ts_second}};
-    if (gap_ok(match)) matches.push_back(std::move(match));
+    if (prune_first && !candidates.Contains(posting.trace)) continue;
+    if (constraints.max_gap.has_value() &&
+        posting.ts_second - posting.ts_first > *constraints.max_gap) {
+      continue;
+    }
+    if (!matches.traces.empty() &&
+        (posting.trace < matches.traces.back() ||
+         (posting.trace == matches.traces.back() &&
+          posting.ts_second < matches.last(matches.size() - 1)))) {
+      matches.sorted_by_key = false;
+    }
+    matches.traces.push_back(posting.trace);
+    matches.ts.push_back(posting.ts_first);
+    matches.ts.push_back(posting.ts_second);
   }
-  for (size_t i = 1; i + 1 < pattern.size() && !matches.empty(); ++i) {
+  for (size_t i = 1; i + 1 < pattern.size() && matches.size() > 0; ++i) {
     if (constraints.deadline.Expired()) return DeadlineExceeded();
     SEQDET_ASSIGN_OR_RETURN(auto postings, fetch(i));
     SEQDET_ASSIGN_OR_RETURN(
-        matches, ExtendMatches(std::move(matches), *postings,
-                               constraints.deadline));
+        matches, ExtendMatchSet(matches, *postings, constraints.deadline));
     if (constraints.max_gap.has_value()) {
-      std::erase_if(matches,
-                    [&gap_ok](const PatternMatch& m) { return !gap_ok(m); });
+      const size_t w = matches.width;
+      const Timestamp max_gap = *constraints.max_gap;
+      FilterRows(&matches, [w, max_gap](const Timestamp* row) {
+        return row[w - 1] - row[w - 2] <= max_gap;
+      });
     }
   }
   if (constraints.max_span.has_value()) {
-    std::erase_if(matches, [&constraints](const PatternMatch& m) {
-      return m.timestamps.back() - m.timestamps.front() >
-             *constraints.max_span;
+    const size_t w = matches.width;
+    const Timestamp max_span = *constraints.max_span;
+    FilterRows(&matches, [w, max_span](const Timestamp* row) {
+      return row[w - 1] - row[0] <= max_span;
     });
   }
-  return matches;
+  return ToPatternMatches(matches);
 }
 
 Result<std::vector<std::vector<PatternMatch>>> QueryProcessor::DetectBatch(

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/inline_vector.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -14,9 +15,12 @@ namespace seqdet::query {
 
 /// One detected occurrence of a pattern: the trace and the timestamp of
 /// each matched event (so callers get start/end times for free, §3.2.1).
+/// Timestamps live inline for patterns of up to 8 events — materializing
+/// the tens of thousands of matches a hot pair produces costs no heap
+/// allocations (longer patterns spill transparently).
 struct PatternMatch {
   eventlog::TraceId trace = 0;
-  std::vector<eventlog::Timestamp> timestamps;
+  InlineVector<eventlog::Timestamp, 8> timestamps;
 
   friend bool operator==(const PatternMatch&, const PatternMatch&) = default;
 };

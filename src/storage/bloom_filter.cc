@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/coding.h"
+
 namespace seqdet::storage {
 
 BloomFilter::BloomFilter(size_t expected_keys, size_t bits_per_key) {
@@ -30,6 +32,34 @@ void BloomFilter::Add(std::string_view key) {
     size_t bit = (h1 + i * h2) % nbits;
     bits_[bit / 64] |= 1ULL << (bit % 64);
   }
+}
+
+void BloomFilter::Serialize(std::string* dst) const {
+  PutVarint64(dst, num_probes_);
+  PutVarint64(dst, bits_.size());
+  for (uint64_t word : bits_) PutFixed64(dst, word);
+}
+
+bool BloomFilter::Deserialize(std::string_view* input) {
+  uint64_t probes = 0;
+  uint64_t words = 0;
+  if (!GetVarint64(input, &probes) || !GetVarint64(input, &words)) {
+    return false;
+  }
+  if (probes < 1 || probes > 8) return false;
+  if (words < 1 || words > input->size() / 8 + 1 ||
+      input->size() < words * 8) {
+    return false;
+  }
+  std::vector<uint64_t> bits(words);
+  for (uint64_t i = 0; i < words; ++i) {
+    uint64_t word = 0;
+    if (!GetFixed64(input, &word)) return false;
+    bits[i] = word;
+  }
+  bits_ = std::move(bits);
+  num_probes_ = probes;
+  return true;
 }
 
 bool BloomFilter::MayContain(std::string_view key) const {

@@ -2,6 +2,7 @@
 #define SEQDET_STORAGE_BLOOM_FILTER_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -12,8 +13,9 @@ namespace seqdet::storage {
 /// Point reads walk segments newest-to-oldest; most segments do not contain
 /// the probed key, so a cheap negative test in front of each binary search
 /// pays for itself as soon as a table has more than a couple of segments
-/// (the classic LSM read-path optimization). Filters are rebuilt in memory
-/// when a segment is opened — they are derived data and never hit disk.
+/// (the classic LSM read-path optimization). For v1 segments the filter is
+/// rebuilt in memory at open; v2 (SDSEG2) segments persist it in the footer
+/// via Serialize/Deserialize so open cost stays O(footer).
 class BloomFilter {
  public:
   /// Creates a filter sized for `expected_keys` at ~bits_per_key bits each
@@ -26,6 +28,14 @@ class BloomFilter {
   bool MayContain(std::string_view key) const;
 
   size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// Appends the filter bits + probe count: varint num_probes, varint word
+  /// count, then the words as fixed64. Stable across platforms.
+  void Serialize(std::string* dst) const;
+
+  /// Parses a serialized filter, advancing `input` past it. False on
+  /// truncation or an implausible probe count (treat as corruption).
+  bool Deserialize(std::string_view* input);
 
  private:
   static uint64_t Hash(std::string_view key, uint64_t seed);

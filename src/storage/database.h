@@ -67,6 +67,18 @@ class Database {
   /// Returns the assembled sharded table `name` or nullptr.
   ShardedTable* GetShardedTable(const std::string& name) const;
 
+  /// Raises the segment format of every open table and of tables created
+  /// later (roll-forward only — lowering is ignored, see
+  /// Table::SetSegmentFormat). Used to apply a durable format marker after
+  /// the tables carrying it were already opened.
+  void SetSegmentFormat(uint32_t format_version);
+
+  /// Segment stats summed over every open table (plain + sharded).
+  TableSegmentStats GetSegmentStats() const;
+
+  /// The segment format new tables will be created with.
+  uint32_t segment_format() const;
+
   const std::string& dir() const { return dir_; }
   bool in_memory() const { return options_.table.in_memory; }
 

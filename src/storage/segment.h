@@ -1,6 +1,7 @@
 #ifndef SEQDET_STORAGE_SEGMENT_H_
 #define SEQDET_STORAGE_SEGMENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -9,24 +10,46 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/bloom_filter.h"
 #include "storage/record.h"
+#include "storage/segment_codec.h"
 
 namespace seqdet::storage {
 
+/// Knobs of the segment writer (see FORMATS.md for the layouts).
+struct SegmentWriteOptions {
+  /// 2 writes the block-compressed SDSEG2 format; 1 the legacy flat
+  /// SDSEG1 format (readers understand both).
+  uint32_t format_version = 2;
+  /// Target plaintext bytes per SDSEG2 block (pre-compression).
+  size_t block_bytes = 4096;
+  /// Entries between key restart points inside a block.
+  size_t restart_interval = 16;
+  /// Block codec; kZstd degrades to kPostingFor when zstd is absent.
+  BlockCodec codec = BlockCodec::kPostingFor;
+};
+
 /// Immutable sorted run of folded records, the on-disk unit of a table.
 ///
-/// Layout:
-/// ```
-///   "SDSEG1"                                  6-byte magic
-///   entry*   : kind(1) varint(klen) key varint(vlen) value   (ascending key)
-///   footer   : fixed64 entry_count, fixed32 crc32(everything before footer)
-/// ```
+/// Two formats share this reader:
 ///
-/// Readers keep the whole segment in memory and binary-search a parsed
-/// entry index. That matches this library's scale (posting lists of a few
-/// hundred MB at most) and keeps point reads allocation-free; a block-based
-/// format would drop in behind the same interface if needed.
+/// SDSEG1 (legacy): the whole file is read into memory and parsed into a
+/// full entry index up front — open cost O(file).
+///
+/// SDSEG2: entries are grouped into ~4 KiB blocks (prefix-compressed keys
+/// with restart points, per-value posting-FOR or whole-block zstd payload
+/// compression, per-block CRC); a footer carries fence pointers (first key
+/// + offset per block), entry counts and a serialized Bloom filter. The
+/// reader mmaps the file, parses only the footer at open (O(footer)), and
+/// binary-searches fence pointers on reads, decompressing and CRC-checking
+/// just the blocks a Find/LowerBound/Entry touches. Decoded blocks are
+/// cached for the segment's lifetime, so returned EntryRef views stay
+/// valid as long as the segment is alive.
+///
+/// Because corruption in a lazily-read block is only discovered when that
+/// block is first touched, the read accessors return Result and surface
+/// Status::Corruption instead of crashing.
 class Segment {
  public:
   struct EntryRef {
@@ -35,16 +58,31 @@ class Segment {
     std::string_view value;
   };
 
-  /// Parses a serialized segment (validates magic, footer and checksum).
+  /// Open/size/compression facts for introspection (`seqdet info`).
+  struct Stats {
+    uint32_t format = 1;
+    size_t num_blocks = 0;       // 0 for SDSEG1
+    uint64_t disk_bytes = 0;     // serialized size
+    uint64_t logical_bytes = 0;  // SDSEG1-equivalent encoding of the entries
+  };
+
+  ~Segment();
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  /// Parses a serialized segment of either format from memory (validates
+  /// magic, footer/trailer and whole-file or footer checksum).
   static Result<std::shared_ptr<Segment>> FromBuffer(std::string buffer);
 
-  /// Reads and parses the segment file at `path`.
+  /// Opens the segment file at `path`: SDSEG2 files are mmap-ed and only
+  /// the footer is parsed; SDSEG1 files are read whole as before.
   static Result<std::shared_ptr<Segment>> Load(const std::string& path);
 
-  /// Binary-searches for `key`; returns nullptr when absent. A Bloom
-  /// filter built at load time rejects most absent keys without the
-  /// search.
-  const EntryRef* Find(std::string_view key) const;
+  /// Binary-searches for `key`; the pointer is nullptr when absent and
+  /// otherwise stays valid for the segment's lifetime. A Bloom filter
+  /// (persisted in SDSEG2, rebuilt at load for SDSEG1) rejects most absent
+  /// keys without touching any block.
+  Result<const EntryRef*> Find(std::string_view key) const;
 
   /// Bloom pre-test only (false = definitely absent).
   bool MayContain(std::string_view key) const {
@@ -52,24 +90,81 @@ class Segment {
   }
 
   /// Index of the first entry with key >= `key` (for scans).
-  size_t LowerBound(std::string_view key) const;
+  Result<size_t> LowerBound(std::string_view key) const;
 
-  const std::vector<EntryRef>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
-  size_t SizeBytes() const { return buffer_.size(); }
+  /// The entry at `pos` (pos < size()). Views stay valid for the
+  /// segment's lifetime.
+  Result<EntryRef> Entry(size_t pos) const;
+
+  size_t size() const { return entry_count_; }
+  size_t SizeBytes() const { return data_.size(); }
+  uint32_t format() const { return stats_.format; }
+  const Stats& stats() const { return stats_; }
 
  private:
+  /// Fence-pointer entry: one per block, parsed from the footer at open.
+  struct BlockMeta {
+    uint64_t offset = 0;     // file offset of the block's first byte
+    uint64_t disk_size = 0;  // bytes on disk (post-compression)
+    uint64_t raw_size = 0;   // plaintext bytes (pre-compression)
+    uint32_t crc = 0;        // crc32 of the on-disk block bytes
+    BlockCodec codec = BlockCodec::kRaw;
+    uint64_t entry_base = 0;  // global index of the block's first entry
+    uint64_t entry_count = 0;
+    std::string_view first_key;  // view into the footer region of data_
+  };
+
+  /// A lazily-decoded block: entry views into an arena materialized on
+  /// first touch, then cached until the segment dies.
+  struct DecodedBlock {
+    std::string arena;
+    std::vector<EntryRef> entries;  // views into arena
+  };
+
   Segment() : bloom_(0) {}
 
+  Status ParseV1();
+  Status ParseV2();
+  /// Decodes block `bi` (CRC check, decompression, entry parse).
+  Result<std::unique_ptr<DecodedBlock>> DecodeBlock(size_t bi) const;
+  /// Returns the cached decode of block `bi`, filling it on first use.
+  Result<const DecodedBlock*> GetDecodedBlock(size_t bi) const;
+  /// Index of the block that holds global entry `pos`.
+  size_t BlockForEntry(size_t pos) const;
+  /// Index of the last block whose first_key <= key (0 when key precedes
+  /// every fence).
+  size_t BlockForKey(std::string_view key) const;
+
+  // Backing bytes: either an owned buffer (FromBuffer) or an mmap (Load of
+  // an SDSEG2 file); data_ views whichever one is in use.
   std::string buffer_;
-  std::vector<EntryRef> entries_;  // views into buffer_
+  void* map_addr_ = nullptr;
+  size_t map_size_ = 0;
+  std::string_view data_;
+
+  Stats stats_;
+  size_t entry_count_ = 0;
   BloomFilter bloom_;
+
+  // SDSEG1: the eagerly parsed entry index (views into buffer_).
+  std::vector<EntryRef> entries_;
+
+  // SDSEG2: fence pointers plus the lazy per-block decode cache. Blocks
+  // are decoded under decode_mu_ and published through the lock-free
+  // atomics in decoded_; once published a block is immutable.
+  std::vector<BlockMeta> blocks_;
+  mutable Mutex decode_mu_;
+  mutable std::vector<std::unique_ptr<DecodedBlock>> decoded_owner_
+      GUARDED_BY(decode_mu_);
+  mutable std::vector<std::atomic<const DecodedBlock*>> decoded_;
 };
 
-/// Streams folded records (in ascending key order) into the segment format.
+/// Streams folded records (in ascending key order) into the segment
+/// format selected by SegmentWriteOptions.
 class SegmentBuilder {
  public:
-  SegmentBuilder();
+  SegmentBuilder() : SegmentBuilder(SegmentWriteOptions{}) {}
+  explicit SegmentBuilder(const SegmentWriteOptions& options);
 
   /// Adds one entry; keys must be strictly ascending.
   Status Add(std::string_view key, RecordKind kind, std::string_view value);
@@ -80,10 +175,34 @@ class SegmentBuilder {
   size_t num_entries() const { return count_; }
 
  private:
-  std::string buffer_;
+  void FlushBlock();
+
+  SegmentWriteOptions options_;
+  BlockCodec effective_codec_;
+
+  std::string buffer_;  // serialized file so far (starts with the magic)
   std::string last_key_;
   uint64_t count_ = 0;
   bool finished_ = false;
+
+  // SDSEG2 state: the open block and the per-block metadata accumulated
+  // for the footer.
+  std::string block_;  // plaintext entry region of the open block
+  std::vector<uint32_t> restarts_;
+  uint64_t block_entry_count_ = 0;
+  std::string block_first_key_;
+  uint64_t logical_bytes_ = 0;
+  struct PendingBlock {
+    uint64_t offset;
+    uint64_t disk_size;
+    uint64_t raw_size;
+    uint32_t crc;
+    BlockCodec codec;
+    uint64_t entry_count;
+    std::string first_key;
+  };
+  std::vector<PendingBlock> pending_;
+  std::vector<std::string> keys_;  // for the Bloom filter, sized at Finish
 };
 
 /// Writes `buffer` to `path` atomically (write temp + rename).

@@ -134,6 +134,16 @@ uint64_t ShardedTable::Version() const {
   return v;
 }
 
+TableSegmentStats ShardedTable::GetSegmentStats() const {
+  TableSegmentStats out;
+  for (const auto& shard : shards_) out.Merge(shard->GetSegmentStats());
+  return out;
+}
+
+void ShardedTable::SetSegmentFormat(uint32_t format_version) {
+  for (const auto& shard : shards_) shard->SetSegmentFormat(format_version);
+}
+
 size_t ShardedTable::ApproximateEntryCount() const {
   size_t n = 0;
   for (const auto& shard : shards_) n += shard->ApproximateEntryCount();

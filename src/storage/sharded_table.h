@@ -64,6 +64,12 @@ class ShardedTable : public Kv {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Segment stats summed over the shards.
+  TableSegmentStats GetSegmentStats() const;
+
+  /// Applies Table::SetSegmentFormat to every shard (roll-forward only).
+  void SetSegmentFormat(uint32_t format_version);
+
   /// Deletes every shard's files.
   Status DestroyFiles();
 

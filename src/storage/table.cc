@@ -174,9 +174,8 @@ Status Table::RewriteValue(
     const std::function<Status(std::string_view, std::string*)>& fn) {
   WriterLock lock(mu_);
   std::string current;
-  if (!FoldGetLocked(key, &current)) {
-    return Status::NotFound("key not found");
-  }
+  SEQDET_ASSIGN_OR_RETURN(bool found, FoldGetLocked(key, &current));
+  if (!found) return Status::NotFound("key not found");
   std::string rewritten;
   SEQDET_RETURN_IF_ERROR(fn(current, &rewritten));
   version_.fetch_add(1, std::memory_order_release);
@@ -190,7 +189,8 @@ Status Table::RewriteValue(
   return MaybeFlushLocked();
 }
 
-bool Table::FoldGetLocked(std::string_view key, std::string* value) const {
+Result<bool> Table::FoldGetLocked(std::string_view key,
+                                  std::string* value) const {
   // Fragments discovered newest-to-oldest; final value is
   // base + fragments oldest-to-newest.
   std::vector<std::string_view> fragments;
@@ -214,7 +214,7 @@ bool Table::FoldGetLocked(std::string_view key, std::string* value) const {
   }
   if (!terminated) {
     for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
-      const Segment::EntryRef* e = (*it)->Find(key);
+      SEQDET_ASSIGN_OR_RETURN(const Segment::EntryRef* e, (*it)->Find(key));
       if (e == nullptr) continue;
       if (e->kind == RecordKind::kPut) {
         base = e->value;
@@ -243,9 +243,8 @@ bool Table::FoldGetLocked(std::string_view key, std::string* value) const {
 
 Status Table::Get(std::string_view key, std::string* value) const {
   ReaderLock lock(mu_);
-  if (!FoldGetLocked(key, value)) {
-    return Status::NotFound("key not found");
-  }
+  SEQDET_ASSIGN_OR_RETURN(bool found, FoldGetLocked(key, value));
+  if (!found) return Status::NotFound("key not found");
   return Status::OK();
 }
 
@@ -260,7 +259,9 @@ Status Table::Scan(
   ReaderLock lock(mu_);
 
   // Cursors over every source, merged by key. Rank 0 is the memtable
-  // (newest); segment ranks grow with age.
+  // (newest); segment ranks grow with age. Segment cursors cache the
+  // current entry because SDSEG2 segments materialize entries per block on
+  // demand (the cached views stay valid for the segment's lifetime).
   struct Cursor {
     size_t rank;
     // Memtable cursor:
@@ -270,11 +271,10 @@ Status Table::Scan(
     // Segment cursor:
     const Segment* segment = nullptr;
     size_t pos = 0;
+    Segment::EntryRef cur;
 
-    std::string_view key(const MemTable& mem) const {
-      (void)mem;
-      return is_mem ? std::string_view(mem_it->first)
-                    : segment->entries()[pos].key;
+    std::string_view key() const {
+      return is_mem ? std::string_view(mem_it->first) : cur.key;
     }
   };
 
@@ -293,16 +293,23 @@ Status Table::Scan(
     // segments_ is oldest-first; newest segment gets rank 1.
     c.rank = 1 + (segments_.size() - 1 - i);
     c.segment = segments_[i].get();
-    c.pos = start_key.empty() ? 0 : c.segment->LowerBound(start_key);
-    if (c.pos < c.segment->size()) cursors.push_back(c);
+    if (start_key.empty()) {
+      c.pos = 0;
+    } else {
+      SEQDET_ASSIGN_OR_RETURN(c.pos, c.segment->LowerBound(start_key));
+    }
+    if (c.pos < c.segment->size()) {
+      SEQDET_ASSIGN_OR_RETURN(c.cur, c.segment->Entry(c.pos));
+      cursors.push_back(c);
+    }
   }
 
   std::string value;
   while (!cursors.empty()) {
     // Smallest key across cursors.
-    std::string_view min_key = cursors[0].key(mem_);
+    std::string_view min_key = cursors[0].key();
     for (const Cursor& c : cursors) {
-      std::string_view k = c.key(mem_);
+      std::string_view k = c.key();
       if (k < min_key) min_key = k;
     }
     if (!end_key.empty() && min_key >= end_key) break;
@@ -310,7 +317,7 @@ Status Table::Scan(
     // Fold entries for min_key across sources, newest rank first.
     std::vector<std::pair<size_t, const Cursor*>> hits;
     for (const Cursor& c : cursors) {
-      if (c.key(mem_) == min_key) hits.emplace_back(c.rank, &c);
+      if (c.key() == min_key) hits.emplace_back(c.rank, &c);
     }
     std::sort(hits.begin(), hits.end());
 
@@ -324,8 +331,8 @@ Status Table::Scan(
         kind = cur->mem_it->second.kind;
         v = cur->mem_it->second.value;
       } else {
-        kind = cur->segment->entries()[cur->pos].kind;
-        v = cur->segment->entries()[cur->pos].value;
+        kind = cur->cur.kind;
+        v = cur->cur.value;
       }
       if (kind == RecordKind::kPut) {
         base = v;
@@ -354,7 +361,7 @@ Status Table::Scan(
     std::string advanced_key(min_key);
     for (size_t i = 0; i < cursors.size();) {
       Cursor& c = cursors[i];
-      if (c.key(mem_) == advanced_key) {
+      if (c.key() == advanced_key) {
         bool exhausted;
         if (c.is_mem) {
           ++c.mem_it;
@@ -362,6 +369,9 @@ Status Table::Scan(
         } else {
           ++c.pos;
           exhausted = c.pos >= c.segment->size();
+          if (!exhausted) {
+            SEQDET_ASSIGN_OR_RETURN(c.cur, c.segment->Entry(c.pos));
+          }
         }
         if (exhausted) {
           cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(i));
@@ -383,7 +393,7 @@ Status Table::ScanPrefix(
 
 Status Table::FlushLocked() {
   if (mem_.empty()) return Status::OK();
-  SegmentBuilder builder;
+  SegmentBuilder builder(options_.segment);
   for (const auto& [key, entry] : mem_.entries()) {
     SEQDET_RETURN_IF_ERROR(builder.Add(key, entry.kind, entry.value));
   }
@@ -433,17 +443,24 @@ Status Table::CompactLocked() {
 
   // Since every segment participates, appends fold into kPut entries and
   // tombstones drop.
-  SegmentBuilder builder;
+  SegmentBuilder builder(options_.segment);
   // Reuse the Scan merge: it already folds values across all segments (the
   // memtable is empty after FlushLocked). Scan takes a shared lock, so
-  // inline the logic over segments directly instead.
+  // inline the logic over segments directly instead. `cur[i]` caches the
+  // entry at pos[i] (valid while pos[i] is in range).
   std::vector<size_t> pos(segments_.size(), 0);
+  std::vector<Segment::EntryRef> cur(segments_.size());
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (pos[i] < segments_[i]->size()) {
+      SEQDET_ASSIGN_OR_RETURN(cur[i], segments_[i]->Entry(pos[i]));
+    }
+  }
   for (;;) {
     bool any = false;
     std::string_view min_key;
     for (size_t i = 0; i < segments_.size(); ++i) {
       if (pos[i] >= segments_[i]->size()) continue;
-      std::string_view k = segments_[i]->entries()[pos[i]].key;
+      std::string_view k = cur[i].key;
       if (!any || k < min_key) {
         min_key = k;
         any = true;
@@ -457,7 +474,7 @@ Status Table::CompactLocked() {
     // Newest segment is last in segments_.
     for (size_t j = segments_.size(); j-- > 0;) {
       if (pos[j] >= segments_[j]->size()) continue;
-      const auto& e = segments_[j]->entries()[pos[j]];
+      const Segment::EntryRef& e = cur[j];
       if (e.key != min_key) continue;
       if (e.kind == RecordKind::kPut) {
         base = e.value;
@@ -476,9 +493,11 @@ Status Table::CompactLocked() {
     }
     std::string advanced(min_key);
     for (size_t i = 0; i < segments_.size(); ++i) {
-      if (pos[i] < segments_[i]->size() &&
-          segments_[i]->entries()[pos[i]].key == advanced) {
+      if (pos[i] < segments_[i]->size() && cur[i].key == advanced) {
         ++pos[i];
+        if (pos[i] < segments_[i]->size()) {
+          SEQDET_ASSIGN_OR_RETURN(cur[i], segments_[i]->Entry(pos[i]));
+        }
       }
     }
   }
@@ -517,6 +536,36 @@ size_t Table::NumSegments() const {
 size_t Table::MemTableBytes() const {
   ReaderLock lock(mu_);
   return mem_.ApproximateBytes();
+}
+
+TableSegmentStats Table::GetSegmentStats() const {
+  ReaderLock lock(mu_);
+  TableSegmentStats out;
+  for (const auto& s : segments_) {
+    const Segment::Stats& stats = s->stats();
+    ++out.num_segments;
+    if (stats.format == 1) {
+      ++out.v1_segments;
+    } else {
+      ++out.v2_segments;
+    }
+    out.num_blocks += stats.num_blocks;
+    out.disk_bytes += stats.disk_bytes;
+    out.logical_bytes += stats.logical_bytes;
+  }
+  return out;
+}
+
+void Table::SetSegmentFormat(uint32_t format_version) {
+  WriterLock lock(mu_);
+  if (format_version > options_.segment.format_version) {
+    options_.segment.format_version = format_version;
+  }
+}
+
+uint32_t Table::segment_format() const {
+  ReaderLock lock(mu_);
+  return options_.segment.format_version;
 }
 
 size_t Table::ApproximateEntryCount() const {

@@ -32,6 +32,28 @@ struct TableOptions {
   /// Auto-compact when a flush leaves more than this many segments
   /// (size-tiered-style read-amplification bound). 0 disables.
   size_t max_segments = 0;
+  /// Segment writer knobs (format version, block size, codec). Reads
+  /// understand both formats regardless of this setting.
+  SegmentWriteOptions segment;
+};
+
+/// Aggregated per-table segment facts for introspection (`seqdet info`).
+struct TableSegmentStats {
+  size_t num_segments = 0;
+  size_t v1_segments = 0;
+  size_t v2_segments = 0;
+  size_t num_blocks = 0;       // across SDSEG2 segments
+  uint64_t disk_bytes = 0;     // serialized segment bytes
+  uint64_t logical_bytes = 0;  // SDSEG1-equivalent encoding of the entries
+
+  void Merge(const TableSegmentStats& other) {
+    num_segments += other.num_segments;
+    v1_segments += other.v1_segments;
+    v2_segments += other.v2_segments;
+    num_blocks += other.num_blocks;
+    disk_bytes += other.disk_bytes;
+    logical_bytes += other.logical_bytes;
+  }
 };
 
 /// A named key-value table (the analogue of one Cassandra table in the
@@ -111,6 +133,17 @@ class Table : public Kv {
   size_t MemTableBytes() const;
   size_t ApproximateEntryCount() const override;
 
+  /// Aggregated segment format/size facts.
+  TableSegmentStats GetSegmentStats() const;
+
+  /// Raises the segment format newly written segments use (roll-forward
+  /// only: requests to lower the version are ignored so a durable format
+  /// marker can never regress the on-disk state).
+  void SetSegmentFormat(uint32_t format_version);
+
+  /// The segment format new segments are written with.
+  uint32_t segment_format() const;
+
   /// Deletes this table's files. The table must be destroyed afterwards.
   Status DestroyFiles();
 
@@ -128,14 +161,15 @@ class Table : public Kv {
   Status RotateWalLocked(uint64_t flushed_id) REQUIRES(mu_);
 
   // Folds the value of `key` across memtable + segments. Returns true when
-  // a live value exists. Readers call it under the shared lock,
-  // RewriteValue under the exclusive one.
-  bool FoldGetLocked(std::string_view key, std::string* value) const
+  // a live value exists, an error when a segment block turns out to be
+  // corrupt. Readers call it under the shared lock, RewriteValue under the
+  // exclusive one.
+  Result<bool> FoldGetLocked(std::string_view key, std::string* value) const
       REQUIRES_SHARED(mu_);
 
   std::string dir_;
   std::string name_;
-  TableOptions options_;
+  TableOptions options_ GUARDED_BY(mu_);
 
   mutable SharedMutex mu_;
   MemTable mem_ GUARDED_BY(mu_);

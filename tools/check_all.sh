@@ -12,6 +12,9 @@
 #   (defaults: build-asan, build-tsan)
 # Set SEQDET_SKIP_TSAN=1 to run only the ASan/UBSan pass.
 # Set SEQDET_SKIP_STATIC=1 to skip the static gate.
+# Set SEQDET_RUN_BENCH=1 to also run the bench regression gate
+# (tools/check_bench.sh against the committed BENCH_*.json baselines);
+# off by default because wall-clock comparisons need a quiet machine.
 set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,5 +38,10 @@ ctest --test-dir "${ASAN_DIR}" --output-on-failure -j"$(nproc)"
 
 if [[ "${SEQDET_SKIP_TSAN:-0}" != "1" ]]; then
   "${REPO_DIR}/tools/check_tsan.sh" "${TSAN_DIR}"
+fi
+
+if [[ "${SEQDET_RUN_BENCH:-0}" == "1" ]]; then
+  echo "=== BENCH: check_bench.sh ==="
+  "${REPO_DIR}/tools/check_bench.sh"
 fi
 echo "=== all sanitizer checks clean ==="

@@ -262,6 +262,20 @@ int CmdInfo(const Args& args) {
   std::printf("periods:    %zu\n", (*index)->num_periods());
   std::printf("activities: %zu\n", (*index)->dictionary().size());
   std::printf("postings:   format v%u\n", (*index)->posting_format());
+  std::printf("segments:   format v%u\n", (*db)->segment_format());
+  storage::TableSegmentStats seg = (*db)->GetSegmentStats();
+  if (seg.num_segments > 0) {
+    double ratio = seg.disk_bytes > 0
+                       ? static_cast<double>(seg.logical_bytes) /
+                             static_cast<double>(seg.disk_bytes)
+                       : 0.0;
+    std::printf("  %zu segment files (%zu v1, %zu v2), %zu blocks, "
+                "%llu bytes on disk for %llu logical (%.2fx)\n",
+                seg.num_segments, seg.v1_segments, seg.v2_segments,
+                seg.num_blocks,
+                static_cast<unsigned long long>(seg.disk_bytes),
+                static_cast<unsigned long long>(seg.logical_bytes), ratio);
+  }
   index::PostingCacheStats cache = (*index)->cache_stats();
   std::printf("read cache: %zu / %zu bytes in %zu entries "
               "(hits %llu, misses %llu, evictions %llu, invalidations %llu)\n",
