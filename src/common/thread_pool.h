@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <queue>
@@ -13,12 +14,24 @@
 
 namespace seqdet {
 
+/// Point-in-time counters of one ThreadPool (monotonic except the gauge).
+struct ThreadPoolStats {
+  size_t threads = 0;           // pool size
+  uint64_t tasks_executed = 0;  // tasks run by pool workers
+  uint64_t inline_runs = 0;     // ParallelFor chunks run inline by callers
+  size_t queue_depth = 0;       // gauge: submitted, not yet picked up
+  size_t peak_queue_depth = 0;  // high-water mark of queue_depth
+};
+
 /// Fixed-size thread pool.
 ///
 /// Substitutes the paper's Spark executors: the index builder treats each
 /// trace independently ("parallelization-by-design", §5.3), so a plain task
 /// pool reproduces both the 1-executor and the all-cores configurations of
-/// Table 6.
+/// Table 6. Since the morsel-driven query engine it is also the intra-query
+/// executor: one pool instance is safely shared by nested ParallelFor calls
+/// (a DetectBatch fan-out whose Detects fan out their own joins) — see
+/// ParallelFor for the reentrancy rule that makes that deadlock-free.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1).
@@ -40,6 +53,9 @@ class ThreadPool {
     {
       MutexLock lock(mu_);
       tasks_.emplace([task] { (*task)(); });
+      if (tasks_.size() > peak_queue_depth_) {
+        peak_queue_depth_ = tasks_.size();
+      }
     }
     cv_.NotifyOne();
     return fut;
@@ -47,7 +63,21 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n), partitioned into contiguous chunks across
   /// the pool, and blocks until every call returns.
+  ///
+  /// Reentrancy: when the calling thread is itself a worker of this pool,
+  /// the chunks are executed inline on the caller instead of being
+  /// submitted. Blocking a worker on futures served by its own (possibly
+  /// 1-thread, possibly saturated) pool would deadlock — every nested level
+  /// could be waiting for a worker that is itself waiting. Inline execution
+  /// keeps nested parallel sections (parallel DetectBatch over parallel
+  /// Detect) correct at the cost of no extra parallelism for the inner
+  /// level, which the outer fan-out already provides. Inline-run chunks are
+  /// counted in ThreadPoolStats::inline_runs.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers — i.e. a
+  /// ParallelFor from here would run inline.
+  bool OnWorkerThread() const;
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -57,6 +87,9 @@ class ThreadPool {
     MutexLock lock(mu_);
     return tasks_.size();
   }
+
+  /// Snapshot of the pool's observability counters.
+  ThreadPoolStats stats() const;
 
   /// Number of hardware threads, never 0.
   static size_t HardwareConcurrency();
@@ -69,6 +102,9 @@ class ThreadPool {
   CondVar cv_;
   std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
+  size_t peak_queue_depth_ GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> inline_runs_{0};
 };
 
 }  // namespace seqdet

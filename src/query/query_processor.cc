@@ -100,20 +100,28 @@ std::vector<PatternMatch> ToPatternMatches(const MatchSet& set) {
   return out;
 }
 
-/// Algorithm 2 lines 5-13: keep matches whose last event coincides with
-/// the first event of a posting of the next pair — a join on
+/// Algorithm 2 lines 5-13 over one contiguous slice of the join: keep
+/// matches in rows [row_begin, row_end) whose last event coincides with
+/// the first event of a posting in [p_begin, p_end) — a join on
 /// (trace, ts_first). Under SC/STNM a pair's completions never share their
 /// first event, so each key has one continuation; under skip-till-any-match
 /// several postings share a first event and every one extends the match
-/// (overlapping results are the point of that policy). `postings` must be
-/// sorted by (trace, ts_first) — what GetPairPostingsShared returns.
-Result<MatchSet> ExtendMatchSet(const MatchSet& matches,
-                                const std::vector<PairOccurrence>& postings,
-                                const Deadline& deadline) {
+/// (overlapping results are the point of that policy). The posting range
+/// must be sorted by (trace, ts_first) — what GetPairPostingsShared
+/// returns. This is both the whole serial join (full ranges) and one
+/// morsel of the parallel join; whichever internal path runs, rows are
+/// visited in order and each row's continuations appended in posting
+/// order, so the output rows depend only on the input ranges.
+Result<MatchSet> ExtendMatchRange(const MatchSet& matches, size_t row_begin,
+                                  size_t row_end, const PairOccurrence* p_begin,
+                                  const PairOccurrence* p_end,
+                                  const Deadline& deadline) {
+  const size_t rows = row_end - row_begin;
+  const size_t num_postings = static_cast<size_t>(p_end - p_begin);
   MatchSet out;
   out.width = matches.width + 1;
-  out.traces.reserve(matches.size());
-  out.ts.reserve(matches.size() * out.width);
+  out.traces.reserve(rows);
+  out.ts.reserve(rows * out.width);
   size_t ticks = 0;
 
   TraceId prev_trace = 0;
@@ -136,17 +144,16 @@ Result<MatchSet> ExtendMatchSet(const MatchSet& matches,
   // the shape selective patterns produce — binary-probing the sorted
   // snapshot per match beats scanning it, and touches none of the shared
   // snapshot's cache lines beyond the probed ranges.
-  const bool probe_sorted =
-      matches.size() < postings.size() / 8 || postings.size() < 16;
+  const bool probe_sorted = rows < num_postings / 8 || num_postings < 16;
   if (probe_sorted) {
-    for (size_t r = 0; r < matches.size(); ++r) {
+    for (size_t r = row_begin; r < row_end; ++r) {
       if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
         return DeadlineExceeded();
       }
       const PairOccurrence probe{matches.traces[r], matches.last(r),
                                  std::numeric_limits<Timestamp>::min()};
-      auto it = std::lower_bound(postings.begin(), postings.end(), probe);
-      while (it != postings.end() && it->trace == probe.trace &&
+      auto it = std::lower_bound(p_begin, p_end, probe);
+      while (it != p_end && it->trace == probe.trace &&
              it->ts_first == probe.ts_first) {
         append(r, it->ts_second);
         ++it;
@@ -158,24 +165,22 @@ Result<MatchSet> ExtendMatchSet(const MatchSet& matches,
   // Comparable sizes and both sides sorted by the join key: a linear merge
   // join — no hash table, no allocations, two sequential scans.
   if (matches.sorted_by_key) {
-    size_t p = 0;
-    for (size_t r = 0; r < matches.size(); ++r) {
+    const PairOccurrence* p = p_begin;
+    for (size_t r = row_begin; r < row_end; ++r) {
       if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
         return DeadlineExceeded();
       }
       const TraceId trace = matches.traces[r];
       const Timestamp key = matches.last(r);
-      while (p < postings.size() &&
-             (postings[p].trace < trace ||
-              (postings[p].trace == trace && postings[p].ts_first < key))) {
+      while (p != p_end && (p->trace < trace ||
+                            (p->trace == trace && p->ts_first < key))) {
         ++p;
       }
       // Consume the matching run without advancing p: a later row may
       // share the key (STAM inputs), and keys only grow.
-      for (size_t q = p; q < postings.size() && postings[q].trace == trace &&
-                         postings[q].ts_first == key;
-           ++q) {
-        append(r, postings[q].ts_second);
+      for (const PairOccurrence* q = p;
+           q != p_end && q->trace == trace && q->ts_first == key; ++q) {
+        append(r, q->ts_second);
       }
     }
     return out;
@@ -185,25 +190,25 @@ Result<MatchSet> ExtendMatchSet(const MatchSet& matches,
   // posting runs. Postings with the same (trace, ts_first) are contiguous,
   // so the map needs one entry per run pointing back into the snapshot.
   struct Run {
-    size_t start;
+    const PairOccurrence* start;
     size_t len;
   };
   std::unordered_map<TraceTsKey, Run, TraceTsKeyHash> continuation;
-  continuation.reserve(postings.size());
-  for (size_t p = 0; p < postings.size();) {
+  continuation.reserve(num_postings);
+  for (const PairOccurrence* p = p_begin; p != p_end;) {
     if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
       return DeadlineExceeded();
     }
-    const size_t start = p;
-    const PairOccurrence& head = postings[p];
+    const PairOccurrence* start = p;
+    const PairOccurrence& head = *p;
     do {
       ++p;
-    } while (p < postings.size() && postings[p].trace == head.trace &&
-             postings[p].ts_first == head.ts_first);
+    } while (p != p_end && p->trace == head.trace &&
+             p->ts_first == head.ts_first);
     continuation.emplace(TraceTsKey{head.trace, head.ts_first},
-                         Run{start, p - start});
+                         Run{start, static_cast<size_t>(p - start)});
   }
-  for (size_t r = 0; r < matches.size(); ++r) {
+  for (size_t r = row_begin; r < row_end; ++r) {
     if (++ticks % kDeadlineStride == 0 && deadline.Expired()) {
       return DeadlineExceeded();
     }
@@ -211,8 +216,110 @@ Result<MatchSet> ExtendMatchSet(const MatchSet& matches,
     if (it == continuation.end()) continue;
     const Run run = it->second;
     for (size_t s = 0; s < run.len; ++s) {
-      append(r, postings[run.start + s].ts_second);
+      append(r, run.start[s].ts_second);
     }
+  }
+  return out;
+}
+
+/// The pool (possibly null) and tuning knobs a join runs under.
+struct ParallelContext {
+  ThreadPool* pool = nullptr;
+  const ParallelExecutionOptions* options = nullptr;
+};
+
+/// The full pair join: the serial kernel over the whole input, or — when a
+/// pool is available, the input is sorted by the join key, and the join is
+/// big enough to amortize the fork/join — trace-partitioned morsels run
+/// concurrently and concatenated in morsel order.
+///
+/// Byte-identity of the morsel path (DESIGN.md §13): morsel boundaries are
+/// aligned so no trace straddles one, each match row joins only postings of
+/// its own trace, so morsel m's output equals the serial output rows for
+/// its row range; concatenating in morsel order therefore reproduces the
+/// serial row order exactly. The sorted_by_key flag is stitched across
+/// fragment boundaries with the same comparison the serial append makes.
+Result<MatchSet> ExtendMatchSet(const MatchSet& matches,
+                                const std::vector<PairOccurrence>& postings,
+                                const Deadline& deadline,
+                                const ParallelContext& par) {
+  const PairOccurrence* p_begin = postings.data();
+  const PairOccurrence* p_end = p_begin + postings.size();
+  const bool want_parallel =
+      par.pool != nullptr && par.options != nullptr &&
+      par.pool->num_threads() > 1 && matches.sorted_by_key &&
+      matches.size() + postings.size() >= par.options->min_parallel_join_input;
+  if (!want_parallel) {
+    return ExtendMatchRange(matches, 0, matches.size(), p_begin, p_end,
+                            deadline);
+  }
+
+  // Cut the posting array every ~morsel_target_postings entries, then slide
+  // each cut forward to the next trace boundary so a trace's postings land
+  // in exactly one morsel.
+  const size_t target = std::max<size_t>(1, par.options->morsel_target_postings);
+  std::vector<size_t> cuts{0};
+  while (cuts.back() < postings.size()) {
+    size_t end = std::min(postings.size(), cuts.back() + target);
+    while (end < postings.size() &&
+           postings[end].trace == postings[end - 1].trace) {
+      ++end;
+    }
+    cuts.push_back(end);
+  }
+  const size_t morsels = cuts.size() - 1;
+  if (morsels < 2) {
+    return ExtendMatchRange(matches, 0, matches.size(), p_begin, p_end,
+                            deadline);
+  }
+
+  // Assign each match row to the morsel owning its trace's postings. Rows
+  // whose trace falls in a gap between morsels produce no output wherever
+  // they run, so boundary placement for them is immaterial.
+  std::vector<size_t> row_cuts(morsels + 1);
+  row_cuts[0] = 0;
+  row_cuts[morsels] = matches.size();
+  for (size_t m = 1; m < morsels; ++m) {
+    row_cuts[m] = static_cast<size_t>(
+        std::lower_bound(matches.traces.begin(), matches.traces.end(),
+                         postings[cuts[m]].trace) -
+        matches.traces.begin());
+  }
+
+  std::vector<MatchSet> fragments(morsels);
+  std::vector<Status> statuses(morsels);
+  par.pool->ParallelFor(morsels, [&](size_t m) {
+    auto fragment =
+        ExtendMatchRange(matches, row_cuts[m], row_cuts[m + 1],
+                         p_begin + cuts[m], p_begin + cuts[m + 1], deadline);
+    if (fragment.ok()) {
+      fragments[m] = std::move(fragment).value();
+    } else {
+      statuses[m] = fragment.status();
+    }
+  });
+  for (const Status& s : statuses) SEQDET_RETURN_IF_ERROR(s);
+
+  MatchSet out;
+  out.width = matches.width + 1;
+  size_t total = 0;
+  for (const MatchSet& f : fragments) total += f.size();
+  out.traces.reserve(total);
+  out.ts.reserve(total * out.width);
+  for (MatchSet& f : fragments) {
+    if (f.size() == 0) continue;
+    if (!out.traces.empty()) {
+      // Stitch the sorted flag across the fragment boundary — exactly the
+      // comparison the serial append would have made between these rows.
+      const size_t last = out.size() - 1;
+      if (f.traces[0] < out.traces[last] ||
+          (f.traces[0] == out.traces[last] && f.last(0) < out.last(last))) {
+        out.sorted_by_key = false;
+      }
+    }
+    if (!f.sorted_by_key) out.sorted_by_key = false;
+    out.traces.insert(out.traces.end(), f.traces.begin(), f.traces.end());
+    out.ts.insert(out.ts.end(), f.ts.begin(), f.ts.end());
   }
   return out;
 }
@@ -248,7 +355,8 @@ Result<StatisticsResult> QueryProcessor::Statistics(
 
 Result<std::vector<PatternMatch>> QueryProcessor::ExtendMatches(
     std::vector<PatternMatch> matches,
-    const std::vector<PairOccurrence>& postings, const Deadline& deadline) {
+    const std::vector<PairOccurrence>& postings, const Deadline& deadline)
+    const {
   if (matches.empty()) return std::vector<PatternMatch>{};
   // Pack into the flat working representation (all inputs come from a
   // prior Detect, so every match has the same width), join, unpack.
@@ -266,8 +374,10 @@ Result<std::vector<PatternMatch>> QueryProcessor::ExtendMatches(
     set.traces.push_back(m.trace);
     set.ts.insert(set.ts.end(), m.timestamps.begin(), m.timestamps.end());
   }
-  SEQDET_ASSIGN_OR_RETURN(MatchSet extended,
-                          ExtendMatchSet(set, postings, deadline));
+  SEQDET_ASSIGN_OR_RETURN(
+      MatchSet extended,
+      ExtendMatchSet(set, postings, deadline,
+                     ParallelContext{pool_, &parallel_}));
   return ToPatternMatches(extended);
 }
 
@@ -322,13 +432,29 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
     return !summaries.empty() &&
            candidate_span < summaries[i].traces.Span();
   };
-  auto fetch = [&](size_t i) {
+  if (constraints.deadline.Expired()) return DeadlineExceeded();
+
+  // Parallel posting acquisition: with a pool, fetch every pair's list up
+  // front and concurrently, overlapping the SDSEG2 block decodes and
+  // posting-cache fills the serial engine pays one join step at a time.
+  // The serial engine keeps the lazy per-step fetch below so a join that
+  // runs dry never touches the remaining pairs' lists.
+  std::vector<index::PostingCache::Snapshot> prefetched;
+  if (pool_ != nullptr && pool_->num_threads() > 1 && num_pairs >= 2) {
+    std::vector<index::SequenceIndex::PairPostingsRequest> requests(num_pairs);
+    for (size_t i = 0; i < num_pairs; ++i) {
+      requests[i].pair = pair_at(i);
+      requests[i].filter = want_filter(i) ? &candidates : nullptr;
+    }
+    SEQDET_ASSIGN_OR_RETURN(prefetched,
+                            index_->GetPairPostingsBatch(requests, pool_));
+  }
+  auto fetch = [&](size_t i) -> Result<index::PostingCache::Snapshot> {
+    if (!prefetched.empty()) return prefetched[i];
     return want_filter(i)
                ? index_->GetPairPostingsFiltered(pair_at(i), candidates)
                : index_->GetPairPostingsShared(pair_at(i));
   };
-
-  if (constraints.deadline.Expired()) return DeadlineExceeded();
   SEQDET_ASSIGN_OR_RETURN(auto first_postings, fetch(0));
   // Trace-level refinement of the first matches is worthwhile under the
   // same selectivity condition as block filtering (Contains is a binary
@@ -362,7 +488,8 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
     if (constraints.deadline.Expired()) return DeadlineExceeded();
     SEQDET_ASSIGN_OR_RETURN(auto postings, fetch(i));
     SEQDET_ASSIGN_OR_RETURN(
-        matches, ExtendMatchSet(matches, *postings, constraints.deadline));
+        matches, ExtendMatchSet(matches, *postings, constraints.deadline,
+                                ParallelContext{pool_, &parallel_}));
     if (constraints.max_gap.has_value()) {
       const size_t w = matches.width;
       const Timestamp max_gap = *constraints.max_gap;
@@ -384,6 +511,7 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
 Result<std::vector<std::vector<PatternMatch>>> QueryProcessor::DetectBatch(
     const std::vector<Pattern>& patterns, ThreadPool* pool,
     const DetectionConstraints& constraints) const {
+  if (pool == nullptr) pool = pool_;
   std::vector<std::vector<PatternMatch>> results(patterns.size());
   std::vector<Status> statuses(patterns.size());
   auto run_one = [&](size_t i) {
@@ -464,6 +592,32 @@ void QueryProcessor::RankProposals(
             });
 }
 
+Status QueryProcessor::VerifyCandidates(
+    size_t n, const std::function<Result<ContinuationProposal>(size_t)>& verify,
+    std::vector<ContinuationProposal>* proposals) const {
+  proposals->assign(n, ContinuationProposal{});
+  std::vector<Status> statuses(n);
+  auto run_one = [&](size_t i) {
+    auto proposal = verify(i);
+    if (proposal.ok()) {
+      (*proposals)[i] = std::move(proposal).value();
+    } else {
+      statuses[i] = proposal.status();
+    }
+  };
+  // Each verification is an independent read of the (quiescent-under-MVCC)
+  // index, so candidates fan out whenever the pool can actually overlap
+  // them. Results land by index, keeping the serial candidate order.
+  if (pool_ != nullptr && pool_->num_threads() > 1 &&
+      n >= parallel_.min_parallel_candidates) {
+    pool_->ParallelFor(n, run_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  }
+  for (const Status& s : statuses) SEQDET_RETURN_IF_ERROR(s);
+  return Status::OK();
+}
+
 Result<ContinuationProposal> QueryProcessor::VerifyCandidate(
     const Pattern& pattern, const std::vector<PatternMatch>& base_matches,
     ActivityId candidate, const ContinuationConstraints& constraints) const {
@@ -538,21 +692,17 @@ Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueAccurate(
   }
 
   std::vector<ContinuationProposal> proposals;
-  proposals.reserve(candidates.size());
-  for (const PairCountStats& candidate : candidates) {
-    ContinuationProposal proposal;
-    if (pattern.size() == 1) {
-      SEQDET_ASSIGN_OR_RETURN(
-          proposal,
-          VerifySingleEventCandidate(pattern.activities.back(),
-                                     candidate.other, constraints));
-    } else {
-      SEQDET_ASSIGN_OR_RETURN(
-          proposal, VerifyCandidate(pattern, base_matches, candidate.other,
-                                    constraints));
-    }
-    proposals.push_back(proposal);
-  }
+  SEQDET_RETURN_IF_ERROR(VerifyCandidates(
+      candidates.size(),
+      [&](size_t i) -> Result<ContinuationProposal> {
+        if (pattern.size() == 1) {
+          return VerifySingleEventCandidate(pattern.activities.back(),
+                                            candidates[i].other, constraints);
+        }
+        return VerifyCandidate(pattern, base_matches, candidates[i].other,
+                               constraints);
+      },
+      &proposals));
   RankProposals(&proposals);
   return proposals;
 }
@@ -717,39 +867,39 @@ QueryProcessor::ContinueInsertAccurate(
   SEQDET_ASSIGN_OR_RETURN(auto candidates,
                           ContinueInsertFast(pattern, gap_index));
   std::vector<ContinuationProposal> proposals;
-  proposals.reserve(candidates.size());
-  for (const ContinuationProposal& candidate : candidates) {
-    Pattern spliced = Spliced(pattern, gap_index, candidate.activity);
-    ContinuationProposal proposal;
-    proposal.activity = candidate.activity;
-    if (spliced.size() < 2) {
-      proposals.push_back(candidate);
-      continue;
-    }
-    SEQDET_ASSIGN_OR_RETURN(auto matches, Detect(spliced));
-    int64_t total_gap = 0;
-    for (const PatternMatch& match : matches) {
-      // Duration of the detour through the inserted event.
-      size_t at = gap_index;  // index of the inserted event in the match
-      Timestamp gap =
-          at + 1 < match.timestamps.size()
-              ? match.timestamps[at + 1] -
-                    (at > 0 ? match.timestamps[at - 1]
-                            : match.timestamps[at])
-              : match.timestamps[at] - match.timestamps[at - 1];
-      if (constraints.max_gap.has_value() && gap > *constraints.max_gap) {
-        continue;
-      }
-      ++proposal.total_completions;
-      total_gap += gap;
-    }
-    proposal.average_duration =
-        proposal.total_completions == 0
-            ? 0.0
-            : static_cast<double>(total_gap) /
-                  static_cast<double>(proposal.total_completions);
-    proposals.push_back(proposal);
-  }
+  SEQDET_RETURN_IF_ERROR(VerifyCandidates(
+      candidates.size(),
+      [&](size_t i) -> Result<ContinuationProposal> {
+        const ContinuationProposal& candidate = candidates[i];
+        Pattern spliced = Spliced(pattern, gap_index, candidate.activity);
+        if (spliced.size() < 2) return candidate;
+        ContinuationProposal proposal;
+        proposal.activity = candidate.activity;
+        SEQDET_ASSIGN_OR_RETURN(auto matches, Detect(spliced));
+        int64_t total_gap = 0;
+        for (const PatternMatch& match : matches) {
+          // Duration of the detour through the inserted event.
+          size_t at = gap_index;  // index of the inserted event in the match
+          Timestamp gap =
+              at + 1 < match.timestamps.size()
+                  ? match.timestamps[at + 1] -
+                        (at > 0 ? match.timestamps[at - 1]
+                                : match.timestamps[at])
+                  : match.timestamps[at] - match.timestamps[at - 1];
+          if (constraints.max_gap.has_value() && gap > *constraints.max_gap) {
+            continue;
+          }
+          ++proposal.total_completions;
+          total_gap += gap;
+        }
+        proposal.average_duration =
+            proposal.total_completions == 0
+                ? 0.0
+                : static_cast<double>(total_gap) /
+                      static_cast<double>(proposal.total_completions);
+        return proposal;
+      },
+      &proposals));
   RankProposals(&proposals);
   return proposals;
 }
@@ -768,20 +918,17 @@ Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueHybrid(
   }
   std::vector<ContinuationProposal> proposals;
   size_t limit = std::min(top_k, fast.size());
-  for (size_t i = 0; i < limit; ++i) {
-    ContinuationProposal proposal;
-    if (pattern.size() == 1) {
-      SEQDET_ASSIGN_OR_RETURN(
-          proposal,
-          VerifySingleEventCandidate(pattern.activities.back(),
-                                     fast[i].activity, constraints));
-    } else {
-      SEQDET_ASSIGN_OR_RETURN(
-          proposal, VerifyCandidate(pattern, base_matches, fast[i].activity,
-                                    constraints));
-    }
-    proposals.push_back(proposal);
-  }
+  SEQDET_RETURN_IF_ERROR(VerifyCandidates(
+      limit,
+      [&](size_t i) -> Result<ContinuationProposal> {
+        if (pattern.size() == 1) {
+          return VerifySingleEventCandidate(pattern.activities.back(),
+                                            fast[i].activity, constraints);
+        }
+        return VerifyCandidate(pattern, base_matches, fast[i].activity,
+                               constraints);
+      },
+      &proposals));
   // Line 5: only the verified topK are returned, re-ranked by their
   // accurate scores. (Mixing the unverified Fast tail back in would let
   // its optimistic upper-bound counts outrank verified candidates.)

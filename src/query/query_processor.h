@@ -1,6 +1,7 @@
 #ifndef SEQDET_QUERY_QUERY_PROCESSOR_H_
 #define SEQDET_QUERY_QUERY_PROCESSOR_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -83,12 +84,41 @@ struct ContinuationConstraints {
   std::optional<eventlog::Timestamp> max_gap;
 };
 
+/// Tuning knobs of the morsel-driven intra-query execution engine (used
+/// only when the processor is given a ThreadPool). Defaults are production
+/// values; tests shrink the thresholds to force many morsels over tiny
+/// logs. Whatever the values, parallel execution returns byte-identical
+/// match vectors to the serial path (see DESIGN.md §13 for the argument).
+struct ParallelExecutionOptions {
+  /// Target postings per join morsel: every ExtendMatches merge join over a
+  /// (trace, ts)-sorted input is split into contiguous trace-aligned ranges
+  /// of roughly this many postings, run on the pool, and concatenated in
+  /// morsel order.
+  size_t morsel_target_postings = 128u << 10;
+  /// Minimum total join input (postings + surviving matches) before a join
+  /// is morselized at all; below it the fork/join overhead exceeds the win.
+  size_t min_parallel_join_input = 32u << 10;
+  /// Minimum continuation-candidate count before verification fans out.
+  size_t min_parallel_candidates = 2;
+};
+
 /// The query-processor component of Figure 1. All queries run against a
 /// SequenceIndex; none touches the raw log.
+///
+/// Intra-query parallelism: constructed with a ThreadPool, a single query
+/// fans out three ways — all pair posting lists are fetched/decoded
+/// concurrently on entry, each pair join runs as trace-partitioned morsels,
+/// and continuation candidates are verified concurrently. Parallel and
+/// serial execution return byte-identical results; a null pool (the
+/// default) is the serial engine. The pool may be shared with other
+/// processors and with DetectBatch — nested fan-outs run inline (see
+/// ThreadPool::ParallelFor).
 class QueryProcessor {
  public:
-  explicit QueryProcessor(const index::SequenceIndex* index)
-      : index_(index) {}
+  explicit QueryProcessor(const index::SequenceIndex* index,
+                          ThreadPool* pool = nullptr,
+                          const ParallelExecutionOptions& parallel = {})
+      : index_(index), pool_(pool), parallel_(parallel) {}
 
   /// Statistics query: per consecutive pair, completions and average
   /// duration from the Count table; plus whole-pattern bounds.
@@ -133,8 +163,11 @@ class QueryProcessor {
 
   /// Evaluates many detection queries, optionally in parallel on `pool`
   /// (reads are lock-free against a quiescent index, so this scales with
-  /// cores). Result i corresponds to patterns[i]; a failed query yields an
-  /// empty result and the first error is returned.
+  /// cores). A null `pool` falls back to the processor's own pool, so a
+  /// parallel processor fans the batch out by default; per-query intra-
+  /// query fan-outs then run inline on the batch workers. Result i
+  /// corresponds to patterns[i]; a failed query yields an empty result and
+  /// the first error is returned.
   Result<std::vector<std::vector<PatternMatch>>> DetectBatch(
       const std::vector<Pattern>& patterns, ThreadPool* pool = nullptr,
       const DetectionConstraints& constraints = {}) const;
@@ -164,6 +197,9 @@ class QueryProcessor {
 
   const index::SequenceIndex* index() const { return index_; }
 
+  /// The intra-query execution pool (null = serial engine).
+  ThreadPool* pool() const { return pool_; }
+
  private:
   /// Joins `matches` with the postings of (last pattern event, next):
   /// keeps matches whose last event is the first component of a posting,
@@ -174,14 +210,25 @@ class QueryProcessor {
   /// (trace, ts_first) — what GetPairPostingsShared returns. Polls
   /// `deadline` every few thousand joined matches and aborts the join —
   /// the cancellation point that keeps one huge pair join from blowing a
-  /// serving deadline.
-  static Result<std::vector<PatternMatch>> ExtendMatches(
+  /// serving deadline. Runs as trace-partitioned morsels on the
+  /// processor's pool when the join is large enough.
+  Result<std::vector<PatternMatch>> ExtendMatches(
       std::vector<PatternMatch> matches,
       const std::vector<index::PairOccurrence>& postings,
-      const Deadline& deadline = Deadline::Never());
+      const Deadline& deadline = Deadline::Never()) const;
 
   /// Scores + sorts proposals by Equation 1 (descending).
   static void RankProposals(std::vector<ContinuationProposal>* proposals);
+
+  /// Runs `verify(i)` for every candidate index in [0, n) — concurrently on
+  /// the pool when there are enough candidates (each verification is an
+  /// independent index read) — storing result i into (*proposals)[i].
+  /// Failures keep candidate order: the lowest-index error is returned,
+  /// matching what the serial loop would have reported first.
+  Status VerifyCandidates(
+      size_t n,
+      const std::function<Result<ContinuationProposal>(size_t)>& verify,
+      std::vector<ContinuationProposal>* proposals) const;
 
   /// Accurate verification of a single candidate given the precomputed
   /// base-pattern matches (the "incremental" advantage of §5.4.2: the base
@@ -198,6 +245,8 @@ class QueryProcessor {
       const ContinuationConstraints& constraints) const;
 
   const index::SequenceIndex* index_;
+  ThreadPool* pool_;
+  ParallelExecutionOptions parallel_;
 };
 
 }  // namespace seqdet::query

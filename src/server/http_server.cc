@@ -311,6 +311,11 @@ HttpServerStats HttpServer::stats() const {
   return out;
 }
 
+ThreadPoolStats HttpServer::pool_stats() const {
+  MutexLock lock(stats_mu_);
+  return pool_ != nullptr ? pool_->stats() : ThreadPoolStats{};
+}
+
 void HttpServer::AcceptLoop() {
   // Read the pool pointer once under stats_mu_ (the handoff lock). The
   // pointee is stable for the whole loop: Stop() joins this thread before

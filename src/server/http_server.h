@@ -119,6 +119,9 @@ class HttpServer {
   /// Snapshot of the serving counters.
   HttpServerStats stats() const;
 
+  /// Snapshot of the worker pool's counters (all zero when not running).
+  ThreadPoolStats pool_stats() const;
+
   /// Result of ParseRequest on a byte prefix.
   enum class ParseOutcome {
     kOk,          // one full request parsed; *consumed bytes eaten

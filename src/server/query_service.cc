@@ -96,7 +96,12 @@ RouteStatsSnapshot QueryService::RouteStats::Snapshot() const {
 
 QueryService::QueryService(const index::SequenceIndex* index,
                            ServingOptions options)
-    : index_(index), qp_(index), options_(options) {}
+    : index_(index),
+      query_pool_(options.query_threads > 1
+                      ? std::make_unique<ThreadPool>(options.query_threads)
+                      : nullptr),
+      qp_(index, query_pool_.get()),
+      options_(options) {}
 
 void QueryService::RegisterRoutes(HttpServer* server) {
   server_ = server;
@@ -293,6 +298,31 @@ HttpResponse QueryService::HandleInfo(const HttpRequest&) const {
       .Int(serving.inflight)
       .Key("shed_total")
       .Int(static_cast<int64_t>(serving.shed_total));
+  // Execution pools: the per-query fan-out pool and (when registered on a
+  // live server) the HTTP worker pool, in the same counter vocabulary.
+  auto pool_object = [&json](const ThreadPoolStats& pool) {
+    json.BeginObject()
+        .Key("threads")
+        .Int(static_cast<int64_t>(pool.threads))
+        .Key("tasks_executed")
+        .Int(static_cast<int64_t>(pool.tasks_executed))
+        .Key("inline_runs")
+        .Int(static_cast<int64_t>(pool.inline_runs))
+        .Key("queue_depth")
+        .Int(static_cast<int64_t>(pool.queue_depth))
+        .Key("peak_queue_depth")
+        .Int(static_cast<int64_t>(pool.peak_queue_depth))
+        .EndObject();
+  };
+  json.Key("pools").BeginObject().Key("query");
+  pool_object(query_pool_ != nullptr ? query_pool_->stats()
+                                     : ThreadPoolStats{});
+  if (server_ != nullptr) {
+    json.Key("http");
+    pool_object(server_->pool_stats());
+  }
+  json.EndObject();
+
   if (server_ != nullptr) {
     HttpServerStats http = server_->stats();
     json.Key("http")

@@ -463,5 +463,64 @@ TEST(ThreadPoolTest, ManyTasksDrain) {
   EXPECT_EQ(done.load(), 500);
 }
 
+// Regression: a ParallelFor issued from one of the pool's own workers must
+// run inline. On a 1-thread pool the old submit-and-wait behavior was a
+// guaranteed deadlock — the sole worker blocked on futures only it could
+// serve — so this test hanging (it runs under the suite timeout) is the
+// failure mode.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_sum{0};
+  auto outer = pool.Submit([&] {
+    EXPECT_TRUE(pool.OnWorkerThread());
+    pool.ParallelFor(64, [&](size_t i) {
+      inner_sum.fetch_add(static_cast<int>(i));
+    });
+  });
+  outer.get();
+  EXPECT_EQ(inner_sum.load(), 2016);
+  EXPECT_GE(pool.stats().inline_runs, 1u);
+}
+
+// Deeper nesting (a parallel batch whose queries fan out their own joins)
+// must also complete, and every level of it inline past the first.
+TEST(ThreadPoolTest, DoublyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) {
+      pool.ParallelFor(4, [&](size_t) { leaf.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 64);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.OnWorkerThread());
+  auto f = a.Submit([&] {
+    EXPECT_TRUE(a.OnWorkerThread());
+    EXPECT_FALSE(b.OnWorkerThread());
+  });
+  f.get();
+}
+
+TEST(ThreadPoolTest, StatsCountExecutedTasksAndPeakQueue) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_EQ(stats.tasks_executed, 100u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // 100 tasks against 2 workers must have queued at some point; the peak
+  // gauge is monotone so any positive value proves it was maintained.
+  EXPECT_GE(stats.peak_queue_depth, 1u);
+}
+
 }  // namespace
 }  // namespace seqdet

@@ -210,16 +210,43 @@ std::string Describe(const std::vector<ActivityId>& pattern, uint64_t seed,
   return out;
 }
 
+/// Morsel thresholds small enough that the differential log's posting
+/// lists split into many morsels, so the parallel axis exercises real
+/// partitioning rather than falling back to the serial kernel.
+query::ParallelExecutionOptions TinyMorsels() {
+  query::ParallelExecutionOptions par;
+  par.morsel_target_postings = 16;
+  par.min_parallel_join_input = 1;
+  par.min_parallel_candidates = 1;
+  return par;
+}
+
 /// Runs every pattern through the index and the oracle, requiring identical
 /// match multisets. `stage` labels the index state in failure messages.
+/// Every pattern also runs through the morsel-driven engine at two pool
+/// widths (the parallel-execution axis); those results must be
+/// *byte-identical* to the serial engine's — same matches, same order —
+/// not merely equal as multisets.
 void ExpectAgreement(const Fixture& f, const Oracle& oracle,
                      const std::vector<std::vector<ActivityId>>& patterns,
                      uint64_t seed, const char* stage,
                      const DetectionConstraints& constraints = {}) {
   QueryProcessor qp(f.index.get());
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+  QueryProcessor qp2(f.index.get(), &pool2, TinyMorsels());
+  QueryProcessor qp4(f.index.get(), &pool4, TinyMorsels());
   for (const auto& p : patterns) {
     auto got = qp.Detect(Pattern(p), constraints);
     ASSERT_TRUE(got.ok()) << got.status() << " " << Describe(p, seed, stage);
+    auto par2 = qp2.Detect(Pattern(p), constraints);
+    auto par4 = qp4.Detect(Pattern(p), constraints);
+    ASSERT_TRUE(par2.ok()) << par2.status() << " " << Describe(p, seed, stage);
+    ASSERT_TRUE(par4.ok()) << par4.status() << " " << Describe(p, seed, stage);
+    ASSERT_EQ(*par2, *got)
+        << "2-thread diverged from serial " << Describe(p, seed, stage);
+    ASSERT_EQ(*par4, *got)
+        << "4-thread diverged from serial " << Describe(p, seed, stage);
     ASSERT_EQ(Normalized(*got), Normalized(oracle.Detect(p, constraints)))
         << Describe(p, seed, stage);
   }
@@ -367,6 +394,40 @@ TEST(DifferentialBatchTest, DetectBatchAgreesWithOracle) {
   for (size_t i = 0; i < raw.size(); ++i) {
     ASSERT_EQ(Normalized((*results)[i]), Normalized(oracle.Detect(raw[i])))
         << Describe(raw[i], seed, "batch");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution: error/deadline behavior must match serial exactly
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialParallelTest, DeadlineBehaviorMatchesSerial) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, Policy::kSkipTillNextMatch, index::kPostingFormatBlocked);
+  QueryProcessor serial(f.index.get());
+  ThreadPool pool(4);
+  QueryProcessor parallel(f.index.get(), &pool, TinyMorsels());
+  auto patterns =
+      RandomPatterns(100, f.index->dictionary().size(), seed ^ 0xD1D);
+  for (const auto& p : patterns) {
+    // Already-expired budget: both engines must abort — the morsel path
+    // maps any worker's Aborted to the same status the serial join
+    // returns — and a never-expiring one must not change the matches.
+    DetectionConstraints expired;
+    expired.deadline = Deadline::After(0);
+    auto s = serial.Detect(Pattern(p), expired);
+    auto q = parallel.Detect(Pattern(p), expired);
+    ASSERT_TRUE(s.status().IsAborted()) << Describe(p, seed, "deadline");
+    ASSERT_TRUE(q.status().IsAborted()) << Describe(p, seed, "deadline");
+
+    DetectionConstraints generous;
+    generous.deadline = Deadline::After(60000);
+    auto s2 = serial.Detect(Pattern(p), generous);
+    auto q2 = parallel.Detect(Pattern(p), generous);
+    ASSERT_TRUE(s2.ok()) << s2.status();
+    ASSERT_TRUE(q2.ok()) << q2.status();
+    ASSERT_EQ(*q2, *s2) << Describe(p, seed, "deadline-generous");
   }
 }
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Bench regression gate: runs the benches that have committed baseline
-# JSONs (BENCH_storage.json, BENCH_posting_blocks.json) and fails when any
+# JSONs (BENCH_storage.json, BENCH_posting_blocks.json,
+# BENCH_query_parallel.json) and fails when any
 # `speedup` or `*ms_per_query` field regresses by more than the tolerance
 # (default 20%) against the baseline — lower speedup or higher query time.
 #
@@ -30,7 +31,7 @@ if [[ ! -d "${BUILD_DIR}" ]]; then
 fi
 echo "=== BENCH: build bench binaries ==="
 cmake --build "${BUILD_DIR}" -j"$(nproc)" \
-  --target bench_storage bench_posting_blocks
+  --target bench_storage bench_posting_blocks bench_parallel_query
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -38,14 +39,16 @@ trap 'rm -rf "${TMP_DIR}"' EXIT
 declare -A BASELINES=(
   [storage]="${REPO_DIR}/BENCH_storage.json"
   [posting_blocks]="${REPO_DIR}/BENCH_posting_blocks.json"
+  [query_parallel]="${REPO_DIR}/BENCH_query_parallel.json"
 )
 declare -A BINARIES=(
   [storage]="${BUILD_DIR}/bench/bench_storage"
   [posting_blocks]="${BUILD_DIR}/bench/bench_posting_blocks"
+  [query_parallel]="${BUILD_DIR}/bench/bench_parallel_query"
 )
 
 status=0
-for bench in storage posting_blocks; do
+for bench in storage posting_blocks query_parallel; do
   baseline="${BASELINES[$bench]}"
   binary="${BINARIES[$bench]}"
   if [[ ! -f "${baseline}" ]]; then

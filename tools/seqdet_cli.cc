@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,10 +93,14 @@ int Usage() {
       "  info     --db=<dir> | --port=<n>  (--port asks a live server)\n"
       "  stats    --db=<dir> --pattern=a,b,c [--last-completion]\n"
       "  detect   --db=<dir> --pattern=a,b,c [--limit=N] [--max-gap=N]\n"
-      "           [--max-span=N]\n"
+      "           [--max-span=N] [--query-threads=N]\n"
       "  query    --db=<dir> --q=\"a -> b within N gap <= M\" [--limit=N]\n"
+      "           [--query-threads=N]\n"
       "  serve    --db=<dir> [--port=8391]   JSON-over-HTTP query service\n"
       "           [--http-threads=N]  worker pool size (default: cores)\n"
+      "           [--query-threads=N]  intra-query execution pool: posting\n"
+      "           prefetch, morselized joins, parallel continuation\n"
+      "           verification (0|1 = serial engine, the default)\n"
       "           [--max-inflight=64]  admission limit; excess queries\n"
       "           are shed with 503 + Retry-After (0 disables)\n"
       "           [--request-deadline-ms=N]  default per-query budget;\n"
@@ -108,6 +113,7 @@ int Usage() {
       "           [--fold-min-ops=16384] [--fold-rate-limit=BYTES/S]\n"
       "  continue --db=<dir> --pattern=a,b [--mode=accurate|fast|hybrid]\n"
       "           [--topk=K] [--limit=N] [--insert-at=I]\n"
+      "           [--query-threads=N]\n"
       "  prune    --db=<dir> --trace=<id>\n"
       "  fold     --db=<dir>   maintenance: fold statistics deltas and\n"
       "           rewrite posting lists as sorted v2 blocks (v1 upgrade)\n"
@@ -345,6 +351,14 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+/// The CLI's standalone intra-query pool: --query-threads=N with N >= 2
+/// parallelizes one-shot detect/query/continue runs the same way serve
+/// does (null = serial engine).
+std::unique_ptr<ThreadPool> QueryPoolFromFlags(const Args& args) {
+  size_t n = static_cast<size_t>(args.GetInt("query-threads", 0));
+  return n > 1 ? std::make_unique<ThreadPool>(n) : nullptr;
+}
+
 int CmdDetect(const Args& args) {
   auto db = storage::Database::Open(args.Get("db"));
   if (!db.ok()) return Fail(db.status());
@@ -357,7 +371,8 @@ int CmdDetect(const Args& args) {
   if (args.Has("max-gap")) constraints.max_gap = args.GetInt("max-gap", 0);
   if (args.Has("max-span")) constraints.max_span = args.GetInt("max-span", 0);
 
-  query::QueryProcessor qp(index->get());
+  std::unique_ptr<ThreadPool> pool = QueryPoolFromFlags(args);
+  query::QueryProcessor qp(index->get(), pool.get());
   Stopwatch watch;
   auto matches = qp.Detect(*pattern, constraints);
   if (!matches.ok()) return Fail(matches.status());
@@ -389,7 +404,8 @@ int CmdContinue(const Args& args) {
   auto pattern = PatternFromFlag(args, **index);
   if (!pattern.ok()) return Fail(pattern.status());
 
-  query::QueryProcessor qp(index->get());
+  std::unique_ptr<ThreadPool> pool = QueryPoolFromFlags(args);
+  query::QueryProcessor qp(index->get(), pool.get());
   std::string mode = args.Get("mode", "accurate");
   Stopwatch watch;
   Result<std::vector<query::ContinuationProposal>> proposals =
@@ -438,7 +454,8 @@ int CmdQuery(const Args& args) {
   auto parsed = query::ParsePatternQuery(text, (*index)->dictionary());
   if (!parsed.ok()) return Fail(parsed.status());
 
-  query::QueryProcessor qp(index->get());
+  std::unique_ptr<ThreadPool> pool = QueryPoolFromFlags(args);
+  query::QueryProcessor qp(index->get(), pool.get());
   Stopwatch watch;
   auto matches = qp.Detect(parsed->pattern, parsed->constraints);
   if (!matches.ok()) return Fail(matches.status());
@@ -486,6 +503,8 @@ int CmdServe(const Args& args) {
                                       static_cast<int64_t>(serving.max_inflight)));
   serving.default_deadline_ms =
       args.GetInt("request-deadline-ms", serving.default_deadline_ms);
+  serving.query_threads =
+      static_cast<size_t>(args.GetInt("query-threads", 0));
   server::QueryService service(index->get(), serving);
   server::HttpServerOptions http_options;
   http_options.num_threads =
@@ -502,12 +521,14 @@ int CmdServe(const Args& args) {
   Status started = http.Start(port);
   if (!started.ok()) return Fail(started);
   std::printf("query service listening on http://127.0.0.1:%u "
-              "(%zu workers, max in-flight %zu, default deadline %lld ms)\n"
+              "(%zu workers, %zu query threads, max in-flight %zu, "
+              "default deadline %lld ms)\n"
               "endpoints: /health /info /detect /stats /continue\n"
               "example: curl 'http://127.0.0.1:%u/detect?q=act_0+-%%3E+act_1'\n"
               "auto-fold: %s\n"
               "Ctrl-C to stop.\n",
-              http.port(), http.options().num_threads, serving.max_inflight,
+              http.port(), http.options().num_threads,
+              serving.query_threads, serving.max_inflight,
               static_cast<long long>(serving.default_deadline_ms),
               http.port(), maint.auto_fold ? "on" : "off");
   // Serve until SIGINT/SIGTERM, then shut down cleanly: stop accepting,
