@@ -1,10 +1,14 @@
 #ifndef SEQDET_BASELINES_SASE_SASE_ENGINE_H_
 #define SEQDET_BASELINES_SASE_SASE_ENGINE_H_
 
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "index/pair.h"
 #include "log/event_log.h"
+#include "query/pattern.h"
 
 namespace seqdet::baseline {
 
@@ -14,6 +18,19 @@ struct SaseMatch {
   std::vector<eventlog::Timestamp> timestamps;
 
   friend bool operator==(const SaseMatch&, const SaseMatch&) = default;
+};
+
+/// Memo of concrete-pair match sets for repeated DetectExtended calls over
+/// one (log, policy): the differential harness replays thousands of random
+/// extended patterns against one log, and every pattern re-derives its
+/// operator semantics from the same handful of concrete pairs. Owned by the
+/// caller; pass the same cache only for the same engine and policy.
+struct SasePairCache {
+  index::Policy policy{};
+  bool initialized = false;
+  std::map<std::pair<eventlog::ActivityId, eventlog::ActivityId>,
+           std::vector<SaseMatch>>
+      pairs;
 };
 
 /// Reproduction of the SASE baseline (§5.4.2): an NFA-based complex-event
@@ -42,6 +59,28 @@ class SaseEngine {
   /// Match count only (still scans everything).
   size_t Count(const std::vector<eventlog::ActivityId>& pattern,
                index::Policy policy) const;
+
+  /// Extended-operator evaluation (disjunction, Kleene+, negation, time
+  /// windows — DESIGN.md §14) straight off the raw log. This is the
+  /// NORMATIVE semantics the index-side compiler is differentially tested
+  /// against; no index, cache, or posting codec is involved here.
+  ///
+  /// Composition rules (each mirrored independently by the engine):
+  ///  * a disjunction pair (S, T) matches the union over all concrete
+  ///    (a in S, b in T) of the policy's NFA pair match sets;
+  ///  * Kleene+ chains repetitions through the element's self-pair set,
+  ///    each repetition making strict temporal progress (ts grows);
+  ///  * negation forbids a matching event strictly inside the open
+  ///    interval between the neighbouring positive matches (unbounded at
+  ///    the pattern ends);
+  ///  * `within` / `gap <=` bounds are inclusive;
+  ///  * the result is deduplicated and sorted by (trace, timestamps).
+  ///
+  /// Only SC and STNM are supported (Unsupported otherwise). `cache`
+  /// optionally memoizes concrete pair sets across calls.
+  Result<std::vector<SaseMatch>> DetectExtended(
+      const query::ExtendedPattern& pattern, index::Policy policy,
+      SasePairCache* cache = nullptr) const;
 
  private:
   void DetectInTrace(const eventlog::Trace& trace,

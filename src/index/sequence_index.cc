@@ -855,6 +855,23 @@ Result<std::vector<Event>> SequenceIndex::GetTraceSequence(
   return seq_->Get(trace);
 }
 
+Result<std::vector<TraceId>> SequenceIndex::ListTraces() const {
+  if (!options_.maintain_seq) {
+    return Status::Unsupported("Seq table disabled");
+  }
+  std::vector<TraceId> traces;
+  SEQDET_RETURN_IF_ERROR(seq_->table()->Scan(
+      "", "", [&traces](std::string_view key, std::string_view) {
+        std::string_view key_cursor(key);
+        uint64_t trace = 0;
+        if (GetKeyU64(&key_cursor, &trace)) {
+          traces.push_back(trace);
+        }
+        return true;
+      }));
+  return traces;
+}
+
 Result<ConsistencyReport> SequenceIndex::CheckConsistency() const {
   ConsistencyReport report;
   constexpr size_t kMaxViolations = 100;

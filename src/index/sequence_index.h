@@ -225,6 +225,13 @@ class SequenceIndex {
   Result<std::vector<eventlog::Event>> GetTraceSequence(
       eventlog::TraceId trace) const;
 
+  /// Every trace id with a stored sequence, ascending (a Seq-table key
+  /// scan; pruned traces are absent). Powers the extended-pattern queries
+  /// that must enumerate traces — single-positive-element patterns and
+  /// compliance templates (DESIGN.md §14). Unsupported when the Seq table
+  /// is disabled.
+  Result<std::vector<eventlog::TraceId>> ListTraces() const;
+
   /// The index's own persistent activity dictionary. Batches passed to
   /// Update() may carry arbitrary per-log dictionaries; events are remapped
   /// by *name* into this dictionary, which is what makes ids stable across

@@ -1,5 +1,10 @@
 #include "query/pattern.h"
 
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
 namespace seqdet::query {
 
 Result<Pattern> Pattern::FromNames(
@@ -31,6 +36,157 @@ std::string Pattern::ToString(
 Pattern Pattern::Extended(eventlog::ActivityId next) const {
   Pattern out = *this;
   out.activities.push_back(next);
+  return out;
+}
+
+bool PatternElement::Matches(eventlog::ActivityId a) const {
+  return std::binary_search(alternatives.begin(), alternatives.end(), a);
+}
+
+size_t ExtendedPattern::NumPositives() const {
+  size_t n = 0;
+  for (const PatternElement& e : elements) {
+    if (!e.negated) ++n;
+  }
+  return n;
+}
+
+bool ExtendedPattern::IsPlain() const {
+  for (const PatternElement& e : elements) {
+    if (e.negated || e.kleene || e.alternatives.size() != 1) return false;
+  }
+  return true;
+}
+
+Pattern ExtendedPattern::AsPlain() const {
+  Pattern out;
+  out.activities.reserve(elements.size());
+  for (const PatternElement& e : elements) {
+    out.activities.push_back(e.alternatives.front());
+  }
+  return out;
+}
+
+ExtendedPattern ExtendedPattern::FromPlain(const Pattern& pattern) {
+  ExtendedPattern out;
+  out.elements.reserve(pattern.size());
+  for (eventlog::ActivityId id : pattern.activities) {
+    out.elements.push_back(PatternElement{{id}, false, false});
+  }
+  return out;
+}
+
+Status ExtendedPattern::Validate() const {
+  if (elements.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  size_t positives = 0;
+  for (const PatternElement& e : elements) {
+    if (e.alternatives.empty()) {
+      return Status::InvalidArgument("pattern element with no alternatives");
+    }
+    if (e.negated && e.kleene) {
+      return Status::InvalidArgument("a negated element cannot carry '+'");
+    }
+    if (!e.negated) ++positives;
+  }
+  if (positives == 0) {
+    return Status::InvalidArgument(
+        "pattern needs at least one positive (non-negated) element");
+  }
+  if ((max_span && *max_span < 0) || (max_gap && *max_gap < 0)) {
+    return Status::InvalidArgument("negative time bound");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// True when `name` would not survive the extended tokenizer as one bare
+/// word: empty, contains whitespace / grammar punctuation / a two-char
+/// operator, or collides with a keyword. Names containing '"' itself are
+/// unrepresentable (the quote syntax has no escapes) — callers control
+/// dictionary contents.
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) return true;
+    if (c == '(' || c == ')' || c == '|' || c == '!' || c == '+' ||
+        c == ',' || c == '"') {
+      return true;
+    }
+  }
+  if (name.find("->") != std::string::npos ||
+      name.find("<=") != std::string::npos) {
+    return true;
+  }
+  return name == "within" || name == "gap" || name == "response" ||
+         name == "precedence" || name == "absence";
+}
+
+void AppendName(const eventlog::ActivityDictionary& dictionary,
+                eventlog::ActivityId id, std::string* out) {
+  std::string name(dictionary.Name(id));
+  if (NeedsQuoting(name)) {
+    out->push_back('"');
+    out->append(name);
+    out->push_back('"');
+  } else {
+    out->append(name);
+  }
+}
+
+}  // namespace
+
+std::string ExtendedPattern::ToString(
+    const eventlog::ActivityDictionary& dictionary) const {
+  std::string out;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const PatternElement& e = elements[i];
+    if (i) out.push_back(' ');
+    if (e.negated) out.push_back('!');
+    if (e.alternatives.size() > 1) {
+      out.push_back('(');
+      for (size_t a = 0; a < e.alternatives.size(); ++a) {
+        if (a) out.push_back('|');
+        AppendName(dictionary, e.alternatives[a], &out);
+      }
+      out.push_back(')');
+    } else if (!e.alternatives.empty()) {
+      AppendName(dictionary, e.alternatives.front(), &out);
+    }
+    if (e.kleene) out.push_back('+');
+  }
+  if (max_span) {
+    out += " within ";
+    out += std::to_string(*max_span);
+  }
+  if (max_gap) {
+    out += " gap <= ";
+    out += std::to_string(*max_gap);
+  }
+  return out;
+}
+
+ExtendedPattern CompliancePattern(ComplianceRule rule,
+                                  eventlog::ActivityId first,
+                                  eventlog::ActivityId second) {
+  ExtendedPattern out;
+  switch (rule) {
+    case ComplianceRule::kResponse:
+      // A with no later B.
+      out.elements.push_back(PatternElement{{first}, false, false});
+      out.elements.push_back(PatternElement{{second}, false, true});
+      break;
+    case ComplianceRule::kPrecedence:
+      // B with no earlier A.
+      out.elements.push_back(PatternElement{{first}, false, true});
+      out.elements.push_back(PatternElement{{second}, false, false});
+      break;
+    case ComplianceRule::kAbsence:
+      out.elements.push_back(PatternElement{{first}, false, false});
+      break;
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SEQDET_QUERY_PATTERN_H_
 #define SEQDET_QUERY_PATTERN_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,104 @@ struct Pattern {
   /// The extended pattern <ev_1, ..., ev_p, next>.
   Pattern Extended(eventlog::ActivityId next) const;
 };
+
+// ---------------------------------------------------------------------------
+// Extended pattern language (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// One element of an extended pattern: a set of alternative event types,
+/// optionally Kleene-closed or negated.
+///
+///   A          — one event of type A
+///   (B|C)      — one event of type B or C (disjunction)
+///   (B|C)+     — one or more, chained through the pair index's self pairs;
+///                every repetition step must make strict temporal progress
+///                (ts grows), which is what bounds the closure
+///   !D         — negation: no D may occur strictly between the two
+///                neighbouring positive matches (see interval rules below)
+struct PatternElement {
+  /// The alternative set, kept sorted ascending and deduplicated — the
+  /// canonical form FromNames and the parser produce, which operator== and
+  /// the round-trip property rely on.
+  std::vector<eventlog::ActivityId> alternatives;
+  /// Kleene plus: one *or more* consecutive occurrences. Never combined
+  /// with `negated` (the parser rejects `!X+`).
+  bool kleene = false;
+  /// Negated elements constrain the gap between their positive neighbours
+  /// instead of matching an event of their own; they contribute no
+  /// timestamp to a match.
+  bool negated = false;
+
+  bool Matches(eventlog::ActivityId a) const;
+
+  friend bool operator==(const PatternElement&, const PatternElement&) =
+      default;
+};
+
+/// Time-boundary semantics (normative; pinned by extensions_test and the
+/// differential oracle):
+///   * `within W` (max_span): last - first <= W keeps the match — the bound
+///     itself is INCLUSIVE (span == W passes, span == W+1 fails).
+///   * `gap <= G` (max_gap): every adjacent pair of *matched* timestamps —
+///     including consecutive events inside one Kleene chain — must satisfy
+///     next - prev <= G, again INCLUSIVE.
+///   * negation intervals are EXCLUSIVE (open): `A !D E` kills a match only
+///     when a D exists with ts(A) < ts(D) < ts(E); a D sharing a timestamp
+///     with either neighbour does not. A leading `!D A...` checks
+///     ts(D) < ts(first match); a trailing `...A !D` checks
+///     ts(D) > ts(last match).
+struct ExtendedPattern {
+  std::vector<PatternElement> elements;
+  /// `within W`: inclusive bound on last - first timestamp.
+  std::optional<eventlog::Timestamp> max_span;
+  /// `gap <= G`: inclusive bound on every adjacent matched-timestamp gap.
+  std::optional<eventlog::Timestamp> max_gap;
+
+  size_t size() const { return elements.size(); }
+  bool empty() const { return elements.empty(); }
+
+  /// Number of non-negated elements (each contributes >= 1 timestamp).
+  size_t NumPositives() const;
+
+  /// True when the pattern uses no extended operator at all: every element
+  /// is a single-alternative positive without Kleene. (Time bounds do not
+  /// affect plainness — the plain engine takes them as constraints.)
+  bool IsPlain() const;
+
+  /// The plain Pattern this reduces to; only meaningful when IsPlain().
+  Pattern AsPlain() const;
+
+  /// Wraps a plain pattern into the extended representation.
+  static ExtendedPattern FromPlain(const Pattern& pattern);
+
+  /// Structural validation shared by the parser, the engine, and the
+  /// oracle: at least one element, at least one positive element, no empty
+  /// alternative set, and no negated Kleene.
+  Status Validate() const;
+
+  /// Canonical text form, re-parseable by ParseExtendedPatternQuery:
+  /// elements separated by single spaces, alternatives in stored order,
+  /// names quoted when they would not re-tokenize as a single bare word,
+  /// time bounds as raw integers (`within 300 gap <= 60`).
+  std::string ToString(const eventlog::ActivityDictionary& dictionary) const;
+
+  friend bool operator==(const ExtendedPattern&, const ExtendedPattern&) =
+      default;
+};
+
+/// Canned compliance-rule templates ("Temporal Compliance Rules" paper,
+/// PAPERS.md). Each expands to an extended pattern whose matches are the
+/// rule's VIOLATION witnesses:
+///   response(A, B)   -> `A !B`  — an A never followed by any later B
+///   precedence(A, B) -> `!A B`  — a B with no earlier A
+///   absence(A)       -> `A`    — every occurrence of the forbidden A
+enum class ComplianceRule { kResponse, kPrecedence, kAbsence };
+
+/// Builds the violation-witness pattern for `rule` over already-resolved
+/// activity ids (`second` is ignored for kAbsence).
+ExtendedPattern CompliancePattern(ComplianceRule rule,
+                                  eventlog::ActivityId first,
+                                  eventlog::ActivityId second = 0);
 
 }  // namespace seqdet::query
 

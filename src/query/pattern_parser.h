@@ -16,21 +16,41 @@ struct ParsedQuery {
   DetectionConstraints constraints;
 };
 
-/// Parses the small textual pattern language used by the CLI and examples:
+/// Parses the full textual pattern language (DESIGN.md §14):
 ///
 /// ```
-///   query      := step ( "->" step )*  constraint*
-///   step       := NAME | '"' any chars '"'
-///   constraint := "within" INT        -- max first-to-last span
-///               | "gap" "<=" INT      -- max gap between matched events
+///   query      := template constraint* | element ( "->"? element )* constraint*
+///   element    := "!"? symbol "+"?
+///   symbol     := name | "(" name ( "|" name )* ")"
+///   name       := NAME | '"' any chars '"'
+///   template   := "response"   "(" name "," name ")"
+///               | "precedence" "(" name "," name ")"
+///               | "absence"    "(" name ")"
+///   constraint := "within" DURATION       -- max first-to-last span
+///               | "gap" "<=" DURATION     -- max gap between matched events
+///   DURATION   := INT [ "s" | "m" | "h" | "d" ]
 /// ```
 ///
 /// Examples:
+///   `A (B|C)+ !D E within 5m`
 ///   `search -> add_to_cart -> checkout within 3600`
-///   `"Create Fine" -> "Send Fine" gap <= 86400`
+///   `response("Create Fine", "Send Fine") gap <= 1d`
 ///
-/// Activity names are resolved against `dictionary`; unknown names fail
-/// with NotFound, malformed syntax with InvalidArgument.
+/// `!X+` is rejected; a pattern needs at least one positive element. The
+/// "->" separators are optional and interchangeable with whitespace.
+/// Quoting suspends keyword recognition, so activities literally named
+/// `within` (or containing grammar punctuation) stay expressible. Activity
+/// names are resolved against `dictionary`; unknown names fail with
+/// NotFound, malformed syntax with InvalidArgument. Compliance templates
+/// expand to the extended pattern whose matches are the rule's violation
+/// witnesses (see CompliancePattern).
+Result<ExtendedPattern> ParseExtendedPatternQuery(
+    std::string_view text, const eventlog::ActivityDictionary& dictionary);
+
+/// Plain-sequence subset of the language for the endpoints that are
+/// defined on plain patterns only (/stats, /continue): accepts exactly the
+/// queries ParseExtendedPatternQuery does *minus* disjunction, Kleene and
+/// negation, and returns the time bounds as DetectionConstraints.
 Result<ParsedQuery> ParsePatternQuery(
     std::string_view text, const eventlog::ActivityDictionary& dictionary);
 

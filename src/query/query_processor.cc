@@ -508,6 +508,359 @@ Result<std::vector<PatternMatch>> QueryProcessor::Detect(
   return ToPatternMatches(matches);
 }
 
+// ---------------------------------------------------------------------------
+// Extended-operator detection (DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The working state of the extended join: matches of one uniform width
+/// sharing the same Kleene depth distribution, plus — per positive pattern
+/// element — the index of the LAST timestamp its chain occupies (the first
+/// follows as last_of[j-1] + 1). Groups stay separate because MatchSet and
+/// ExtendMatches are fixed-width; every group flows through the same
+/// morsel-parallel join kernel Detect uses.
+struct ExtGroup {
+  std::vector<PatternMatch> matches;
+  std::vector<uint32_t> last_of;
+};
+
+/// The tighter of two optional inclusive bounds.
+std::optional<Timestamp> TighterBound(std::optional<Timestamp> a,
+                                      std::optional<Timestamp> b) {
+  if (!a) return b;
+  if (!b) return a;
+  return std::min(*a, *b);
+}
+
+/// Union of the concrete pair posting lists over `from` x `to`, sorted by
+/// (trace, ts_first, ts_second) and deduplicated (two concrete pairs emit
+/// the same occurrence only when events share timestamps). With
+/// `strict_progress`, occurrences whose timestamp does not advance are
+/// dropped — the rule that bounds Kleene closures.
+Result<std::vector<PairOccurrence>> MergedPostings(
+    const index::SequenceIndex* index, const std::vector<ActivityId>& from,
+    const std::vector<ActivityId>& to, bool strict_progress) {
+  std::vector<PairOccurrence> out;
+  for (ActivityId a : from) {
+    for (ActivityId b : to) {
+      SEQDET_ASSIGN_OR_RETURN(auto snapshot,
+                              index->GetPairPostingsShared({a, b}));
+      for (const PairOccurrence& p : *snapshot) {
+        if (strict_progress && p.ts_second <= p.ts_first) continue;
+        out.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Prepends postings to matches whose first timestamp equals the posting's
+/// second — the leading-Kleene left extension. `postings_by_second` must be
+/// sorted by (trace, ts_second, ts_first).
+std::vector<PatternMatch> LeftExtendMatches(
+    const std::vector<PatternMatch>& matches,
+    const std::vector<PairOccurrence>& postings_by_second) {
+  auto by_second_less = [](const PairOccurrence& p, const PairOccurrence& q) {
+    return std::tie(p.trace, p.ts_second, p.ts_first) <
+           std::tie(q.trace, q.ts_second, q.ts_first);
+  };
+  std::vector<PatternMatch> out;
+  for (const PatternMatch& m : matches) {
+    const PairOccurrence probe{m.trace, std::numeric_limits<Timestamp>::min(),
+                               m.timestamps.front()};
+    for (auto it = std::lower_bound(postings_by_second.begin(),
+                                    postings_by_second.end(), probe,
+                                    by_second_less);
+         it != postings_by_second.end() && it->trace == m.trace &&
+         it->ts_second == m.timestamps.front();
+         ++it) {
+      PatternMatch extended;
+      extended.trace = m.trace;
+      extended.timestamps.reserve(m.timestamps.size() + 1);
+      extended.timestamps.push_back(it->ts_first);
+      for (Timestamp ts : m.timestamps) extended.timestamps.push_back(ts);
+      out.push_back(std::move(extended));
+    }
+  }
+  return out;
+}
+
+/// Canonical result order of extended detection: (trace, timestamps
+/// lexicographic). Distinct Kleene depth splits can assemble identical
+/// vectors, so callers dedupe right after sorting.
+bool CanonicalMatchLess(const PatternMatch& a, const PatternMatch& b) {
+  if (a.trace != b.trace) return a.trace < b.trace;
+  return std::lexicographical_compare(a.timestamps.begin(),
+                                      a.timestamps.end(),
+                                      b.timestamps.begin(),
+                                      b.timestamps.end());
+}
+
+}  // namespace
+
+Result<std::vector<PatternMatch>> QueryProcessor::DetectExtended(
+    const ExtendedPattern& pattern,
+    const DetectionConstraints& constraints) const {
+  SEQDET_RETURN_IF_ERROR(pattern.Validate());
+  const Deadline& deadline = constraints.deadline;
+  if (deadline.Expired()) return DeadlineExceeded();
+
+  const std::optional<Timestamp> max_gap =
+      TighterBound(pattern.max_gap, constraints.max_gap);
+  const std::optional<Timestamp> max_span =
+      TighterBound(pattern.max_span, constraints.max_span);
+
+  // Plain patterns take the identical Detect join plan (selectivity-ordered
+  // pruning, parallel prefetch) and keep its result order.
+  if (pattern.IsPlain() && pattern.size() >= 2) {
+    DetectionConstraints plain;
+    plain.max_gap = max_gap;
+    plain.max_span = max_span;
+    plain.deadline = deadline;
+    return Detect(pattern.AsPlain(), plain);
+  }
+
+  // The extended composition is defined over SC/STNM pair sets (the SASE
+  // oracle is the normative spec and covers exactly those policies).
+  if (index_->options().policy == index::Policy::kSkipTillAnyMatch) {
+    return Status::Unsupported(
+        "extended operators are only defined under strict-contiguity and "
+        "skip-till-next-match");
+  }
+
+  // Inclusive time bounds, applied eagerly after every extension: a
+  // violated gap or span never heals, and eager dropping is what keeps
+  // Kleene closures small.
+  auto gap_ok = [&max_gap](Timestamp prev, Timestamp next) {
+    return !max_gap || next - prev <= *max_gap;
+  };
+  auto span_ok = [&max_span](Timestamp first, Timestamp last) {
+    return !max_span || last - first <= *max_span;
+  };
+  auto filter_bounds = [&](std::vector<PatternMatch>* matches) {
+    std::erase_if(*matches, [&](const PatternMatch& m) {
+      for (size_t i = 1; i < m.timestamps.size(); ++i) {
+        if (!gap_ok(m.timestamps[i - 1], m.timestamps[i])) return true;
+      }
+      return !span_ok(m.timestamps.front(), m.timestamps.back());
+    });
+  };
+
+  std::vector<size_t> positives;
+  for (size_t i = 0; i < pattern.elements.size(); ++i) {
+    if (!pattern.elements[i].negated) positives.push_back(i);
+  }
+  auto elem = [&](size_t j) -> const PatternElement& {
+    return pattern.elements[positives[j]];
+  };
+  const size_t k = positives.size();
+
+  // Seq-table sequences, fetched once per trace — shared by the
+  // single-positive seed and the negation checks.
+  std::unordered_map<TraceId, std::vector<eventlog::Event>> sequences;
+  auto trace_events =
+      [&](TraceId trace) -> Result<const std::vector<eventlog::Event>*> {
+    auto it = sequences.find(trace);
+    if (it == sequences.end()) {
+      SEQDET_ASSIGN_OR_RETURN(auto events, index_->GetTraceSequence(trace));
+      it = sequences.emplace(trace, std::move(events)).first;
+    }
+    return &it->second;
+  };
+
+  std::vector<ExtGroup> groups;
+  if (k == 1) {
+    // Single positive element (compliance templates): every matching event
+    // across every stored trace seeds a width-1 match. All policies agree
+    // on length-1 occurrences.
+    SEQDET_ASSIGN_OR_RETURN(std::vector<TraceId> traces,
+                            index_->ListTraces());
+    ExtGroup seed;
+    seed.last_of = {0};
+    size_t ticks = 0;
+    for (TraceId trace : traces) {
+      if (++ticks % 64 == 0 && deadline.Expired()) return DeadlineExceeded();
+      SEQDET_ASSIGN_OR_RETURN(const auto* events, trace_events(trace));
+      for (const eventlog::Event& ev : *events) {
+        if (!elem(0).Matches(ev.activity)) continue;
+        PatternMatch m;
+        m.trace = trace;
+        m.timestamps.push_back(ev.ts);
+        seed.matches.push_back(std::move(m));
+      }
+    }
+    groups.push_back(std::move(seed));
+  } else {
+    // Seed with the (P0, P1) pair, then left-close a leading Kleene: the
+    // pair index has no single-event occurrence lists, so the first
+    // transition is folded into the seed and earlier chain members of a
+    // Kleene P0 are prepended afterwards.
+    SEQDET_ASSIGN_OR_RETURN(
+        std::vector<PairOccurrence> seed_postings,
+        MergedPostings(index_, elem(0).alternatives, elem(1).alternatives,
+                       /*strict_progress=*/false));
+    ExtGroup seed;
+    seed.last_of = {0, 1};
+    seed.matches.reserve(seed_postings.size());
+    for (const PairOccurrence& p : seed_postings) {
+      if (!gap_ok(p.ts_first, p.ts_second) ||
+          !span_ok(p.ts_first, p.ts_second)) {
+        continue;
+      }
+      PatternMatch m;
+      m.trace = p.trace;
+      m.timestamps.push_back(p.ts_first);
+      m.timestamps.push_back(p.ts_second);
+      seed.matches.push_back(std::move(m));
+    }
+    groups.push_back(std::move(seed));
+    if (elem(0).kleene) {
+      SEQDET_ASSIGN_OR_RETURN(
+          std::vector<PairOccurrence> self,
+          MergedPostings(index_, elem(0).alternatives, elem(0).alternatives,
+                         /*strict_progress=*/true));
+      std::sort(self.begin(), self.end(),
+                [](const PairOccurrence& p, const PairOccurrence& q) {
+                  return std::tie(p.trace, p.ts_second, p.ts_first) <
+                         std::tie(q.trace, q.ts_second, q.ts_first);
+                });
+      size_t frontier = 0;  // groups[frontier..] are the newest depth
+      while (frontier < groups.size()) {
+        if (deadline.Expired()) return DeadlineExceeded();
+        std::vector<PatternMatch> deeper =
+            LeftExtendMatches(groups[frontier].matches, self);
+        filter_bounds(&deeper);
+        ++frontier;
+        if (deeper.empty()) continue;
+        ExtGroup g;
+        for (uint32_t idx : groups[frontier - 1].last_of) {
+          g.last_of.push_back(idx + 1);  // the prepend shifted every index
+        }
+        g.matches = std::move(deeper);
+        groups.push_back(std::move(g));
+      }
+    }
+  }
+
+  // Close the remaining positives left to right. j == 1 was folded into
+  // the seed (and a leading Kleene left-closed above); each Kleene element
+  // gets a right closure chaining strict-progress self pairs.
+  for (size_t j = (k == 1 ? 0 : 1); j < k; ++j) {
+    if (deadline.Expired()) return DeadlineExceeded();
+    if (j >= 2) {
+      SEQDET_ASSIGN_OR_RETURN(
+          std::vector<PairOccurrence> postings,
+          MergedPostings(index_, elem(j - 1).alternatives,
+                         elem(j).alternatives, /*strict_progress=*/false));
+      std::vector<ExtGroup> next;
+      next.reserve(groups.size());
+      for (ExtGroup& g : groups) {
+        SEQDET_ASSIGN_OR_RETURN(
+            std::vector<PatternMatch> extended,
+            ExtendMatches(std::move(g.matches), postings, deadline));
+        filter_bounds(&extended);
+        if (extended.empty()) continue;
+        ExtGroup ng;
+        ng.last_of = std::move(g.last_of);
+        ng.last_of.push_back(
+            static_cast<uint32_t>(extended.front().timestamps.size() - 1));
+        ng.matches = std::move(extended);
+        next.push_back(std::move(ng));
+      }
+      groups = std::move(next);
+    }
+    if (elem(j).kleene && !(j == 0 && k > 1)) {
+      SEQDET_ASSIGN_OR_RETURN(
+          std::vector<PairOccurrence> self,
+          MergedPostings(index_, elem(j).alternatives, elem(j).alternatives,
+                         /*strict_progress=*/true));
+      // Close every existing group; newly produced depths join the queue
+      // and are themselves closed until the strict-progress rule runs the
+      // frontier dry.
+      size_t frontier = 0;
+      while (frontier < groups.size()) {
+        if (deadline.Expired()) return DeadlineExceeded();
+        SEQDET_ASSIGN_OR_RETURN(
+            std::vector<PatternMatch> deeper,
+            ExtendMatches(groups[frontier].matches, self, deadline));
+        filter_bounds(&deeper);
+        ++frontier;
+        if (deeper.empty()) continue;
+        ExtGroup g;
+        g.last_of = groups[frontier - 1].last_of;
+        g.last_of.back() += 1;
+        g.matches = std::move(deeper);
+        groups.push_back(std::move(g));
+      }
+    }
+  }
+
+  // Negation post-verification: a match dies when an event of the negated
+  // set lies strictly inside the open interval between its positive
+  // neighbours' matched events (unbounded at the pattern ends).
+  std::vector<size_t> negations;
+  for (size_t i = 0; i < pattern.elements.size(); ++i) {
+    if (pattern.elements[i].negated) negations.push_back(i);
+  }
+  if (!negations.empty()) {
+    for (ExtGroup& g : groups) {
+      size_t ticks = 0;
+      std::vector<PatternMatch> kept;
+      kept.reserve(g.matches.size());
+      for (PatternMatch& m : g.matches) {
+        if (++ticks % 1024 == 0 && deadline.Expired()) {
+          return DeadlineExceeded();
+        }
+        SEQDET_ASSIGN_OR_RETURN(const auto* events, trace_events(m.trace));
+        bool violated = false;
+        for (size_t e : negations) {
+          size_t left = k, right = k;  // k = "no such neighbour"
+          for (size_t j = 0; j < k; ++j) {
+            if (positives[j] < e) left = j;
+            if (positives[j] > e) {
+              right = j;
+              break;
+            }
+          }
+          const bool has_left = left != k;
+          const bool has_right = right != k;
+          const Timestamp left_ts =
+              has_left ? m.timestamps[g.last_of[left]] : 0;
+          const Timestamp right_ts =
+              has_right
+                  ? m.timestamps[right == 0 ? 0 : g.last_of[right - 1] + 1]
+                  : 0;
+          for (const eventlog::Event& ev : *events) {
+            if (!pattern.elements[e].Matches(ev.activity)) continue;
+            if (has_left && ev.ts <= left_ts) continue;
+            if (has_right && ev.ts >= right_ts) continue;
+            violated = true;
+            break;
+          }
+          if (violated) break;
+        }
+        if (!violated) kept.push_back(std::move(m));
+      }
+      g.matches = std::move(kept);
+    }
+  }
+
+  // Canonical order + dedup across groups.
+  std::vector<PatternMatch> out;
+  size_t total = 0;
+  for (const ExtGroup& g : groups) total += g.matches.size();
+  out.reserve(total);
+  for (ExtGroup& g : groups) {
+    for (PatternMatch& m : g.matches) out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(), CanonicalMatchLess);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 Result<std::vector<std::vector<PatternMatch>>> QueryProcessor::DetectBatch(
     const std::vector<Pattern>& patterns, ThreadPool* pool,
     const DetectionConstraints& constraints) const {

@@ -132,6 +132,29 @@ class QueryProcessor {
       const Pattern& pattern,
       const DetectionConstraints& constraints = {}) const;
 
+  /// Extended-operator detection (DESIGN.md §14): expands disjunctions and
+  /// Kleene+ into a positive pair-join skeleton over the index — merged
+  /// alternative-pair posting lists run through the same (morsel-parallel)
+  /// join kernel Detect uses — then post-verifies negation intervals and
+  /// time windows per candidate match.
+  ///
+  /// Contract:
+  ///  * a plain pattern (>= 2 single-alternative positives, no operators)
+  ///    delegates to Detect unchanged — identical join plan, identical
+  ///    result order;
+  ///  * patterns that use extended operators return their matches
+  ///    deduplicated and sorted by (trace, timestamps) — distinct Kleene
+  ///    depth splits can assemble the same timestamp vector;
+  ///  * time bounds embedded in the pattern (`within`/`gap <=`) combine
+  ///    with `constraints` — the tighter bound wins; both are inclusive
+  ///    (pattern.h);
+  ///  * single-positive-element skeletons (compliance templates) and
+  ///    negation checks replay Seq-table sequences, so they are
+  ///    Unsupported when the index runs without the Seq table.
+  Result<std::vector<PatternMatch>> DetectExtended(
+      const ExtendedPattern& pattern,
+      const DetectionConstraints& constraints = {}) const;
+
   /// Accurate continuation (Algorithm 3): every candidate continuation is
   /// verified with a full detection of the extended pattern.
   Result<std::vector<ContinuationProposal>> ContinueAccurate(

@@ -378,12 +378,17 @@ HttpResponse QueryService::HandleDetect(const HttpRequest& request,
   if (q == request.query.end()) {
     return HttpResponse::Error(400, "missing q parameter");
   }
-  auto parsed = query::ParsePatternQuery(q->second, index_->dictionary());
+  // The full extended language (DESIGN.md §14): disjunction, Kleene+,
+  // negation, time windows, compliance templates. Plain sequences compile
+  // to the identical Detect join plan inside DetectExtended.
+  auto parsed =
+      query::ParseExtendedPatternQuery(q->second, index_->dictionary());
   if (!parsed.ok()) {
     return HttpResponse::Error(400, parsed.status().ToString());
   }
-  parsed->constraints.deadline = deadline;
-  auto matches = qp_.Detect(parsed->pattern, parsed->constraints);
+  query::DetectionConstraints constraints;
+  constraints.deadline = deadline;
+  auto matches = qp_.DetectExtended(*parsed, constraints);
   if (!matches.ok()) {
     return QueryError(matches.status());
   }

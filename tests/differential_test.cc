@@ -13,6 +13,11 @@
 // SEQDET_DIFF_PATTERNS) over a seeded random log. On failure the assert
 // message carries the seed and the pattern; replay a failing seed with
 //   SEQDET_DIFF_SEED=<seed> ./differential_test
+//
+// The extended pattern language (disjunction, Kleene+, negation, time
+// windows — DESIGN.md section 14) has its own axis at the bottom of this
+// file, with SaseEngine::DetectExtended as the oracle; filter it with
+//   --gtest_filter='*Extended*'
 
 #include <algorithm>
 #include <cstdlib>
@@ -546,6 +551,244 @@ TEST(DifferentialHttpTest, HttpDetectAgreesUnderConcurrentAutoFold) {
       << "maintenance never overlapped the query phase — thresholds or "
          "rate limit broken?";
   EXPECT_EQ(m.errors, 0u) << m.last_error;
+}
+
+// ---------------------------------------------------------------------------
+// Extended patterns: disjunction, Kleene+, negation, time windows
+//
+// The oracle here is SaseEngine::DetectExtended — the normative raw-log
+// implementation of the extended composition semantics. It shares nothing
+// with the index path (no postings, no codecs, no caches, no morsels), so a
+// disagreement implicates the index-side compiler in
+// QueryProcessor::DetectExtended.
+// ---------------------------------------------------------------------------
+
+using query::ExtendedPattern;
+using query::PatternElement;
+
+/// Seeded sampler over the full extended grammar. Every pattern is valid by
+/// construction (>= 1 positive, no negated Kleene, canonical alternatives).
+std::vector<ExtendedPattern> RandomExtendedPatterns(size_t count,
+                                                    size_t num_activities,
+                                                    uint64_t seed) {
+  Rng rng(seed ^ 0xE47E4DEDull);
+  std::vector<ExtendedPattern> patterns;
+  patterns.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ExtendedPattern pattern;
+    const size_t len = 1 + rng.NextBounded(4);
+    for (size_t e = 0; e < len; ++e) {
+      PatternElement element;
+      const size_t alts = rng.NextBool(0.3) ? 1 + rng.NextBounded(3) : 1;
+      for (size_t a = 0; a < alts; ++a) {
+        element.alternatives.push_back(
+            static_cast<ActivityId>(rng.NextBounded(num_activities)));
+      }
+      std::sort(element.alternatives.begin(), element.alternatives.end());
+      element.alternatives.erase(
+          std::unique(element.alternatives.begin(),
+                      element.alternatives.end()),
+          element.alternatives.end());
+      element.negated = rng.NextBool(0.2);
+      element.kleene = !element.negated && rng.NextBool(0.25);
+      pattern.elements.push_back(std::move(element));
+    }
+    bool any_positive = false;
+    for (const auto& e : pattern.elements) any_positive |= !e.negated;
+    if (!any_positive) {
+      pattern.elements[rng.NextBounded(pattern.elements.size())].negated =
+          false;
+    }
+    if (rng.NextBool(0.3)) pattern.max_span = rng.NextInRange(1, 80);
+    if (rng.NextBool(0.3)) pattern.max_gap = rng.NextInRange(1, 25);
+    EXPECT_TRUE(pattern.Validate().ok());
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+std::string DescribeExt(const ExtendedPattern& pattern,
+                        const eventlog::ActivityDictionary& dictionary,
+                        uint64_t seed, const char* stage) {
+  return "seed=" + std::to_string(seed) + " stage=" + stage + " query=\"" +
+         pattern.ToString(dictionary) + "\" (replay: SEQDET_DIFF_SEED=" +
+         std::to_string(seed) + ")";
+}
+
+/// Index-side extended detection versus the SASE extended oracle, plus the
+/// parallel-execution axis: the morsel-driven engine at two pool widths
+/// must be byte-identical to the serial extended path.
+void ExpectExtendedAgreement(const Fixture& f, const EventLog& log,
+                             Policy policy,
+                             const std::vector<ExtendedPattern>& patterns,
+                             uint64_t seed, const char* stage,
+                             baseline::SasePairCache* cache) {
+  baseline::SaseEngine engine(&log);
+  QueryProcessor qp(f.index.get());
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+  QueryProcessor qp2(f.index.get(), &pool2, TinyMorsels());
+  QueryProcessor qp4(f.index.get(), &pool4, TinyMorsels());
+  const auto& dict = f.index->dictionary();
+  for (const ExtendedPattern& p : patterns) {
+    auto got = qp.DetectExtended(p);
+    ASSERT_TRUE(got.ok()) << got.status() << " "
+                          << DescribeExt(p, dict, seed, stage);
+    auto par2 = qp2.DetectExtended(p);
+    auto par4 = qp4.DetectExtended(p);
+    ASSERT_TRUE(par2.ok()) << par2.status() << " "
+                           << DescribeExt(p, dict, seed, stage);
+    ASSERT_TRUE(par4.ok()) << par4.status() << " "
+                           << DescribeExt(p, dict, seed, stage);
+    ASSERT_EQ(*par2, *got) << "2-thread diverged from serial "
+                           << DescribeExt(p, dict, seed, stage);
+    ASSERT_EQ(*par4, *got) << "4-thread diverged from serial "
+                           << DescribeExt(p, dict, seed, stage);
+    auto expected = engine.DetectExtended(p, policy, cache);
+    ASSERT_TRUE(expected.ok()) << expected.status() << " "
+                               << DescribeExt(p, dict, seed, stage);
+    std::vector<PatternMatch> oracle_matches;
+    oracle_matches.reserve(expected->size());
+    for (const SaseMatch& m : *expected) {
+      oracle_matches.push_back(PatternMatch{m.trace, m.timestamps});
+    }
+    ASSERT_EQ(Normalized(*got), Normalized(std::move(oracle_matches)))
+        << DescribeExt(p, dict, seed, stage);
+  }
+}
+
+class ExtendedDifferentialTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(ExtendedDifferentialTest, ExtendedBlockedPreAndPostFold) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, GetParam(), index::kPostingFormatBlocked);
+  auto patterns = RandomExtendedPatterns(PatternsPerConfig(),
+                                         f.index->dictionary().size(), seed);
+
+  baseline::SasePairCache cache;
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "pre-fold",
+                          &cache);
+  ASSERT_TRUE(f.index->FoldPostings().ok());
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "post-fold",
+                          &cache);
+  // Third pass hits the now-populated read cache.
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "warm-cache",
+                          &cache);
+}
+
+TEST_P(ExtendedDifferentialTest, ExtendedFlatFoldAndUpgrade) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, GetParam(), index::kPostingFormatFlat);
+  auto patterns = RandomExtendedPatterns(PatternsPerConfig(),
+                                         f.index->dictionary().size(), seed);
+
+  baseline::SasePairCache cache;
+  ASSERT_EQ(f.index->posting_format(), index::kPostingFormatFlat);
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "v1-pre-fold",
+                          &cache);
+  ASSERT_TRUE(f.index->FoldPostingsIncremental().ok());
+  ASSERT_EQ(f.index->posting_format(), index::kPostingFormatFlat);
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "v1-post-fold",
+                          &cache);
+  ASSERT_TRUE(f.index->FoldPostings().ok());
+  ASSERT_EQ(f.index->posting_format(), index::kPostingFormatBlocked);
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "post-upgrade",
+                          &cache);
+}
+
+TEST_P(ExtendedDifferentialTest, ExtendedMidFoldStateAgrees) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, GetParam(), index::kPostingFormatBlocked);
+  auto patterns = RandomExtendedPatterns(PatternsPerConfig(),
+                                         f.index->dictionary().size(), seed);
+
+  baseline::SasePairCache cache;
+  FoldStats stats;
+  Status aborted = f.index->FoldPostingsIncremental(
+      &stats, [](const FoldStats& fs) {
+        return fs.keys_folded >= 40 ? Status::Aborted("mid-fold stop")
+                                    : Status::OK();
+      });
+  ASSERT_TRUE(aborted.IsAborted()) << aborted;
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "mid-fold",
+                          &cache);
+  ASSERT_TRUE(f.index->FoldPostingsIncremental().ok());
+  ExpectExtendedAgreement(f, log, GetParam(), patterns, seed, "resumed-fold",
+                          &cache);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ExtendedDifferentialTest,
+                         ::testing::Values(Policy::kSkipTillNextMatch,
+                                           Policy::kStrictContiguity),
+                         [](const auto& info) {
+                           return info.param == Policy::kSkipTillNextMatch
+                                      ? "Stnm"
+                                      : "Sc";
+                         });
+
+/// Compliance templates run through the same differential gate: every
+/// template expansion over every activity pair, against the oracle.
+TEST(ExtendedDifferentialTest, ExtendedComplianceTemplatesAgree) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, Policy::kSkipTillNextMatch, index::kPostingFormatBlocked);
+  const ActivityId n =
+      static_cast<ActivityId>(f.index->dictionary().size());
+
+  std::vector<ExtendedPattern> patterns;
+  for (ActivityId a = 0; a < n; ++a) {
+    patterns.push_back(
+        query::CompliancePattern(query::ComplianceRule::kAbsence, a));
+    for (ActivityId b = 0; b < n; ++b) {
+      patterns.push_back(
+          query::CompliancePattern(query::ComplianceRule::kResponse, a, b));
+      patterns.push_back(
+          query::CompliancePattern(query::ComplianceRule::kPrecedence, a, b));
+    }
+  }
+  baseline::SasePairCache cache;
+  ExpectExtendedAgreement(f, log, Policy::kSkipTillNextMatch, patterns, seed,
+                          "compliance", &cache);
+}
+
+/// HTTP axis for the extended grammar: the query string is the canonical
+/// ToString of each generated pattern, and the response body must be
+/// byte-identical to DetectResponseJson over the in-process
+/// DetectExtended result.
+TEST(ExtendedDifferentialTest, ExtendedHttpMatchesInProcessByteForByte) {
+  const uint64_t seed = DiffSeed();
+  EventLog log = DiffLog(seed);
+  Fixture f(log, Policy::kSkipTillNextMatch, index::kPostingFormatBlocked);
+
+  server::QueryService service(f.index.get());
+  server::HttpServer http;
+  service.RegisterRoutes(&http);
+  ASSERT_TRUE(http.Start(0).ok());
+  server::HttpClient client(http.port());
+  QueryProcessor qp(f.index.get());
+  const auto& dict = f.index->dictionary();
+
+  auto patterns = RandomExtendedPatterns(PatternsPerConfig(),
+                                         dict.size(), seed);
+  for (const ExtendedPattern& p : patterns) {
+    std::string target = "/detect?q=" +
+                         server::HttpClient::UrlEncode(p.ToString(dict)) +
+                         "&limit=1000000";
+    auto response = client.Get(target);
+    ASSERT_TRUE(response.ok()) << response.status() << " "
+                               << DescribeExt(p, dict, seed, "http");
+    ASSERT_EQ(response->status, 200)
+        << response->body << " " << DescribeExt(p, dict, seed, "http");
+    auto matches = qp.DetectExtended(p);
+    ASSERT_TRUE(matches.ok()) << matches.status() << " "
+                              << DescribeExt(p, dict, seed, "http");
+    ASSERT_EQ(response->body, server::DetectResponseJson(*matches, 1000000))
+        << DescribeExt(p, dict, seed, "http");
+  }
+  http.Stop();
 }
 
 }  // namespace

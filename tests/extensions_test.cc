@@ -241,6 +241,70 @@ TEST(DetectionConstraintsTest, UnconstrainedEqualsDefault) {
   EXPECT_EQ(*plain, *constrained);
 }
 
+TEST(DetectionConstraintsTest, GapBoundaryIsInclusive) {
+  // Both bounds are inclusive: a gap (or span) exactly equal to the
+  // constraint passes; one tick over fails. This is the normative boundary
+  // semantics shared with `within` / `gap <=` in extended patterns (see
+  // query/pattern.h).
+  EventLog log;
+  log.Append(1, "A", 10);
+  log.Append(1, "B", 17);  // gap exactly 7
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "AB");
+  DetectionConstraints at;
+  at.max_gap = 7;
+  auto kept = f.qp->Detect(pattern, at);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 1u);
+  DetectionConstraints under;
+  under.max_gap = 6;
+  auto dropped = f.qp->Detect(pattern, under);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_TRUE(dropped->empty());
+}
+
+TEST(DetectionConstraintsTest, SpanBoundaryIsInclusive) {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "B", 5);
+  log.Append(1, "C", 13);  // span exactly 12
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "ABC");
+  DetectionConstraints at;
+  at.max_span = 12;
+  auto kept = f.qp->Detect(pattern, at);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 1u);
+  DetectionConstraints under;
+  under.max_span = 11;
+  auto dropped = f.qp->Detect(pattern, under);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_TRUE(dropped->empty());
+}
+
+TEST(DetectionConstraintsTest, ZeroGapIsABoundNotUnset) {
+  // max_gap = 0 is a real (inclusive) bound, not "no constraint". Indexed
+  // pairs always advance time (the extractors require strictly increasing
+  // timestamps), so every gap is >= 1 and a zero bound drops everything —
+  // while the default constraint keeps it all.
+  EventLog log;
+  log.Append(1, "A", 4);
+  log.Append(1, "B", 5);
+  log.SortAllTraces();
+  Fixture f(log, Policy::kSkipTillNextMatch);
+  Pattern pattern = NamedPattern(f, "AB");
+  auto unconstrained = f.qp->Detect(pattern);
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_EQ(unconstrained->size(), 1u);
+  DetectionConstraints constraints;
+  constraints.max_gap = 0;
+  auto bounded = f.qp->Detect(pattern, constraints);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_TRUE(bounded->empty());
+}
+
 // ---------------------------------------------------------------------------
 // Insert-position continuation (§7)
 // ---------------------------------------------------------------------------

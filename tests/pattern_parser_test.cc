@@ -1,0 +1,257 @@
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "log/activity_dictionary.h"
+#include "query/pattern.h"
+#include "query/pattern_parser.h"
+
+namespace seqdet::query {
+namespace {
+
+using eventlog::ActivityDictionary;
+using eventlog::ActivityId;
+
+/// A dictionary that exercises every quoting hazard: whitespace, grammar
+/// punctuation, two-character operators, and the constraint/template
+/// keywords themselves used as activity names.
+ActivityDictionary WeirdDict() {
+  ActivityDictionary dict;
+  for (const char* name :
+       {"a", "b", "c", "d", "Create Fine", "within", "gap", "response",
+        "absence", "a|b", "x->y", "plus+", "(paren", "bang!"}) {
+    dict.Intern(name);
+  }
+  return dict;
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: Parse(ToString(p)) == p for every valid pattern.
+// ---------------------------------------------------------------------------
+
+/// Samples a random valid ExtendedPattern in canonical form (alternatives
+/// sorted + deduped, at least one positive, no negated Kleene).
+ExtendedPattern RandomPattern(Rng& rng, size_t num_activities) {
+  ExtendedPattern pattern;
+  const size_t len = 1 + rng.NextBounded(4);
+  for (size_t i = 0; i < len; ++i) {
+    PatternElement element;
+    const size_t alts = 1 + rng.NextBounded(3);
+    for (size_t j = 0; j < alts; ++j) {
+      element.alternatives.push_back(
+          static_cast<ActivityId>(rng.NextBounded(num_activities)));
+    }
+    std::sort(element.alternatives.begin(), element.alternatives.end());
+    element.alternatives.erase(
+        std::unique(element.alternatives.begin(), element.alternatives.end()),
+        element.alternatives.end());
+    element.negated = rng.NextBool(0.2);
+    element.kleene = !element.negated && rng.NextBool(0.3);
+    pattern.elements.push_back(std::move(element));
+  }
+  // Validate() requires at least one positive element.
+  bool any_positive = false;
+  for (const auto& e : pattern.elements) any_positive |= !e.negated;
+  if (!any_positive) pattern.elements.front().negated = false;
+  if (rng.NextBool(0.4)) {
+    pattern.max_span = static_cast<eventlog::Timestamp>(rng.NextBounded(1u << 20));
+  }
+  if (rng.NextBool(0.4)) {
+    pattern.max_gap = static_cast<eventlog::Timestamp>(rng.NextBounded(1u << 20));
+  }
+  return pattern;
+}
+
+TEST(PatternParserPropertyTest, ToStringParseRoundTrip) {
+  ActivityDictionary dict = WeirdDict();
+  Rng rng(20210323);
+  for (int i = 0; i < 2000; ++i) {
+    ExtendedPattern pattern = RandomPattern(rng, dict.size());
+    ASSERT_TRUE(pattern.Validate().ok());
+    std::string text = pattern.ToString(dict);
+    auto reparsed = ParseExtendedPatternQuery(text, dict);
+    ASSERT_TRUE(reparsed.ok()) << "query: " << text << "\n"
+                               << reparsed.status();
+    EXPECT_EQ(*reparsed, pattern) << "query: " << text;
+  }
+}
+
+TEST(PatternParserPropertyTest, QuotedWeirdNamesRoundTrip) {
+  ActivityDictionary dict = WeirdDict();
+  for (const char* name :
+       {"Create Fine", "within", "gap", "response", "absence", "a|b", "x->y",
+        "plus+", "(paren", "bang!"}) {
+    ExtendedPattern pattern;
+    PatternElement element;
+    element.alternatives.push_back(dict.Lookup(name));
+    pattern.elements.push_back(element);
+    std::string text = pattern.ToString(dict);
+    auto reparsed = ParseExtendedPatternQuery(text, dict);
+    ASSERT_TRUE(reparsed.ok()) << "name: " << name << " query: " << text
+                               << "\n" << reparsed.status();
+    EXPECT_EQ(*reparsed, pattern) << "query: " << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grammar coverage
+// ---------------------------------------------------------------------------
+
+TEST(PatternParserGrammarTest, DurationSuffixes) {
+  ActivityDictionary dict = WeirdDict();
+  auto p = ParseExtendedPatternQuery("a within 5m gap <= 2s", dict);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->max_span, 300);
+  EXPECT_EQ(p->max_gap, 2);
+  p = ParseExtendedPatternQuery("a b within 2h", dict);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->max_span, 7200);
+  p = ParseExtendedPatternQuery("a b within 1d", dict);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->max_span, 86400);
+}
+
+TEST(PatternParserGrammarTest, ArrowSeparatorsOptional) {
+  ActivityDictionary dict = WeirdDict();
+  auto spaced = ParseExtendedPatternQuery("a (b|c)+ !d a", dict);
+  auto arrowed = ParseExtendedPatternQuery("a -> (b|c)+ -> !d -> a", dict);
+  ASSERT_TRUE(spaced.ok()) << spaced.status();
+  ASSERT_TRUE(arrowed.ok()) << arrowed.status();
+  EXPECT_EQ(*spaced, *arrowed);
+}
+
+TEST(PatternParserGrammarTest, AlternativesCanonicalized) {
+  ActivityDictionary dict = WeirdDict();
+  auto forward = ParseExtendedPatternQuery("(a|b|c) d", dict);
+  auto backward = ParseExtendedPatternQuery("(c|b|a|b) d", dict);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_EQ(*forward, *backward);
+  EXPECT_EQ(forward->elements[0].alternatives.size(), 3u);
+}
+
+TEST(PatternParserGrammarTest, TemplatesExpand) {
+  ActivityDictionary dict = WeirdDict();
+  ActivityId a = dict.Lookup("a");
+  ActivityId b = dict.Lookup("b");
+  auto response = ParseExtendedPatternQuery("response(a, b)", dict);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(*response, CompliancePattern(ComplianceRule::kResponse, a, b));
+  auto precedence = ParseExtendedPatternQuery("precedence(a,b)", dict);
+  ASSERT_TRUE(precedence.ok()) << precedence.status();
+  EXPECT_EQ(*precedence, CompliancePattern(ComplianceRule::kPrecedence, a, b));
+  auto absence = ParseExtendedPatternQuery("absence(a)", dict);
+  ASSERT_TRUE(absence.ok()) << absence.status();
+  EXPECT_EQ(*absence, CompliancePattern(ComplianceRule::kAbsence, a));
+}
+
+TEST(PatternParserGrammarTest, TemplateKeywordOnlyWithParen) {
+  // "response" not followed by "(" is an ordinary (known) activity name.
+  ActivityDictionary dict = WeirdDict();
+  auto p = ParseExtendedPatternQuery("response b", dict);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->size(), 2u);
+  EXPECT_EQ(p->elements[0].alternatives,
+            (std::vector<ActivityId>{dict.Lookup("response")}));
+}
+
+TEST(PatternParserGrammarTest, TemplatesAcceptConstraints) {
+  ActivityDictionary dict = WeirdDict();
+  auto p = ParseExtendedPatternQuery("response(a, b) within 60", dict);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->max_span, 60);
+}
+
+TEST(PatternParserGrammarTest, PlainEndpointRejectsExtendedOperators) {
+  ActivityDictionary dict = WeirdDict();
+  for (const char* query : {"(a|b) c", "a b+", "!a b", "a !b c",
+                            "response(a, b)"}) {
+    auto parsed = ParsePatternQuery(query, dict);
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << query;
+  }
+  // Plain sequences still pass through, constraints intact.
+  auto plain = ParsePatternQuery("a b within 9", dict);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->pattern.activities.size(), 2u);
+  EXPECT_EQ(plain->constraints.max_span, 9);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed inputs: always a clean error status, never a crash.
+// ---------------------------------------------------------------------------
+
+void ExpectCleanError(const ActivityDictionary& dict, const std::string& query) {
+  auto parsed = ParseExtendedPatternQuery(query, dict);
+  ASSERT_FALSE(parsed.ok()) << "unexpectedly parsed: " << query;
+  EXPECT_TRUE(parsed.status().IsInvalidArgument() ||
+              parsed.status().IsNotFound())
+      << "query: " << query << " status: " << parsed.status();
+}
+
+TEST(PatternParserFuzzTest, MalformedCorpus) {
+  ActivityDictionary dict = WeirdDict();
+  for (const char* query : {
+           "",          "   ",        "(",         "(((",       "()",
+           "(|)",       "(a|)",       "(|a)",      "(a|b",      "a)",
+           "!",         "a !",        "!!a",       "!a+",       "!(a|b)+",
+           "a ->",      "-> a",       "a -> -> b", "+",
+           "|",         "a | b",      ",",         "a, b",
+           "within",    "a within",   "a within 5x",
+           "a within -3", "a within 99999999999999999999d",
+           "a gap",     "a gap <=",   "a gap <= x", "a gap 5",
+           "a gap == 5",
+           "\"unterminated", "\"\"",  "a \"", "!a !b",
+           "response(", "response(a", "response(a,", "response(a,b",
+           "response(a b)", "response(a,b,c)", "response()",
+           "precedence(a)", "absence()", "absence(a,b)", "absence(ghost)",
+           "ghost",     "a ghost b",  "(a|ghost)",
+       }) {
+    ExpectCleanError(dict, query);
+  }
+}
+
+TEST(PatternParserFuzzTest, HugeInputsRejectedWithoutCrashing) {
+  ActivityDictionary dict = WeirdDict();
+  const size_t kBig = 64 * 1024;
+  // One 64 KiB unknown name.
+  ExpectCleanError(dict, std::string(kBig, 'z'));
+  // 64 KiB of unbalanced opens — parsing must stay iterative, not recursive.
+  ExpectCleanError(dict, std::string(kBig, '('));
+  ExpectCleanError(dict, std::string(kBig, '!'));
+  ExpectCleanError(dict, std::string(kBig, '"'));
+  // A very long but VALID query still parses.
+  std::string valid = "a";
+  for (int i = 0; i < 4000; ++i) valid += " -> (a|b)+";
+  auto parsed = ParseExtendedPatternQuery(valid, dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 4001u);
+}
+
+TEST(PatternParserFuzzTest, RandomGarbageNeverCrashes) {
+  ActivityDictionary dict = WeirdDict();
+  Rng rng(0xfeedface);
+  for (int i = 0; i < 2000; ++i) {
+    std::string query;
+    const size_t len = rng.NextBounded(64);
+    for (size_t j = 0; j < len; ++j) {
+      // Printable ASCII, biased toward grammar punctuation so bracketing
+      // and operator edge cases are hit often.
+      if (rng.NextBool(0.4)) {
+        const char* punct = "()|!+,\"<->= ";
+        query += punct[rng.NextBounded(12)];
+      } else {
+        query += static_cast<char>(' ' + rng.NextBounded(95));
+      }
+    }
+    auto parsed = ParseExtendedPatternQuery(query, dict);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsInvalidArgument() ||
+                  parsed.status().IsNotFound())
+          << "query: " << query << " status: " << parsed.status();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seqdet::query

@@ -518,9 +518,11 @@ TEST(PatternParserTest, Errors) {
   EXPECT_TRUE(ParsePatternQuery("search gap 5", dict)
                   .status()
                   .IsInvalidArgument());
+  // "->" separators are optional since the extended grammar, so trailing
+  // junk now parses as further (unknown) activity names.
   EXPECT_TRUE(ParsePatternQuery("search frobnicate 5", dict)
                   .status()
-                  .IsInvalidArgument());
+                  .IsNotFound());
   EXPECT_TRUE(ParsePatternQuery("\"unterminated", dict)
                   .status()
                   .IsInvalidArgument());
@@ -773,6 +775,246 @@ TEST(ParallelQueryTest, DetectBatchFallsBackToMemberPool) {
   ASSERT_TRUE(actual.ok());
   EXPECT_EQ(*actual, *expected);
   EXPECT_GT(pool.stats().tasks_executed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Extended patterns (disjunction, Kleene+, negation, windows)
+//
+// Every expected set below is computed by hand from the skip-till-next-match
+// pair semantics (one greedy non-overlapping run per trace) so these tests
+// are independent of both the index pipeline and the SASE oracle.
+// ---------------------------------------------------------------------------
+
+/// Trace 1: A@1 B@2 B@3 C@4   Trace 2: C@10 A@12 D@13   Trace 3: A@20
+///
+/// STNM pair sets (greedy, non-overlapping):
+///   trace 1: (A,B)={(1,2)} (A,C)={(1,4)} (B,B)={(2,3)} (B,C)={(2,4)}
+///   trace 2: (C,A)={(10,12)} (A,D)={(12,13)}
+///   trace 3: none.
+EventLog ExtendedLog() {
+  EventLog log;
+  log.Append(1, "A", 1);
+  log.Append(1, "B", 2);
+  log.Append(1, "B", 3);
+  log.Append(1, "C", 4);
+  log.Append(2, "C", 10);
+  log.Append(2, "A", 12);
+  log.Append(2, "D", 13);
+  log.Append(3, "A", 20);
+  log.SortAllTraces();
+  return log;
+}
+
+ExtendedPattern Ext(const Fixture& f, std::string_view query) {
+  auto p = ParseExtendedPatternQuery(query, f.index->dictionary());
+  EXPECT_TRUE(p.ok()) << p.status();
+  return p.ok() ? *p : ExtendedPattern();
+}
+
+PatternMatch M(eventlog::TraceId trace, std::vector<Timestamp> ts) {
+  PatternMatch m;
+  m.trace = trace;
+  m.timestamps = ts;
+  return m;
+}
+
+using Matches = std::vector<PatternMatch>;
+
+TEST(ExtendedDetectTest, DisjunctionUnionsPairSets) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // (A|B) C = (A,C) u (B,C) per trace, sorted + deduped.
+  auto m = qp.DetectExtended(Ext(f, "(A|B) C"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, (Matches{M(1, {1, 4}), M(1, {2, 4})}));
+}
+
+TEST(ExtendedDetectTest, DisjunctionBranchesSharingAnActivityDedupe) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // (A|A) collapses to A at parse time; results match the plain query.
+  auto dup = qp.DetectExtended(Ext(f, "(A|A) C"));
+  auto plain = qp.DetectExtended(Ext(f, "A C"));
+  ASSERT_TRUE(dup.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*dup, *plain);
+  EXPECT_EQ(*dup, (Matches{M(1, {1, 4})}));
+}
+
+TEST(ExtendedDetectTest, KleeneChainsViaSharedEventJoins) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // Seed (A,B)={(1,2)}; closure over strict (B,B)={(2,3)} adds [1,2,3].
+  // Transition (B,C)={(2,4)} extends [1,2] only — no (3,.) pair exists, so
+  // the two-step chain dies at the join.
+  auto m = qp.DetectExtended(Ext(f, "A B+ C"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, (Matches{M(1, {1, 2, 4})}));
+}
+
+TEST(ExtendedDetectTest, BareKleeneEnumeratesChains) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // Seeds are every B occurrence; [2] right-closes to [2,3]. Canonical order
+  // is lexicographic on timestamps: [2] < [2,3] < [3].
+  auto m = qp.DetectExtended(Ext(f, "B+"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, (Matches{M(1, {2}), M(1, {2, 3}), M(1, {3})}));
+}
+
+TEST(ExtendedDetectTest, EmptyKleeneBodyYieldsNoMatches) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // Kleene+ requires at least one occurrence; D never appears between A and
+  // C anywhere, so the whole pattern is empty (not "skip the element").
+  auto m = qp.DetectExtended(Ext(f, "A D+ C"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(ExtendedDetectTest, NegatedFirstSymbolIsUnboundedToTheLeft) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // !B A C: no B strictly before the A of each (A,C) match. Trace 1's Bs are
+  // after A@1, so the match survives.
+  auto m = qp.DetectExtended(Ext(f, "!B A C"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, (Matches{M(1, {1, 4})}));
+}
+
+TEST(ExtendedDetectTest, InteriorNegationUsesOpenInterval) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // A !B C: B@2 sits strictly inside (1, 4), killing trace 1's only match.
+  auto m = qp.DetectExtended(Ext(f, "A !B C"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(ExtendedDetectTest, NegatedLastSymbolIsUnboundedToTheRight) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // A C !B: no B strictly after C@4 in trace 1.
+  auto m = qp.DetectExtended(Ext(f, "A C !B"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, (Matches{M(1, {1, 4})}));
+}
+
+TEST(ExtendedDetectTest, WithinIsInclusiveAndPrunes) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // Span of [1,4] is exactly 3: "within 3" keeps it, "within 2" drops it.
+  auto at = qp.DetectExtended(Ext(f, "A C within 3"));
+  ASSERT_TRUE(at.ok()) << at.status();
+  EXPECT_EQ(*at, (Matches{M(1, {1, 4})}));
+  auto under = qp.DetectExtended(Ext(f, "A C within 2"));
+  ASSERT_TRUE(under.ok()) << under.status();
+  EXPECT_TRUE(under->empty());
+}
+
+TEST(ExtendedDetectTest, WithinSmallerThanEveryGapIsEmptyNotAnError) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  auto m = qp.DetectExtended(Ext(f, "(A|B) C within 0"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(ExtendedDetectTest, GapBoundIsInclusive) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  auto at = qp.DetectExtended(Ext(f, "A C gap <= 3"));
+  ASSERT_TRUE(at.ok()) << at.status();
+  EXPECT_EQ(*at, (Matches{M(1, {1, 4})}));
+  auto under = qp.DetectExtended(Ext(f, "A C gap <= 2"));
+  ASSERT_TRUE(under.ok()) << under.status();
+  EXPECT_TRUE(under->empty());
+}
+
+TEST(ExtendedDetectTest, GapAppliesInsideKleeneChains) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // B+ gap <= 0: single-element chains have no adjacent pair to test, but
+  // the chain [2,3] has gap 1 and is pruned.
+  auto m = qp.DetectExtended(Ext(f, "B+ gap <= 0"));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, (Matches{M(1, {2}), M(1, {3})}));
+}
+
+TEST(ExtendedDetectTest, SingleEventTraceMatchesSinglePositiveOnly) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  auto one = qp.DetectExtended(Ext(f, "A"));
+  ASSERT_TRUE(one.ok()) << one.status();
+  EXPECT_EQ(*one, (Matches{M(1, {1}), M(2, {12}), M(3, {20})}));
+  auto two = qp.DetectExtended(Ext(f, "D B"));
+  ASSERT_TRUE(two.ok()) << two.status();
+  EXPECT_TRUE(two->empty());
+}
+
+TEST(ExtendedDetectTest, PlainPatternsDelegateToDetectExactly) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // Plain sequences take the classic pair-join path: identical matches in
+  // the identical (Detect) order, not the canonical extended order.
+  auto direct = qp.Detect(NamedPattern(f, {"A", "C"}));
+  auto extended = qp.DetectExtended(Ext(f, "A C"));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(*extended, *direct);
+}
+
+TEST(ExtendedDetectTest, PatternBoundsCombineWithConstraints) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // The tighter of the pattern-embedded and caller-supplied bounds wins.
+  DetectionConstraints loose;
+  loose.max_span = 100;
+  auto kept = qp.DetectExtended(Ext(f, "(A|B) C within 3"), loose);
+  ASSERT_TRUE(kept.ok()) << kept.status();
+  EXPECT_EQ(*kept, (Matches{M(1, {1, 4}), M(1, {2, 4})}));
+  DetectionConstraints tight;
+  tight.max_span = 2;
+  auto narrowed = qp.DetectExtended(Ext(f, "(A|B) C within 3"), tight);
+  ASSERT_TRUE(narrowed.ok()) << narrowed.status();
+  EXPECT_EQ(*narrowed, (Matches{M(1, {2, 4})}));
+}
+
+TEST(ExtendedDetectTest, ComplianceTemplatesAreViolationWitnesses) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  // response(A, B): A occurrences never followed by a B. A@1 is followed by
+  // B@2; A@12 and A@20 are not.
+  auto response = qp.DetectExtended(Ext(f, "response(A, B)"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(*response, (Matches{M(2, {12}), M(3, {20})}));
+  // precedence(C, A): A occurrences never preceded by a C. A@12 has C@10
+  // before it; A@1 and A@20 do not.
+  auto precedence = qp.DetectExtended(Ext(f, "precedence(C, A)"));
+  ASSERT_TRUE(precedence.ok()) << precedence.status();
+  EXPECT_EQ(*precedence, (Matches{M(1, {1}), M(3, {20})}));
+  // absence(B): every B occurrence is a violation witness.
+  auto absence = qp.DetectExtended(Ext(f, "absence(B)"));
+  ASSERT_TRUE(absence.ok()) << absence.status();
+  EXPECT_EQ(*absence, (Matches{M(1, {2}), M(1, {3})}));
+}
+
+TEST(ExtendedDetectTest, ExpiredDeadlineAborts) {
+  Fixture f(ExtendedLog());
+  QueryProcessor qp(f.index.get());
+  DetectionConstraints constraints;
+  constraints.deadline = Deadline::After(0);
+  auto m = qp.DetectExtended(Ext(f, "(A|B) C"), constraints);
+  EXPECT_TRUE(m.status().IsAborted());
+}
+
+TEST(ExtendedDetectTest, UnsupportedUnderSkipTillAnyMatch) {
+  Fixture f(ExtendedLog(), Policy::kSkipTillAnyMatch);
+  QueryProcessor qp(f.index.get());
+  // STAM has no oracle-defined extended composition; only plain patterns
+  // (which delegate to Detect) are allowed.
+  EXPECT_TRUE(qp.DetectExtended(Ext(f, "(A|B) C")).status().IsUnsupported());
+  EXPECT_TRUE(qp.DetectExtended(Ext(f, "A C")).ok());
 }
 
 }  // namespace

@@ -36,6 +36,24 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 echo "=== ASAN/UBSAN: ctest ==="
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j"$(nproc)"
 
+# End-to-end smoke of the extended query grammar and the compliance
+# templates through the real CLI (under ASan): generate -> index -> query.
+echo "=== SMOKE: compliance templates via seqdet query ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+SEQDET="${ASAN_DIR}/tools/seqdet"
+"${SEQDET}" generate --dataset=max_100 --out="${SMOKE_DIR}/smoke.csv"
+"${SEQDET}" index --db="${SMOKE_DIR}/db" --log="${SMOKE_DIR}/smoke.csv"
+"${SEQDET}" query --db="${SMOKE_DIR}/db" --q="response(act_0, act_1)" \
+    --limit=5 > /dev/null
+"${SEQDET}" query --db="${SMOKE_DIR}/db" --q="precedence(act_0, act_1)" \
+    --limit=5 > /dev/null
+"${SEQDET}" query --db="${SMOKE_DIR}/db" --q="absence(act_2)" \
+    --limit=5 > /dev/null
+"${SEQDET}" query --db="${SMOKE_DIR}/db" \
+    --q="act_0 (act_1|act_2)+ !act_3 act_4 within 1h" --limit=5 > /dev/null
+echo "=== SMOKE: clean ==="
+
 if [[ "${SEQDET_SKIP_TSAN:-0}" != "1" ]]; then
   "${REPO_DIR}/tools/check_tsan.sh" "${TSAN_DIR}"
 fi

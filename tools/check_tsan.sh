@@ -17,7 +17,8 @@ TESTS=(sync_test storage_test storage_param_test index_test
        server_stress_test parallel_query_stress_test)
 
 cmake -B "${BUILD_DIR}" -S "${REPO_DIR}" -DSEQDET_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TESTS[@]}"
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TESTS[@]}" \
+      differential_test
 
 # halt_on_error makes any report fail the run instead of just logging it.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -25,4 +26,13 @@ for t in "${TESTS[@]}"; do
   echo "=== TSAN: ${t} ==="
   "${BUILD_DIR}/tests/${t}"
 done
+
+# The extended-pattern differential axis under TSan: its ExpectAgreement
+# runs every query through 2- and 4-thread morsel engines, so races in the
+# extended join/closure path surface here. Reduced pattern count — TSan's
+# ~10x slowdown makes the full default prohibitive, and the race surface
+# does not grow with more patterns.
+echo "=== TSAN: differential_test (extended axis) ==="
+SEQDET_DIFF_PATTERNS="${SEQDET_DIFF_PATTERNS:-100}" \
+  "${BUILD_DIR}/tests/differential_test" --gtest_filter='*Extended*'
 echo "=== TSAN: all clean ==="

@@ -94,8 +94,12 @@ int Usage() {
       "  stats    --db=<dir> --pattern=a,b,c [--last-completion]\n"
       "  detect   --db=<dir> --pattern=a,b,c [--limit=N] [--max-gap=N]\n"
       "           [--max-span=N] [--query-threads=N]\n"
-      "  query    --db=<dir> --q=\"a -> b within N gap <= M\" [--limit=N]\n"
-      "           [--query-threads=N]\n"
+      "  query    --db=<dir> --q=<pattern> [--limit=N] [--query-threads=N]\n"
+      "           pattern language: `a (b|c)+ !d e within 5m gap <= 30s`\n"
+      "           (disjunction, Kleene+, negation, inclusive time windows;\n"
+      "           \"->\" separators optional) and compliance templates\n"
+      "           response(a,b) | precedence(a,b) | absence(a) whose\n"
+      "           matches are the rule's violation witnesses\n"
       "  serve    --db=<dir> [--port=8391]   JSON-over-HTTP query service\n"
       "           [--http-threads=N]  worker pool size (default: cores)\n"
       "           [--query-threads=N]  intra-query execution pool: posting\n"
@@ -451,13 +455,13 @@ int CmdQuery(const Args& args) {
     return Fail(Status::InvalidArgument(
         "--q=\"a -> b within N gap <= M\" is required"));
   }
-  auto parsed = query::ParsePatternQuery(text, (*index)->dictionary());
+  auto parsed = query::ParseExtendedPatternQuery(text, (*index)->dictionary());
   if (!parsed.ok()) return Fail(parsed.status());
 
   std::unique_ptr<ThreadPool> pool = QueryPoolFromFlags(args);
   query::QueryProcessor qp(index->get(), pool.get());
   Stopwatch watch;
-  auto matches = qp.Detect(parsed->pattern, parsed->constraints);
+  auto matches = qp.DetectExtended(*parsed);
   if (!matches.ok()) return Fail(matches.status());
   double ms = watch.ElapsedMillis();
   size_t limit = static_cast<size_t>(args.GetInt("limit", 20));
