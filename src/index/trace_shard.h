@@ -1,0 +1,38 @@
+#ifndef SEQDET_INDEX_TRACE_SHARD_H_
+#define SEQDET_INDEX_TRACE_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "log/event.h"
+
+namespace seqdet::index {
+
+/// The shard-assignment function of the scatter-gather deployment
+/// (DESIGN.md §15): every component that partitions by trace — the
+/// `seqdet shard-split` ingest tool, the router's merge invariants, the
+/// differential harness — must agree on it, so it lives here rather than
+/// in any one of them.
+///
+/// splitmix64 finalizer: trace ids are often dense sequential integers
+/// (XES exports, the synthetic generators), and `id % n` would put every
+/// n-th trace on the same worker the moment a tenant's ids share a stride.
+/// The finalizer is a measured-good 64-bit mixer, stable across platforms,
+/// and cheap enough to inline into ingest loops.
+inline uint64_t MixTraceId(eventlog::TraceId id) {
+  uint64_t x = static_cast<uint64_t>(id);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Which of `num_shards` workers owns `id`. num_shards must be > 0.
+inline size_t ShardOfTrace(eventlog::TraceId id, size_t num_shards) {
+  return static_cast<size_t>(MixTraceId(id) %
+                             static_cast<uint64_t>(num_shards));
+}
+
+}  // namespace seqdet::index
+
+#endif  // SEQDET_INDEX_TRACE_SHARD_H_

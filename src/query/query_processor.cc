@@ -341,6 +341,7 @@ Result<StatisticsResult> QueryProcessor::Statistics(
     row.pair = pair;
     row.total_completions = stats.total_completions;
     row.average_duration = stats.AverageDuration();
+    row.sum_duration = stats.sum_duration;
     if (options.include_last_completion) {
       SEQDET_ASSIGN_OR_RETURN(row.last_completion,
                               index_->GetPairLastCompletion(pair));
@@ -995,6 +996,7 @@ Result<ContinuationProposal> QueryProcessor::VerifyCandidate(
     ++proposal.total_completions;
     total_gap += gap;
   }
+  proposal.sum_duration = total_gap;
   proposal.average_duration =
       proposal.total_completions == 0
           ? 0.0
@@ -1020,6 +1022,7 @@ Result<ContinuationProposal> QueryProcessor::VerifySingleEventCandidate(
     ++proposal.total_completions;
     total_gap += gap;
   }
+  proposal.sum_duration = total_gap;
   proposal.average_duration =
       proposal.total_completions == 0
           ? 0.0
@@ -1088,6 +1091,7 @@ Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueAccurateNaive(
       ++proposal.total_completions;
       total_gap += gap;
     }
+    proposal.sum_duration = total_gap;
     proposal.average_duration =
         proposal.total_completions == 0
             ? 0.0
@@ -1124,6 +1128,7 @@ Result<std::vector<ContinuationProposal>> QueryProcessor::ContinueFast(
     proposal.total_completions =
         std::min(max_completions, candidate.total_completions);
     proposal.average_duration = candidate.AverageDuration();
+    proposal.sum_duration = candidate.sum_duration;
     proposals.push_back(proposal);
   }
   RankProposals(&proposals);
@@ -1245,6 +1250,7 @@ QueryProcessor::ContinueInsertAccurate(
           ++proposal.total_completions;
           total_gap += gap;
         }
+        proposal.sum_duration = total_gap;
         proposal.average_duration =
             proposal.total_completions == 0
                 ? 0.0

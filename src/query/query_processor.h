@@ -31,6 +31,10 @@ struct PairStatisticsRow {
   index::EventTypePair pair;
   uint64_t total_completions = 0;
   double average_duration = 0;
+  /// The integer duration sum average_duration derives from — the
+  /// associative form a shard router needs to merge rows exactly
+  /// (DESIGN.md §15).
+  int64_t sum_duration = 0;
   /// Timestamp of the pair's most recent indexed completion across all
   /// traces (from LastChecked, §3.2.1); absent unless requested or never
   /// completed.
@@ -75,6 +79,12 @@ struct ContinuationProposal {
   double average_duration = 0;
   /// Equation 1: total_completions / average_duration.
   double score = 0;
+  /// The integer gap sum average_duration was derived from (0 when the
+  /// producing path only had averages, e.g. the insert-in-the-middle
+  /// heuristic). The shard router merges this instead of the double:
+  /// integer sums are associative across shards, re-dividing reproduces
+  /// the single-process average bit-for-bit (DESIGN.md §15).
+  int64_t sum_duration = 0;
 };
 
 /// Optional constraint for the Accurate continuation (Algorithm 3 line 7):
@@ -223,6 +233,13 @@ class QueryProcessor {
   /// The intra-query execution pool (null = serial engine).
   ThreadPool* pool() const { return pool_; }
 
+  /// Scores + sorts proposals by Equation 1 (descending; ties broken by
+  /// activity id, making the order a deterministic total order). Public
+  /// because the shard router re-ranks merged per-shard aggregates with
+  /// exactly this code — any drift would break its byte-identity
+  /// guarantee.
+  static void RankProposals(std::vector<ContinuationProposal>* proposals);
+
  private:
   /// Joins `matches` with the postings of (last pattern event, next):
   /// keeps matches whose last event is the first component of a posting,
@@ -239,9 +256,6 @@ class QueryProcessor {
       std::vector<PatternMatch> matches,
       const std::vector<index::PairOccurrence>& postings,
       const Deadline& deadline = Deadline::Never()) const;
-
-  /// Scores + sorts proposals by Equation 1 (descending).
-  static void RankProposals(std::vector<ContinuationProposal>* proposals);
 
   /// Runs `verify(i)` for every candidate index in [0, n) — concurrently on
   /// the pool when there are enough candidates (each verification is an

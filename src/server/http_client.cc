@@ -1,9 +1,12 @@
 #include "server/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -36,27 +39,84 @@ void HttpClient::Close() {
   buffer_.clear();
 }
 
+void HttpClient::set_io_timeout_ms(int64_t ms) {
+  options_.io_timeout_ms = ms;
+  if (fd_ >= 0) (void)ApplyIoTimeout();
+}
+
+Status HttpClient::ApplyIoTimeout() {
+  if (options_.io_timeout_ms <= 0) return Status::OK();
+  timeval tv{};
+  tv.tv_sec = options_.io_timeout_ms / 1000;
+  tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::IOError("setsockopt(SO_RCVTIMEO) failed");
+  }
+  return Status::OK();
+}
+
 Status HttpClient::Connect() {
   Close();
+  in_addr ip{};
+  const std::string& host = host_ == "localhost" ? "127.0.0.1" : host_;
+  if (::inet_pton(AF_INET, host.c_str(), &ip) != 1) {
+    return Status::InvalidArgument(
+        "http client hosts must be numeric IPv4 or localhost: " + host_);
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Status::IOError("socket() failed");
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr = ip;
   addr.sin_port = htons(port_);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+
+  auto fail = [this, &host](const char* what) {
+    Status status = Status::IOError(
+        StringPrintf("%s(%s:%u) failed", what, host.c_str(), port_));
     Close();
-    return Status::IOError(StringPrintf("connect(127.0.0.1:%u) failed",
-                                        port_));
+    return status;
+  };
+  if (options_.connect_timeout_ms <= 0) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return fail("connect");
+    }
+  } else {
+    // Non-blocking connect + poll: a dead or partitioned worker costs
+    // connect_timeout_ms, not the kernel's multi-minute SYN retry budget.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS) return fail("connect");
+    if (rc < 0) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      int polled = ::poll(&pfd, 1,
+                          static_cast<int>(options_.connect_timeout_ms));
+      if (polled == 0) {
+        Close();
+        return Status::Aborted(StringPrintf(
+            "connect(%s:%u) timed out", host.c_str(), port_));
+      }
+      if (polled < 0) return fail("poll");
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+          err != 0) {
+        return fail("connect");
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
   }
-  return Status::OK();
+  return ApplyIoTimeout();
 }
 
 Status HttpClient::SendRequest(const std::string& target) {
   std::string raw =
-      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+      "GET " + target + " HTTP/1.1\r\nHost: " + host_ + "\r\n\r\n";
   size_t sent = 0;
   while (sent < raw.size()) {
     ssize_t n =
@@ -67,13 +127,25 @@ Status HttpClient::SendRequest(const std::string& target) {
   return Status::OK();
 }
 
-Result<HttpClient::Response> HttpClient::ReadResponse() {
+Result<HttpClient::Response> HttpClient::ReadResponse(bool* timed_out) {
+  *timed_out = false;
+  auto recv_some = [this, timed_out](char* buf,
+                                     size_t len) -> Result<size_t> {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      *timed_out = true;
+      return Status::Aborted(StringPrintf("read from %s:%u timed out",
+                                          host_.c_str(), port_));
+    }
+    return Status::IOError("connection closed mid-response");
+  };
+
   char chunk[4096];
   size_t header_end;
   while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
-    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return Status::IOError("connection closed mid-response");
-    buffer_.append(chunk, static_cast<size_t>(n));
+    SEQDET_ASSIGN_OR_RETURN(size_t n, recv_some(chunk, sizeof(chunk)));
+    buffer_.append(chunk, n);
   }
 
   Response response;
@@ -120,9 +192,8 @@ Result<HttpClient::Response> HttpClient::ReadResponse() {
   }
   size_t body_start = header_end + 4;
   while (buffer_.size() < body_start + content_length) {
-    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return Status::IOError("connection closed mid-body");
-    buffer_.append(chunk, static_cast<size_t>(n));
+    SEQDET_ASSIGN_OR_RETURN(size_t n, recv_some(chunk, sizeof(chunk)));
+    buffer_.append(chunk, n);
   }
   response.body = buffer_.substr(body_start, content_length);
   buffer_.erase(0, body_start + content_length);
@@ -137,21 +208,90 @@ Result<HttpClient::Response> HttpClient::ReadResponse() {
 Result<HttpClient::Response> HttpClient::Get(const std::string& target) {
   // One transparent retry: a keep-alive connection the server closed
   // (request limit, drain, idle timeout) fails on send or on the response
-  // read; a fresh connection distinguishes that from a dead server.
+  // read; a fresh connection distinguishes that from a dead server. A
+  // *timeout* is different — the server may still be working on the
+  // request — so it is returned as-is on any connection, fresh or reused,
+  // and the caller (the router's hedging layer) decides whether a second
+  // attempt is worth its cost.
   for (int attempt = 0; attempt < 2; ++attempt) {
     bool fresh = fd_ < 0;
     if (fresh) SEQDET_RETURN_IF_ERROR(Connect());
     Status sent = SendRequest(target);
     if (sent.ok()) {
-      auto response = ReadResponse();
-      if (response.ok()) return response;
-      if (fresh) return response.status();
+      bool timed_out = false;
+      auto response = ReadResponse(&timed_out);
+      if (response.ok()) {
+        if (!fresh) ++reused_requests_;
+        return response;
+      }
+      if (timed_out || fresh) {
+        Close();
+        return response.status();
+      }
     } else if (fresh) {
       return sent;
     }
     Close();
   }
   return Status::IOError("request failed after reconnect");
+}
+
+// ---------------------------------------------------------------------------
+// HttpClientPool
+// ---------------------------------------------------------------------------
+
+void HttpClientPool::Handle::Release() {
+  if (pool_ == nullptr || client_ == nullptr) {
+    pool_ = nullptr;
+    client_.reset();
+    return;
+  }
+  pool_->Return(key_, std::move(client_));
+  pool_ = nullptr;
+}
+
+HttpClientPool::Handle HttpClientPool::Acquire(const std::string& host,
+                                               uint16_t port) {
+  std::string key = host + ":" + std::to_string(port);
+  {
+    MutexLock lock(mu_);
+    auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<HttpClient> client = std::move(it->second.back());
+      it->second.pop_back();
+      ++reuses_;
+      return Handle(this, std::move(key), std::move(client));
+    }
+    ++dials_;
+  }
+  return Handle(this, std::move(key),
+                std::make_unique<HttpClient>(host, port, options_.client));
+}
+
+void HttpClientPool::Return(const std::string& key,
+                            std::unique_ptr<HttpClient> client) {
+  MutexLock lock(mu_);
+  // A client that errored already closed its socket — dropping it here is
+  // what keeps one bad response from burning the next request's latency
+  // on a doomed reuse. Excess returns close too (bounded idle fds).
+  if (client->connected() &&
+      idle_[key].size() < options_.max_idle_per_host) {
+    idle_[key].push_back(std::move(client));
+    ++returns_;
+  } else {
+    ++discards_;
+  }
+}
+
+HttpClientPool::Stats HttpClientPool::stats() const {
+  MutexLock lock(mu_);
+  Stats out;
+  out.dials = dials_;
+  out.reuses = reuses_;
+  out.returns = returns_;
+  out.discards = discards_;
+  for (const auto& [key, clients] : idle_) out.idle += clients.size();
+  return out;
 }
 
 }  // namespace seqdet::server

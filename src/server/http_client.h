@@ -3,20 +3,28 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace seqdet::server {
 
-/// Minimal blocking HTTP/1.1 keep-alive client for 127.0.0.1 — the load
-/// generator of bench_serving, the transport of the server tests and the
-/// HTTP differential mode, and `seqdet info --port`'s way of asking a live
-/// server for its stats. One in-flight request at a time per client; the
-/// connection persists across Get() calls and transparently reconnects when
-/// the server closed it (keep-alive limit, drain, restart).
+/// Minimal blocking HTTP/1.1 keep-alive client — the load generator of
+/// bench_serving, the transport of the server tests and the HTTP
+/// differential mode, `seqdet info --port`'s way of asking a live server
+/// for its stats, and the scatter leg of the shard router. One in-flight
+/// request at a time per client; the connection persists across Get()
+/// calls and transparently reconnects when the server closed it
+/// (keep-alive limit, drain, restart).
+///
+/// Hosts are numeric IPv4 ("127.0.0.1", "10.0.0.7") or "localhost"; there
+/// is deliberately no resolver — every deployment this serves is
+/// loopback or an explicit shard list.
 class HttpClient {
  public:
   struct Response {
@@ -25,13 +33,37 @@ class HttpClient {
     std::string body;
   };
 
-  explicit HttpClient(uint16_t port) : port_(port) {}
+  /// Transport knobs. Zero means "block forever" — the historical
+  /// behavior, still right for tests and the CLI; the router always sets
+  /// both, since a hung worker must cost a bounded slice of the request
+  /// deadline, never a stuck thread.
+  struct Options {
+    int64_t connect_timeout_ms = 0;  // non-blocking connect + poll when > 0
+    int64_t io_timeout_ms = 0;       // SO_RCVTIMEO/SO_SNDTIMEO when > 0
+  };
+
+  explicit HttpClient(uint16_t port) : HttpClient(port, Options()) {}
+  HttpClient(uint16_t port, Options options)
+      : host_("127.0.0.1"), port_(port), options_(options) {}
+  HttpClient(std::string host, uint16_t port)
+      : HttpClient(std::move(host), port, Options()) {}
+  HttpClient(std::string host, uint16_t port, Options options)
+      : host_(std::move(host)), port_(port), options_(options) {}
   ~HttpClient() { Close(); }
 
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
   /// GETs `target` (path + query string, already percent-encoded).
+  ///
+  /// Error taxonomy: a timeout (connect or read) returns Aborted — the
+  /// request may still be executing server-side, so the caller must not
+  /// assume it never happened; every other transport failure returns
+  /// IOError. Only an IOError on a *reused* keep-alive connection is
+  /// transparently retried once on a fresh connection (the server closing
+  /// an idle connection is indistinguishable from that on the first
+  /// write); timeouts and fresh-connection failures are never retried
+  /// here — hedging is the router's decision, not the transport's.
   Result<Response> Get(const std::string& target);
 
   /// Drops the persistent connection (the next Get reconnects).
@@ -39,17 +71,116 @@ class HttpClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+  /// Adjusts the io timeout for subsequent requests (applied to the live
+  /// connection too) — the router tightens this per hop as the request
+  /// deadline budget runs down.
+  void set_io_timeout_ms(int64_t ms);
+
+  /// Requests this client completed without reconnecting (monotonic) —
+  /// the connection-reuse observable the pool regression test asserts on.
+  uint64_t reused_requests() const { return reused_requests_; }
+
   /// Percent-encodes one URL query-string value.
   static std::string UrlEncode(std::string_view s);
 
  private:
   Status Connect();
+  Status ApplyIoTimeout();
   Status SendRequest(const std::string& target);
-  Result<Response> ReadResponse();
+  Result<Response> ReadResponse(bool* timed_out);
 
+  std::string host_;
   uint16_t port_;
+  Options options_;
   int fd_ = -1;
   std::string buffer_;  // bytes received past the previous response
+  uint64_t reused_requests_ = 0;
+};
+
+/// A small per-host pool of keep-alive HttpClients. Before it existed,
+/// every error-path caller (and every scatter leg) built a throwaway
+/// client, so each request cost a fresh TCP connection and the old fd was
+/// only as gone as the caller's cleanup was careful. Acquire() hands out a
+/// pooled connection (or dials a new one), and the returned Handle checks
+/// it back in on destruction — but only if it is still connected: a
+/// client that errored closed its socket, so poisoned connections drop out
+/// of the pool by construction instead of poisoning the next request.
+///
+/// Thread-safe; Handles themselves are single-threaded like HttpClient.
+class HttpClientPool {
+ public:
+  struct Options {
+    size_t max_idle_per_host = 4;     // extra returns close instead
+    HttpClient::Options client;       // transport knobs for new dials
+  };
+
+  struct Stats {
+    uint64_t dials = 0;     // clients constructed
+    uint64_t reuses = 0;    // Acquire() served from the pool
+    uint64_t returns = 0;   // handles checked a live connection back in
+    uint64_t discards = 0;  // handles dropped a dead/excess connection
+    size_t idle = 0;        // gauge: connections parked in the pool
+  };
+
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(HttpClientPool* pool, std::string key,
+           std::unique_ptr<HttpClient> client)
+        : pool_(pool), key_(std::move(key)), client_(std::move(client)) {}
+    ~Handle() { Release(); }
+    Handle(Handle&& other) noexcept { *this = std::move(other); }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        key_ = std::move(other.key_);
+        client_ = std::move(other.client_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    HttpClient* operator->() { return client_.get(); }
+    HttpClient& operator*() { return *client_; }
+    HttpClient* get() { return client_.get(); }
+
+    /// Returns the connection to the pool (or closes it) immediately.
+    void Release();
+
+   private:
+    HttpClientPool* pool_ = nullptr;
+    std::string key_;
+    std::unique_ptr<HttpClient> client_;
+  };
+
+  HttpClientPool() : HttpClientPool(Options()) {}
+  explicit HttpClientPool(Options options) : options_(options) {}
+
+  /// A connected-or-fresh client for host:port. Never blocks on the
+  /// network — a pooled client's staleness surfaces (and is retried) in
+  /// HttpClient::Get itself.
+  Handle Acquire(const std::string& host, uint16_t port);
+
+  Stats stats() const;
+
+ private:
+  friend class Handle;
+  void Return(const std::string& key, std::unique_ptr<HttpClient> client);
+
+  Options options_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<std::unique_ptr<HttpClient>>> idle_
+      GUARDED_BY(mu_);
+  uint64_t dials_ GUARDED_BY(mu_) = 0;
+  uint64_t reuses_ GUARDED_BY(mu_) = 0;
+  uint64_t returns_ GUARDED_BY(mu_) = 0;
+  uint64_t discards_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace seqdet::server

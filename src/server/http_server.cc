@@ -548,4 +548,11 @@ JsonWriter& JsonWriter::Bool(bool value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  MaybeComma();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
 }  // namespace seqdet::server

@@ -186,6 +186,9 @@ class JsonWriter {
   JsonWriter& Int(int64_t value);
   JsonWriter& Double(double value);
   JsonWriter& Bool(bool value);
+  /// Splices an already-serialized JSON value verbatim (the router embeds
+  /// shard /info bodies without reparsing them).
+  JsonWriter& Raw(std::string_view json);
 
   const std::string& str() const { return out_; }
 

@@ -1,0 +1,281 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace seqdet::server {
+
+namespace {
+constexpr size_t kMaxDepth = 64;
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    SEQDET_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(StringPrintf("expected '%c'", c));
+    }
+    return Status::OK();
+  }
+
+  Status ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("bad literal");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->type_ = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    out->type_ = JsonValue::Type::kObject;
+    SEQDET_RETURN_IF_ERROR(Expect('{'));
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      SEQDET_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      SEQDET_RETURN_IF_ERROR(Expect(':'));
+      JsonValue value;
+      SEQDET_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object_[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      SEQDET_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    out->type_ = JsonValue::Type::kArray;
+    SEQDET_RETURN_IF_ERROR(Expect('['));
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      SEQDET_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      SEQDET_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    SEQDET_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // BMP code points as UTF-8 (surrogate pairs are not needed by
+          // any serializer in this codebase, so they parse as-is).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string lexeme(text_.substr(start, pos_ - start));
+    if (lexeme.empty() || lexeme == "-") return Error("bad number");
+    if (integral) {
+      int64_t v;
+      if (ParseInt64(lexeme, &v)) {
+        out->type_ = JsonValue::Type::kInt;
+        out->int_ = v;
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(lexeme.c_str(), &end);
+    if (end != lexeme.c_str() + lexeme.size() || errno == ERANGE) {
+      return Error("bad number");
+    }
+    out->type_ = JsonValue::Type::kDouble;
+    out->double_ = d;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Result<int64_t> JsonValue::GetInt(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_int()) {
+    return Status::InvalidArgument("json: missing integer field '" + key +
+                                   "'");
+  }
+  return v->int_value();
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("json: missing string field '" + key +
+                                   "'");
+  }
+  return v->string_value();
+}
+
+Result<const std::vector<JsonValue>*> JsonValue::GetArray(
+    const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument("json: missing array field '" + key +
+                                   "'");
+  }
+  return &v->array();
+}
+
+}  // namespace seqdet::server

@@ -1,0 +1,84 @@
+#ifndef SEQDET_SERVER_JSON_H_
+#define SEQDET_SERVER_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace seqdet::server {
+
+/// A parsed JSON document — the router's view of a shard response. The
+/// writer side (JsonWriter in http_server.h) existed first; this is its
+/// inverse, added with the scatter-gather router (DESIGN.md §15) whose
+/// merge step must read worker responses back.
+///
+/// Integers and doubles are distinct: a numeric lexeme without '.', 'e'
+/// or 'E' that fits int64 parses as kInt. The router's byte-identity
+/// guarantee rests on this — every associative aggregate (counts,
+/// durations, timestamps) crosses the wire as an integer, is merged as an
+/// integer, and only the final serialization recomputes derived doubles,
+/// with the same code the single-process handler uses. Doubles are never
+/// parsed-and-reserialized on the merge path.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Parses one JSON document (trailing whitespace allowed, trailing
+  /// garbage is an error). Depth is capped defensively: shard responses
+  /// nest a handful of levels, not hundreds.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  /// kInt or kDouble, widened.
+  double double_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience accessors for the merge code: Find + type check in one
+  /// step, with an explicit error naming the key.
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<const std::vector<JsonValue>*> GetArray(const std::string& key)
+      const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace seqdet::server
+
+#endif  // SEQDET_SERVER_JSON_H_

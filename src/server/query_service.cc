@@ -32,12 +32,13 @@ HttpResponse QueryError(const Status& status) {
 
 }  // namespace
 
-std::string DetectResponseJson(const std::vector<query::PatternMatch>& matches,
+std::string DetectResponseJson(int64_t total,
+                               const std::vector<query::PatternMatch>& matches,
                                size_t limit) {
   JsonWriter json;
   json.BeginObject()
       .Key("total")
-      .Int(static_cast<int64_t>(matches.size()))
+      .Int(total)
       .Key("matches")
       .BeginArray();
   for (size_t i = 0; i < matches.size() && i < limit; ++i) {
@@ -49,6 +50,62 @@ std::string DetectResponseJson(const std::vector<query::PatternMatch>& matches,
         .BeginArray();
     for (auto ts : match.timestamps) json.Int(ts);
     json.EndArray().EndObject();
+  }
+  json.EndArray().EndObject();
+  return json.str();
+}
+
+std::string DetectResponseJson(const std::vector<query::PatternMatch>& matches,
+                               size_t limit) {
+  return DetectResponseJson(static_cast<int64_t>(matches.size()), matches,
+                            limit);
+}
+
+std::string StatsResponseJson(const std::vector<StatsRowView>& rows,
+                              uint64_t completions_upper_bound,
+                              double estimated_duration) {
+  JsonWriter json;
+  json.BeginObject().Key("pairs").BeginArray();
+  for (const auto& row : rows) {
+    json.BeginObject()
+        .Key("first")
+        .String(row.first)
+        .Key("second")
+        .String(row.second)
+        .Key("completions")
+        .Int(static_cast<int64_t>(row.completions))
+        .Key("avg_duration")
+        .Double(row.avg_duration);
+    if (row.last_completion.has_value()) {
+      json.Key("last_completion").Int(*row.last_completion);
+    }
+    json.EndObject();
+  }
+  json.EndArray()
+      .Key("completions_upper_bound")
+      .Int(static_cast<int64_t>(completions_upper_bound))
+      .Key("estimated_duration")
+      .Double(estimated_duration)
+      .EndObject();
+  return json.str();
+}
+
+std::string ContinueResponseJson(const std::vector<ProposalView>& proposals,
+                                 size_t limit) {
+  JsonWriter json;
+  json.BeginObject().Key("proposals").BeginArray();
+  for (size_t i = 0; i < proposals.size() && i < limit; ++i) {
+    const auto& p = proposals[i];
+    json.BeginObject()
+        .Key("activity")
+        .String(p.activity)
+        .Key("completions")
+        .Int(static_cast<int64_t>(p.completions))
+        .Key("avg_duration")
+        .Double(p.avg_duration)
+        .Key("score")
+        .Double(p.score)
+        .EndObject();
   }
   json.EndArray().EndObject();
   return json.str();
@@ -412,30 +469,45 @@ HttpResponse QueryService::HandleStats(const HttpRequest& request) const {
     return QueryError(stats.status());
   }
   const auto& dict = index_->dictionary();
-  JsonWriter json;
-  json.BeginObject().Key("pairs").BeginArray();
-  for (const auto& row : stats->pairs) {
-    json.BeginObject()
-        .Key("first")
-        .String(dict.Name(row.pair.first))
-        .Key("second")
-        .String(dict.Name(row.pair.second))
-        .Key("completions")
-        .Int(static_cast<int64_t>(row.total_completions))
-        .Key("avg_duration")
-        .Double(row.average_duration);
-    if (row.last_completion.has_value()) {
-      json.Key("last_completion").Int(*row.last_completion);
+  if (request.query.count("raw") > 0) {
+    // Shard-internal form for the router's merge: integer sums only,
+    // per-pair in pattern order. The derived doubles (avg, estimated
+    // duration) and the upper bound are recomputed router-side from the
+    // merged sums — min-of-sums and sum-then-divide are not expressible
+    // over already-derived values.
+    JsonWriter json;
+    json.BeginObject().Key("rows").BeginArray();
+    for (const auto& row : stats->pairs) {
+      json.BeginObject()
+          .Key("first")
+          .String(dict.Name(row.pair.first))
+          .Key("second")
+          .String(dict.Name(row.pair.second))
+          .Key("completions")
+          .Int(static_cast<int64_t>(row.total_completions))
+          .Key("sum_duration")
+          .Int(row.sum_duration);
+      if (row.last_completion.has_value()) {
+        json.Key("last").Int(*row.last_completion);
+      }
+      json.EndObject();
     }
-    json.EndObject();
+    json.EndArray().EndObject();
+    return HttpResponse::Json(json.str());
   }
-  json.EndArray()
-      .Key("completions_upper_bound")
-      .Int(static_cast<int64_t>(stats->completions_upper_bound))
-      .Key("estimated_duration")
-      .Double(stats->estimated_duration)
-      .EndObject();
-  return HttpResponse::Json(json.str());
+  std::vector<StatsRowView> rows;
+  rows.reserve(stats->pairs.size());
+  for (const auto& row : stats->pairs) {
+    StatsRowView view;
+    view.first = dict.Name(row.pair.first);
+    view.second = dict.Name(row.pair.second);
+    view.completions = row.total_completions;
+    view.avg_duration = row.average_duration;
+    view.last_completion = row.last_completion;
+    rows.push_back(std::move(view));
+  }
+  return HttpResponse::Json(StatsResponseJson(
+      rows, stats->completions_upper_bound, stats->estimated_duration));
 }
 
 HttpResponse QueryService::HandleContinue(const HttpRequest& request) const {
@@ -450,6 +522,66 @@ HttpResponse QueryService::HandleContinue(const HttpRequest& request) const {
   std::string mode = "accurate";
   if (auto it = request.query.find("mode"); it != request.query.end()) {
     mode = it->second;
+  }
+  const auto& dict = index_->dictionary();
+  if (request.query.count("raw") > 0) {
+    // Shard-internal form for the router's merge (see HandleStats).
+    if (mode == "accurate") {
+      auto proposals = qp_.ContinueAccurate(parsed->pattern);
+      if (!proposals.ok()) return QueryError(proposals.status());
+      JsonWriter json;
+      json.BeginObject().Key("proposals").BeginArray();
+      for (const auto& p : *proposals) {
+        json.BeginObject()
+            .Key("activity")
+            .String(dict.Name(p.activity))
+            .Key("id")
+            .Int(static_cast<int64_t>(p.activity))
+            .Key("completions")
+            .Int(static_cast<int64_t>(p.total_completions))
+            .Key("sum_duration")
+            .Int(p.sum_duration)
+            .EndObject();
+      }
+      json.EndArray().EndObject();
+      return HttpResponse::Json(json.str());
+    }
+    if (mode == "fast") {
+      // The Fast heuristic's ingredients rather than its output: the
+      // per-candidate counts here are *uncapped* — the whole-pattern cap
+      // (Algorithm 4's min with the pairwise bound) is min-of-sums across
+      // shards, so only the router can apply it.
+      JsonWriter json;
+      json.BeginObject().Key("pattern_pairs").BeginArray();
+      for (size_t i = 0; i + 1 < parsed->pattern.size(); ++i) {
+        auto stats = index_->GetPairStats(
+            index::EventTypePair{parsed->pattern.activities[i],
+                                 parsed->pattern.activities[i + 1]});
+        if (!stats.ok()) return QueryError(stats.status());
+        json.Int(static_cast<int64_t>(stats->total_completions));
+      }
+      json.EndArray().Key("candidates").BeginArray();
+      auto candidates =
+          index_->GetFollowerStats(parsed->pattern.activities.back());
+      if (!candidates.ok()) return QueryError(candidates.status());
+      for (const auto& candidate : *candidates) {
+        json.BeginObject()
+            .Key("activity")
+            .String(dict.Name(candidate.other))
+            .Key("id")
+            .Int(static_cast<int64_t>(candidate.other))
+            .Key("completions")
+            .Int(static_cast<int64_t>(candidate.total_completions))
+            .Key("sum_duration")
+            .Int(candidate.sum_duration)
+            .EndObject();
+      }
+      json.EndArray().EndObject();
+      return HttpResponse::Json(json.str());
+    }
+    return HttpResponse::Error(
+        400, "raw=1 supports mode=accurate|fast (the router assembles "
+             "hybrid from both)");
   }
   Result<std::vector<query::ContinuationProposal>> proposals =
       Status::Internal("unset");
@@ -472,25 +604,18 @@ HttpResponse QueryService::HandleContinue(const HttpRequest& request) const {
   if (!proposals.ok()) {
     return QueryError(proposals.status());
   }
-  const auto& dict = index_->dictionary();
-  size_t limit = LimitParam(request, 20);
-  JsonWriter json;
-  json.BeginObject().Key("proposals").BeginArray();
-  for (size_t i = 0; i < proposals->size() && i < limit; ++i) {
-    const auto& p = (*proposals)[i];
-    json.BeginObject()
-        .Key("activity")
-        .String(dict.Name(p.activity))
-        .Key("completions")
-        .Int(static_cast<int64_t>(p.total_completions))
-        .Key("avg_duration")
-        .Double(p.average_duration)
-        .Key("score")
-        .Double(p.score)
-        .EndObject();
+  std::vector<ProposalView> views;
+  views.reserve(proposals->size());
+  for (const auto& p : *proposals) {
+    ProposalView view;
+    view.activity = dict.Name(p.activity);
+    view.completions = p.total_completions;
+    view.avg_duration = p.average_duration;
+    view.score = p.score;
+    views.push_back(std::move(view));
   }
-  json.EndArray().EndObject();
-  return HttpResponse::Json(json.str());
+  return HttpResponse::Json(
+      ContinueResponseJson(views, LimitParam(request, 20)));
 }
 
 HttpResponse QueryService::HandleDebugSleep(const HttpRequest& request,

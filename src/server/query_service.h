@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,14 @@ struct ServingStatsSnapshot {
 ///   /detect?q=A->B[&limit=N][&deadline_ms=N]   pattern detection
 ///   /stats?q=A->B[&last=1]                pairwise statistics
 ///   /continue?q=A->B&mode=accurate|fast|hybrid[&topk=K][&limit=N]
+///
+/// /stats and /continue additionally accept `raw=1` — the shard-internal
+/// wire format of the scatter-gather router (shard_router.h): the same
+/// aggregates as integer sums (completions, duration sums, activity ids)
+/// instead of derived doubles, unlimited, so N such responses merge
+/// associatively and the router can recompute every double exactly as the
+/// single process would have. Not a public API; its shape may change with
+/// the router.
 ///
 /// The service borrows the index; both must outlive the HttpServer.
 class QueryService {
@@ -171,6 +180,44 @@ class QueryService {
 /// and the live handler can never drift apart.
 std::string DetectResponseJson(const std::vector<query::PatternMatch>& matches,
                                size_t limit);
+
+/// Same serialization with an explicit `total` — the shard router's merge
+/// holds only the limit-truncated union of per-shard matches but knows the
+/// exact global total (shard totals are pre-limit and sum). The two-arg
+/// overload above is total = matches.size().
+std::string DetectResponseJson(int64_t total,
+                               const std::vector<query::PatternMatch>& matches,
+                               size_t limit);
+
+/// One /stats response row with its activity names resolved. The single
+/// process resolves names through its dictionary; the router takes them
+/// from the shard rows — either way the serialized bytes go through
+/// StatsResponseJson below, which is what makes router output and
+/// single-process output byte-identical by construction.
+struct StatsRowView {
+  std::string first;
+  std::string second;
+  uint64_t completions = 0;
+  double avg_duration = 0;
+  std::optional<eventlog::Timestamp> last_completion;
+};
+
+/// Serializes /stats exactly as the single-process handler responds.
+std::string StatsResponseJson(const std::vector<StatsRowView>& rows,
+                              uint64_t completions_upper_bound,
+                              double estimated_duration);
+
+/// One /continue proposal with its activity name resolved.
+struct ProposalView {
+  std::string activity;
+  uint64_t completions = 0;
+  double avg_duration = 0;
+  double score = 0;
+};
+
+/// Serializes /continue exactly as the single-process handler responds.
+std::string ContinueResponseJson(const std::vector<ProposalView>& proposals,
+                                 size_t limit);
 
 }  // namespace seqdet::server
 

@@ -1,0 +1,237 @@
+#ifndef SEQDET_SERVER_SHARD_ROUTER_H_
+#define SEQDET_SERVER_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+
+namespace seqdet::server {
+
+/// One worker process of a sharded deployment (a `seqdet serve` over one
+/// trace-hash partition, see index/trace_shard.h and `seqdet shard-split`).
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Parses "host:port,port,host:port,..." (a bare port means 127.0.0.1).
+Result<std::vector<ShardEndpoint>> ParseShardList(std::string_view csv);
+
+/// Failure-handling and deadline knobs of the scatter-gather front end
+/// (DESIGN.md §15 documents the policy in prose).
+struct RouterOptions {
+  std::vector<ShardEndpoint> shards;
+
+  /// Deadline budget for requests without their own `deadline_ms`
+  /// (clamped to max_deadline_ms). Unlike the single-process default this
+  /// is non-zero: a router exists to bound tail latency, and every
+  /// internal wait (connect, read, hedge, breaker) is budgeted out of it.
+  int64_t default_deadline_ms = 2000;
+  int64_t max_deadline_ms = 600000;
+  /// Slice of the budget reserved for the router's own merge + serialize
+  /// after the slowest shard answers; the per-hop deadline forwarded to
+  /// workers is (remaining - merge_margin_ms), floored at 1ms.
+  int64_t merge_margin_ms = 50;
+
+  /// Hedged retry: when a shard has not answered this long after the
+  /// scatter, a second attempt races it on a fresh connection to the same
+  /// worker (single-replica deployment — the hedge bets the *connection*
+  /// or a stuck worker thread is the problem, not the data). First
+  /// response wins; 0 disables hedging.
+  int64_t hedge_after_ms = 250;
+  /// Ceiling on connection establishment per attempt (also clamped to the
+  /// remaining budget). Keeps a black-holed worker from eating the whole
+  /// deadline in SYN retries.
+  int64_t connect_timeout_ms = 250;
+
+  /// Circuit breaker, per shard: this many *consecutive* transport
+  /// failures open it; while open, requests fail the shard instantly
+  /// (no connect attempt). After breaker_cooldown_ms one probe request is
+  /// let through — success closes the breaker, failure re-arms the
+  /// cooldown.
+  size_t breaker_failure_threshold = 3;
+  int64_t breaker_cooldown_ms = 1000;
+
+  /// Partial-result policy. false (default): any shard failure fails the
+  /// query with 503 naming the shards (merged answers stay exact or
+  /// absent). true: if at least one shard answered, merge what arrived
+  /// and return 200 with an X-Seqdet-Degraded header — for deployments
+  /// that prefer availability over completeness.
+  bool allow_partial = false;
+
+  /// Max idle keep-alive connections pooled per shard.
+  size_t max_idle_connections_per_shard = 4;
+  /// Scatter executor width; 0 = 2 * shards (every shard's primary and
+  /// hedge of one request can run concurrently).
+  size_t scatter_threads = 0;
+};
+
+struct ShardStatsSnapshot {
+  std::string endpoint;
+  std::string breaker;  // "closed" | "open" | "half_open"
+  uint64_t requests = 0;        // attempts dispatched (hedges included)
+  uint64_t failures = 0;        // attempts that failed at the transport
+  uint64_t hedges = 0;          // hedge attempts launched
+  uint64_t hedge_wins = 0;      // requests resolved by the hedge
+  uint64_t breaker_opens = 0;   // closed -> open transitions
+  uint64_t short_circuits = 0;  // legs rejected by an open breaker
+};
+
+struct RouterStatsSnapshot {
+  uint64_t scatters = 0;       // fan-outs issued
+  uint64_t merged_ok = 0;      // 200s assembled from full fan-in
+  uint64_t degraded = 0;       // partial 200s (allow_partial)
+  uint64_t partial_503 = 0;    // failed fan-ins surfaced as 503/504
+  uint64_t passthrough = 0;    // shard 4xx/504 relayed verbatim
+  std::vector<ShardStatsSnapshot> shards;
+  HttpClientPool::Stats pool;
+};
+
+/// The scatter-gather front end of a trace-sharded deployment: one
+/// process speaking the exact /detect, /stats and /continue dialect of
+/// QueryService, fanning every query out to N workers over HttpClient and
+/// merging their answers.
+///
+/// Merge contract (DESIGN.md §15): with all shards healthy, every merged
+/// response is byte-identical to the same query against one
+/// `seqdet serve` over the unsharded index. This works because traces are
+/// disjoint across shards and every cross-shard aggregate is merged in
+/// its associative integer form: /detect match blocks concatenate by
+/// ascending trace id, counts and duration sums add, and derived doubles
+/// (averages, scores, bounds) are recomputed from the merged integers by
+/// the same code the single process runs (query_service serializers,
+/// QueryProcessor::RankProposals). router_differential_test enforces the
+/// guarantee over seeded pattern corpora at 1/2/4/8 shards.
+///
+/// Failure policy: per-shard circuit breakers, hedged retries for
+/// stragglers, per-hop deadlines carved from the request budget; a
+/// request never outlives its deadline by more than the merge margin —
+/// SIGKILLing a worker mid-scatter costs one timeout, not a hang
+/// (router_fault_test).
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterOptions options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Registers /health /info /detect /stats /continue on `server`.
+  void RegisterRoutes(HttpServer* server);
+
+  RouterStatsSnapshot stats() const;
+
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Per-shard breaker + counters, shared with in-flight attempt tasks so
+  /// a late (orphaned) attempt can record its outcome safely even while
+  /// the router shuts down.
+  struct ShardState {
+    explicit ShardState(ShardEndpoint ep) : endpoint(std::move(ep)) {}
+
+    const ShardEndpoint endpoint;
+
+    Mutex mu;
+    size_t consecutive_failures GUARDED_BY(mu) = 0;
+    bool open GUARDED_BY(mu) = false;
+    bool probe_inflight GUARDED_BY(mu) = false;
+    Clock::time_point open_until GUARDED_BY(mu){};
+
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> hedges{0};
+    std::atomic<uint64_t> hedge_wins{0};
+    std::atomic<uint64_t> breaker_opens{0};
+    std::atomic<uint64_t> short_circuits{0};
+  };
+
+  enum class Admission { kAllow, kProbe, kRejected };
+
+  /// State of one fan-out, shared between the handler thread (which
+  /// waits) and its attempt tasks on the scatter pool (which resolve).
+  struct ScatterState;
+
+  Admission Admit(ShardState* shard) const;
+  void RecordOutcome(ShardState* shard, bool ok, bool was_probe) const;
+
+  /// Launches one attempt against shard `leg` on the scatter pool.
+  void LaunchAttempt(const std::shared_ptr<ScatterState>& state, size_t leg,
+                     size_t attempt, bool probe, const std::string& target,
+                     const Deadline& deadline);
+
+  /// Scatters GET `target` (per-hop deadline_ms appended per shard) to
+  /// every shard; resolves when all legs resolve or the deadline expires.
+  /// Element i is shard i's response or its transport error.
+  std::vector<Result<HttpClient::Response>> Scatter(
+      const std::string& target, const Deadline& deadline);
+
+  /// The request's budget: `deadline_ms` (clamped) or the router default.
+  Deadline RequestDeadline(const HttpRequest& request) const;
+
+  /// The failure-policy decision over one fan-in.
+  struct FanIn {
+    /// The 200 responses the merge may consume.
+    std::vector<const HttpClient::Response*> ok;
+    /// Set when the fan-in decided the response without a merge: a shard
+    /// rejection relayed verbatim (passthrough), or a 503/504 for a
+    /// failed fan-out.
+    std::optional<HttpResponse> early;
+    /// allow_partial kicked in: merge `ok` but mark the response degraded.
+    bool degraded = false;
+  };
+  FanIn Triage(const std::vector<Result<HttpClient::Response>>& legs);
+
+  /// Wraps a merged body: 200, plus the X-Seqdet-Degraded header and the
+  /// degraded/merged_ok accounting.
+  HttpResponse MergedResponse(std::string body, bool degraded,
+                              size_t answered);
+
+  /// Shared fan-out + failure triage for the single-scatter routes:
+  /// `merge` sees only 200 responses and returns the merged body.
+  HttpResponse ScatterAndMerge(
+      const HttpRequest& request, const std::string& target,
+      const std::function<Result<std::string>(
+          const std::vector<const HttpClient::Response*>&)>& merge);
+
+  HttpResponse HandleHealth(const HttpRequest& request);
+  HttpResponse HandleInfo(const HttpRequest& request);
+  HttpResponse HandleDetect(const HttpRequest& request);
+  HttpResponse HandleStats(const HttpRequest& request);
+  HttpResponse HandleContinue(const HttpRequest& request);
+
+  RouterOptions options_;
+  std::vector<std::shared_ptr<ShardState>> shards_;
+  std::shared_ptr<HttpClientPool> pool_;
+  std::unique_ptr<ThreadPool> scatter_pool_;
+
+  std::atomic<uint64_t> scatters_{0};
+  std::atomic<uint64_t> merged_ok_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> partial_503_{0};
+  std::atomic<uint64_t> passthrough_{0};
+};
+
+}  // namespace seqdet::server
+
+#endif  // SEQDET_SERVER_SHARD_ROUTER_H_

@@ -1,0 +1,429 @@
+// Fault injection for the shard router: SIGKILLed workers, hung (tarpit)
+// shards, circuit-breaker lifecycle, partial-result policy. The
+// differential harness certifies the merged bytes when every shard is
+// healthy; this file certifies the failure policy — a dead or silent
+// worker costs a bounded slice of the request deadline and a diagnosable
+// status, never a hung request or a stuck router thread.
+//
+// Worker processes are real processes (fork) so SIGKILL severs them the
+// way an OOM kill or a crashed box would: no destructors, no FIN
+// handshake from the server loop, the kernel just reclaims the sockets.
+// Workers fork before the parent starts any threads (routers, in-process
+// servers), so the children never inherit half a thread pool.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "gtest/gtest.h"
+#include "index/sequence_index.h"
+#include "index/trace_shard.h"
+#include "log/event_log.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/query_service.h"
+#include "server/shard_router.h"
+#include "storage/database.h"
+
+namespace seqdet {
+namespace {
+
+using eventlog::EventLog;
+using index::IndexOptions;
+using index::Policy;
+using index::SequenceIndex;
+
+EventLog FaultLog(uint64_t seed) {
+  datagen::RandomLogConfig config;
+  config.num_traces = 60;
+  config.max_events_per_trace = 30;
+  config.num_activities = 8;
+  config.seed = seed;
+  config.mean_gap = 5;
+  return datagen::GenerateRandomLog(config);
+}
+
+std::vector<EventLog> PartitionLog(const EventLog& log, size_t num_shards) {
+  std::vector<EventLog> parts(num_shards);
+  for (auto& part : parts) {
+    for (const auto& name : log.dictionary().names()) {
+      part.dictionary().Intern(name);
+    }
+  }
+  for (const auto& trace : log.traces()) {
+    parts[index::ShardOfTrace(trace.id, num_shards)].AddTrace(trace);
+  }
+  return parts;
+}
+
+/// In-process worker: in-memory index + QueryService + HttpServer. The
+/// breaker-recovery test stops and restarts the HttpServer on the same
+/// port (SO_REUSEADDR on the listener makes that immediate).
+struct Node {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<SequenceIndex> index;
+  std::unique_ptr<server::QueryService> service;
+  std::unique_ptr<server::HttpServer> http;
+
+  explicit Node(const EventLog& log) {
+    storage::DbOptions db_options;
+    db_options.table.in_memory = true;
+    db_options.table.use_wal = false;
+    db = std::move(storage::Database::Open("", db_options)).value();
+    IndexOptions options;
+    options.policy = Policy::kSkipTillNextMatch;
+    options.num_threads = 1;
+    options.posting_block_bytes = 96;
+    index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    auto stats = index->Update(log);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    service = std::make_unique<server::QueryService>(index.get());
+    http = std::make_unique<server::HttpServer>();
+    service->RegisterRoutes(http.get());
+    EXPECT_TRUE(http->Start(0).ok());
+  }
+  ~Node() {
+    if (http) http->Stop();
+  }
+};
+
+/// A worker in its own process. The child builds its shard fixture,
+/// reports the listening port through a pipe, and parks in pause() until
+/// the parent kills it — SIGKILL is the only way it exits.
+struct ForkedWorker {
+  pid_t pid = -1;
+  uint16_t port = 0;
+
+  static ForkedWorker Spawn(const EventLog& part) {
+    int fds[2];
+    EXPECT_EQ(pipe(fds), 0);
+    pid_t pid = fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+      close(fds[0]);
+      {
+        Node node(part);
+        uint16_t p = node.http->port();
+        if (write(fds[1], &p, sizeof(p)) != sizeof(p)) _exit(2);
+        close(fds[1]);
+        for (;;) pause();
+      }
+      _exit(0);  // not reached
+    }
+    close(fds[1]);
+    ForkedWorker worker;
+    worker.pid = pid;
+    EXPECT_EQ(read(fds[0], &worker.port, sizeof(worker.port)),
+              static_cast<ssize_t>(sizeof(worker.port)));
+    close(fds[0]);
+    return worker;
+  }
+
+  void Kill() {
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      int wstatus = 0;
+      waitpid(pid, &wstatus, 0);
+      pid = -1;
+    }
+  }
+  ~ForkedWorker() { Kill(); }
+};
+
+/// A shard-shaped black hole: listening socket whose backlog accepts the
+/// TCP handshake but whose owner never reads or answers. Connects and
+/// writes succeed; reads hang until the client's io timeout. This is the
+/// "worker thread wedged / network silently dropping" shape a SIGKILL
+/// cannot produce (a dead process RSTs immediately).
+struct Tarpit {
+  int fd = -1;
+  uint16_t port = 0;
+
+  Tarpit() {
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(listen(fd, 16), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port = ntohs(addr.sin_port);
+  }
+  ~Tarpit() {
+    if (fd >= 0) close(fd);
+  }
+};
+
+/// A loopback port with nothing behind it (bound, inspected, closed):
+/// connects fail fast with ECONNREFUSED.
+uint16_t DeadPort() {
+  Tarpit probe;
+  uint16_t port = probe.port;
+  close(probe.fd);
+  probe.fd = -1;
+  return port;
+}
+
+std::unique_ptr<server::ShardRouter> MakeRouter(
+    server::RouterOptions options, server::HttpServer* http) {
+  auto router = std::make_unique<server::ShardRouter>(options);
+  router->RegisterRoutes(http);
+  EXPECT_TRUE(http->Start(0).ok());
+  return router;
+}
+
+struct TimedResponse {
+  int status = 0;
+  std::string body;
+  std::map<std::string, std::string> headers;
+  int64_t elapsed_ms = 0;
+};
+
+TimedResponse TimedGet(uint16_t port, const std::string& target) {
+  server::HttpClient client(port);
+  auto start = std::chrono::steady_clock::now();
+  auto response = client.Get(target);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_TRUE(response.ok()) << target << ": " << response.status();
+  if (!response.ok()) return {0, "", {}, elapsed};
+  return {response->status, response->body, response->headers, elapsed};
+}
+
+uint64_t TotalHedges(const server::RouterStatsSnapshot& stats) {
+  uint64_t n = 0;
+  for (const auto& shard : stats.shards) n += shard.hedges;
+  return n;
+}
+
+constexpr const char* kQuery = "/detect?q=act_0%20-%3E%20act_1&limit=100";
+
+// A SIGKILLed worker mid-scatter: the request resolves within its
+// deadline (the severed connection RSTs, the router triages), and every
+// request after the kill fails fast with a 503 naming the dead shard —
+// never a hang.
+TEST(RouterFaultTest, SigkilledWorkerNeverHangsRequests) {
+  EventLog log = FaultLog(77);
+  auto parts = PartitionLog(log, 2);
+  // Fork both workers before any parent thread exists.
+  ForkedWorker a = ForkedWorker::Spawn(parts[0]);
+  ForkedWorker b = ForkedWorker::Spawn(parts[1]);
+
+  server::RouterOptions options;
+  options.shards = {{"127.0.0.1", a.port}, {"127.0.0.1", b.port}};
+  options.default_deadline_ms = 1500;
+  options.hedge_after_ms = 0;
+  server::HttpServer router_http;
+  auto router = MakeRouter(options, &router_http);
+
+  // Healthy warm-up: both shards answer.
+  auto warm = TimedGet(router_http.port(), kQuery);
+  ASSERT_EQ(warm.status, 200) << warm.body;
+
+  // Kill worker A while a request is in flight. Whichever side of the
+  // race the kill lands on, the request must resolve as a definite
+  // answer (200 before the kill bites, 503/504 after) within budget.
+  std::thread in_flight([&] {
+    auto r = TimedGet(router_http.port(), kQuery + std::string("&deadline_ms=1500"));
+    EXPECT_TRUE(r.status == 200 || r.status == 503 || r.status == 504)
+        << r.status << " " << r.body;
+    EXPECT_LT(r.elapsed_ms, 4000) << "request outlived its deadline";
+  });
+  a.Kill();
+  in_flight.join();
+
+  // Steady state after the kill: fast, diagnosable failure.
+  auto dead = TimedGet(router_http.port(),
+                       kQuery + std::string("&deadline_ms=700"));
+  EXPECT_TRUE(dead.status == 503 || dead.status == 504) << dead.body;
+  EXPECT_NE(dead.body.find("failed_shards"), std::string::npos) << dead.body;
+  EXPECT_LT(dead.elapsed_ms, 2500) << "failure was not fast";
+
+  router_http.Stop();
+  b.Kill();
+}
+
+// A hung shard (tarpit): the scatter leg times out against the request
+// budget instead of hanging, and the hedged retry fires while the
+// primary is stuck.
+TEST(RouterFaultTest, HungShardTimesOutAndHedges) {
+  EventLog log = FaultLog(78);
+  auto parts = PartitionLog(log, 2);
+  Node live(parts[0]);
+  Tarpit tarpit;
+
+  server::RouterOptions options;
+  options.shards = {{"127.0.0.1", live.http->port()},
+                    {"127.0.0.1", tarpit.port}};
+  options.default_deadline_ms = 900;
+  options.hedge_after_ms = 60;
+  server::HttpServer router_http;
+  auto router = MakeRouter(options, &router_http);
+
+  auto r = TimedGet(router_http.port(), kQuery);
+  // Tarpit never answers; without allow_partial the fan-in fails. Every
+  // *failed* leg is a timeout (the live shard answered fine), so the
+  // triage reports pure deadline exhaustion: 504.
+  EXPECT_EQ(r.status, 504) << r.status << " " << r.body;
+  EXPECT_NE(r.body.find(std::to_string(tarpit.port)), std::string::npos)
+      << r.body;
+  EXPECT_LT(r.elapsed_ms, 3500) << "tarpit leg outlived the deadline";
+  EXPECT_GE(TotalHedges(router->stats()), 1u)
+      << "hedge never fired against the silent shard";
+
+  router_http.Stop();
+}
+
+// Every shard silent: the triage downgrades to 504 (pure deadline
+// exhaustion), still within budget.
+TEST(RouterFaultTest, AllShardsHungIsA504WithinBudget) {
+  Tarpit t1, t2;
+  server::RouterOptions options;
+  options.shards = {{"127.0.0.1", t1.port}, {"127.0.0.1", t2.port}};
+  options.default_deadline_ms = 600;
+  options.hedge_after_ms = 0;
+  server::HttpServer router_http;
+  auto router = MakeRouter(options, &router_http);
+
+  auto r = TimedGet(router_http.port(), kQuery);
+  EXPECT_EQ(r.status, 504) << r.status << " " << r.body;
+  EXPECT_LT(r.elapsed_ms, 3000);
+  router_http.Stop();
+}
+
+// allow_partial: with one shard down the router answers from the
+// survivors, marks the response degraded, and still bounds latency.
+TEST(RouterFaultTest, AllowPartialServesDegradedResults) {
+  EventLog log = FaultLog(79);
+  auto parts = PartitionLog(log, 2);
+  Node live(parts[0]);
+
+  server::RouterOptions options;
+  options.shards = {{"127.0.0.1", live.http->port()},
+                    {"127.0.0.1", DeadPort()}};
+  options.default_deadline_ms = 1200;
+  options.hedge_after_ms = 0;
+  options.allow_partial = true;
+  server::HttpServer router_http;
+  auto router = MakeRouter(options, &router_http);
+
+  auto r = TimedGet(router_http.port(), kQuery);
+  EXPECT_EQ(r.status, 200) << r.status << " " << r.body;
+  auto degraded = r.headers.find("x-seqdet-degraded");
+  ASSERT_NE(degraded, r.headers.end()) << "degraded marker missing";
+  EXPECT_EQ(degraded->second, "1/2 shards");
+  EXPECT_NE(r.body.find("\"matches\""), std::string::npos) << r.body;
+  EXPECT_LT(r.elapsed_ms, 3000);
+  EXPECT_GE(router->stats().degraded, 1u);
+
+  // Stats and continue run the same degraded path.
+  auto stats = TimedGet(router_http.port(), "/stats?q=act_0%20-%3E%20act_1");
+  EXPECT_EQ(stats.status, 200) << stats.body;
+  EXPECT_NE(stats.headers.find("x-seqdet-degraded"), stats.headers.end());
+
+  router_http.Stop();
+}
+
+// Circuit breaker lifecycle: consecutive transport failures open it (and
+// open-breaker requests short-circuit without dialing); after the
+// cooldown one half-open probe goes through, and a recovered worker on
+// the same port closes it again.
+TEST(RouterFaultTest, BreakerOpensShortCircuitsAndRecovers) {
+  EventLog log = FaultLog(80);
+  auto parts = PartitionLog(log, 2);
+  Node flaky(parts[0]);
+  Node stable(parts[1]);
+  const uint16_t flaky_port = flaky.http->port();
+
+  server::RouterOptions options;
+  options.shards = {{"127.0.0.1", flaky_port}, {"127.0.0.1", stable.http->port()}};
+  options.default_deadline_ms = 1500;
+  options.hedge_after_ms = 0;
+  options.allow_partial = true;  // keep end-to-end 200s while flaky is down
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_ms = 300;
+  server::HttpServer router_http;
+  auto router = MakeRouter(options, &router_http);
+
+  ASSERT_EQ(TimedGet(router_http.port(), kQuery).status, 200);
+
+  // Take the flaky worker down; its port stays reserved by SO_REUSEADDR
+  // semantics for the restart below.
+  flaky.http->Stop();
+
+  // Enough failures to trip the threshold, then one more that must be
+  // rejected by the open breaker without touching the network.
+  for (int i = 0; i < 2; ++i) {
+    auto r = TimedGet(router_http.port(), kQuery);
+    EXPECT_EQ(r.status, 200) << r.body;  // degraded by the stable shard
+  }
+  auto tripped = TimedGet(router_http.port(), kQuery);
+  EXPECT_EQ(tripped.status, 200);
+
+  auto snapshot = router->stats();
+  ASSERT_EQ(snapshot.shards.size(), 2u);
+  const auto& flaky_stats = snapshot.shards[0];
+  EXPECT_GE(flaky_stats.breaker_opens, 1u) << "breaker never opened";
+  EXPECT_GE(flaky_stats.short_circuits, 1u)
+      << "open breaker did not short-circuit";
+
+  // Recovery: same service, fresh HttpServer on the same port.
+  flaky.http = std::make_unique<server::HttpServer>();
+  flaky.service->RegisterRoutes(flaky.http.get());
+  Status restarted = flaky.http->Start(flaky_port);
+  ASSERT_TRUE(restarted.ok()) << restarted;
+
+  // After the cooldown the next scatter admits one half-open probe; its
+  // success closes the breaker and the response stops being degraded.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  bool recovered = false;
+  for (int i = 0; i < 20 && !recovered; ++i) {
+    auto r = TimedGet(router_http.port(), kQuery);
+    EXPECT_EQ(r.status, 200) << r.body;
+    recovered = r.headers.find("x-seqdet-degraded") == r.headers.end();
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(recovered) << "breaker never recovered after worker restart";
+  auto closed = router->stats();
+  EXPECT_EQ(closed.shards[0].breaker, "closed");
+
+  router_http.Stop();
+}
+
+// Per-request deadline_ms is honored end to end: a tight budget against
+// a tarpit fails in about that budget, not the router default.
+TEST(RouterFaultTest, PerRequestDeadlineOverridesDefault) {
+  Tarpit tarpit;
+  server::RouterOptions options;
+  options.shards = {{"127.0.0.1", tarpit.port}};
+  options.default_deadline_ms = 30000;  // default would hang for 30s
+  options.hedge_after_ms = 0;
+  server::HttpServer router_http;
+  auto router = MakeRouter(options, &router_http);
+
+  auto r = TimedGet(router_http.port(),
+                    kQuery + std::string("&deadline_ms=300"));
+  EXPECT_EQ(r.status, 504) << r.status << " " << r.body;
+  EXPECT_LT(r.elapsed_ms, 2000)
+      << "per-request deadline did not bound the tarpit leg";
+  router_http.Stop();
+}
+
+}  // namespace
+}  // namespace seqdet

@@ -1,0 +1,264 @@
+// Concurrency stress for the shard router (stress ctest label; also run
+// under TSan by tools/check_tsan.sh). Client threads hammer every route
+// through the router while a chaos thread repeatedly stops and restarts
+// one worker's HttpServer on its fixed port — so scatters constantly
+// race connection teardown, breaker transitions, hedges and half-open
+// probes. The invariants are coarse but load-bearing: every request
+// resolves with a definite status (200/503/504, or a relayed 4xx for the
+// malformed-query thread), nothing hangs past its deadline budget, and
+// the router's counters stay coherent.
+//
+// SEQDET_STRESS_SECONDS (default 5) scales the run.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generators.h"
+#include "gtest/gtest.h"
+#include "index/sequence_index.h"
+#include "index/trace_shard.h"
+#include "log/event_log.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/query_service.h"
+#include "server/shard_router.h"
+#include "storage/database.h"
+
+namespace seqdet {
+namespace {
+
+using eventlog::EventLog;
+using index::IndexOptions;
+using index::Policy;
+using index::SequenceIndex;
+
+int64_t StressSeconds() {
+  if (const char* env = std::getenv("SEQDET_STRESS_SECONDS")) {
+    return std::strtoll(env, nullptr, 10);
+  }
+  return 5;
+}
+
+EventLog StressLog(uint64_t seed) {
+  datagen::RandomLogConfig config;
+  config.num_traces = 80;
+  config.max_events_per_trace = 30;
+  config.num_activities = 8;
+  config.seed = seed;
+  config.mean_gap = 5;
+  return datagen::GenerateRandomLog(config);
+}
+
+std::vector<EventLog> PartitionLog(const EventLog& log, size_t num_shards) {
+  std::vector<EventLog> parts(num_shards);
+  for (auto& part : parts) {
+    for (const auto& name : log.dictionary().names()) {
+      part.dictionary().Intern(name);
+    }
+  }
+  for (const auto& trace : log.traces()) {
+    parts[index::ShardOfTrace(trace.id, num_shards)].AddTrace(trace);
+  }
+  return parts;
+}
+
+struct Node {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<SequenceIndex> index;
+  std::unique_ptr<server::QueryService> service;
+  std::unique_ptr<server::HttpServer> http;
+
+  explicit Node(const EventLog& log) {
+    storage::DbOptions db_options;
+    db_options.table.in_memory = true;
+    db_options.table.use_wal = false;
+    db = std::move(storage::Database::Open("", db_options)).value();
+    IndexOptions options;
+    options.policy = Policy::kSkipTillNextMatch;
+    options.num_threads = 1;
+    options.posting_block_bytes = 96;
+    // Fold nearly every append so background folds overlap the routed
+    // traffic on every shard (the writer thread below keeps them fed).
+    options.maintenance.auto_fold = true;
+    options.maintenance.check_interval_ms = 5;
+    options.maintenance.min_pending_bytes = 1;
+    options.maintenance.min_pending_ops = 1;
+    index = std::move(SequenceIndex::Open(db.get(), options)).value();
+    auto stats = index->Update(log);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    service = std::make_unique<server::QueryService>(index.get());
+    http = std::make_unique<server::HttpServer>();
+    service->RegisterRoutes(http.get());
+    EXPECT_TRUE(http->Start(0).ok());
+  }
+  ~Node() {
+    if (http) http->Stop();
+  }
+};
+
+TEST(RouterStressTest, ChaosRestartUnderConcurrentLoad) {
+  EventLog log = StressLog(4242);
+  auto parts = PartitionLog(log, 2);
+  Node stable(parts[0]);
+  Node chaos(parts[1]);
+  const uint16_t chaos_port = chaos.http->port();
+
+  server::RouterOptions options;
+  options.shards = {{"127.0.0.1", stable.http->port()},
+                    {"127.0.0.1", chaos_port}};
+  options.default_deadline_ms = 1500;
+  options.hedge_after_ms = 40;
+  options.allow_partial = true;  // chaos worker down => degraded 200s
+  options.breaker_failure_threshold = 3;
+  options.breaker_cooldown_ms = 100;
+  auto router = std::make_unique<server::ShardRouter>(options);
+  server::HttpServer router_http;
+  router->RegisterRoutes(&router_http);
+  ASSERT_TRUE(router_http.Start(0).ok());
+  const uint16_t router_port = router_http.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> ok_200{0};
+  std::atomic<int> violations{0};
+
+  const std::vector<std::string> targets = {
+      "/detect?q=act_0%20-%3E%20act_1&limit=50",
+      "/detect?q=act_2%20-%3E%20act_3%20-%3E%20act_1&limit=5",
+      "/stats?q=act_0%20-%3E%20act_1",
+      "/stats?q=act_1%20-%3E%20act_2&last=1",
+      "/continue?q=act_0%20-%3E%20act_1&mode=accurate",
+      "/continue?q=act_0%20-%3E%20act_1&mode=fast",
+      "/continue?q=act_0%20-%3E%20act_1&mode=hybrid&topk=3",
+      "/info",
+      "/health",
+      "/detect?q=definitely_not_an_activity",  // relayed 400
+  };
+
+  auto client_loop = [&](size_t worker) {
+    server::HttpClient client(router_port);
+    size_t i = worker;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string& target = targets[i++ % targets.size()];
+      auto start = std::chrono::steady_clock::now();
+      auto response = client.Get(target);
+      auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      // Hard bound: deadline 1500ms + io slack; anything slower means a
+      // leg escaped the budget.
+      if (elapsed_ms > 6000) violations.fetch_add(1);
+      if (!response.ok()) {
+        // The router itself must stay reachable; transport errors to the
+        // router are a failure of the harness, not of a shard.
+        violations.fetch_add(1);
+        continue;
+      }
+      int s = response->status;
+      if (s == 200) ok_200.fetch_add(1);
+      if (s != 200 && s != 400 && s != 503 && s != 504) {
+        ADD_FAILURE() << "unexpected status " << s << " for " << target
+                      << ": " << response->body;
+        violations.fetch_add(1);
+      }
+      completed.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < 6; ++i) clients.emplace_back(client_loop, i);
+
+  // Writer: keeps appending trace batches to both shards (respecting the
+  // trace-hash partition) so the aggressive auto-fold services actually
+  // run folds concurrently with the routed queries. The chaos shard's
+  // index stays live across HttpServer restarts, so its folds continue
+  // even while the port is down.
+  std::thread writer([&] {
+    Rng rng(99);
+    uint64_t next_trace = 1'000'000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      EventLog batch;
+      for (const auto& name : log.dictionary().names()) {
+        batch.dictionary().Intern(name);
+      }
+      for (int t = 0; t < 4; ++t) {
+        uint64_t id = next_trace++;
+        int64_t ts = 0;
+        for (int e = 0; e < 6; ++e) {
+          ts += 1 + static_cast<int64_t>(rng.NextBounded(5));
+          batch.Append(id, "act_" + std::to_string(rng.NextBounded(8)), ts);
+        }
+      }
+      batch.SortAllTraces();
+      EventLog shard_batches[2];
+      for (auto& sb : shard_batches) {
+        for (const auto& name : batch.dictionary().names()) {
+          sb.dictionary().Intern(name);
+        }
+      }
+      for (const auto& trace : batch.traces()) {
+        shard_batches[index::ShardOfTrace(trace.id, 2)].AddTrace(trace);
+      }
+      if (!stable.index->Update(shard_batches[0]).ok() ||
+          !chaos.index->Update(shard_batches[1]).ok()) {
+        violations.fetch_add(1);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  // Chaos: stop the worker, let breakers trip and hedges fire into the
+  // refused port, then restart on the same port (SO_REUSEADDR) and let
+  // half-open probes recover it.
+  std::thread chaos_thread([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      chaos.http->Stop();
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      auto fresh = std::make_unique<server::HttpServer>();
+      chaos.service->RegisterRoutes(fresh.get());
+      // The port can linger briefly if an accept raced the stop; retry.
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        if (fresh->Start(chaos_port).ok()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      chaos.http = std::move(fresh);
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::seconds(StressSeconds()));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  chaos_thread.join();
+  writer.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(completed.load(), 0u);
+  EXPECT_GT(ok_200.load(), 0u) << "no request ever fully succeeded";
+
+  auto stats = router->stats();
+  EXPECT_EQ(stats.shards.size(), 2u);
+  EXPECT_GE(stats.scatters, 1u);
+  // Counter coherence: every scatter landed in exactly one outcome
+  // bucket, so the buckets cannot exceed the scatters. (/info and
+  // /health do not scatter through the counted path in the same way;
+  // merged_ok only counts fan-in merges.)
+  EXPECT_LE(stats.merged_ok + stats.degraded + stats.partial_503,
+            stats.scatters + 1);
+  for (const auto& shard : stats.shards) {
+    EXPECT_GE(shard.requests, shard.failures);
+  }
+
+  router_http.Stop();
+}
+
+}  // namespace
+}  // namespace seqdet

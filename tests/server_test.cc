@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 
@@ -408,6 +409,85 @@ TEST(HttpClientTest, KeepAliveAndTransparentReconnect) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status, 200);
   server.Stop();
+}
+
+size_t OpenFdCount() {
+  size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  return count;
+}
+
+// Regression for the throwaway-client pattern the pool replaced: a
+// request loop through the pool must ride one keep-alive connection, not
+// dial (and strand) a socket per request.
+TEST(HttpClientPoolTest, ReusesConnectionsWithoutLeakingFds) {
+  HttpServer server;
+  server.Route("/x", [](const HttpRequest&) {
+    return HttpResponse::Json("{}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpClientPool pool;
+
+  // Warm-up establishes the pooled connection and any lazy fds
+  // (epoll, /proc handles) before the measured window.
+  {
+    auto handle = pool.Acquire("127.0.0.1", server.port());
+    ASSERT_TRUE(handle->Get("/x").ok());
+  }
+  const size_t before = OpenFdCount();
+  for (int i = 0; i < 200; ++i) {
+    auto handle = pool.Acquire("127.0.0.1", server.port());
+    auto response = handle->Get("/x");
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 200);
+  }
+  const size_t after = OpenFdCount();
+  EXPECT_LE(after, before + 4) << "fd count grew across pooled requests";
+
+  auto stats = pool.stats();
+  // The server's keep-alive request limit closes the connection every so
+  // often, which correctly costs a re-dial; a leak would cost ~200.
+  EXPECT_LE(stats.dials, 6u) << "pooled loop dialed per-request";
+  EXPECT_GE(stats.reuses, 190u);
+  EXPECT_EQ(stats.idle, 1u);
+  server.Stop();
+}
+
+// Error-path fd stability: a pooled client that fails closes its socket
+// and drops out of the pool (discarded, not re-parked), so repeated
+// failures neither leak fds nor poison later acquires.
+TEST(HttpClientPoolTest, FailedConnectionsAreDiscardedNotLeaked) {
+  // A loopback port with nothing behind it: bind, read the number, close.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  HttpClientPool pool;
+  const size_t before = OpenFdCount();
+  for (int i = 0; i < 50; ++i) {
+    auto handle = pool.Acquire("127.0.0.1", dead_port);
+    EXPECT_FALSE(handle->Get("/x").ok());
+  }
+  const size_t after = OpenFdCount();
+  EXPECT_LE(after, before + 4) << "failed requests leaked fds";
+
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.idle, 0u) << "a dead connection was parked in the pool";
+  EXPECT_GE(stats.discards, 50u);
+  EXPECT_EQ(stats.returns, 0u);
 }
 
 // ---------------------------------------------------------------------------

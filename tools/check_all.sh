@@ -52,6 +52,58 @@ SEQDET="${ASAN_DIR}/tools/seqdet"
     --limit=5 > /dev/null
 "${SEQDET}" query --db="${SMOKE_DIR}/db" \
     --q="act_0 (act_1|act_2)+ !act_3 act_4 within 1h" --limit=5 > /dev/null
+
+# Sharded serving smoke (under ASan): shard-split the same log, serve the
+# two shards, front them with the router, and byte-compare a routed
+# /detect against the single unsharded server.
+echo "=== SMOKE: sharded scatter-gather router ==="
+"${SEQDET}" shard-split --log="${SMOKE_DIR}/smoke.csv" --shards=2 \
+    --out="${SMOKE_DIR}/shards"
+SMOKE_PIDS=()
+cleanup_smoke_pids() {
+  for pid in "${SMOKE_PIDS[@]:-}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  for pid in "${SMOKE_PIDS[@]:-}"; do
+    wait "${pid}" 2>/dev/null || true
+  done
+}
+trap 'cleanup_smoke_pids; rm -rf "${SMOKE_DIR}"' EXIT
+PORT_BASE=$((18400 + RANDOM % 1000))
+"${SEQDET}" serve --db="${SMOKE_DIR}/db" --port=$((PORT_BASE)) \
+    > /dev/null & SMOKE_PIDS+=($!)
+"${SEQDET}" serve --db="${SMOKE_DIR}/shards/shard-000" \
+    --port=$((PORT_BASE + 1)) > /dev/null & SMOKE_PIDS+=($!)
+"${SEQDET}" serve --db="${SMOKE_DIR}/shards/shard-001" \
+    --port=$((PORT_BASE + 2)) > /dev/null & SMOKE_PIDS+=($!)
+"${SEQDET}" route --shards=$((PORT_BASE + 1)),$((PORT_BASE + 2)) \
+    --port=$((PORT_BASE + 3)) > /dev/null & SMOKE_PIDS+=($!)
+for attempt in $(seq 1 50); do
+  if "${SEQDET}" query --port=$((PORT_BASE + 3)) --q="act_0 -> act_1" \
+      > /dev/null 2>&1; then
+    break
+  fi
+  if [[ "${attempt}" == "50" ]]; then
+    echo "router smoke: cluster never became ready" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+for q in "act_0 -> act_1" "act_1 -> act_2 -> act_0" \
+         "act_0 (act_1|act_2)+ act_3" "response(act_0, act_1)" \
+         "absence(act_2)"; do
+  "${SEQDET}" query --port=$((PORT_BASE)) --q="${q}" \
+      > "${SMOKE_DIR}/single.json"
+  "${SEQDET}" query --port=$((PORT_BASE + 3)) --q="${q}" \
+      > "${SMOKE_DIR}/routed.json"
+  if ! cmp -s "${SMOKE_DIR}/single.json" "${SMOKE_DIR}/routed.json"; then
+    echo "router smoke: routed response diverged for '${q}'" >&2
+    diff "${SMOKE_DIR}/single.json" "${SMOKE_DIR}/routed.json" >&2 || true
+    exit 1
+  fi
+done
+cleanup_smoke_pids
+SMOKE_PIDS=()
 echo "=== SMOKE: clean ==="
 
 if [[ "${SEQDET_SKIP_TSAN:-0}" != "1" ]]; then

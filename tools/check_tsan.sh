@@ -4,7 +4,8 @@
 # versioned posting cache, its Update-vs-DetectBatch race test, and the
 # background maintenance service), the query processor, the
 # writer/reader/fold stress test, the worker-pool HTTP serving stress
-# test, and the morsel-driven parallel-query stress test
+# test, the morsel-driven parallel-query stress test, and the shard
+# router chaos stress test
 # (SEQDET_STRESS_SECONDS scales the stress runs).
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
@@ -14,7 +15,7 @@ REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_DIR}/build-tsan}"
 TESTS=(sync_test storage_test storage_param_test index_test
        posting_cache_test query_test maintenance_stress_test server_test
-       server_stress_test parallel_query_stress_test)
+       server_stress_test parallel_query_stress_test router_stress_test)
 
 cmake -B "${BUILD_DIR}" -S "${REPO_DIR}" -DSEQDET_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TESTS[@]}" \

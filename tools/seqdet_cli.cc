@@ -28,6 +28,7 @@
 #include "common/timer.h"
 #include "datagen/dataset_catalog.h"
 #include "index/sequence_index.h"
+#include "index/trace_shard.h"
 #include "log/csv_io.h"
 #include "log/log_statistics.h"
 #include "log/xes_io.h"
@@ -36,6 +37,7 @@
 #include "server/http_client.h"
 #include "server/http_server.h"
 #include "server/query_service.h"
+#include "server/shard_router.h"
 #include "storage/database.h"
 
 using namespace seqdet;
@@ -95,6 +97,8 @@ int Usage() {
       "  detect   --db=<dir> --pattern=a,b,c [--limit=N] [--max-gap=N]\n"
       "           [--max-span=N] [--query-threads=N]\n"
       "  query    --db=<dir> --q=<pattern> [--limit=N] [--query-threads=N]\n"
+      "           or --port=<n> --q=<pattern> to GET /detect from a live\n"
+      "           server or router and print the JSON response verbatim\n"
       "           pattern language: `a (b|c)+ !d e within 5m gap <= 30s`\n"
       "           (disjunction, Kleene+, negation, inclusive time windows;\n"
       "           \"->\" separators optional) and compliance templates\n"
@@ -115,6 +119,24 @@ int Usage() {
       "           posting lists + compact statistics automatically\n"
       "           [--fold-interval-ms=500] [--fold-min-bytes=4194304]\n"
       "           [--fold-min-ops=16384] [--fold-rate-limit=BYTES/S]\n"
+      "  shard-split --log=<file> --shards=N --out=<dir>\n"
+      "           [--policy=SC|STNM|STAM] [--method=...] [--threads=N]\n"
+      "           partition a log by trace hash into N per-shard index\n"
+      "           directories <dir>/shard-000..N-1, each pre-interned with\n"
+      "           the full activity dictionary (ids identical across\n"
+      "           shards); serve each with `seqdet serve`, front them with\n"
+      "           `seqdet route`\n"
+      "  route    --shards=host:port,port,... [--port=8390]\n"
+      "           scatter-gather router over sharded workers; /detect,\n"
+      "           /stats, /continue answers are byte-identical to one\n"
+      "           unsharded server\n"
+      "           [--request-deadline-ms=2000]  default per-query budget\n"
+      "           [--max-deadline-ms=600000] [--merge-margin-ms=50]\n"
+      "           [--hedge-after-ms=250]  straggler hedging (0 disables)\n"
+      "           [--connect-timeout-ms=250]\n"
+      "           [--breaker-failures=3] [--breaker-cooldown-ms=1000]\n"
+      "           [--allow-partial]  merge what arrived instead of 503\n"
+      "           [--scatter-threads=N] [--http-threads=N]\n"
       "  continue --db=<dir> --pattern=a,b [--mode=accurate|fast|hybrid]\n"
       "           [--topk=K] [--limit=N] [--insert-at=I]\n"
       "           [--query-threads=N]\n"
@@ -446,6 +468,32 @@ int CmdContinue(const Args& args) {
 }
 
 int CmdQuery(const Args& args) {
+  if (args.Has("port")) {
+    // Live mode: GET /detect from a running `seqdet serve` or
+    // `seqdet route` and print the JSON body verbatim — which makes
+    // byte-comparing a router against a single server a shell one-liner
+    // (tools/check_all.sh does exactly that).
+    std::string text = args.Get("q");
+    if (text.empty()) {
+      return Fail(Status::InvalidArgument("--q=<pattern> is required"));
+    }
+    std::string target = "/detect?q=" + server::HttpClient::UrlEncode(text);
+    if (args.Has("limit")) {
+      target += "&limit=" + std::to_string(args.GetInt("limit", 100));
+    }
+    if (args.Has("deadline-ms")) {
+      target += "&deadline_ms=" + std::to_string(args.GetInt("deadline-ms", 0));
+    }
+    server::HttpClient client(static_cast<uint16_t>(args.GetInt("port", 0)));
+    auto response = client.Get(target);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", response->body.c_str());
+    if (response->status != 200) {
+      std::fprintf(stderr, "HTTP %d\n", response->status);
+      return 1;
+    }
+    return 0;
+  }
   auto db = storage::Database::Open(args.Get("db"));
   if (!db.ok()) return Fail(db.status());
   auto index = OpenIndexAnyPolicy(db->get());
@@ -577,6 +625,126 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+int CmdShardSplit(const Args& args) {
+  std::string log_path = args.Get("log"), out = args.Get("out");
+  int64_t num_shards = args.GetInt("shards", 0);
+  if (log_path.empty() || out.empty() || num_shards < 1) return Usage();
+  auto log = LoadLogFile(args, log_path);
+  if (!log.ok()) return Fail(log.status());
+
+  // Partition by trace hash (index/trace_shard.h — the same function the
+  // router's merge correctness rests on: every trace lives in exactly one
+  // shard). Every partition pre-interns the FULL source dictionary, in
+  // source order, so activity ids are identical across shards; the raw
+  // merge protocol and RankProposals' id tie-break depend on that, and it
+  // spares queries for activities that only occur in other shards from
+  // spurious unknown-activity errors.
+  std::vector<eventlog::EventLog> parts(static_cast<size_t>(num_shards));
+  for (auto& part : parts) {
+    for (const auto& name : log->dictionary().names()) {
+      part.dictionary().Intern(name);
+    }
+  }
+  for (const auto& trace : log->traces()) {
+    parts[index::ShardOfTrace(trace.id, static_cast<uint64_t>(num_shards))]
+        .AddTrace(trace);
+  }
+
+  Stopwatch watch;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::string dir = out + StringPrintf("/shard-%03zu", i);
+    auto db = storage::Database::Open(dir);
+    if (!db.ok()) return Fail(db.status());
+    auto index = OpenIndex(args, db->get());
+    if (!index.ok()) return Fail(index.status());
+    auto stats = (*index)->Update(parts[i]);
+    if (!stats.ok()) return Fail(stats.status());
+    Status flush = (*index)->Flush();
+    if (!flush.ok()) return Fail(flush);
+    std::printf("shard %3zu: %s — %zu traces, %zu events, "
+                "%zu pair completions\n",
+                i, dir.c_str(), parts[i].num_traces(), parts[i].num_events(),
+                stats->pairs_indexed);
+  }
+  std::printf("split %zu traces into %lld shards in %.2fs\n",
+              log->num_traces(), static_cast<long long>(num_shards),
+              watch.ElapsedSeconds());
+  return 0;
+}
+
+int CmdRoute(const Args& args) {
+  auto shards = server::ParseShardList(args.Get("shards"));
+  if (!shards.ok()) return Fail(shards.status());
+  server::RouterOptions options;
+  options.shards = *shards;
+  options.default_deadline_ms =
+      args.GetInt("request-deadline-ms", options.default_deadline_ms);
+  options.max_deadline_ms =
+      args.GetInt("max-deadline-ms", options.max_deadline_ms);
+  options.merge_margin_ms =
+      args.GetInt("merge-margin-ms", options.merge_margin_ms);
+  options.hedge_after_ms =
+      args.GetInt("hedge-after-ms", options.hedge_after_ms);
+  options.connect_timeout_ms =
+      args.GetInt("connect-timeout-ms", options.connect_timeout_ms);
+  options.breaker_failure_threshold = static_cast<size_t>(args.GetInt(
+      "breaker-failures",
+      static_cast<int64_t>(options.breaker_failure_threshold)));
+  options.breaker_cooldown_ms =
+      args.GetInt("breaker-cooldown-ms", options.breaker_cooldown_ms);
+  options.allow_partial = args.Has("allow-partial");
+  options.scatter_threads =
+      static_cast<size_t>(args.GetInt("scatter-threads", 0));
+  server::ShardRouter router(options);
+
+  server::HttpServerOptions http_options;
+  http_options.num_threads =
+      static_cast<size_t>(args.GetInt("http-threads", 0));
+  server::HttpServer http(http_options);
+  router.RegisterRoutes(&http);
+  Status started = http.Start(static_cast<uint16_t>(args.GetInt("port", 8390)));
+  if (!started.ok()) return Fail(started);
+  std::printf("shard router listening on http://127.0.0.1:%u over %zu "
+              "workers (deadline %lld ms, hedge after %lld ms, "
+              "partial results %s)\n",
+              http.port(), options.shards.size(),
+              static_cast<long long>(options.default_deadline_ms),
+              static_cast<long long>(options.hedge_after_ms),
+              options.allow_partial ? "allowed" : "refused");
+  for (const auto& endpoint : options.shards) {
+    std::printf("  shard %s\n", endpoint.ToString().c_str());
+  }
+  std::printf("endpoints: /health /info /detect /stats /continue\n"
+              "Ctrl-C to stop.\n");
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (!g_serve_stop) pause();
+  std::printf("\nshutting down...\n");
+  http.Stop();
+  server::RouterStatsSnapshot stats = router.stats();
+  std::printf("routed %llu scatters: %llu merged, %llu degraded, "
+              "%llu failed fan-ins, %llu passthrough\n",
+              static_cast<unsigned long long>(stats.scatters),
+              static_cast<unsigned long long>(stats.merged_ok),
+              static_cast<unsigned long long>(stats.degraded),
+              static_cast<unsigned long long>(stats.partial_503),
+              static_cast<unsigned long long>(stats.passthrough));
+  for (const auto& shard : stats.shards) {
+    std::printf("  %-21s %llu requests, %llu failures, %llu hedges "
+                "(%llu won), breaker %s (opened %llu, short-circuited "
+                "%llu)\n",
+                shard.endpoint.c_str(),
+                static_cast<unsigned long long>(shard.requests),
+                static_cast<unsigned long long>(shard.failures),
+                static_cast<unsigned long long>(shard.hedges),
+                static_cast<unsigned long long>(shard.hedge_wins),
+                shard.breaker.c_str(),
+                static_cast<unsigned long long>(shard.breaker_opens),
+                static_cast<unsigned long long>(shard.short_circuits));
+  }
+  return 0;
+}
+
 int CmdCheck(const Args& args) {
   auto db = storage::Database::Open(args.Get("db"));
   if (!db.ok()) return Fail(db.status());
@@ -646,6 +814,8 @@ int main(int argc, char** argv) {
   if (args.command == "detect") return CmdDetect(args);
   if (args.command == "query") return CmdQuery(args);
   if (args.command == "serve") return CmdServe(args);
+  if (args.command == "shard-split") return CmdShardSplit(args);
+  if (args.command == "route") return CmdRoute(args);
   if (args.command == "continue") return CmdContinue(args);
   if (args.command == "prune") return CmdPrune(args);
   if (args.command == "fold") return CmdFold(args);
