@@ -38,6 +38,7 @@
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "common/unique_fd.h"
 #include "query/query_processor.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
@@ -102,24 +103,24 @@ void SlowClientLoop(uint16_t port, int64_t pause_ms,
       "GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
   const size_t split = request.size() / 2;
   while (!stop.load(std::memory_order_relaxed)) {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return;
+    seqdet::UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.ok()) return;
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      ::close(fd);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
       return;
     }
-    (void)::send(fd, request.data(), split, MSG_NOSIGNAL);
+    (void)::send(fd.get(), request.data(), split, MSG_NOSIGNAL);
     std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
-    (void)::send(fd, request.data() + split, request.size() - split,
+    (void)::send(fd.get(), request.data() + split, request.size() - split,
                  MSG_NOSIGNAL);
     char buffer[4096];
-    while (::recv(fd, buffer, sizeof(buffer), 0) > 0) {
+    while (::recv(fd.get(), buffer, sizeof(buffer), 0) > 0) {
     }
-    ::close(fd);
+    fd.Reset();
     served->fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -21,6 +21,51 @@
 ///
 /// The macro set mirrors the Clang documentation's canonical mutex.h
 /// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+///
+/// ## Discipline v2: negative capabilities, lock order, blocking calls
+///
+/// Since PR 10 the discipline has three more layers (DESIGN.md §16):
+///
+///  1. **Negative capabilities.** Every function that *acquires* a member
+///     mutex declares `REQUIRES(!mu_)`. Under Clang's
+///     `-Wthread-safety-negative` (CMake option
+///     SEQDET_THREAD_SAFETY_NEGATIVE, check_static.sh step 5) acquiring a
+///     capability without provably holding its negation is a compile
+///     error, which makes self-deadlock (re-acquiring a lock you already
+///     hold, possibly through a call chain) a build break instead of a
+///     runtime hang. Private mutexes are implicitly `!held` outside their
+///     class, so the annotation burden stays inside each class.
+///
+///  2. **Lock-order map.** Nested acquisitions are only legal along the
+///     edges below (enforced two ways: ACQUIRED_BEFORE/ACQUIRED_AFTER
+///     annotations where both mutexes are in scope, checked by
+///     `-Wthread-safety-beta`; and the seqdet-lint `lock-order` rule over
+///     tools/lint_rules/lock_order.map, which sees the cross-class edges
+///     the attributes cannot express). The full map — an edge `A -> B`
+///     means A may be held while acquiring B, and every chain must be
+///     acyclic:
+///
+///         Database::mu_            -> Table::mu_
+///         Table::mu_               -> Segment::decode_mu_
+///         HttpServer::stats_mu_    -> ThreadPool::mu_   (queue gauge)
+///         ScatterState::mu         -> ShardState::mu    (router admit)
+///         ScatterState::mu         -> ThreadPool::mu_   (attempt submit)
+///
+///     Everything else (PostingCache::Shard::mu, HttpClientPool::mu_,
+///     HttpServer::conns_mu_, MaintenanceService::mu_,
+///     QueryService::RouteStats::mu) is a **leaf**: no other repo mutex
+///     may be acquired while holding it.
+///
+///  3. **Blocking annotations.** Every syscall-adjacent primitive that can
+///     block the calling thread (socket I/O, pread/mmap fill, pool joins,
+///     sleeps) is tagged SEQDET_BLOCKING. The seqdet-lint
+///     `blocking-under-lock` rule (tools/seqdet_lint.sh) rejects calls to
+///     blocking functions inside a MutexLock/WriterLock/ReaderLock scope
+///     — a held lock must never wait on the network or the disk. CondVar
+///     waits are exempt by design: they atomically release the mutex.
+///     Deliberate exceptions carry a
+///     `// seqdet-lint: allow-blocking-under-lock(<why>)` tag on the lock
+///     declaration.
 
 #if defined(__clang__)
 #define SEQDET_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -80,7 +125,42 @@
 
 /// Function must NOT be called while holding the capability (deadlock
 /// guard for public entry points whose implementation takes the lock).
+///
+/// Prefer `REQUIRES(!mu)` (a negative capability) on new code: EXCLUDES is
+/// only checked when the caller demonstrably holds the lock, while the
+/// negative form is checked *everywhere* under -Wthread-safety-negative.
 #define EXCLUDES(...) SEQDET_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that this capability must be acquired before the listed ones
+/// whenever both are held (checked under Clang's -Wthread-safety-beta;
+/// also mirrored in tools/lint_rules/lock_order.map for the portable
+/// seqdet-lint check). Attach to the mutex *member declaration*.
+#define ACQUIRED_BEFORE(...) \
+  SEQDET_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Declares that this capability must be acquired after the listed ones.
+#define ACQUIRED_AFTER(...) \
+  SEQDET_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Asserts at runtime boundaries that the capability is held (trusted by
+/// the analysis without proof — for callbacks whose caller contract
+/// guarantees the lock).
+#define ASSERT_CAPABILITY(x) SEQDET_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Marks a function that can block the calling thread on something slower
+/// than a cache miss: socket connect/send/recv, disk pread / mmap page
+/// fill, thread joins, sleeps. The seqdet-lint blocking-under-lock rule
+/// (tools/seqdet_lint.sh, rule catalog in DESIGN.md §16) forbids calling
+/// any SEQDET_BLOCKING function while a MutexLock/WriterLock/ReaderLock
+/// is live. Under Clang this is a real `annotate` attribute the
+/// clang-query rules match on; elsewhere it compiles to nothing, and the
+/// portable lint falls back to a registry of annotated names harvested
+/// from the headers.
+#if defined(__clang__)
+#define SEQDET_BLOCKING __attribute__((annotate("seqdet_blocking")))
+#else
+#define SEQDET_BLOCKING  // no-op outside Clang; see tools/seqdet_lint.sh
+#endif
 
 /// Declares that the function returns a reference to the capability.
 #define RETURN_CAPABILITY(x) SEQDET_THREAD_ANNOTATION_(lock_returned(x))
@@ -205,20 +285,25 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically releases `mu`, blocks, and re-acquires before returning.
-  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu.mu_); }
+  ///
+  /// SEQDET_BLOCKING with a twist: waiting releases `mu` itself, so the
+  /// blocking-under-lock rule only rejects a Wait while a *different*
+  /// lock is also held — that second lock would stay locked for the whole
+  /// wait (the router's fan-out bug class this discipline exists for).
+  void Wait(Mutex& mu) SEQDET_BLOCKING REQUIRES(mu) { cv_.wait(mu.mu_); }
 
   /// Like Wait() but gives up at `deadline`; returns false on timeout.
   template <typename Clock, typename Duration>
   bool WaitUntil(Mutex& mu,
                  const std::chrono::time_point<Clock, Duration>& deadline)
-      REQUIRES(mu) {
+      SEQDET_BLOCKING REQUIRES(mu) {
     return cv_.wait_until(mu.mu_, deadline) == std::cv_status::no_timeout;
   }
 
   /// Like Wait() but gives up after `timeout`; returns false on timeout.
   template <typename Rep, typename Period>
   bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
-      REQUIRES(mu) {
+      SEQDET_BLOCKING REQUIRES(mu) {
     return cv_.wait_for(mu.mu_, timeout) == std::cv_status::no_timeout;
   }
 

@@ -40,12 +40,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Joins all workers after draining the queue.
-  ~ThreadPool();
+  /// Joins all workers after draining the queue. Blocking: waits for every
+  /// queued task to finish, however long that takes.
+  SEQDET_BLOCKING ~ThreadPool();
 
   /// Schedules `fn` and returns a future for its completion.
   template <typename Fn>
-  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> REQUIRES(!mu_) {
     using R = std::invoke_result_t<Fn>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
@@ -73,7 +74,12 @@ class ThreadPool {
   /// Detect) correct at the cost of no extra parallelism for the inner
   /// level, which the outer fan-out already provides. Inline-run chunks are
   /// counted in ThreadPoolStats::inline_runs.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// Blocking (future joins): never call under any lock — a worker stuck
+  /// behind it would hold that lock for the whole fan-out.
+  SEQDET_BLOCKING void ParallelFor(size_t n,
+                                   const std::function<void(size_t)>& fn)
+      REQUIRES(!mu_);
 
   /// True when the calling thread is one of this pool's workers — i.e. a
   /// ParallelFor from here would run inline.
@@ -83,19 +89,23 @@ class ThreadPool {
 
   /// Tasks submitted but not yet picked up by a worker — the pool's wait
   /// queue. The HTTP server exports it as its connection-queue depth.
-  size_t queue_depth() const {
+  ///
+  /// Lock order: ThreadPool::mu_ is a leaf *acquired under* both
+  /// HttpServer::stats_mu_ (this gauge) and ShardRouter's scatter-state
+  /// mutex (Submit during leg launch) — see the map in common/sync.h.
+  size_t queue_depth() const REQUIRES(!mu_) {
     MutexLock lock(mu_);
     return tasks_.size();
   }
 
   /// Snapshot of the pool's observability counters.
-  ThreadPoolStats stats() const;
+  ThreadPoolStats stats() const REQUIRES(!mu_);
 
   /// Number of hardware threads, never 0.
   static size_t HardwareConcurrency();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() REQUIRES(!mu_);
 
   std::vector<std::thread> workers_;
   mutable Mutex mu_;

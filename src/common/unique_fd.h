@@ -1,0 +1,64 @@
+#ifndef SEQDET_COMMON_UNIQUE_FD_H_
+#define SEQDET_COMMON_UNIQUE_FD_H_
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace seqdet {
+
+/// Move-only owner of a POSIX file descriptor.
+///
+/// This is the single sanctioned home of `::close()` in the tree: the
+/// seqdet-lint raw-fd rule (tools/lint_rules/, rule R2) rejects a literal
+/// `::close(` anywhere else in src/ or tools/, so every descriptor —
+/// sockets, segment files, accepted connections — flows through UniqueFd
+/// and the error-path leak windows the lint found (open succeeded, a later
+/// step failed, the early return skipped the close) are closed by
+/// construction.
+///
+/// Deliberately minimal: no dup, no operator int (implicit conversions are
+/// how descriptors escape their owner), no EINTR retry on close — POSIX
+/// leaves the fd state unspecified after EINTR and retrying can close a
+/// descriptor another thread just received, which is strictly worse than
+/// the leaked-kernel-object non-problem. Matches the semantics callers had
+/// with raw `::close(fd)` and ignored return values.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  /// The owned descriptor, or -1. Callers pass this to syscalls; ownership
+  /// stays here.
+  int get() const { return fd_; }
+
+  /// True when a descriptor is held.
+  bool ok() const { return fd_ >= 0; }
+
+  /// Closes the held descriptor (if any) and takes ownership of `fd`.
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+  /// Relinquishes ownership without closing; returns the descriptor.
+  /// For handing the fd to an API that closes it itself.
+  int Release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace seqdet
+
+#endif  // SEQDET_COMMON_UNIQUE_FD_H_

@@ -28,16 +28,33 @@ void MaintenanceService::Start() {
 }
 
 void MaintenanceService::Stop() {
+  // Claim the join under mu_: with concurrent Stop() calls (the dtor
+  // racing an explicit Stop(), say) exactly one caller takes the future
+  // and joins the loop; the rest wait for it. The previous version let
+  // every caller reach loop_.get() — running_ only went false after the
+  // join, so a second concurrent Stop() passed the running_ check and
+  // called get() on the already-consumed future, throwing
+  // std::future_error. Surfaced by the negative-capability audit of this
+  // file; regression-tested by
+  // MaintenanceServiceTest.ConcurrentStopJoinsExactlyOnce.
+  std::future<void> loop;
   {
     MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_.store(true, std::memory_order_release);
+    loop = std::move(loop_);
   }
   cv_.NotifyAll();
-  loop_.get();
-  MutexLock lock(mu_);
-  running_ = false;
-  idle_cv_.NotifyAll();
+  if (loop.valid()) {
+    loop.get();  // outside mu_ — the loop body re-acquires it
+    MutexLock lock(mu_);
+    running_ = false;
+    idle_cv_.NotifyAll();
+  } else {
+    // Another Stop() holds the future; wait until its join completes.
+    MutexLock lock(mu_);
+    while (running_) idle_cv_.Wait(mu_);
+  }
 }
 
 void MaintenanceService::Kick() {

@@ -92,32 +92,33 @@ class MaintenanceService {
   MaintenanceService& operator=(const MaintenanceService&) = delete;
 
   /// Stop()s if still running.
-  ~MaintenanceService();
+  ~MaintenanceService() REQUIRES(!mu_);
 
   /// Launches the scheduler loop. Idempotent while running.
-  void Start();
+  void Start() REQUIRES(!mu_);
 
   /// Clean shutdown: requests the in-flight fold pass (if any) to abort at
   /// the next per-key commit boundary, then joins the loop. The index is
   /// left consistent — folded keys stay folded, the rest keep their
-  /// fragments. Idempotent.
-  void Stop();
+  /// fragments. Idempotent and safe to race with itself (the dtor and an
+  /// explicit Stop() may overlap): one caller joins, the rest wait.
+  SEQDET_BLOCKING void Stop() REQUIRES(!mu_);
 
   /// Wakes the loop now instead of waiting out the check interval.
-  void Kick();
+  void Kick() REQUIRES(!mu_);
 
   /// Blocks until no cycle is in flight and the pending counters are below
   /// the thresholds (kicking the loop first), or until `timeout_ms`
   /// elapses. Returns false on timeout or when the service is not running.
-  bool WaitIdle(int64_t timeout_ms);
+  SEQDET_BLOCKING bool WaitIdle(int64_t timeout_ms) REQUIRES(!mu_);
 
-  MaintenanceStats stats() const;
+  MaintenanceStats stats() const REQUIRES(!mu_);
 
   const MaintenanceOptions& options() const { return options_; }
 
  private:
-  void RunLoop();
-  Status RunCycle();
+  void RunLoop() REQUIRES(!mu_);
+  SEQDET_BLOCKING Status RunCycle();
   bool ShouldFold() const;
   /// The WaitIdle() wake-up condition (no cycle in flight, thresholds not
   /// exceeded, loop alive). Evaluated inside wait loops holding mu_.
@@ -129,6 +130,8 @@ class MaintenanceService {
   /// lifetime, which would starve a shared pool.
   ThreadPool pool_{1};
 
+  /// Leaf lock (common/sync.h map): RunLoop explicitly Unlock()s around
+  /// RunCycle so the fold's storage I/O never runs under it.
   mutable Mutex mu_;
   CondVar cv_;       // wakes the loop (kick / stop)
   CondVar idle_cv_;  // wakes WaitIdle waiters
@@ -137,7 +140,9 @@ class MaintenanceService {
   bool kicked_ GUARDED_BY(mu_) = false;
   bool cycle_active_ GUARDED_BY(mu_) = false;
   std::string last_error_ GUARDED_BY(mu_);
-  std::future<void> loop_;
+  /// Start() arms it; the one Stop() that claims it (move under mu_)
+  /// joins — see Stop() for the concurrent-shutdown contract.
+  std::future<void> loop_ GUARDED_BY(mu_);
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> fold_in_progress_{false};

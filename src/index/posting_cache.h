@@ -128,6 +128,11 @@ class PostingCache {
   };
 
   struct Shard {
+    /// Leaf lock (common/sync.h map): critical sections are pure map/LRU
+    /// bookkeeping — no other mutex, no I/O, no allocation-heavy decode.
+    /// Which shard's mu a method takes depends on the key hash, so the
+    /// per-method negative annotations other classes carry cannot name it;
+    /// seqdet-lint's nested-acquisition rule covers it instead.
     mutable Mutex mu;
     std::list<Key> lru GUARDED_BY(mu);  // front = most recently used
     std::unordered_map<Key, Entry, KeyHash> map GUARDED_BY(mu);

@@ -32,16 +32,13 @@ std::string HttpClient::UrlEncode(std::string_view s) {
 }
 
 void HttpClient::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  fd_.Reset();
   buffer_.clear();
 }
 
 void HttpClient::set_io_timeout_ms(int64_t ms) {
   options_.io_timeout_ms = ms;
-  if (fd_ >= 0) (void)ApplyIoTimeout();
+  if (fd_.ok()) (void)ApplyIoTimeout();
 }
 
 Status HttpClient::ApplyIoTimeout() {
@@ -49,8 +46,8 @@ Status HttpClient::ApplyIoTimeout() {
   timeval tv{};
   tv.tv_sec = options_.io_timeout_ms / 1000;
   tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
-  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
-      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
     return Status::IOError("setsockopt(SO_RCVTIMEO) failed");
   }
   return Status::OK();
@@ -64,10 +61,10 @@ Status HttpClient::Connect() {
     return Status::InvalidArgument(
         "http client hosts must be numeric IPv4 or localhost: " + host_);
   }
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return Status::IOError("socket() failed");
+  fd_.Reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.ok()) return Status::IOError("socket() failed");
   int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr = ip;
@@ -80,20 +77,20 @@ Status HttpClient::Connect() {
     return status;
   };
   if (options_.connect_timeout_ms <= 0) {
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-        0) {
+    if (::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
       return fail("connect");
     }
   } else {
     // Non-blocking connect + poll: a dead or partitioned worker costs
     // connect_timeout_ms, not the kernel's multi-minute SYN retry budget.
-    int flags = ::fcntl(fd_, F_GETFL, 0);
-    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
-    int rc =
-        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+    ::fcntl(fd_.get(), F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
     if (rc < 0 && errno != EINPROGRESS) return fail("connect");
     if (rc < 0) {
-      pollfd pfd{fd_, POLLOUT, 0};
+      pollfd pfd{fd_.get(), POLLOUT, 0};
       int polled = ::poll(&pfd, 1,
                           static_cast<int>(options_.connect_timeout_ms));
       if (polled == 0) {
@@ -104,12 +101,12 @@ Status HttpClient::Connect() {
       if (polled < 0) return fail("poll");
       int err = 0;
       socklen_t len = sizeof(err);
-      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+      if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
           err != 0) {
         return fail("connect");
       }
     }
-    ::fcntl(fd_, F_SETFL, flags);
+    ::fcntl(fd_.get(), F_SETFL, flags);
   }
   return ApplyIoTimeout();
 }
@@ -119,8 +116,8 @@ Status HttpClient::SendRequest(const std::string& target) {
       "GET " + target + " HTTP/1.1\r\nHost: " + host_ + "\r\n\r\n";
   size_t sent = 0;
   while (sent < raw.size()) {
-    ssize_t n =
-        ::send(fd_, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    ssize_t n = ::send(fd_.get(), raw.data() + sent, raw.size() - sent,
+                       MSG_NOSIGNAL);
     if (n <= 0) return Status::IOError("send() failed");
     sent += static_cast<size_t>(n);
   }
@@ -131,7 +128,7 @@ Result<HttpClient::Response> HttpClient::ReadResponse(bool* timed_out) {
   *timed_out = false;
   auto recv_some = [this, timed_out](char* buf,
                                      size_t len) -> Result<size_t> {
-    ssize_t n = ::recv(fd_, buf, len, 0);
+    ssize_t n = ::recv(fd_.get(), buf, len, 0);
     if (n > 0) return static_cast<size_t>(n);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       *timed_out = true;
@@ -214,7 +211,7 @@ Result<HttpClient::Response> HttpClient::Get(const std::string& target) {
   // and the caller (the router's hedging layer) decides whether a second
   // attempt is worth its cost.
   for (int attempt = 0; attempt < 2; ++attempt) {
-    bool fresh = fd_ < 0;
+    bool fresh = !fd_.ok();
     if (fresh) SEQDET_RETURN_IF_ERROR(Connect());
     Status sent = SendRequest(target);
     if (sent.ok()) {

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "common/unique_fd.h"
 
 namespace seqdet::server {
 
@@ -64,12 +65,15 @@ class HttpClient {
   /// an idle connection is indistinguishable from that on the first
   /// write); timeouts and fresh-connection failures are never retried
   /// here — hedging is the router's decision, not the transport's.
-  Result<Response> Get(const std::string& target);
+  ///
+  /// Blocking (connect/send/recv, bounded only by Options timeouts):
+  /// never call while holding a lock.
+  SEQDET_BLOCKING Result<Response> Get(const std::string& target);
 
   /// Drops the persistent connection (the next Get reconnects).
   void Close();
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return fd_.ok(); }
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
@@ -87,15 +91,15 @@ class HttpClient {
   static std::string UrlEncode(std::string_view s);
 
  private:
-  Status Connect();
+  SEQDET_BLOCKING Status Connect();
   Status ApplyIoTimeout();
-  Status SendRequest(const std::string& target);
-  Result<Response> ReadResponse(bool* timed_out);
+  SEQDET_BLOCKING Status SendRequest(const std::string& target);
+  SEQDET_BLOCKING Result<Response> ReadResponse(bool* timed_out);
 
   std::string host_;
   uint16_t port_;
   Options options_;
-  int fd_ = -1;
+  UniqueFd fd_;
   std::string buffer_;  // bytes received past the previous response
   uint64_t reused_requests_ = 0;
 };
@@ -165,13 +169,14 @@ class HttpClientPool {
   /// A connected-or-fresh client for host:port. Never blocks on the
   /// network — a pooled client's staleness surfaces (and is retried) in
   /// HttpClient::Get itself.
-  Handle Acquire(const std::string& host, uint16_t port);
+  Handle Acquire(const std::string& host, uint16_t port) REQUIRES(!mu_);
 
-  Stats stats() const;
+  Stats stats() const REQUIRES(!mu_);
 
  private:
   friend class Handle;
-  void Return(const std::string& key, std::unique_ptr<HttpClient> client);
+  void Return(const std::string& key, std::unique_ptr<HttpClient> client)
+      REQUIRES(!mu_);
 
   Options options_;
   mutable Mutex mu_;

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "common/unique_fd.h"
 
 namespace seqdet::server {
 
@@ -52,21 +53,6 @@ bool SendAll(int fd, std::string_view data) {
   }
   return true;
 }
-
-/// Closes the fd on every exit path of HandleConnection — the pre-pool
-/// server leaked the descriptor on early returns.
-class FdCloser {
- public:
-  explicit FdCloser(int fd) : fd_(fd) {}
-  ~FdCloser() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-  FdCloser(const FdCloser&) = delete;
-  FdCloser& operator=(const FdCloser&) = delete;
-
- private:
-  int fd_;
-};
 
 }  // namespace
 
@@ -230,29 +216,28 @@ void HttpServer::Route(const std::string& path, Handler handler) {
 
 Status HttpServer::Start(uint16_t port) {
   if (running_.load()) return Status::Internal("server already running");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  listen_fd_.Reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listen_fd_.ok()) return Status::IOError("socket() failed");
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    listen_fd_.Reset();
     return Status::IOError(StringPrintf("bind(127.0.0.1:%u) failed", port));
   }
   int backlog = options_.backlog > 0 ? options_.backlog : SOMAXCONN;
-  if (::listen(listen_fd_, backlog) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(listen_fd_.get(), backlog) < 0) {
+    listen_fd_.Reset();
     return Status::IOError("listen() failed");
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
   // Resolve the 0 = hardware-concurrency default in place so options()
@@ -271,13 +256,15 @@ Status HttpServer::Start(uint16_t port) {
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // 1. Stop accepting: closing the listening socket unblocks accept().
-  //    The fd field itself is only cleared after the accept thread is
-  //    joined — AcceptLoop reads it, and the join is the sync point.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
+  // 1. Stop accepting: shutdown() on the listening socket makes a blocked
+  //    accept() return immediately (Linux semantics; the only platform the
+  //    server targets). The close itself waits until after the join — the
+  //    old close-before-join version could let the kernel reuse the fd
+  //    number for a worker's connection while AcceptLoop was still about
+  //    to call accept() on it.
+  ::shutdown(listen_fd_.get(), SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  listen_fd_ = -1;
+  listen_fd_.Reset();
   // 2. Drain: shut down the *read* side of every live connection, so
   //    workers stop waiting for further requests but can still flush the
   //    response of the request they are serving.
@@ -326,25 +313,30 @@ void HttpServer::AcceptLoop() {
     pool = pool_.get();
   }
   while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
+    UniqueFd conn(::accept(listen_fd_.get(), nullptr, nullptr));
+    if (!conn.ok()) {
       if (!running_.load()) return;
       continue;
     }
+    bool registered = false;
     {
       MutexLock lock(conns_mu_);
       // A connection racing Stop() would miss the drain shutdown; refuse
       // it here instead of handing it to a pool that is about to join.
-      if (!running_.load()) {
-        ::close(fd);
-        return;
+      if (running_.load()) {
+        conns_.insert(conn.get());
+        registered = true;
       }
-      conns_.insert(fd);
     }
+    // Refused connections close *here*, outside conns_mu_ — the old
+    // version issued the close() syscall inside the lock scope, exactly
+    // the blocking-under-lock shape seqdet-lint rule R1 now rejects.
+    if (!registered) return;
     {
       MutexLock lock(stats_mu_);
       ++stats_.connections_accepted;
     }
+    int fd = conn.Release();  // HandleConnection owns it from here
     pool->Submit([this, fd] { HandleConnection(fd); });
   }
 }
@@ -368,7 +360,9 @@ bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
 }
 
 void HttpServer::HandleConnection(int fd) {
-  FdCloser closer(fd);
+  // Owns the descriptor: every exit path below closes it — the pre-pool
+  // server leaked it on early returns.
+  UniqueFd owned(fd);
   struct Unregister {
     HttpServer* server;
     int fd;

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "common/unique_fd.h"
 
 namespace seqdet::server {
 
@@ -92,7 +93,7 @@ class HttpServer {
   HttpServer() = default;
   explicit HttpServer(HttpServerOptions options)
       : options_(std::move(options)) {}
-  ~HttpServer() { Stop(); }
+  ~HttpServer() REQUIRES(!conns_mu_, !stats_mu_) { Stop(); }
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
@@ -103,24 +104,25 @@ class HttpServer {
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral), spawns the worker pool, and
   /// starts the accept loop.
-  Status Start(uint16_t port);
+  Status Start(uint16_t port) REQUIRES(!stats_mu_);
 
   /// The bound port (valid after Start).
   uint16_t port() const { return port_; }
 
   /// Stops accepting, drains in-flight connections (handlers finish and
   /// their responses are flushed), and joins all threads. Idempotent.
-  void Stop();
+  /// Blocking: waits on in-flight handlers and joins the pool.
+  SEQDET_BLOCKING void Stop() REQUIRES(!conns_mu_, !stats_mu_);
 
   bool running() const { return running_.load(); }
 
   const HttpServerOptions& options() const { return options_; }
 
   /// Snapshot of the serving counters.
-  HttpServerStats stats() const;
+  HttpServerStats stats() const REQUIRES(!stats_mu_, !conns_mu_);
 
   /// Snapshot of the worker pool's counters (all zero when not running).
-  ThreadPoolStats pool_stats() const;
+  ThreadPoolStats pool_stats() const REQUIRES(!stats_mu_);
 
   /// Result of ParseRequest on a byte prefix.
   enum class ParseOutcome {
@@ -146,25 +148,36 @@ class HttpServer {
       std::string_view s);
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
+  void AcceptLoop() REQUIRES(!conns_mu_, !stats_mu_);
+  /// Takes ownership of `fd` (closes it on every exit path). Blocking:
+  /// the whole request/response conversation happens here.
+  SEQDET_BLOCKING void HandleConnection(int fd)
+      REQUIRES(!conns_mu_, !stats_mu_);
   /// Serializes and sends `response`; returns false when the peer is gone.
-  static bool WriteResponse(int fd, const HttpResponse& response,
-                            bool keep_alive);
+  SEQDET_BLOCKING static bool WriteResponse(int fd,
+                                            const HttpResponse& response,
+                                            bool keep_alive);
 
   HttpServerOptions options_;
   std::map<std::string, Handler> routes_;
-  int listen_fd_ = -1;
+  UniqueFd listen_fd_;
   uint16_t port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
 
   /// Live connection fds, so Stop() can shut down their read sides and
-  /// wait for the workers to finish flushing responses.
+  /// wait for the workers to finish flushing responses. Leaf lock: no
+  /// other mutex is ever acquired under it — in particular, accepted fds
+  /// are closed *outside* its scope (close can block on SO_LINGER-ish
+  /// pathologies and is a syscall either way).
   mutable Mutex conns_mu_;
   CondVar conns_empty_cv_;
   std::unordered_set<int> conns_ GUARDED_BY(conns_mu_);
 
+  /// Lock order: stats_mu_ -> ThreadPool::mu_ (the queue-depth gauge in
+  /// stats() calls pool_->queue_depth() while holding stats_mu_); see the
+  /// repo-wide map in common/sync.h. Never acquired under conns_mu_ or any
+  /// other lock.
   mutable Mutex stats_mu_;
   HttpServerStats stats_ GUARDED_BY(stats_mu_);
   /// The pointer handoff (Start/Stop) is under stats_mu_ because stats()

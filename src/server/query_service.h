@@ -121,8 +121,8 @@ class QueryService {
   struct RouteStats {
     explicit RouteStats(std::string name) : route(std::move(name)) {}
 
-    void RecordLatency(double ms);
-    RouteStatsSnapshot Snapshot() const;
+    void RecordLatency(double ms) REQUIRES(!mu);
+    RouteStatsSnapshot Snapshot() const REQUIRES(!mu);
 
     const std::string route;
     std::atomic<uint64_t> requests{0};
@@ -131,6 +131,8 @@ class QueryService {
     std::atomic<uint64_t> errors{0};
     std::atomic<int64_t> inflight{0};
 
+    /// Leaf lock (common/sync.h map): held only for the window write /
+    /// copy; never across the handler or any other acquisition.
     mutable Mutex mu;
     std::vector<double> latency_window GUARDED_BY(mu);  // newest overwrite
     size_t window_next GUARDED_BY(mu) = 0;

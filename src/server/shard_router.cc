@@ -213,6 +213,11 @@ struct ShardRouter::ScatterState {
 
   explicit ScatterState(size_t num_legs) : legs(num_legs) {}
 
+  /// Fan-out lock. Order (common/sync.h map): ScatterState::mu is held
+  /// across the launch loop, which acquires ShardState::mu (Admit) and
+  /// ThreadPool::mu_ (Submit) under it — both are cheap bookkeeping
+  /// acquisitions, never I/O. The only blocking call under it is the
+  /// cv.WaitFor below, which releases mu while waiting.
   Mutex mu;
   CondVar cv;
   Clock::time_point started{};

@@ -152,6 +152,10 @@ class ShardRouter {
 
     const ShardEndpoint endpoint;
 
+    /// Breaker state lock. Order (common/sync.h map): acquired under the
+    /// fan-out's ScatterState::mu (Admit runs inside the launch loop);
+    /// nothing is acquired under it and no I/O happens inside it — the
+    /// breaker decides, the attempt task does the blocking work after.
     Mutex mu;
     size_t consecutive_failures GUARDED_BY(mu) = 0;
     bool open GUARDED_BY(mu) = false;
@@ -175,15 +179,20 @@ class ShardRouter {
   Admission Admit(ShardState* shard) const;
   void RecordOutcome(ShardState* shard, bool ok, bool was_probe) const;
 
-  /// Launches one attempt against shard `leg` on the scatter pool.
+  /// Launches one attempt against shard `leg` on the scatter pool. Called
+  /// with state->mu held (Scatter's launch loop) — legal because it only
+  /// queues the task (ScatterState::mu -> ThreadPool::mu_ in the
+  /// common/sync.h lock-order map); the blocking transport work runs on
+  /// the pool task with no router lock held.
   void LaunchAttempt(const std::shared_ptr<ScatterState>& state, size_t leg,
                      size_t attempt, bool probe, const std::string& target,
                      const Deadline& deadline);
 
   /// Scatters GET `target` (per-hop deadline_ms appended per shard) to
   /// every shard; resolves when all legs resolve or the deadline expires.
-  /// Element i is shard i's response or its transport error.
-  std::vector<Result<HttpClient::Response>> Scatter(
+  /// Element i is shard i's response or its transport error. Blocking:
+  /// the handler thread waits out the fan-in (bounded by the deadline).
+  SEQDET_BLOCKING std::vector<Result<HttpClient::Response>> Scatter(
       const std::string& target, const Deadline& deadline);
 
   /// The request's budget: `deadline_ms` (clamped) or the router default.

@@ -37,47 +37,49 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   /// Returns the table `name`, creating it when absent.
-  Result<Table*> GetOrCreateTable(const std::string& name);
+  Result<Table*> GetOrCreateTable(const std::string& name) REQUIRES(!mu_);
 
   /// Returns the logical table `name` hash-partitioned into `num_shards`
   /// physical tables (`name_sNN`). Re-assembles shards discovered on disk;
   /// the shard count must match across reopens (callers persist it — the
   /// SequenceIndex stores it in its meta table).
   Result<ShardedTable*> GetOrCreateShardedTable(const std::string& name,
-                                                size_t num_shards);
+                                                size_t num_shards)
+      REQUIRES(!mu_);
 
   /// Returns the table `name` or nullptr.
-  Table* GetTable(const std::string& name) const;
+  Table* GetTable(const std::string& name) const REQUIRES(!mu_);
 
   /// Drops `name`, deleting its files.
-  Status DropTable(const std::string& name);
+  Status DropTable(const std::string& name) REQUIRES(!mu_);
 
   /// Flushes every table's memtable.
-  Status FlushAll();
+  Status FlushAll() REQUIRES(!mu_);
 
   /// Compacts every table.
-  Status CompactAll();
+  Status CompactAll() REQUIRES(!mu_);
 
   /// Names of the plain (non-sharded) tables.
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const REQUIRES(!mu_);
 
   /// Names of the assembled logical sharded tables.
-  std::vector<std::string> ShardedTableNames() const;
+  std::vector<std::string> ShardedTableNames() const REQUIRES(!mu_);
 
   /// Returns the assembled sharded table `name` or nullptr.
-  ShardedTable* GetShardedTable(const std::string& name) const;
+  ShardedTable* GetShardedTable(const std::string& name) const
+      REQUIRES(!mu_);
 
   /// Raises the segment format of every open table and of tables created
   /// later (roll-forward only — lowering is ignored, see
   /// Table::SetSegmentFormat). Used to apply a durable format marker after
   /// the tables carrying it were already opened.
-  void SetSegmentFormat(uint32_t format_version);
+  void SetSegmentFormat(uint32_t format_version) REQUIRES(!mu_);
 
   /// Segment stats summed over every open table (plain + sharded).
-  TableSegmentStats GetSegmentStats() const;
+  TableSegmentStats GetSegmentStats() const REQUIRES(!mu_);
 
   /// The segment format new tables will be created with.
-  uint32_t segment_format() const;
+  uint32_t segment_format() const REQUIRES(!mu_);
 
   const std::string& dir() const { return dir_; }
   bool in_memory() const { return options_.table.in_memory; }
@@ -85,10 +87,13 @@ class Database {
  private:
   Database(std::string dir, DbOptions options);
 
-  Status DiscoverExistingTables();
+  Status DiscoverExistingTables() REQUIRES(!mu_);
 
   std::string dir_;
   DbOptions options_;
+  /// Lock order: Database::mu_ -> Table::mu_ (FlushAll/CompactAll and the
+  /// stats rollups call into tables while holding it) — the root of the
+  /// storage chain in common/sync.h's map.
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<ShardedTable>> sharded_

@@ -12,6 +12,7 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/strings.h"
+#include "common/unique_fd.h"
 
 namespace seqdet::storage {
 
@@ -67,29 +68,29 @@ Result<std::shared_ptr<Segment>> Segment::FromBuffer(std::string buffer) {
 }
 
 Result<std::shared_ptr<Segment>> Segment::Load(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IOError("cannot open segment " + path);
+  // UniqueFd owns the descriptor through every early return below — the
+  // raw-close version had five hand-maintained close sites on the error
+  // paths of open/fstat/pread/mmap.
+  UniqueFd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.ok()) return Status::IOError("cannot open segment " + path);
   struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+  if (::fstat(fd.get(), &st) != 0) {
     return Status::IOError("cannot stat segment " + path);
   }
   const uint64_t size = static_cast<uint64_t>(st.st_size);
   if (size < kMagicV1.size() || size > kMaxSegmentBytes) {
-    ::close(fd);
     return Status::Corruption(
         StringPrintf("segment size implausible: %llu bytes (%s)",
                      static_cast<unsigned long long>(size), path.c_str()));
   }
   char magic[6];
-  if (::pread(fd, magic, sizeof(magic), 0) !=
+  if (::pread(fd.get(), magic, sizeof(magic), 0) !=
       static_cast<ssize_t>(sizeof(magic))) {
-    ::close(fd);
     return Status::IOError("cannot read segment magic " + path);
   }
   if (std::string_view(magic, sizeof(magic)) == kMagicV2) {
-    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.get(), 0);
+    fd.Reset();  // the mapping keeps the file alive; drop the fd either way
     if (addr == MAP_FAILED) {
       return Status::IOError("mmap failed for segment " + path);
     }
@@ -105,7 +106,7 @@ Result<std::shared_ptr<Segment>> Segment::Load(const std::string& path) {
     return segment;
   }
   // SDSEG1 (or garbage — FromBuffer rejects bad magic): buffered read.
-  ::close(fd);
+  fd.Reset();
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open segment " + path);
   std::string buffer((std::istreambuf_iterator<char>(in)),

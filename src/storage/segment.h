@@ -82,7 +82,8 @@ class Segment {
   /// otherwise stays valid for the segment's lifetime. A Bloom filter
   /// (persisted in SDSEG2, rebuilt at load for SDSEG1) rejects most absent
   /// keys without touching any block.
-  Result<const EntryRef*> Find(std::string_view key) const;
+  Result<const EntryRef*> Find(std::string_view key) const
+      REQUIRES(!decode_mu_);
 
   /// Bloom pre-test only (false = definitely absent).
   bool MayContain(std::string_view key) const {
@@ -90,11 +91,12 @@ class Segment {
   }
 
   /// Index of the first entry with key >= `key` (for scans).
-  Result<size_t> LowerBound(std::string_view key) const;
+  Result<size_t> LowerBound(std::string_view key) const
+      REQUIRES(!decode_mu_);
 
   /// The entry at `pos` (pos < size()). Views stay valid for the
   /// segment's lifetime.
-  Result<EntryRef> Entry(size_t pos) const;
+  Result<EntryRef> Entry(size_t pos) const REQUIRES(!decode_mu_);
 
   size_t size() const { return entry_count_; }
   size_t SizeBytes() const { return data_.size(); }
@@ -124,11 +126,17 @@ class Segment {
   Segment() : bloom_(0) {}
 
   Status ParseV1();
-  Status ParseV2();
-  /// Decodes block `bi` (CRC check, decompression, entry parse).
-  Result<std::unique_ptr<DecodedBlock>> DecodeBlock(size_t bi) const;
+  Status ParseV2() REQUIRES(!decode_mu_);
+  /// Decodes block `bi` (CRC check, decompression, entry parse). Touches
+  /// mmap-ed bytes, so first access can fault pages in from disk.
+  SEQDET_BLOCKING Result<std::unique_ptr<DecodedBlock>> DecodeBlock(
+      size_t bi) const;
   /// Returns the cached decode of block `bi`, filling it on first use.
-  Result<const DecodedBlock*> GetDecodedBlock(size_t bi) const;
+  /// The fill deliberately runs under decode_mu_ (double-checked publish):
+  /// decode_mu_ is a leaf lock and serializing the decode is the point —
+  /// see the lock-order map in common/sync.h.
+  Result<const DecodedBlock*> GetDecodedBlock(size_t bi) const
+      REQUIRES(!decode_mu_);
   /// Index of the block that holds global entry `pos`.
   size_t BlockForEntry(size_t pos) const;
   /// Index of the last block whose first_key <= key (0 when key precedes

@@ -79,12 +79,14 @@ class Table : public Kv {
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
 
-  Status Put(std::string_view key, std::string_view value) override;
-  Status Append(std::string_view key, std::string_view fragment) override;
-  Status Delete(std::string_view key) override;
+  Status Put(std::string_view key, std::string_view value) override
+      REQUIRES(!mu_);
+  Status Append(std::string_view key, std::string_view fragment) override
+      REQUIRES(!mu_);
+  Status Delete(std::string_view key) override REQUIRES(!mu_);
 
   /// Applies all records of `batch` atomically (one lock acquisition).
-  Status Apply(const WriteBatch& batch) override;
+  Status Apply(const WriteBatch& batch) override REQUIRES(!mu_);
 
   /// See Kv::RewriteValue(). The whole read-transform-write runs under the
   /// exclusive lock and commits as one WAL'd kPut record, so the rewrite is
@@ -92,13 +94,14 @@ class Table : public Kv {
   Status RewriteValue(
       std::string_view key,
       const std::function<Status(std::string_view, std::string*)>& fn)
-      override;
+      override REQUIRES(!mu_);
 
   /// Reads the folded value of `key`. Returns NotFound when the key has no
   /// live value.
-  Status Get(std::string_view key, std::string* value) const override;
+  Status Get(std::string_view key, std::string* value) const override
+      REQUIRES(!mu_);
 
-  bool Contains(std::string_view key) const override;
+  bool Contains(std::string_view key) const override REQUIRES(!mu_);
 
   /// Calls `fn(key, folded_value)` for every live key in
   /// [start_key, end_key) in ascending order. An empty `end_key` means "to
@@ -107,19 +110,22 @@ class Table : public Kv {
   Status Scan(
       std::string_view start_key, std::string_view end_key,
       const std::function<bool(std::string_view, std::string_view)>& fn)
-      const override;
+      const override REQUIRES(!mu_);
 
   /// Scans all keys beginning with `prefix`.
   Status ScanPrefix(
       std::string_view prefix,
       const std::function<bool(std::string_view, std::string_view)>& fn)
-      const;
+      const REQUIRES(!mu_);
 
   /// Persists the memtable as a new segment (no-op when empty).
-  Status Flush() override;
+  /// Blocking when the table is durable (segment + WAL file I/O under the
+  /// exclusive lock — the lock *is* the flush's atomicity, by design).
+  Status Flush() override REQUIRES(!mu_);
 
-  /// Flushes, then merges every segment into a single one.
-  Status Compact() override;
+  /// Flushes, then merges every segment into a single one. Blocking, same
+  /// rationale as Flush().
+  Status Compact() override REQUIRES(!mu_);
 
   const std::string& name() const override { return name_; }
 
@@ -129,28 +135,28 @@ class Table : public Kv {
     return version_.load(std::memory_order_acquire);
   }
 
-  size_t NumSegments() const;
-  size_t MemTableBytes() const;
-  size_t ApproximateEntryCount() const override;
+  size_t NumSegments() const REQUIRES(!mu_);
+  size_t MemTableBytes() const REQUIRES(!mu_);
+  size_t ApproximateEntryCount() const override REQUIRES(!mu_);
 
   /// Aggregated segment format/size facts.
-  TableSegmentStats GetSegmentStats() const;
+  TableSegmentStats GetSegmentStats() const REQUIRES(!mu_);
 
   /// Raises the segment format newly written segments use (roll-forward
   /// only: requests to lower the version are ignored so a durable format
   /// marker can never regress the on-disk state).
-  void SetSegmentFormat(uint32_t format_version);
+  void SetSegmentFormat(uint32_t format_version) REQUIRES(!mu_);
 
   /// The segment format new segments are written with.
-  uint32_t segment_format() const;
+  uint32_t segment_format() const REQUIRES(!mu_);
 
   /// Deletes this table's files. The table must be destroyed afterwards.
-  Status DestroyFiles();
+  Status DestroyFiles() REQUIRES(!mu_);
 
  private:
   Table(std::string dir, std::string name, TableOptions options);
 
-  Status Recover();
+  Status Recover() REQUIRES(!mu_);
   Status WriteRecordLocked(RecordKind kind, std::string_view key,
                            std::string_view value) REQUIRES(mu_);
   Status MaybeFlushLocked() REQUIRES(mu_);
@@ -171,6 +177,9 @@ class Table : public Kv {
   std::string name_;
   TableOptions options_ GUARDED_BY(mu_);
 
+  /// Lock order: Table::mu_ -> Segment::decode_mu_ (reads touch lazily
+  /// decoded segment blocks while holding mu_ shared); acquired *under*
+  /// Database::mu_ by the open/flush-all paths. See common/sync.h.
   mutable SharedMutex mu_;
   MemTable mem_ GUARDED_BY(mu_);
   // Oldest first; segment_ids_ is parallel to segments_.

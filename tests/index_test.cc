@@ -671,6 +671,46 @@ TEST(MaintenanceServiceTest, AutoFoldTriggersAndQuiesces) {
   index->maintenance()->Stop();  // idempotent
 }
 
+TEST(MaintenanceServiceTest, ConcurrentStopJoinsExactlyOnce) {
+  // Regression test for a latent defect surfaced by the static-discipline
+  // audit: Stop() used to let every concurrent caller reach loop_.get() —
+  // running_ only went false after the join, so a second Stop() racing
+  // the first (e.g. the dtor racing an explicit Stop()) passed the
+  // running_ check and called get() on an already-consumed future,
+  // throwing std::future_error. The fixed Stop() claims the future under
+  // mu_, so exactly one caller joins and the rest wait for it.
+  auto db = InMemoryDb();
+  IndexOptions options;
+  options.num_threads = 1;
+  options.maintenance.auto_fold = true;
+  options.maintenance.check_interval_ms = 1;
+  options.maintenance.min_pending_bytes = 1;
+  options.maintenance.min_pending_ops = 1;
+  auto index = std::move(SequenceIndex::Open(db.get(), options)).value();
+  auto* service = index->maintenance();
+  ASSERT_NE(service, nullptr);
+
+  constexpr int kRounds = 8;
+  constexpr int kStoppers = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    service->Start();
+    service->Kick();
+    std::atomic<bool> go{false};
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(kStoppers);
+    for (int i = 0; i < kStoppers; ++i) {
+      stoppers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        service->Stop();  // the old version could throw std::future_error
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : stoppers) t.join();
+    // Every Stop() returned only after the loop really exited.
+    EXPECT_FALSE(index->maintenance_stats().running);
+  }
+}
+
 TEST(MaintenanceServiceTest, BelowThresholdsServiceStaysIdle) {
   auto db = InMemoryDb();
   IndexOptions options;

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "common/unique_fd.h"
 #include "gtest/gtest.h"
 #include "index/sequence_index.h"
 #include "log/event_log.h"
@@ -44,7 +45,7 @@ std::string HttpGet(uint16_t port, const std::string& target) {
   while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
     response.append(buffer, static_cast<size_t>(n));
   }
-  ::close(fd);
+  seqdet::UniqueFd{fd};  // close now
   return response;
 }
 
@@ -295,7 +296,7 @@ TEST(HttpServerTest, PipelinedKeepAliveRequests) {
   ASSERT_EQ(::send(fd, pipelined.data(), pipelined.size(), 0),
             static_cast<ssize_t>(pipelined.size()));
   std::string response = RecvUntilClosed(fd);
-  ::close(fd);
+  seqdet::UniqueFd{fd};  // close now
   EXPECT_EQ(CountOccurrences(response, "200 OK"), 3u);
   EXPECT_NE(response.find("{\"n\":1}"), std::string::npos);
   EXPECT_NE(response.find("{\"n\":2}"), std::string::npos);
@@ -321,7 +322,7 @@ TEST(HttpServerTest, PartialWritesAcrossPackets) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   std::string response = RecvUntilClosed(fd);
-  ::close(fd);
+  seqdet::UniqueFd{fd};  // close now
   EXPECT_NE(response.find("200 OK"), std::string::npos);
   EXPECT_NE(response.find("{\"ok\":true}"), std::string::npos);
   server.Stop();
@@ -340,7 +341,7 @@ TEST(HttpServerTest, OversizedRequestGets413) {
                     "\r\n\r\n";
   ::send(fd, raw.data(), raw.size(), 0);
   std::string response = RecvUntilClosed(fd);
-  ::close(fd);
+  seqdet::UniqueFd{fd};  // close now
   EXPECT_NE(response.find("413"), std::string::npos);
   EXPECT_EQ(server.stats().bad_requests, 1u);
   server.Stop();
@@ -473,7 +474,7 @@ TEST(HttpClientPoolTest, FailedConnectionsAreDiscardedNotLeaked) {
   ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
             0);
   const uint16_t dead_port = ntohs(addr.sin_port);
-  ::close(probe);
+  seqdet::UniqueFd{probe};  // close now
 
   HttpClientPool pool;
   const size_t before = OpenFdCount();
@@ -736,7 +737,7 @@ TEST(QueryServiceTest, MalformedHttpGets400) {
   ::send(fd, garbage.data(), garbage.size(), 0);
   char buffer[512];
   ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-  ::close(fd);
+  seqdet::UniqueFd{fd};  // close now
   ASSERT_GT(n, 0);
   EXPECT_NE(std::string(buffer, static_cast<size_t>(n)).find("400"),
             std::string::npos);

@@ -8,8 +8,12 @@
 # clang-tidy, negative-compile probes, raw-primitive grep) runs first; its
 # Clang-only steps self-skip with a loud warning when the tools are absent.
 #
-# Usage: tools/check_all.sh [asan-build-dir [tsan-build-dir]]
+# Usage: tools/check_all.sh [--static] [asan-build-dir [tsan-build-dir]]
 #   (defaults: build-asan, build-tsan)
+#   --static   run only the fast pre-merge slice: the static gate
+#              (check_static.sh, which includes the negative probes and
+#              seqdet-lint) plus a plain build and the tier-1 ctest
+#              labels, then exit — no sanitizer sweeps, no smoke.
 # Set SEQDET_SKIP_TSAN=1 to run only the ASan/UBSan pass.
 # Set SEQDET_SKIP_STATIC=1 to skip the static gate.
 # Set SEQDET_RUN_BENCH=1 to also run the bench regression gate
@@ -18,12 +22,28 @@
 set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+STATIC_ONLY=0
+if [[ "${1:-}" == "--static" ]]; then
+  STATIC_ONLY=1
+  shift
+fi
 ASAN_DIR="${1:-${REPO_DIR}/build-asan}"
 TSAN_DIR="${2:-${REPO_DIR}/build-tsan}"
 
 if [[ "${SEQDET_SKIP_STATIC:-0}" != "1" ]]; then
   echo "=== STATIC: check_static.sh ==="
   "${REPO_DIR}/tools/check_static.sh"
+fi
+
+if [[ "${STATIC_ONLY}" == "1" ]]; then
+  PLAIN_DIR="${REPO_DIR}/build"
+  echo "=== STATIC-ONLY: plain build + tier-1 ctest (${PLAIN_DIR}) ==="
+  cmake -B "${PLAIN_DIR}" -S "${REPO_DIR}"
+  cmake --build "${PLAIN_DIR}" -j"$(nproc)"
+  ctest --test-dir "${PLAIN_DIR}" --output-on-failure -j"$(nproc)" \
+      -L tier1
+  echo "=== check_all --static: all clean ==="
+  exit 0
 fi
 
 echo "=== ASAN/UBSAN: configure + build (${ASAN_DIR}) ==="

@@ -13,14 +13,25 @@
 #   4. A grep gate: no raw std::mutex / std::shared_mutex /
 #      std::condition_variable / lock_guard / unique_lock / shared_lock /
 #      scoped_lock may appear in src/ outside common/sync.h.
+#   5. The deadlock-freedom build: SEQDET_THREAD_SAFETY_NEGATIVE=ON adds
+#      -Wthread-safety-negative (every acquisition must declare
+#      REQUIRES(!mu)) and -Wthread-safety-beta (ACQUIRED_BEFORE ordering)
+#      as errors — the negative-capability discipline of DESIGN.md §16.
+#   6. seqdet-lint (tools/seqdet_lint.sh): the source-level rules the
+#      annotation language cannot express — blocking calls under a held
+#      lock, raw ::close outside common/unique_fd.h, unjustified
+#      IgnoreStatus, unbounded hot-path loops, lock_order.map violations.
 #
 # Clang-only steps are skipped WITH A LOUD WARNING when clang/clang-tidy is
-# not installed; the compiler-agnostic steps (nodiscard probe, grep gate)
-# always run, so the script is useful on any machine and strict where the
-# tools exist.
+# not installed; the compiler-agnostic steps (nodiscard probe, grep gate,
+# seqdet-lint's python engine) always run, so the script is useful on any
+# machine and strict where the tools exist.
 #
 # Usage: tools/check_static.sh [--negative] [build-dir]
-#   --negative   run only the negative-compile probes (step 2)
+#   --negative   run only the negative probes: the negative-compile files
+#                of steps 1/5 (tools/static_probes/*.cc must FAIL to
+#                compile) and the seqdet-lint probe harness
+#                (tools/seqdet_lint.sh --probes)
 #   build-dir    defaults to build-static
 set -uo pipefail
 
@@ -97,6 +108,34 @@ run_negative_probes() {
   else
     warn_skip "clang++ not found; cannot prove the -Werror=thread-safety gate"
   fi
+
+  # The step-5 flag set: negative capabilities + acquired_before ordering.
+  NEGATIVE_FLAGS=(-Wthread-safety -Wthread-safety-negative
+    -Wthread-safety-beta -Werror=thread-safety
+    -Werror=thread-safety-negative -Werror=thread-safety-beta)
+  for probe in negative_capability_negative lock_order_negative; do
+    echo "=== negative probe: ${probe}.cc must not compile ==="
+    if [[ -n "${CLANGXX}" ]]; then
+      if "${CLANGXX}" -std=c++20 -I "${REPO_DIR}/src" \
+          "${NEGATIVE_FLAGS[@]}" -fsyntax-only \
+          "${REPO_DIR}/tools/static_probes/${probe}.cc" 2>/dev/null; then
+        fail "${probe}.cc compiled — the deadlock-freedom gate is dead"
+      else
+        echo "ok: rejected as expected (${CLANGXX})"
+      fi
+      if ! "${CLANGXX}" -std=c++20 -I "${REPO_DIR}/src" -fsyntax-only \
+          "${REPO_DIR}/tools/static_probes/${probe}.cc" 2>/dev/null; then
+        fail "${probe}.cc is not valid C++ without the analysis"
+      fi
+    else
+      warn_skip "clang++ not found; cannot prove the deadlock-freedom gate"
+    fi
+  done
+
+  echo "=== seqdet-lint probe harness ==="
+  if ! "${REPO_DIR}/tools/seqdet_lint.sh" --probes; then
+    fail "seqdet-lint probes (see above) — a lint rule is dead"
+  fi
 }
 
 run_negative_probes
@@ -130,6 +169,29 @@ if [[ -n "${CLANGXX}" ]]; then
   fi
 else
   warn_skip "clang++ not found; skipping the -Werror=thread-safety build"
+fi
+
+# --- Step 5: deadlock-freedom build ---------------------------------------
+if [[ -n "${CLANGXX}" ]]; then
+  echo "=== SEQDET_THREAD_SAFETY_NEGATIVE build (${CLANGXX}) ==="
+  NEG_BUILD_DIR="${BUILD_DIR}-negative"
+  if ! cmake -B "${NEG_BUILD_DIR}" -S "${REPO_DIR}" \
+      -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+      -DSEQDET_THREAD_SAFETY_NEGATIVE=ON; then
+    fail "cmake configure failed for the deadlock-freedom build"
+  elif ! cmake --build "${NEG_BUILD_DIR}" -j"$(nproc)"; then
+    fail "-Werror=thread-safety-negative build failed (see above)"
+  else
+    echo "ok: clean negative-capability + lock-order build"
+  fi
+else
+  warn_skip "clang++ not found; skipping the deadlock-freedom build"
+fi
+
+# --- Step 6: seqdet-lint ---------------------------------------------------
+echo "=== seqdet-lint (tools/seqdet_lint.sh) ==="
+if ! "${REPO_DIR}/tools/seqdet_lint.sh"; then
+  fail "seqdet-lint violations (see above)"
 fi
 
 # --- Step 3: clang-tidy ----------------------------------------------------

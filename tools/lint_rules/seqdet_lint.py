@@ -1,0 +1,483 @@
+#!/usr/bin/env python3
+"""seqdet-lint: source-level rules for the blocking/deadline discipline.
+
+The always-available reference implementation of the lint layer described
+in DESIGN.md §16. The Clang negative-capability build (check_static.sh
+step 5) proves lock *annotations* are consistent; this engine enforces the
+rules the annotation language cannot express:
+
+  R1 blocking-under-lock   a SEQDET_BLOCKING-shaped call (raw socket/file
+                           syscall, sleep, ParallelFor, WaitIdle, ...)
+                           while a MutexLock/WriterLock/ReaderLock is
+                           live in the enclosing scope. CondVar waits are
+                           exempt when they wait on the (single) held
+                           lock — waiting releases it — but flagged when
+                           a *different* lock is also held.
+  R2 raw-fd                any `::close(` outside common/unique_fd.h,
+                           the single sanctioned home of close().
+  R3 ignored-status        `IgnoreStatus(...)` without a same-line `//`
+                           comment justifying the drop.
+  R4 unbounded-loop        `while (true)` / `for (;;)` on the query hot
+                           paths (src/query/, src/server/) whose body has
+                           no break/return/deadline check.
+  R5 lock-order            nested lock acquisition inside one function
+                           that is not an allowed edge of
+                           tools/lint_rules/lock_order.map (reversed,
+                           recursive, or unmapped). Cross-function
+                           nesting is the clang-query layer's job.
+
+The engine is deliberately textual (brace-depth scope tracking, not a
+real AST): it runs anywhere python3 runs, with zero dependencies, and the
+repo's style (one statement per line, K&R braces, clang-format enforced)
+makes the approximation tight. The clang-query rules in this directory
+are the precise layer, run by tools/seqdet_lint.sh only where clang-query
+exists.
+
+Suppressions are explicit and carry a reason:
+
+    // seqdet-lint: allow-blocking-under-lock(<why>)
+    // seqdet-lint: allow-unbounded-loop(<why>)
+    // seqdet-lint: allow-lock-order(<why>)
+
+on the offending line or the line above. R2 and R3 have no suppression
+tag on purpose: use UniqueFd, or write the comment.
+
+Usage:
+    seqdet_lint.py [--root DIR] [--all-rules] [--map FILE] [files...]
+
+With no files, scans the default tree (src/ tools/ tests/ bench/ minus
+static_probes). --all-rules drops per-rule path scoping — used by the
+probe harness so a probe file in tools/static_probes/ exercises rules
+that normally apply only to src/. Exit 0 clean, 1 violations, 2 usage.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rule registry: what counts as blocking. Mirrors the SEQDET_BLOCKING
+# annotations in the headers (common/sync.h, common/thread_pool.h,
+# server/http_client.h, ...) — the python layer cannot see attributes, so
+# the distinctive call shapes are listed here.
+BLOCKING_CALLS = [
+    # Raw syscalls that can block on the network or disk.
+    r"::accept\s*\(",
+    r"::connect\s*\(",
+    r"::poll\s*\(",
+    r"::send\s*\(",
+    r"::recv\s*\(",
+    r"::read\s*\(",
+    r"::write\s*\(",
+    r"::pread\s*\(",
+    r"::open\s*\(",
+    r"::fsync\s*\(",
+    r"::fdatasync\s*\(",
+    # Sleeps.
+    r"\bsleep_for\s*\(",
+    r"\bsleep_until\s*\(",
+    # Annotated SEQDET_BLOCKING methods with distinctive names.
+    r"[.>]\s*ParallelFor\s*\(",
+    r"[.>]\s*WaitIdle\s*\(",
+    r"[.>]\s*Scatter\s*\(",
+]
+BLOCKING_RE = re.compile("|".join(BLOCKING_CALLS))
+
+# CondVar waits: blocking, but they release their own mutex. Capture the
+# mutex argument so R1 can exempt a wait on the held lock itself.
+CONDVAR_WAIT_RE = re.compile(r"\b\w+\s*\.\s*Wait(?:Until|For)?\s*\(\s*([^,)]+)")
+
+# Lock guard declarations: `MutexLock lock(mu_);` / `WriterLock l(mu_);`
+# (optionally namespace-qualified).
+LOCK_DECL_RE = re.compile(
+    r"\b(?:seqdet::)?(MutexLock|WriterLock|ReaderLock)\s+(\w+)\s*[({]\s*([^);}]+?)\s*[)}]"
+)
+# Mid-scope toggling on a tracked guard: lock.Unlock(); ... lock.Lock();
+GUARD_TOGGLE_RE = re.compile(r"\b(\w+)\s*\.\s*(Unlock|Lock)\s*\(\s*\)")
+
+RAW_CLOSE_RE = re.compile(r"::close\s*\(")
+IGNORE_STATUS_RE = re.compile(r"\bIgnoreStatus\s*\(")
+UNBOUNDED_LOOP_RE = re.compile(r"\bwhile\s*\(\s*true\s*\)|\bfor\s*\(\s*;\s*;\s*\)")
+LOOP_BOUND_RE = re.compile(
+    r"\bbreak\b|\breturn\b|\bthrow\b|\bExpired\s*\(|\bdeadline\b|\bDeadline\b"
+)
+
+ALLOW_TAG_RE = re.compile(r"seqdet-lint:\s*allow-([a-z-]+)\s*\(")
+
+# Files exempt from specific rules by role.
+R2_EXEMPT_BASENAMES = {"unique_fd.h"}
+R3_EXEMPT_BASENAMES = {"status.h", "result.h"}  # the definitions themselves
+
+
+def strip_strings_and_comments(line, in_block_comment):
+    """Returns (code, comment, still_in_block_comment).
+
+    `code` is the line with string/char literals blanked and comments
+    removed; `comment` is the concatenated comment text (where the
+    suppression tags live).
+    """
+    code = []
+    comment = []
+    i, n = 0, len(line)
+    state = "block" if in_block_comment else "code"
+    quote = ""
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                comment.append(line[i:])
+                break
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c in "\"'":
+                state = "string"
+                quote = c
+                code.append(c)
+                i += 1
+                continue
+            code.append(c)
+            i += 1
+        elif state == "string":
+            if c == "\\":
+                code.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                code.append(c)
+            else:
+                code.append(" ")
+            i += 1
+        else:  # block comment
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            comment.append(c)
+            i += 1
+    return "".join(code), "".join(comment), state == "block"
+
+
+def normalize_expr(expr):
+    return re.sub(r"\s+", "", expr)
+
+
+class LockOrderMap:
+    """tools/lint_rules/lock_order.map: node + edge declarations.
+
+    Format (one declaration per line, `#` comments):
+        node <name> <file-glob> <mutex-expr-regex>
+        edge <outer-node> <inner-node>
+    A mutex expression resolves to the first node whose glob matches the
+    file (repo-relative) and whose regex fully matches the normalized
+    expression. Edges are closed transitively.
+    """
+
+    def __init__(self):
+        self.nodes = []  # (name, glob, compiled-regex)
+        self.edges = set()  # (outer, inner)
+
+    @classmethod
+    def load(cls, path):
+        m = cls()
+        with open(path, encoding="utf-8") as f:
+            for ln, raw in enumerate(f, 1):
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split(None, 3)
+                if parts[0] == "node" and len(parts) == 4:
+                    m.nodes.append((parts[1], parts[2], re.compile(parts[3] + r"\Z")))
+                elif parts[0] == "edge" and len(parts) == 3:
+                    m.edges.add((parts[1], parts[2]))
+                else:
+                    raise ValueError(f"{path}:{ln}: bad lock_order.map line: {raw!r}")
+        # Transitive closure (the map is tiny; cubic is fine).
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(m.edges):
+                for c, d in list(m.edges):
+                    if b == c and (a, d) not in m.edges:
+                        m.edges.add((a, d))
+                        changed = True
+        return m
+
+    def resolve(self, rel_path, expr):
+        expr = normalize_expr(expr)
+        for name, glob, rx in self.nodes:
+            if fnmatch.fnmatch(rel_path, glob) and rx.match(expr):
+                return name
+        return None
+
+    def allows(self, outer, inner):
+        return (outer, inner) in self.edges
+
+
+class Lock:
+    __slots__ = ("kind", "name", "expr", "depth", "line", "active")
+
+    def __init__(self, kind, name, expr, depth, line):
+        self.kind = kind
+        self.name = name
+        self.expr = normalize_expr(expr)
+        self.depth = depth
+        self.line = line
+        self.active = True
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rule_applies(rule, rel_path, all_rules):
+    """Per-rule path scoping (dropped under --all-rules)."""
+    base = os.path.basename(rel_path)
+    if rule == "R2":
+        return base not in R2_EXEMPT_BASENAMES
+    if rule == "R3":
+        return base not in R3_EXEMPT_BASENAMES
+    if all_rules:
+        return True
+    if rule == "R1" or rule == "R5":
+        return rel_path.startswith(("src/", "tools/"))
+    if rule == "R4":
+        return rel_path.startswith(("src/query/", "src/server/"))
+    return True
+
+
+def lint_file(path, rel_path, order_map, all_rules):
+    violations = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.readlines()
+    except OSError as e:
+        return [Violation(rel_path, 0, "IO", str(e))]
+
+    # Pass 1: strip strings/comments, collect suppression tags.
+    code_lines = [""]  # 1-indexed
+    allow = {}  # line -> set of tags; a tag covers its line and the next
+    in_block = False
+    for ln, raw in enumerate(raw_lines, 1):
+        code, comment, in_block = strip_strings_and_comments(raw, in_block)
+        code_lines.append(code)
+        for m in ALLOW_TAG_RE.finditer(comment):
+            allow.setdefault(ln, set()).add(m.group(1))
+            allow.setdefault(ln + 1, set()).add(m.group(1))
+
+    def allowed(ln, tag):
+        return tag in allow.get(ln, set())
+
+    # Pass 2: position-ordered scan with brace-depth lock tracking. Every
+    # brace, guard declaration, Unlock()/Lock() toggle, and blocking call
+    # is an event processed in source order, so `} else {` (net depth 0,
+    # but the `}` closes the if-branch's guard) and same-line sequences
+    # are handled exactly.
+    depth = 0
+    locks = []  # stack of Lock
+
+    def check_nested(lock, ln):
+        for outer in locks:
+            if not outer.active or allowed(ln, "lock-order"):
+                continue
+            o = order_map.resolve(rel_path, outer.expr)
+            i = order_map.resolve(rel_path, lock.expr)
+            if o is not None and o == i:
+                violations.append(Violation(
+                    rel_path, ln, "R5-lock-order",
+                    f"recursive acquisition of '{lock.expr}' "
+                    f"(already held since line {outer.line})"))
+            elif o is None or i is None or not order_map.allows(o, i):
+                held = o or f"<unmapped:{outer.expr}>"
+                want = i or f"<unmapped:{lock.expr}>"
+                violations.append(Violation(
+                    rel_path, ln, "R5-lock-order",
+                    f"nested acquisition {held} -> {want} is not an "
+                    f"edge of lock_order.map ('{lock.expr}' under "
+                    f"'{outer.expr}' held since line {outer.line})"))
+
+    for ln in range(1, len(code_lines)):
+        code = code_lines[ln]
+
+        events = []  # (column, order, kind, payload)
+        for col, c in enumerate(code):
+            if c == "{":
+                events.append((col, 0, "open", None))
+            elif c == "}":
+                events.append((col, 0, "close", None))
+        for m in LOCK_DECL_RE.finditer(code):
+            events.append((m.start(), 1, "decl", m))
+        for m in GUARD_TOGGLE_RE.finditer(code):
+            events.append((m.start(), 1, "toggle", m))
+        if rule_applies("R1", rel_path, all_rules):
+            for m in BLOCKING_RE.finditer(code):
+                events.append((m.start(), 2, "blocking", m))
+            for m in CONDVAR_WAIT_RE.finditer(code):
+                events.append((m.start(), 2, "wait", m))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        for _, _, kind, m in events:
+            if kind == "open":
+                depth += 1
+            elif kind == "close":
+                depth = max(0, depth - 1)
+                locks = [l for l in locks if l.depth <= depth]
+            elif kind == "decl":
+                lock = Lock(m.group(1), m.group(2), m.group(3), depth, ln)
+                if rule_applies("R5", rel_path, all_rules) and order_map:
+                    check_nested(lock, ln)
+                locks.append(lock)
+            elif kind == "toggle":
+                for lock in reversed(locks):
+                    if lock.name == m.group(1):
+                        lock.active = m.group(2) == "Lock"
+                        break
+            elif kind == "blocking":
+                active = [l for l in locks if l.active]
+                if active and not allowed(ln, "blocking-under-lock"):
+                    holder = active[-1]
+                    violations.append(Violation(
+                        rel_path, ln, "R1-blocking-under-lock",
+                        f"blocking call '{m.group(0).strip()}' while "
+                        f"'{holder.expr}' is held ({holder.kind} at line "
+                        f"{holder.line}); do the blocking work outside "
+                        f"the lock scope"))
+            elif kind == "wait":
+                if BLOCKING_RE.search(m.group(0)):
+                    continue  # e.g. WaitIdle( already reported above
+                wait_mu = normalize_expr(m.group(1))
+                # A guard on the waited mutex is released by the wait
+                # itself; only *other* live locks make this a deadlock
+                # shape.
+                others = [l for l in locks if l.active and l.expr != wait_mu]
+                if others and not allowed(ln, "blocking-under-lock"):
+                    o = others[-1]
+                    violations.append(Violation(
+                        rel_path, ln, "R1-blocking-under-lock",
+                        f"condition wait on '{wait_mu}' while a different "
+                        f"lock '{o.expr}' is held ({o.kind} at line "
+                        f"{o.line}); the wait releases only its own "
+                        f"mutex"))
+
+        # R2: raw ::close outside unique_fd.h.
+        if rule_applies("R2", rel_path, all_rules) and RAW_CLOSE_RE.search(code):
+            violations.append(Violation(
+                rel_path, ln, "R2-raw-fd",
+                "raw ::close(); own the fd with seqdet::UniqueFd "
+                "(common/unique_fd.h) instead"))
+
+        # R3: IgnoreStatus without a same-line justification.
+        if rule_applies("R3", rel_path, all_rules) and IGNORE_STATUS_RE.search(code):
+            raw = raw_lines[ln - 1]
+            comment_pos = raw.find("//")
+            if comment_pos < 0 or not raw[comment_pos + 2:].strip():
+                violations.append(Violation(
+                    rel_path, ln, "R3-ignored-status",
+                    "IgnoreStatus() without a same-line // comment saying "
+                    "why dropping the error is safe"))
+
+        # R4: unbounded loop on a query hot path.
+        if rule_applies("R4", rel_path, all_rules):
+            lm = UNBOUNDED_LOOP_RE.search(code)
+            if lm and not allowed(ln, "unbounded-loop"):
+                if not loop_body_is_bounded(code_lines, ln, lm.end()):
+                    violations.append(Violation(
+                        rel_path, ln, "R4-unbounded-loop",
+                        "unbounded loop with no break/return/deadline "
+                        "check in its body on a query hot path"))
+
+        # Close scopes: update depth, pop dead guards.
+        depth += code.count("{") - code.count("}")
+        if depth < 0:
+            depth = 0
+        locks = [l for l in locks if l.depth <= depth]
+
+    return violations
+
+
+def loop_body_is_bounded(code_lines, start_ln, start_col):
+    """Scans the loop body (balanced braces from the loop header) for an
+    exit: break, return, throw, or a deadline check."""
+    depth = 0
+    entered = False
+    for ln in range(start_ln, len(code_lines)):
+        code = code_lines[ln] if ln != start_ln else code_lines[ln][start_col:]
+        for c in code:
+            if c == "{":
+                depth += 1
+                entered = True
+            elif c == "}":
+                depth -= 1
+                if entered and depth <= 0:
+                    return False  # body closed, no exit found
+        if entered and depth > 0 and LOOP_BOUND_RE.search(code):
+            return True
+        if not entered and ln > start_ln + 2:
+            return True  # brace-less loop body (single statement): not ours
+    return True  # unterminated (EOF mid-scan): don't guess
+
+
+def default_files(root):
+    files = []
+    for top in ("src", "tools", "tests", "bench"):
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            if "static_probes" in dirpath:
+                continue
+            for fn in sorted(filenames):
+                if fn.endswith((".cc", ".cpp", ".h", ".hpp")):
+                    files.append(os.path.join(dirpath, fn))
+    return files
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--all-rules", action="store_true",
+                    help="drop per-rule path scoping (probe harness mode)")
+    ap.add_argument("--map", dest="map_path", default=None,
+                    help="lock-order map (default: lock_order.map beside "
+                         "this script)")
+    ap.add_argument("files", nargs="*")
+    args = ap.parse_args(argv)
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(args.root or os.path.join(here, "..", ".."))
+    map_path = args.map_path or os.path.join(here, "lock_order.map")
+    order_map = None
+    if os.path.exists(map_path):
+        try:
+            order_map = LockOrderMap.load(map_path)
+        except ValueError as e:
+            print(f"seqdet-lint: {e}", file=sys.stderr)
+            return 2
+
+    files = [os.path.abspath(f) for f in args.files] or default_files(root)
+    violations = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        violations.extend(lint_file(path, rel, order_map, args.all_rules))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"seqdet-lint: {len(violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# seqdet-lint: the source-level rule layer of the static gate (DESIGN.md
+# §16). Two engines over the same rule catalog:
+#
+#   1. tools/lint_rules/seqdet_lint.py — the portable reference engine
+#      (python3, zero deps): R1 blocking-under-lock, R2 raw ::close
+#      outside common/unique_fd.h, R3 IgnoreStatus without justification,
+#      R4 unbounded hot-path loops, R5 lock-order (lock_order.map). This
+#      layer ALWAYS runs and is the enforcing one.
+#   2. tools/lint_rules/*.query — clang-query AST matchers, the precise
+#      layer for what textual scanning cannot see (macro expansions,
+#      cross-function nesting). Runs only where clang-query and a
+#      compile_commands.json exist; skipped WITH A LOUD WARNING
+#      otherwise (same policy as check_static.sh's clang steps).
+#
+# Usage: tools/seqdet_lint.sh [--probes] [files...]
+#   --probes   probe harness: every lint negative probe in
+#              tools/static_probes/ must (a) be valid C++ and (b) FAIL
+#              the lint with its expected rule — proof the rules reject
+#              real violations instead of being decorative.
+#   files...   lint only these files (default: the whole tree).
+set -uo pipefail
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+ENGINE="${REPO_DIR}/tools/lint_rules/seqdet_lint.py"
+PROBE_DIR="${REPO_DIR}/tools/static_probes"
+HOST_CXX="${CXX:-c++}"
+
+find_tool() {
+  local c
+  for c in "$@"; do
+    if command -v "$c" >/dev/null 2>&1; then
+      command -v "$c"
+      return 0
+    fi
+  done
+  return 1
+}
+
+PYTHON="$(find_tool python3 python || true)"
+CLANG_QUERY="$(find_tool clang-query clang-query-21 clang-query-20 \
+  clang-query-19 clang-query-18 clang-query-17 clang-query-16 \
+  clang-query-15 clang-query-14 clang-query-13 || true)"
+
+warn_skip() {
+  echo "!!!" >&2
+  echo "!!! WARNING: $1" >&2
+  echo "!!! This gate is NOT being enforced on this machine." >&2
+  echo "!!!" >&2
+}
+
+failed=0
+fail() {
+  echo "FAIL: $1" >&2
+  failed=1
+}
+
+if [[ -z "${PYTHON}" ]]; then
+  warn_skip "python3 not found; seqdet-lint cannot run its rule engine"
+  exit 0
+fi
+
+# --- probe harness ---------------------------------------------------------
+if [[ "${1:-}" == "--probes" ]]; then
+  # probe file -> the rule tag its violation report must carry.
+  probes=(
+    "blocking_under_lock_negative.cc R1-blocking-under-lock"
+    "raw_fd_negative.cc R2-raw-fd"
+    "ignored_status_negative.cc R3-ignored-status"
+    "unbounded_loop_negative.cc R4-unbounded-loop"
+    "lock_order_negative.cc R5-lock-order"
+  )
+  for entry in "${probes[@]}"; do
+    probe="${entry%% *}"
+    rule="${entry##* }"
+    path="${PROBE_DIR}/${probe}"
+    echo "=== lint probe: ${probe} must fail with ${rule} ==="
+    if [[ ! -f "${path}" ]]; then
+      fail "${probe} is missing"
+      continue
+    fi
+    # The probe must fail for the RIGHT reason: valid C++ first.
+    if ! "${HOST_CXX}" -std=c++20 -I "${REPO_DIR}/src" -fsyntax-only \
+        "${path}" 2>/dev/null; then
+      fail "${probe} is not valid C++ — it would 'fail' the lint trivially"
+      continue
+    fi
+    out="$("${PYTHON}" "${ENGINE}" --root "${REPO_DIR}" --all-rules \
+      "${path}" 2>&1)"
+    status=$?
+    if [[ "${status}" -eq 0 ]]; then
+      fail "${probe} passed the lint — rule ${rule} is dead"
+    elif ! grep -q "\[${rule}\]" <<<"${out}"; then
+      echo "${out}" >&2
+      fail "${probe} failed, but not with ${rule}"
+    else
+      echo "ok: rejected as expected (${rule})"
+    fi
+  done
+  [[ "${failed}" == "0" ]] && echo "=== lint probes clean ==="
+  exit "${failed}"
+fi
+
+# --- layer 1: the python rule engine (enforcing) ---------------------------
+echo "=== seqdet-lint rule engine (${PYTHON}) ==="
+if ! "${PYTHON}" "${ENGINE}" --root "${REPO_DIR}" "$@"; then
+  fail "seqdet-lint violations (rules R1-R5 above)"
+else
+  echo "ok: lint clean"
+fi
+
+# --- layer 2: clang-query AST rules (best-effort precision) ----------------
+if [[ -n "${CLANG_QUERY}" ]]; then
+  QUERY_DB=""
+  for d in "${REPO_DIR}/build-static" "${REPO_DIR}/build"; do
+    if [[ -f "${d}/compile_commands.json" ]]; then
+      QUERY_DB="${d}"
+      break
+    fi
+  done
+  if [[ -z "${QUERY_DB}" ]]; then
+    warn_skip "no compile_commands.json (configure a build first); \
+skipping the clang-query layer"
+  else
+    mapfile -t query_files < <(cd "${REPO_DIR}" && \
+      find src -name '*.cc' | sort)
+    for rules in "${REPO_DIR}"/tools/lint_rules/*.query; do
+      echo "=== clang-query: $(basename "${rules}") (-p ${QUERY_DB}) ==="
+      out="$(cd "${REPO_DIR}" && "${CLANG_QUERY}" -p "${QUERY_DB}" \
+        -f "${rules}" "${query_files[@]}" 2>&1)"
+      if grep -q "^[0-9]* match" <<<"${out}" && \
+          ! grep -q "^0 matches" <<<"${out}"; then
+        echo "${out}" | grep -v "^0 matches" >&2
+        fail "clang-query matches in $(basename "${rules}") — triage above"
+      else
+        echo "ok: no matches"
+      fi
+    done
+  fi
+else
+  warn_skip "clang-query not found; skipping the AST rule layer"
+fi
+
+[[ "${failed}" == "0" ]] && echo "=== seqdet-lint clean ==="
+exit "${failed}"

@@ -1,0 +1,39 @@
+// Negative probe for seqdet-lint rule R1 (blocking-under-lock).
+//
+// This file DELIBERATELY issues a blocking syscall inside a MutexLock
+// scope: exactly the shape the discipline forbids (the lock would be
+// held for the full kernel-side wait, serializing every other thread
+// behind one slow peer — the bug class fixed in HttpServer::AcceptLoop,
+// which used to close() refused sockets under conns_mu_).
+// tools/seqdet_lint.sh --probes runs the lint over this file and asserts
+// it FAILS with R1 — proving the rule rejects real violations instead of
+// being decorative. It is valid C++ (the probe harness also compiles it
+// with -fsyntax-only) and never linked into any target.
+
+#include <sys/socket.h>
+
+#include "common/sync.h"
+
+namespace {
+
+class Sender {
+ public:
+  void Broadcast(const char* data, size_t len) {
+    seqdet::MutexLock lock(mu_);  // protects fd_
+    // BUG (intentional): ::send can block for the peer's receive window
+    // while mu_ is held.
+    (void)::send(fd_, data, len, 0);
+  }
+
+ private:
+  seqdet::Mutex mu_;
+  int fd_ GUARDED_BY(mu_) = -1;
+};
+
+}  // namespace
+
+int main() {
+  Sender s;
+  s.Broadcast("x", 1);
+  return 0;
+}

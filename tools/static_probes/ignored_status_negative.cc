@@ -1,0 +1,23 @@
+// Negative probe for seqdet-lint rule R3 (ignored-status).
+//
+// This file DELIBERATELY drops a Status through IgnoreStatus() without
+// the same-line // comment saying why the drop is safe. IgnoreStatus()
+// exists so best-effort paths can discard [[nodiscard]] results visibly,
+// but a bare call says nothing — the discipline requires each use to
+// carry its justification (see src/query/pattern_parser.cc for the
+// compliant form). tools/seqdet_lint.sh --probes runs the lint over this
+// file and asserts it FAILS with R3. Valid C++, never linked into any
+// target.
+
+#include "common/status.h"
+
+namespace {
+
+seqdet::Status BestEffortCleanup() { return seqdet::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  seqdet::IgnoreStatus(BestEffortCleanup());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Negative probe for the lock-ordering gate — checked TWO ways:
+//
+//   1. Clang: a_ is declared ACQUIRED_BEFORE(b_), but ReversedAcquire()
+//      takes b_ first. check_static.sh --negative compiles this file
+//      with -Wthread-safety-beta (the acquired_before/acquired_after
+//      analysis) -Werror and asserts the compile FAILS.
+//   2. seqdet-lint rule R5: tools/lint_rules/lock_order.map declares the
+//      probe_outer (a_) -> probe_inner (b_) edge for this file, so the
+//      reversed textual nesting below must trip the python engine too.
+//      tools/seqdet_lint.sh --probes asserts exactly that.
+//
+// One seeded deadlock shape, two independent detectors — whichever of
+// the clang build or the portable lint runs on a machine, the reversed
+// acquisition is rejected. Valid C++ without the analysis (the harness
+// checks that as well); never linked into any target.
+
+#include "common/sync.h"
+
+namespace {
+
+class Ordered {
+ public:
+  int ReversedAcquire() REQUIRES(!a_, !b_) {
+    seqdet::MutexLock lock_b(b_);
+    // BUG (intentional): a_ must be acquired before b_, never under it.
+    seqdet::MutexLock lock_a(a_);
+    return ++value_;
+  }
+
+ private:
+  seqdet::Mutex a_ ACQUIRED_BEFORE(b_);
+  seqdet::Mutex b_;
+  int value_ GUARDED_BY(a_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ordered o;
+  return o.ReversedAcquire();
+}

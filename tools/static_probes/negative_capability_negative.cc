@@ -1,0 +1,46 @@
+// Negative probe for the negative-capability gate (check_static.sh
+// step 5: -Wthread-safety-negative -Werror).
+//
+// This file DELIBERATELY violates the discipline twice, so the probe
+// fails under the negative-capability flag set regardless of how strict
+// the installed clang's negative analysis is:
+//
+//   * Caller() acquires mu_ without declaring REQUIRES(!mu_) — the
+//     negative-capability rule every locking method in the tree now
+//     follows (-Wthread-safety-negative).
+//   * Caller() then calls Reenter(), which REQUIRES(!mu_), while mu_ is
+//     held — a self-deadlock shape plain -Wthread-safety already
+//     rejects.
+//
+// check_static.sh --negative compiles this with the step-5 flags and
+// asserts the compile FAILS — proof the deadlock-freedom gate is live.
+// Valid C++ without the analysis; never linked into any target.
+
+#include "common/sync.h"
+
+namespace {
+
+class Plain {
+ public:
+  // BUG (intentional): acquires mu_ but does not declare REQUIRES(!mu_).
+  int Caller() {
+    seqdet::MutexLock lock(mu_);
+    return Reenter();  // BUG (intentional): mu_ is held here.
+  }
+
+  int Reenter() REQUIRES(!mu_) {
+    seqdet::MutexLock lock(mu_);
+    return ++value_;
+  }
+
+ private:
+  seqdet::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Plain p;
+  return p.Caller();
+}

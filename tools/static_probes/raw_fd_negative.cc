@@ -1,0 +1,19 @@
+// Negative probe for seqdet-lint rule R2 (raw-fd).
+//
+// This file DELIBERATELY calls ::close() on a naked descriptor.
+// common/unique_fd.h is the single sanctioned home of ::close() in the
+// tree — every other site must own its descriptor with seqdet::UniqueFd,
+// so error paths and early returns can never leak or double-close an fd.
+// tools/seqdet_lint.sh --probes runs the lint over this file and asserts
+// it FAILS with R2. Valid C++, never linked into any target.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+int main() {
+  const int fd = ::open("/dev/null", O_RDONLY);
+  if (fd < 0) return 1;
+  // BUG (intentional): raw close; should be `seqdet::UniqueFd owned(fd);`.
+  ::close(fd);
+  return 0;
+}

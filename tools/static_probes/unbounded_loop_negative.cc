@@ -1,0 +1,30 @@
+// Negative probe for seqdet-lint rule R4 (unbounded-loop).
+//
+// This file DELIBERATELY spins in a `while (true)` whose body has no
+// break, no return, and no deadline check. On the query hot paths
+// (src/query/, src/server/) every unbounded loop must either exit or
+// consult a Deadline each stride — that is what makes the 504-within-
+// one-chunk guarantee of DESIGN.md §14 checkable at the source level.
+// tools/seqdet_lint.sh --probes runs the lint over this file (with
+// --all-rules, since probes live outside the scoped paths) and asserts
+// it FAILS with R4. Valid C++, never linked into any target.
+
+#include <atomic>
+
+namespace {
+
+std::atomic<unsigned> spins{0};
+
+void SpinForever() {
+  // BUG (intentional): no exit, no Expired() stride check.
+  while (true) {
+    spins.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  SpinForever();
+  return 0;
+}
